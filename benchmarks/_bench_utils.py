@@ -1,0 +1,7 @@
+"""Benchmark-harness helpers."""
+
+
+def run_once(benchmark, fn):
+    """Benchmark one full regeneration pass (these are minutes-long harness
+    runs, not micro-benchmarks: a single round is the measurement)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

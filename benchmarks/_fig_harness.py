@@ -1,0 +1,52 @@
+"""Shared measurement helpers for the figure benches."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.microkernel import ARG_REGS, generate_microkernel
+from repro.machine.cache import CacheHierarchy
+from repro.machine.chips import ChipSpec
+from repro.machine.memory import Memory
+from repro.machine.pipeline import TimingResult
+from repro.machine.simulator import Simulator
+
+
+def kernel_timing(
+    mr: int,
+    nr: int,
+    kc: int,
+    chip: ChipSpec,
+    rotate: bool = False,
+    lookahead: bool = True,
+    seed: int = 0,
+) -> TimingResult:
+    """Simulate one micro-kernel invocation with cache-warm operands."""
+    lane = chip.sigma_lane
+    rng = np.random.default_rng(seed)
+    memory = Memory()
+    h_a = memory.alloc_matrix(mr, kc)
+    h_b = memory.alloc_matrix(kc, nr)
+    h_c = memory.alloc_matrix(mr, nr)
+    memory.write_matrix(h_a, rng.uniform(-1, 1, (mr, kc)).astype(np.float32))
+    memory.write_matrix(h_b, rng.uniform(-1, 1, (kc, nr)).astype(np.float32))
+    memory.write_matrix(h_c, np.zeros((mr, nr), np.float32))
+    kernel = generate_microkernel(
+        mr, nr, kc, lane=lane, rotate=rotate, sigma_ai=chip.sigma_ai,
+        lookahead=lookahead,
+    )
+    sim = Simulator(memory, vector_lanes=lane)
+    caches = CacheHierarchy(chip)
+    for h in (h_a, h_b, h_c):
+        caches.warm_range(h.base, h.bytes_spanned)
+    args = {
+        ARG_REGS["A"]: h_a.base,
+        ARG_REGS["B"]: h_b.base,
+        ARG_REGS["C"]: h_c.base,
+        ARG_REGS["lda"]: h_a.ld,
+        ARG_REGS["ldb"]: h_b.ld,
+        ARG_REGS["ldc"]: h_c.ld,
+    }
+    result = sim.run_timed(kernel.program, chip, args=args, caches=caches)
+    assert result.timing is not None
+    return result.timing

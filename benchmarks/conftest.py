@@ -1,0 +1,35 @@
+"""Benchmark-harness helpers.
+
+Every bench regenerates one paper table/figure: it computes the rows or
+series the paper reports, asserts the qualitative claims (who wins, by
+roughly what factor, where crossovers fall), saves the rendered text under
+``benchmarks/results/``, and times one full regeneration pass through
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Persist a rendered table/series for EXPERIMENTS.md."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save
+
+

@@ -1,0 +1,91 @@
+"""Figure 10: roofline positioning of small and ResNet-50 shapes.
+
+Claims reproduced on KP920, Graviton2 and M2 (single precision):
+
+* small cubes {8,16,32,64}^3: autoGEMM sits closer to the compute roof
+  than OpenBLAS/Eigen-style at every point;
+* the ResNet-50 layers (L4, L8, L10, L16) have higher arithmetic intensity
+  than the small cubes and live in the compute-bound region;
+* single-core autoGEMM approaches its roof; the multi-core aggregate
+  exceeds the single-core DRAM ceiling (served from cache).
+"""
+
+from _bench_utils import run_once
+from repro.analysis.reporting import format_table
+from repro.baselines import libraries_for_chip
+from repro.machine.chips import APPLE_M2, GRAVITON2, KP920
+from repro.model.roofline import attainable_gflops, gemm_arithmetic_intensity
+from repro.workloads.resnet50 import layer
+
+CHIPS = (KP920, GRAVITON2, APPLE_M2)
+SMALL = [8, 16, 32, 64]
+RESNET = ["L4", "L8", "L10", "L16"]
+
+
+def build_fig10():
+    points = {}
+    for chip in CHIPS:
+        libs = {
+            lib.name: lib
+            for lib in libraries_for_chip(chip, ["autoGEMM", "OpenBLAS", "Eigen"])
+        }
+        for s in SMALL:
+            ai = gemm_arithmetic_intensity(s, s, s)
+            for name, lib in libs.items():
+                points[(chip.name, f"{s}^3", name)] = (ai, lib.estimate(s, s, s).gflops)
+        for lname in RESNET:
+            shape = layer(lname)
+            ai = gemm_arithmetic_intensity(shape.m, shape.n, shape.k)
+            points[(chip.name, lname, "autoGEMM")] = (
+                ai,
+                libs["autoGEMM"].estimate(shape.m, shape.n, shape.k).gflops,
+            )
+            points[(chip.name, lname, "autoGEMM-mc")] = (
+                ai,
+                libs["autoGEMM"].estimate(
+                    shape.m, shape.n, shape.k, threads=chip.cores
+                ).gflops,
+            )
+    return points
+
+
+def test_fig10_roofline(benchmark, save_result):
+    points = run_once(benchmark, build_fig10)
+    rows = [
+        [chip, workload, series, f"{ai:.1f}", f"{gf:.1f}"]
+        for (chip, workload, series), (ai, gf) in sorted(points.items())
+    ]
+    save_result(
+        "fig10",
+        format_table(
+            ["chip", "workload", "series", "AI (flops/byte)", "GFLOP/s"],
+            rows,
+            title="Figure 10: roofline points",
+        ),
+    )
+
+    for chip in CHIPS:
+        # never above the single-core compute roof (single-core series)
+        for s in SMALL:
+            for series in ("autoGEMM", "OpenBLAS", "Eigen"):
+                ai, gf = points[(chip.name, f"{s}^3", series)]
+                assert gf <= chip.peak_gflops_core * 1.001
+            # ours closest to the roof at each point
+            ours = points[(chip.name, f"{s}^3", "autoGEMM")][1]
+            assert ours >= points[(chip.name, f"{s}^3", "OpenBLAS")][1]
+            assert ours >= points[(chip.name, f"{s}^3", "Eigen")][1]
+        # ResNet layers: higher AI than small cubes, compute-bound region.
+        small_ai = gemm_arithmetic_intensity(16, 16, 16)
+        for lname in RESNET:
+            ai, gf = points[(chip.name, lname, "autoGEMM")]
+            assert ai > small_ai
+            assert attainable_gflops(chip, ai) == chip.peak_gflops_core
+        # multi-core exceeds the single-core DRAM ceiling somewhere.
+        exceeded = any(
+            points[(chip.name, lname, "autoGEMM-mc")][1]
+            > attainable_gflops(
+                chip, points[(chip.name, lname, "autoGEMM-mc")][0], cores=1
+            )
+            for lname in RESNET
+        )
+        assert exceeded, chip.name

@@ -1,0 +1,73 @@
+"""Figure 11: strong scaling of autoGEMM on the L1 layer, all five chips.
+
+The workload is ResNet-50 L1 (64 x 12544 x 147).  Claims reproduced:
+
+* near-linear scaling on the flat-topology chips -- the paper reports
+  parallel efficiencies of 98% (KP920), 98.2% (Graviton2), 83.2% (Altra),
+  93.5% (M2);
+* A64FX scales poorly (30.3%): its 4 ring-connected CMGs pay a growing
+  cross-domain penalty, so its efficiency is the lowest of the five.
+"""
+
+from _bench_utils import run_once
+from repro.analysis.metrics import parallel_efficiency
+from repro.analysis.reporting import format_table
+from repro.baselines import make_library
+from repro.machine.chips import ALL_CHIPS
+from repro.workloads.resnet50 import layer
+
+L1 = layer("L1")
+
+
+def core_steps(total: int) -> list[int]:
+    steps = [1]
+    while steps[-1] * 2 <= total:
+        steps.append(steps[-1] * 2)
+    if steps[-1] != total:
+        steps.append(total)
+    return steps
+
+
+def build_fig11():
+    curves = {}
+    for chip in ALL_CHIPS.values():
+        lib = make_library("autoGEMM", chip)
+        seconds = {}
+        for cores in core_steps(chip.cores):
+            seconds[cores] = lib.estimate(L1.m, L1.n, L1.k, threads=cores).seconds
+        curves[chip.name] = seconds
+    return curves
+
+
+def test_fig11_scaling(benchmark, save_result):
+    curves = run_once(benchmark, build_fig11)
+    rows = []
+    peff = {}
+    for name, seconds in curves.items():
+        cores = max(seconds)
+        eff = parallel_efficiency(seconds[1], seconds[cores], cores)
+        peff[name] = eff
+        speedups = ", ".join(
+            f"{c}c={seconds[1] / seconds[c]:.1f}x" for c in sorted(seconds)
+        )
+        rows.append([name, cores, speedups, f"{eff:.1%}"])
+    save_result(
+        "fig11",
+        format_table(
+            ["chip", "cores", "speedup curve", "parallel eff"],
+            rows,
+            title=f"Figure 11: strong scaling on L1 ({L1.m}x{L1.n}x{L1.k})",
+        ),
+    )
+
+    # Monotone speedups on every chip up to its core count.
+    for name, seconds in curves.items():
+        ordered = [seconds[c] for c in sorted(seconds)]
+        assert all(b <= a * 1.05 for a, b in zip(ordered, ordered[1:])), name
+
+    # Flat-topology chips scale well; the ccNUMA/CMG A64FX is the worst.
+    for good in ("KP920", "Graviton2", "M2"):
+        assert peff[good] > 0.70, (good, peff[good])
+    assert peff["A64FX"] < peff["Altra"]
+    assert peff["A64FX"] == min(peff.values())
+    assert peff["A64FX"] < 0.6

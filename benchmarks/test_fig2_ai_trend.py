@@ -1,0 +1,45 @@
+"""Figure 2: AI vs k_c for m_r x 16 tiles, against the chips' sigma_AI.
+
+The paper's claims: AI grows with k_c towards AI_max (Eqn 3 -> Eqn 2);
+small-k_c kernels sit below every sigma_AI line (memory-bound at their
+prologue/epilogue); the crossover k_c where a tile clears a chip's
+threshold is earlier on low-sigma_AI chips (Graviton2/M2) than on the
+high-threshold ones (KP920/A64FX).
+"""
+
+from _bench_utils import run_once
+from repro.analysis.reporting import format_series
+from repro.codegen.tiles import ai, ai_max
+from repro.machine.chips import A64FX, APPLE_M2, GRAVITON2, KP920
+
+KCS = [4, 8, 16, 32, 64, 128, 256]
+MRS = [2, 4, 5]
+
+
+def build_fig2():
+    series = {mr: [ai(mr, 16, kc) for kc in KCS] for mr in MRS}
+    crossover = {}
+    for chip in (KP920, GRAVITON2, APPLE_M2, A64FX):
+        kc = next((k for k in KCS if ai(5, 16, k) >= chip.sigma_ai), None)
+        crossover[chip.name] = kc
+    return series, crossover
+
+
+def test_fig2_ai_trend(benchmark, save_result):
+    series, crossover = run_once(benchmark, build_fig2)
+    lines = [
+        format_series(f"{mr}x16 AI", KCS, series[mr]) for mr in MRS
+    ] + [f"sigma_AI crossover of 5x16: {crossover}"]
+    save_result("fig2", "Figure 2: AI(k_c) for m_r x 16 tiles\n" + "\n".join(lines))
+
+    for mr in MRS:
+        # monotone increase towards AI_max
+        assert all(a <= b + 1e-12 for a, b in zip(series[mr], series[mr][1:]))
+        assert series[mr][-1] <= ai_max(mr, 16) + 1e-9
+        assert series[mr][-1] > 0.9 * ai_max(mr, 16)
+    # 2x16 never clears a high-sigma_AI chip (memory-bound tile)
+    assert max(series[2]) < KP920.sigma_ai
+    # low-threshold chips cross earlier than high-threshold ones
+    assert crossover["M2"] <= crossover["Graviton2"] <= crossover["KP920"]
+    # A64FX's very high threshold is the hardest to clear
+    assert crossover["A64FX"] is None or crossover["A64FX"] >= crossover["KP920"]

@@ -1,0 +1,105 @@
+"""Figure 4: the four epilogue->prologue fusion modes.
+
+Figure 4 is the paper's schematic of fusing a tile's epilogue with the next
+tile's prologue for every compute/memory-bound combination: ``c_to_c``,
+``m_to_m``, ``c_to_m``, ``m_to_c``.  This bench constructs a two-tile
+sequence for each mode (5x16 is compute-bound, 2x16 memory-bound at KP920's
+sigma_AI), measures the fused pair against launching the tiles separately,
+and asserts fusion saves cycles in *all four* modes -- the figure's claim.
+"""
+
+import numpy as np
+
+from _bench_utils import run_once
+from repro.analysis.reporting import format_table
+from repro.codegen.fusion import boundary_modes, fuse_traces
+from repro.codegen.microkernel import ARG_REGS, generate_microkernel
+from repro.machine.cache import CacheHierarchy
+from repro.machine.chips import KP920
+from repro.machine.memory import Memory
+from repro.machine.pipeline import PipelineModel
+from repro.machine.simulator import Simulator
+
+KC = 8  # small k_c: the regime where boundary stages matter (§III-C2)
+LAUNCH = 40.0
+
+COMPUTE_TILE = (5, 16)  # AI 7.62 >= KP920 sigma_AI
+MEMORY_TILE = (2, 16)  # AI 3.56 <  KP920 sigma_AI
+
+
+def run_pair(first, second):
+    """(fused cycles, separate cycles, mode name) for one tile pair."""
+    chip = KP920
+    rng = np.random.default_rng(0)
+    memory = Memory()
+    sim = Simulator(memory)
+    traces = []
+    kernels = []
+    for i, (mr, nr) in enumerate((first, second)):
+        h_a = memory.alloc_matrix(mr, KC)
+        h_b = memory.alloc_matrix(KC, nr)
+        h_c = memory.alloc_matrix(mr, nr)
+        memory.write_matrix(h_a, rng.uniform(-1, 1, (mr, KC)).astype(np.float32))
+        memory.write_matrix(h_b, rng.uniform(-1, 1, (KC, nr)).astype(np.float32))
+        memory.write_matrix(h_c, np.zeros((mr, nr), np.float32))
+        kernel = generate_microkernel(mr, nr, KC, sigma_ai=chip.sigma_ai)
+        kernels.append(kernel)
+        args = {
+            ARG_REGS["A"]: h_a.base,
+            ARG_REGS["B"]: h_b.base,
+            ARG_REGS["C"]: h_c.base,
+            ARG_REGS["lda"]: h_a.ld,
+            ARG_REGS["ldb"]: h_b.ld,
+            ARG_REGS["ldc"]: h_c.ld,
+        }
+        traces.append(sim.run(kernel.program, args=args).trace)
+
+    caches = CacheHierarchy(chip)
+    caches.warm_range(0, 1 << 16, 1)
+    fused = PipelineModel(chip, caches=caches, launch_cycles=LAUNCH).time_trace(
+        fuse_traces(traces)
+    )
+    caches2 = CacheHierarchy(chip)
+    caches2.warm_range(0, 1 << 16, 1)
+    separate = sum(
+        PipelineModel(chip, caches=caches2, launch_cycles=LAUNCH)
+        .time_trace(t)
+        .cycles
+        for t in traces
+    )
+    mode = boundary_modes(kernels)[0]
+    return fused.cycles, separate, mode
+
+
+def build_fig4():
+    pairs = {
+        "c_to_c": (COMPUTE_TILE, COMPUTE_TILE),
+        "m_to_m": (MEMORY_TILE, MEMORY_TILE),
+        "c_to_m": (COMPUTE_TILE, MEMORY_TILE),
+        "m_to_c": (MEMORY_TILE, COMPUTE_TILE),
+    }
+    out = {}
+    for expected_mode, (first, second) in pairs.items():
+        fused, separate, mode = run_pair(first, second)
+        assert mode == expected_mode
+        out[expected_mode] = (fused, separate)
+    return out
+
+
+def test_fig4_fusion_modes(benchmark, save_result):
+    out = run_once(benchmark, build_fig4)
+    rows = [
+        [mode, f"{separate:.0f}", f"{fused:.0f}", f"{separate / fused - 1:+.1%}"]
+        for mode, (fused, separate) in out.items()
+    ]
+    save_result(
+        "fig4",
+        format_table(
+            ["mode", "separate cycles", "fused cycles", "saving"],
+            rows,
+            title=f"Figure 4: fusion modes on KP920 (two-tile pairs, k_c = {KC})",
+        ),
+    )
+    # Fusion saves cycles in all four compute/memory combinations.
+    for mode, (fused, separate) in out.items():
+        assert fused < separate, mode

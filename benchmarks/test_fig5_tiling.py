@@ -1,0 +1,56 @@
+"""Figure 5: micro-tiling strategies on the worked C(26, 36) block.
+
+Paper claims: OpenBLAS and LIBXSMM both produce 18 tiles (8 padded / 8
+low-AI respectively); DMT produces 13 balanced tiles with at most 2 of low
+arithmetic intensity, and its result depends on the chip's sigma_AI.
+"""
+
+from _bench_utils import run_once
+from repro.analysis.reporting import format_table
+from repro.machine.chips import GRAVITON2, KP920
+from repro.model.perf_model import MicroKernelModel, ModelParams
+from repro.tiling.dmt import DynamicMicroTiler
+from repro.tiling.static_tiling import libxsmm_tiling, openblas_tiling
+
+MC, NC, KC = 26, 36, 64
+
+
+def build_fig5():
+    results = {}
+    ob = openblas_tiling(MC, NC, (5, 16))
+    lx = libxsmm_tiling(MC, NC, (5, 16))
+    results["OpenBLAS"] = (ob.num_tiles, len(ob.padded_tiles), None)
+    results["LIBXSMM"] = (lx.num_tiles, len(lx.low_ai_tiles(KP920.sigma_ai)), None)
+    for chip in (KP920, GRAVITON2):
+        tiler = DynamicMicroTiler(MicroKernelModel(ModelParams.from_chip(chip)), 4)
+        plan = tiler.tile(MC, NC, KC).plan
+        results[f"DMT ({chip.name})"] = (
+            plan.num_tiles,
+            len(plan.low_ai_tiles(chip.sigma_ai)),
+            sorted({(t.kernel_mr, t.kernel_nr) for t in plan}),
+        )
+    return results
+
+
+def test_fig5_tiling(benchmark, save_result):
+    results = run_once(benchmark, build_fig5)
+    rows = [
+        [name, tiles, bad, shapes if shapes else "-"]
+        for name, (tiles, bad, shapes) in results.items()
+    ]
+    save_result(
+        "fig5",
+        format_table(
+            ["strategy", "tiles", "padded/low-AI tiles", "shapes used"],
+            rows,
+            title=f"Figure 5: tiling strategies on C({MC},{NC})",
+        ),
+    )
+
+    assert results["OpenBLAS"][:2] == (18, 8)
+    assert results["LIBXSMM"][:2] == (18, 8)
+    for chip_name in ("KP920", "Graviton2"):
+        tiles, low_ai, shapes = results[f"DMT ({chip_name})"]
+        assert tiles < 18
+        assert low_ai <= 2
+        assert len(shapes) >= 2  # balanced mix, not a single static tile

@@ -1,0 +1,42 @@
+"""Table II: AI_max of every feasible register tile, blue picks included."""
+
+from _bench_utils import run_once
+from repro.analysis.reporting import format_table
+from repro.codegen.tiles import enumerate_tiles, first_choice_tiles, table2
+
+
+def build_table2():
+    values = table2(4)
+    grid = []
+    for mr in range(2, 9):
+        row = [str(mr)]
+        for nr in range(4, 29, 4):
+            row.append(f"{values[(mr, nr)]:.2f}" if (mr, nr) in values else "-")
+        grid.append(row)
+    return values, grid
+
+
+def test_table2_tiles(benchmark, save_result):
+    values, grid = run_once(benchmark, build_table2)
+    save_result(
+        "table2",
+        format_table(
+            ["mr\\nr", "4", "8", "12", "16", "20", "24", "28"],
+            grid,
+            title="Table II: AI_max per register-tile shape (NEON)",
+        ),
+    )
+    # Spot values from the printed table.
+    assert values[(8, 8)] == 8.00
+    assert values[(6, 12)] == 8.00
+    assert values[(5, 16)] == 7.62
+    assert values[(4, 20)] == 6.67
+    assert values[(2, 4)] == 2.67
+    # The blue first choices and the 58-tile feasibility count.
+    assert {(t.mr, t.nr) for t in first_choice_tiles(4)} == {
+        (8, 8),
+        (6, 12),
+        (5, 16),
+        (4, 20),
+    }
+    assert len(enumerate_tiles(4)) == 58

@@ -1,0 +1,54 @@
+"""Table IV: the hardware-specification database self-report."""
+
+from _bench_utils import run_once
+from repro.analysis.reporting import format_table
+from repro.machine.chips import ALL_CHIPS
+
+
+def build_table4():
+    rows = []
+    for chip in ALL_CHIPS.values():
+        rows.append(
+            [
+                chip.name,
+                chip.cores,
+                f"{chip.freq_ghz:.2f}",
+                f"{chip.l1d_bytes // 1024}K",
+                f"{chip.l2_bytes // 1024}K" + ("-share" if chip.l2_shared else ""),
+                f"{chip.l3_bytes // (1024 * 1024)}M" if chip.l3_bytes else "None",
+                f"{chip.simd.upper()}({chip.vector_bits})",
+                chip.smp_domains,
+                chip.chip_class,
+                f"{chip.peak_gflops_core:.1f}",
+            ]
+        )
+    return rows
+
+
+def test_table4_chips(benchmark, save_result):
+    rows = run_once(benchmark, build_table4)
+    save_result(
+        "table4",
+        format_table(
+            [
+                "chip",
+                "cores",
+                "GHz",
+                "L1d",
+                "L2",
+                "L3",
+                "SIMD",
+                "SMP",
+                "class",
+                "peak GF/core",
+            ],
+            rows,
+            title="Table IV: hardware specifications (as modelled)",
+        ),
+    )
+    names = [r[0] for r in rows]
+    assert names == ["KP920", "Graviton2", "Altra", "M2", "A64FX"]
+    by_name = {r[0]: r for r in rows}
+    assert by_name["A64FX"][6] == "SVE(512)"
+    assert by_name["M2"][5] == "None"
+    assert by_name["Altra"][7] == 2

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Batched small GEMM: the scientific-workload scenario of §I.
+
+Block-sparse solvers, N-body kernels and spectral-element methods execute
+thousands of independent tiny GEMMs.  This example runs a batch through
+the BatchedGemm API: kernel generation is amortised across the batch,
+items are partitioned over cores, and the projected throughput is compared
+with doing each item through a heavyweight BLAS-style call path.
+
+Run:  python examples/batched_small_gemm.py
+"""
+
+import numpy as np
+
+from repro.baselines import make_library
+from repro.gemm.batched import BatchedGemm
+from repro.machine import GRAVITON2
+
+
+def main() -> None:
+    chip = GRAVITON2
+    m = n = k = 16  # a typical spectral-element block
+
+    # Exact functional run on a small batch.
+    batched = BatchedGemm(chip)
+    rng = np.random.default_rng(0)
+    a = rng.uniform(-1, 1, (8, m, k)).astype(np.float32)
+    b = rng.uniform(-1, 1, (8, k, n)).astype(np.float32)
+    run = batched.run(a, b, threads=4)
+    err = np.abs(run.c - np.einsum("bij,bjk->bik", a, b)).max()
+    print(f"functional batch of 8 on {chip.name} (4 cores): max err {err:.1e}, "
+          f"{run.cycles:,.0f} cycles")
+
+    # Projection for a production-sized batch.
+    batch = 100_000
+    est = batched.estimate(m, n, k, batch=batch, threads=chip.cores)
+    print(f"\nprojected batch of {batch:,} {m}x{n}x{k} GEMMs on "
+          f"{chip.cores} cores:")
+    print(f"  autoGEMM batched : {est.gflops:7.0f} GFLOP/s "
+          f"({est.efficiency:.1%} of peak)")
+
+    # The same work through a generic BLAS-style per-call path.
+    openblas = make_library("OpenBLAS", chip)
+    per_item = openblas.estimate(m, n, k).cycles
+    blas_cycles = per_item * batch / chip.cores
+    blas_gflops = (2 * batch * m * n * k) / (blas_cycles / (chip.freq_ghz * 1e9)) / 1e9
+    print(f"  OpenBLAS-style   : {blas_gflops:7.0f} GFLOP/s")
+    print(f"  batched speedup  : {est.gflops / blas_gflops:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

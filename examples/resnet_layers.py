@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""ResNet-50 irregular GEMM layers across libraries (the Figure 9 scenario).
+
+Deep-learning inference is the paper's motivating workload: convolution
+layers lower to tall-skinny and long-rectangle GEMMs (Table V).  This
+example sweeps a few representative layers on a chip of your choice and
+prints projected GFLOP/s for autoGEMM against the OpenBLAS-, Eigen- and
+LibShalom-style baselines, single- and multi-core.
+
+Run:  python examples/resnet_layers.py [chip]     (default: KP920)
+"""
+
+import sys
+
+from repro.analysis.reporting import format_table
+from repro.baselines import UnsupportedProblem, libraries_for_chip
+from repro.machine import get_chip
+from repro.workloads.resnet50 import layer
+
+LAYERS = ["L1", "L4", "L8", "L13", "L16", "L18"]
+LIBS = ["autoGEMM", "LibShalom", "OpenBLAS", "Eigen"]
+
+
+def main() -> None:
+    chip = get_chip(sys.argv[1] if len(sys.argv) > 1 else "KP920")
+    libs = libraries_for_chip(chip, LIBS)
+
+    for threads in (1, chip.cores):
+        rows = []
+        for name in LAYERS:
+            shape = layer(name)
+            row = [name, f"{shape.m}x{shape.n}x{shape.k}", shape.kind]
+            for lib in libs:
+                try:
+                    est = lib.estimate(shape.m, shape.n, shape.k, threads=threads)
+                    row.append(f"{est.gflops:.0f}")
+                except UnsupportedProblem:
+                    row.append("-")
+            rows.append(row)
+        print(
+            format_table(
+                ["layer", "MxNxK", "class", *[lib.name for lib in libs]],
+                rows,
+                title=f"\n{chip.name}, {threads} thread(s): GFLOP/s by library",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim: the offline environment lacks the ``wheel`` package, so
+editable installs must go through the legacy ``setup.py develop`` path."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""autoGEMM reproduction: irregular GEMM code generation for Arm, simulated.
+
+Public entry points:
+
+* :class:`repro.AutoGEMM` -- the library the paper describes: generate,
+  tune and execute an irregular GEMM on a chosen (simulated) Arm chip.
+* :mod:`repro.machine` -- the five Table IV chips and the cycle-level model.
+* :mod:`repro.codegen` -- micro-kernel auto-generation (Listing 1).
+* :mod:`repro.tiling` -- Dynamic Micro-Tiling (Algorithm 1) and static
+  baseline strategies.
+* :mod:`repro.tuner` -- TVM-style auto-tuning with Eqn 13 pruning.
+* :mod:`repro.baselines` -- OpenBLAS/Eigen/LibShalom/LIBXSMM/TVM/SSL2-style
+  comparison strategies on the same substrate.
+* :mod:`repro.dnn` -- the TNN-style inference substrate of Figure 12.
+"""
+
+from .gemm.autogemm import AutoGEMM
+from .gemm.executor import GemmExecutor, GemmResult
+from .gemm.estimator import GemmEstimate, GemmEstimator
+from .gemm.schedule import Schedule, default_schedule
+from .machine.chips import ALL_CHIPS, ChipSpec, get_chip
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoGEMM",
+    "GemmExecutor",
+    "GemmResult",
+    "GemmEstimate",
+    "GemmEstimator",
+    "Schedule",
+    "default_schedule",
+    "ALL_CHIPS",
+    "ChipSpec",
+    "get_chip",
+    "__version__",
+]

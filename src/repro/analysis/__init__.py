@@ -1,0 +1,18 @@
+"""Metrics and reporting helpers for benches and experiments."""
+
+from .metrics import efficiency, geomean, gflops, parallel_efficiency, speedup
+from .reporting import format_series, format_table, print_table
+from .trace_report import TraceReport, analyze_trace
+
+__all__ = [
+    "efficiency",
+    "geomean",
+    "gflops",
+    "parallel_efficiency",
+    "speedup",
+    "format_series",
+    "format_table",
+    "print_table",
+    "TraceReport",
+    "analyze_trace",
+]

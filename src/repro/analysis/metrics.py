@@ -1,0 +1,45 @@
+"""Performance metrics shared by benches and reports."""
+
+from __future__ import annotations
+
+from ..machine.chips import ChipSpec
+
+__all__ = ["gflops", "efficiency", "speedup", "parallel_efficiency", "geomean"]
+
+
+def gflops(flops: int, seconds: float) -> float:
+    """Throughput in GFLOP/s."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return flops / seconds / 1e9
+
+
+def efficiency(achieved_gflops: float, chip: ChipSpec, cores: int = 1) -> float:
+    """Fraction of peak on ``cores`` cores."""
+    return achieved_gflops / (chip.peak_gflops_core * cores)
+
+
+def speedup(baseline_seconds: float, optimised_seconds: float) -> float:
+    """How many times faster the optimised run is."""
+    if optimised_seconds <= 0:
+        raise ValueError("optimised_seconds must be positive")
+    return baseline_seconds / optimised_seconds
+
+
+def parallel_efficiency(t1: float, tp: float, cores: int) -> float:
+    """Strong-scaling efficiency: speedup over ideal."""
+    if cores < 1 or tp <= 0:
+        raise ValueError("cores must be >= 1 and tp positive")
+    return (t1 / tp) / cores
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean (speedup aggregation)."""
+    if not values:
+        raise ValueError("geomean of empty list")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError("geomean requires positive values")
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,38 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+Every bench prints the rows/series the corresponding paper table or figure
+reports, through these helpers, so EXPERIMENTS.md and the bench output stay
+in one format.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "print_table"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float], unit: str = "") -> str:
+    """One figure series as ``name: x=y`` pairs."""
+    pairs = ", ".join(f"{x}={y:.3g}{unit}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def print_table(headers, rows, title: str = "") -> None:  # pragma: no cover - I/O
+    print(format_table(headers, rows, title))

@@ -1,0 +1,26 @@
+"""Comparison libraries modelled as strategies on the shared substrate."""
+
+from .autogemm_lib import AutoGEMMLib
+from .base import BaselineLibrary, UnsupportedProblem
+from .eigen_like import EigenLike
+from .libshalom_like import LibShalomLike
+from .libxsmm_like import LibxsmmLike
+from .openblas_like import OpenBLASLike
+from .registry import LIBRARY_CLASSES, libraries_for_chip, make_library
+from .ssl2_like import SSL2Like
+from .tvm_like import TVMLike
+
+__all__ = [
+    "AutoGEMMLib",
+    "BaselineLibrary",
+    "UnsupportedProblem",
+    "EigenLike",
+    "LibShalomLike",
+    "LibxsmmLike",
+    "OpenBLASLike",
+    "LIBRARY_CLASSES",
+    "libraries_for_chip",
+    "make_library",
+    "SSL2Like",
+    "TVMLike",
+]

@@ -1,0 +1,41 @@
+"""autoGEMM packaged behind the baseline interface, for uniform benches.
+
+The schedule policy is the full paper pipeline: DMT tiling, rotating
+registers, epilogue/prologue fusion, heuristic Goto blocking with the
+paper's packing rule (offline for large repeated-B shapes, mirroring the
+Figure 9 evaluation where both LibShalom and autoGEMM use offline packing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gemm.packing import PackingMode
+from ..gemm.schedule import Schedule, default_schedule
+from .base import BaselineLibrary
+
+__all__ = ["AutoGEMMLib"]
+
+
+@dataclass
+class AutoGEMMLib(BaselineLibrary):
+    launch_cycles: float = 40.0
+    name: str = "autoGEMM"
+
+    def schedule_for(self, m: int, n: int, k: int, threads: int = 1) -> Schedule:
+        base = default_schedule(m, n, k, self.chip, threads=threads)
+        if n * k * 4 > self.chip.l2_bytes:
+            packing = PackingMode.OFFLINE
+        elif base.packing is PackingMode.ONLINE:
+            packing = PackingMode.ONLINE
+        else:
+            packing = PackingMode.NONE
+        return Schedule(
+            mc=base.mc,
+            nc=base.nc,
+            kc=base.kc,
+            packing=packing,
+            rotate=True,
+            fuse=True,
+            use_dmt=True,
+        )

@@ -1,0 +1,99 @@
+"""Baseline-library framework.
+
+Each comparison library is modelled as *its documented strategy executed on
+the same substrate*: a schedule policy (tiling strategy, packing, pipeline
+options), a per-call dispatch overhead, and a support predicate (LibShalom's
+divisibility limits, LIBXSMM's small-matrix scope, SSL2 being A64FX-only).
+Running every library through one executor isolates exactly the effects the
+paper attributes to each design -- padding waste, low-AI edges, unconditional
+packing, missing pipeline control -- rather than vendor-specific magic.
+
+Where a knob comes from is documented on each subclass in
+:mod:`repro.baselines`; headline behaviours (who wins where, Table I /
+Figures 8-9 shape) are what the benches check, not absolute percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gemm.estimator import GemmEstimate, GemmEstimator
+from ..gemm.executor import GemmExecutor, GemmResult
+from ..gemm.kernel_cache import KernelCache
+from ..gemm.schedule import Schedule
+from ..machine.chips import ChipSpec
+
+__all__ = ["BaselineLibrary", "UnsupportedProblem"]
+
+
+class UnsupportedProblem(ValueError):
+    """The library cannot run this problem (shape or chip limits)."""
+
+
+@dataclass
+class BaselineLibrary:
+    """A GEMM library modelled as a strategy on the shared substrate.
+
+    Subclasses override :meth:`schedule_for` (the strategy) and optionally
+    :meth:`supports` (shape/chip limits).  ``launch_cycles`` is the per
+    micro-kernel-sequence dispatch overhead of the library's call path.
+    """
+
+    chip: ChipSpec
+    launch_cycles: float = 40.0
+    name: str = "base"
+
+    def __post_init__(self) -> None:
+        self._kernels = KernelCache()
+        self._executor = GemmExecutor(
+            self.chip, kernels=self._kernels, launch_cycles=self.launch_cycles
+        )
+        self._estimator = GemmEstimator(
+            self.chip, kernels=self._kernels, launch_cycles=self.launch_cycles
+        )
+
+    # -- strategy interface -------------------------------------------------
+    def schedule_for(self, m: int, n: int, k: int, threads: int = 1) -> Schedule:
+        raise NotImplementedError
+
+    def supports(self, m: int, n: int, k: int) -> bool:
+        return True
+
+    def _check(self, m: int, n: int, k: int) -> None:
+        if not self.supports(m, n, k):
+            raise UnsupportedProblem(
+                f"{self.name} does not support {m}x{n}x{k} on {self.chip.name}"
+            )
+
+    # -- execution ------------------------------------------------------------
+    def gemm(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray | None = None,
+        beta: float = 1.0,
+        threads: int = 1,
+    ) -> GemmResult:
+        m, k = np.asarray(a).shape
+        n = np.asarray(b).shape[1]
+        self._check(m, n, k)
+        return self._executor.run(
+            a,
+            b,
+            c,
+            schedule=self.schedule_for(m, n, k, threads),
+            threads=threads,
+            beta=beta,
+        )
+
+    def estimate(self, m: int, n: int, k: int, threads: int = 1) -> GemmEstimate:
+        self._check(m, n, k)
+        return self._estimator.estimate(
+            m, n, k, schedule=self.schedule_for(m, n, k, threads), threads=threads
+        )
+
+    def gflops(self, m: int, n: int, k: int, threads: int = 1) -> float:
+        """Convenience: projected GFLOP/s for one shape."""
+        return self.estimate(m, n, k, threads=threads).gflops

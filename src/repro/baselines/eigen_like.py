@@ -1,0 +1,42 @@
+"""Eigen-style strategy.
+
+Eigen's ``gebp`` kernel is C++-with-intrinsics rather than scheduled
+assembly: a fixed register block, packed operands, compiler-ordered
+instruction streams (no rotating registers), no cross-tile fusion, and a
+lighter template dispatch than a BLAS interface.  Edges shrink (Eigen
+handles remainders with partial packets), so it beats OpenBLAS's padding on
+small matrices but stays well short of hand-pipelined kernels (Table I:
+50% at 64^3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gemm.packing import PackingMode
+from ..gemm.schedule import Schedule, default_schedule
+from .base import BaselineLibrary
+
+__all__ = ["EigenLike"]
+
+
+@dataclass
+class EigenLike(BaselineLibrary):
+    launch_cycles: float = 150.0
+    name: str = "Eigen"
+
+    def schedule_for(self, m: int, n: int, k: int, threads: int = 1) -> Schedule:
+        base = default_schedule(m, n, k, self.chip, threads=threads)
+        tile = (4, 12) if self.chip.sigma_lane == 4 else (4, self.chip.sigma_lane)
+        return Schedule(
+            mc=base.mc,
+            nc=base.nc,
+            kc=base.kc,
+            packing=PackingMode.ONLINE,
+            rotate=False,
+            fuse=False,
+            lookahead=False,
+            use_dmt=False,
+            main_tile=tile,
+            static_edges="shrink",
+        )

@@ -1,0 +1,55 @@
+"""LibShalom-style strategy (the strongest hand-written baseline).
+
+LibShalom ships hand-optimised assembly kernels for small and irregular
+shapes with rotating-register pipelines and fused kernel sequences (its
+interface classifies the shape and dispatches through a multi-level policy
+table, a heavier entry path than a direct generated call), plus an
+offline-packing path for repeated-B workloads -- which is why it is the
+best non-generated library in the paper's Table I (95% small / 86%
+irregular).  Its documented limits are modelled as hard support checks:
+
+* correct results only when ``N`` and ``K`` are divisible by 8 (the Figure 8
+  caption);
+* NEON only -- no SVE (A64FX) and no clang build (M2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gemm.packing import PackingMode
+from ..gemm.schedule import Schedule, default_schedule
+from .base import BaselineLibrary
+
+__all__ = ["LibShalomLike"]
+
+
+@dataclass
+class LibShalomLike(BaselineLibrary):
+    launch_cycles: float = 150.0
+    name: str = "LibShalom"
+
+    def supports(self, m: int, n: int, k: int) -> bool:
+        if self.chip.simd != "neon" or self.chip.name == "M2":
+            return False
+        return n % 8 == 0 and k % 8 == 0
+
+    def schedule_for(self, m: int, n: int, k: int, threads: int = 1) -> Schedule:
+        base = default_schedule(m, n, k, self.chip, threads=threads)
+        # Large repeated-B shapes take the offline-packed path (paper SV-C);
+        # small shapes run the direct unpacked kernels.
+        if n * k * 4 > self.chip.l2_bytes:
+            packing = PackingMode.OFFLINE
+        else:
+            packing = PackingMode.NONE
+        return Schedule(
+            mc=base.mc,
+            nc=base.nc,
+            kc=base.kc,
+            packing=packing,
+            rotate=True,
+            fuse=True,
+            use_dmt=False,
+            main_tile=(5, 16),
+            static_edges="shrink",
+        )

@@ -1,0 +1,53 @@
+"""LIBXSMM-style strategy (JIT small-GEMM specialist, Figure 5b baseline).
+
+LIBXSMM JIT-generates one kernel per problem shape: no packing, a single
+fused instruction stream (one dispatch through its code registry), and a
+fixed main tile with remainder-sized edge kernels -- the low-AI-edge
+behaviour of Figure 5b.  Its generator emits straightforward unrolled code
+without hand-arranged pipelines ("lacks the flexibility of hand-arranging
+the instruction pipelines", paper §II-B), so no rotating registers.  Scope
+is small matrices; the paper reports it N/A on the irregular row of
+Table I, modelled as a support limit at dimensions beyond 256.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gemm.packing import PackingMode
+from ..gemm.schedule import Schedule
+from .base import BaselineLibrary
+
+__all__ = ["LibxsmmLike"]
+
+#: LIBXSMM targets small GEMM ("dimensions up to 80" in its paper; the JIT
+#: registry is exercised up to 128^3 in Figure 8).  Beyond this we mirror
+#: Table I's "N/A".
+MAX_DIM = 256
+
+
+@dataclass
+class LibxsmmLike(BaselineLibrary):
+    launch_cycles: float = 50.0
+    name: str = "LIBXSMM"
+
+    def supports(self, m: int, n: int, k: int) -> bool:
+        return max(m, n, k) <= MAX_DIM
+
+    def schedule_for(self, m: int, n: int, k: int, threads: int = 1) -> Schedule:
+        # JIT kernel for the whole (small) problem: one block, no packing.
+        tile = (5, 16) if self.chip.sigma_lane == 4 else (5, self.chip.sigma_lane)
+        return Schedule(
+            mc=m,
+            nc=n,
+            kc=k,
+            packing=PackingMode.NONE,
+            rotate=False,
+            # One JIT kernel per problem, but its tile loop re-enters each
+            # tile's prologue/epilogue with no cross-tile overlap.
+            fuse=False,
+            lookahead=False,
+            use_dmt=False,
+            main_tile=tile,
+            static_edges="shrink",
+        )

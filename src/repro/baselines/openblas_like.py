@@ -1,0 +1,43 @@
+"""OpenBLAS-style strategy (Figure 5a baseline).
+
+What the real library does, expressed on the substrate:
+
+* one hand-written fixed register kernel per ISA (Goto-style), with edge
+  cells *padded* to the full tile -- the redundant work of Figure 5a;
+* **unconditional** online packing of both-operand panels through the
+  generic ``cblas_sgemm`` path -- the dominant overhead on small matrices
+  (Table I: 35% at 64^3);
+* hand-scheduled pipelines (rotation) but no cross-tile fusion, and a heavy
+  generic dispatch path (error checks, transpose branches, threading setup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gemm.packing import PackingMode
+from ..gemm.schedule import Schedule, default_schedule
+from .base import BaselineLibrary
+
+__all__ = ["OpenBLASLike"]
+
+
+@dataclass
+class OpenBLASLike(BaselineLibrary):
+    launch_cycles: float = 320.0
+    name: str = "OpenBLAS"
+
+    def schedule_for(self, m: int, n: int, k: int, threads: int = 1) -> Schedule:
+        base = default_schedule(m, n, k, self.chip, threads=threads)
+        tile = (8, 8) if self.chip.sigma_lane == 4 else (4, 2 * self.chip.sigma_lane)
+        return Schedule(
+            mc=base.mc,
+            nc=base.nc,
+            kc=base.kc,
+            packing=PackingMode.ONLINE,
+            rotate=True,
+            fuse=False,
+            use_dmt=False,
+            main_tile=tile,
+            static_edges="pad",
+        )

@@ -1,0 +1,45 @@
+"""Library registry: construct any modelled library for any chip."""
+
+from __future__ import annotations
+
+from ..machine.chips import ChipSpec
+from .autogemm_lib import AutoGEMMLib
+from .base import BaselineLibrary
+from .eigen_like import EigenLike
+from .libshalom_like import LibShalomLike
+from .libxsmm_like import LibxsmmLike
+from .openblas_like import OpenBLASLike
+from .ssl2_like import SSL2Like
+from .tvm_like import TVMLike
+
+__all__ = ["LIBRARY_CLASSES", "make_library", "libraries_for_chip"]
+
+LIBRARY_CLASSES: dict[str, type[BaselineLibrary]] = {
+    "autoGEMM": AutoGEMMLib,
+    "OpenBLAS": OpenBLASLike,
+    "Eigen": EigenLike,
+    "LibShalom": LibShalomLike,
+    "LIBXSMM": LibxsmmLike,
+    "TVM": TVMLike,
+    "SSL2": SSL2Like,
+}
+
+
+def make_library(name: str, chip: ChipSpec) -> BaselineLibrary:
+    """Construct one library model by name."""
+    try:
+        cls = LIBRARY_CLASSES[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown library {name!r}; known: {sorted(LIBRARY_CLASSES)}") from exc
+    return cls(chip=chip)
+
+
+def libraries_for_chip(chip: ChipSpec, names: list[str] | None = None) -> list[BaselineLibrary]:
+    """All (or the named) libraries, instantiated for one chip.
+
+    Chip-level availability (LibShalom on M2/A64FX, SSL2 off A64FX) is
+    expressed through each library's ``supports`` predicate at call time;
+    this helper just builds the instances.
+    """
+    selected = names if names is not None else list(LIBRARY_CLASSES)
+    return [make_library(name, chip) for name in selected]

@@ -1,0 +1,42 @@
+"""Fujitsu SSL2-style strategy (A64FX vendor library).
+
+SSL2 is tuned for Fugaku's large dense workloads: SVE kernels with vendor
+pipeline scheduling and packed panels, but a fixed large-square-oriented
+blocking and a heavyweight library interface -- strong on big regular
+matrices, indifferent to small/irregular shapes (it appears only on the
+A64FX panels of Figures 8-9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gemm.packing import PackingMode
+from ..gemm.schedule import Schedule, default_schedule
+from .base import BaselineLibrary
+
+__all__ = ["SSL2Like"]
+
+
+@dataclass
+class SSL2Like(BaselineLibrary):
+    launch_cycles: float = 300.0
+    name: str = "SSL2"
+
+    def supports(self, m: int, n: int, k: int) -> bool:
+        return self.chip.simd == "sve"
+
+    def schedule_for(self, m: int, n: int, k: int, threads: int = 1) -> Schedule:
+        base = default_schedule(m, n, k, self.chip, threads=threads)
+        lane = self.chip.sigma_lane
+        return Schedule(
+            mc=base.mc,
+            nc=base.nc,
+            kc=base.kc,
+            packing=PackingMode.ONLINE,
+            rotate=True,
+            fuse=False,
+            use_dmt=False,
+            main_tile=(8, 2 * lane),
+            static_edges="pad",
+        )

@@ -1,0 +1,203 @@
+"""Command-line interface: quick inspection without writing a script.
+
+Usage examples::
+
+    python -m repro chips
+    python -m repro kernel 5 16 64 --chip KP920 --rotate
+    python -m repro gemm 26 36 17 --chip Graviton2
+    python -m repro estimate 256 3136 64 --chip KP920 --threads 8
+    python -m repro tiles --lane 4
+    python -m repro dmt 26 36 --kc 64 --chip KP920
+    python -m repro calibrate --chip Graviton2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis.reporting import format_table
+from .codegen.microkernel import generate_microkernel
+from .codegen.tiles import enumerate_tiles, first_choice_tiles
+from .gemm.autogemm import AutoGEMM
+from .gemm.reference import reference_gemm, relative_error
+from .machine.chips import ALL_CHIPS, EXTRA_CHIPS, get_chip
+from .model.perf_model import MicroKernelModel, ModelParams
+from .tiling.dmt import DynamicMicroTiler
+
+__all__ = ["main"]
+
+
+def _cmd_chips(_args) -> int:
+    rows = [
+        [
+            c.name,
+            c.cores,
+            f"{c.freq_ghz:.2f}",
+            f"{c.simd.upper()}({c.vector_bits})",
+            f"{c.l1d_bytes // 1024}K",
+            f"{c.peak_gflops_core:.1f}",
+            c.chip_class,
+        ]
+        for c in list(ALL_CHIPS.values()) + list(EXTRA_CHIPS.values())
+    ]
+    print(
+        format_table(
+            ["chip", "cores", "GHz", "SIMD", "L1d", "peak GF/core", "class"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_kernel(args) -> int:
+    chip = get_chip(args.chip)
+    kernel = generate_microkernel(
+        args.mr,
+        args.nr,
+        args.kc,
+        lane=chip.sigma_lane,
+        rotate=args.rotate,
+        sigma_ai=chip.sigma_ai,
+    )
+    print(kernel.cpp_source())
+    return 0
+
+
+def _cmd_gemm(args) -> int:
+    chip = get_chip(args.chip)
+    lib = AutoGEMM(chip)
+    rng = np.random.default_rng(args.seed)
+    a = rng.uniform(-1, 1, (args.m, args.k)).astype(np.float32)
+    b = rng.uniform(-1, 1, (args.k, args.n)).astype(np.float32)
+    result = lib.gemm(a, b, threads=args.threads)
+    err = relative_error(result.c, reference_gemm(a, b))
+    print(f"{args.m}x{args.n}x{args.k} on {chip.name} ({args.threads} thread(s))")
+    print(f"  relative error : {err:.2e}")
+    print(f"  cycles         : {result.cycles:,.0f}")
+    print(f"  GFLOP/s        : {result.gflops:.1f} ({result.efficiency:.1%} of peak)")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    chip = get_chip(args.chip)
+    lib = AutoGEMM(chip)
+    est = lib.estimate(args.m, args.n, args.k, threads=args.threads)
+    print(f"{args.m}x{args.n}x{args.k} on {chip.name} ({args.threads} thread(s))")
+    print(f"  cycles  : {est.cycles:,.0f}")
+    print(f"  GFLOP/s : {est.gflops:.1f} ({est.efficiency:.1%} of peak)")
+    print(f"  operand residency (A/B/C cache level): "
+          f"{est.residency.a_level}/{est.residency.b_level}/{est.residency.c_level}")
+    return 0
+
+
+def _cmd_tiles(args) -> int:
+    tiles = enumerate_tiles(args.lane, generatable_only=True)
+    main = {(t.mr, t.nr) for t in first_choice_tiles(args.lane)}
+    rows = [
+        [f"{t.mr}x{t.nr}", f"{t.ai_max:.2f}", t.registers, "*" if (t.mr, t.nr) in main else ""]
+        for t in tiles[: args.limit]
+    ]
+    print(format_table(["tile", "AI_max", "registers", "main"], rows))
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from .model.calibration import calibrate_sigma_ai
+
+    chip = get_chip(args.chip)
+    result = calibrate_sigma_ai(chip, kc=args.kc, max_tiles=args.tiles)
+    print(f"{chip.name}: calibrated sigma_AI = {result.sigma_ai:.2f} "
+          f"(configured {chip.sigma_ai}); best tile efficiency "
+          f"{result.peak_efficiency:.1%}")
+    for m in result.measurements:
+        marker = "*" if m.ai_max >= result.sigma_ai else " "
+        print(f"  {marker} {m.tile.mr}x{m.tile.nr}: AI={m.ai_max:5.2f} "
+              f"eff={m.efficiency:.1%}")
+    return 0
+
+
+def _cmd_dmt(args) -> int:
+    chip = get_chip(args.chip)
+    tiler = DynamicMicroTiler(
+        MicroKernelModel(ModelParams.from_chip(chip)), lane=chip.sigma_lane
+    )
+    result = tiler.tile(args.mc, args.nc, args.kc)
+    shapes: dict[tuple[int, int], int] = {}
+    for t in result.plan:
+        shapes[(t.kernel_mr, t.kernel_nr)] = shapes.get((t.kernel_mr, t.kernel_nr), 0) + 1
+    print(f"DMT on C({args.mc},{args.nc}) kc={args.kc} ({chip.name}):")
+    print(f"  split: n_front={result.n_front} m_front_up={result.m_front_up} "
+          f"m_back_up={result.m_back_up}")
+    print(f"  tiles: {result.plan.num_tiles}  "
+          f"low-AI: {len(result.plan.low_ai_tiles(chip.sigma_ai))}")
+    for (mr, nr), count in sorted(shapes.items()):
+        print(f"    {count:3d} x {mr}x{nr}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("chips", help="list the modelled chips")
+
+    k = sub.add_parser("kernel", help="print a generated micro-kernel")
+    k.add_argument("mr", type=int)
+    k.add_argument("nr", type=int)
+    k.add_argument("kc", type=int)
+    k.add_argument("--chip", default="Graviton2")
+    k.add_argument("--rotate", action="store_true")
+
+    g = sub.add_parser("gemm", help="run a GEMM on the simulator")
+    g.add_argument("m", type=int)
+    g.add_argument("n", type=int)
+    g.add_argument("k", type=int)
+    g.add_argument("--chip", default="Graviton2")
+    g.add_argument("--threads", type=int, default=1)
+    g.add_argument("--seed", type=int, default=0)
+
+    e = sub.add_parser("estimate", help="project a GEMM without full simulation")
+    e.add_argument("m", type=int)
+    e.add_argument("n", type=int)
+    e.add_argument("k", type=int)
+    e.add_argument("--chip", default="Graviton2")
+    e.add_argument("--threads", type=int, default=1)
+
+    t = sub.add_parser("tiles", help="list feasible register tiles")
+    t.add_argument("--lane", type=int, default=4)
+    t.add_argument("--limit", type=int, default=20)
+
+    c = sub.add_parser("calibrate", help="micro-benchmark sigma_AI for a chip")
+    c.add_argument("--chip", default="KP920")
+    c.add_argument("--kc", type=int, default=128)
+    c.add_argument("--tiles", type=int, default=16)
+
+    d = sub.add_parser("dmt", help="show the DMT plan for a block")
+    d.add_argument("mc", type=int)
+    d.add_argument("nc", type=int)
+    d.add_argument("--kc", type=int, default=64)
+    d.add_argument("--chip", default="KP920")
+
+    return parser
+
+
+_COMMANDS = {
+    "chips": _cmd_chips,
+    "calibrate": _cmd_calibrate,
+    "kernel": _cmd_kernel,
+    "gemm": _cmd_gemm,
+    "estimate": _cmd_estimate,
+    "tiles": _cmd_tiles,
+    "dmt": _cmd_dmt,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

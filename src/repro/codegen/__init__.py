@@ -1,0 +1,49 @@
+"""Micro-kernel auto-generation: tiles, Listing 1 generator, pipeline opts."""
+
+from .emitter import clobber_list, emit_cpp
+from .fusion import boundary_modes, fuse_traces, split_boundary
+from .sve import (
+    generate_sve_microkernel,
+    sve_first_choice_tiles,
+    sve_lane_count,
+    sve_tiles,
+)
+from .microkernel import ARG_REGS, KernelConfig, MicroKernel, generate_microkernel
+from .tiles import (
+    GENERATOR_MAX_MR,
+    REGISTER_BUDGET,
+    TileShape,
+    ai,
+    ai_max,
+    enumerate_tiles,
+    first_choice_tiles,
+    is_feasible,
+    registers_used,
+    table2,
+)
+
+__all__ = [
+    "boundary_modes",
+    "fuse_traces",
+    "split_boundary",
+    "generate_sve_microkernel",
+    "sve_first_choice_tiles",
+    "sve_lane_count",
+    "sve_tiles",
+    "clobber_list",
+    "emit_cpp",
+    "ARG_REGS",
+    "KernelConfig",
+    "MicroKernel",
+    "generate_microkernel",
+    "GENERATOR_MAX_MR",
+    "REGISTER_BUDGET",
+    "TileShape",
+    "ai",
+    "ai_max",
+    "enumerate_tiles",
+    "first_choice_tiles",
+    "is_feasible",
+    "registers_used",
+    "table2",
+]

@@ -1,0 +1,89 @@
+"""Epilogue-with-next-prologue fusion (paper §III-C2, Figure 4).
+
+When a kernel executes a *sequence* of micro-tiles, each tile's epilogue
+(the C stores and remainder FMAs) can overlap the next tile's prologue (its
+pointer setup, prefetches and first A/B/C loads): the fused kernel pays the
+launch cost once and hides the boundary latency behind arithmetic.
+
+Fusion is an instruction-*scheduling* transformation -- it does not change
+what is computed -- so we apply it where the timing pipeline sees it: on the
+dynamic trace.  :func:`fuse_traces` concatenates per-tile traces,
+interleaving each boundary (previous epilogue stores with next prologue
+instructions) so narrow-window cores can overlap them.  The four modes of
+Figure 4 (``c_to_c``, ``m_to_m``, ``c_to_m``, ``m_to_c``) describe whether
+each side of a boundary is compute- or memory-bound; they emerge from the
+tiles' AI classes and are reported for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import Unit
+from ..isa.program import Trace, TraceEntry
+from ..model.perf_model import fusion_kind
+from .microkernel import MicroKernel
+
+__all__ = ["split_boundary", "fuse_traces", "boundary_modes"]
+
+
+def split_boundary(trace: Trace) -> tuple[list[TraceEntry], list[TraceEntry], list[TraceEntry]]:
+    """Split a kernel trace into ``(prologue, body, epilogue-stores)``.
+
+    The prologue is everything before the first FMA; the epilogue-store
+    block is the maximal trailing run of store entries.
+    """
+    entries = trace.entries
+    first_fma = next(
+        (i for i, e in enumerate(entries) if e.instr.unit is Unit.FMA), len(entries)
+    )
+    last = len(entries)
+    while last > first_fma and entries[last - 1].instr.unit is Unit.STORE:
+        last -= 1
+    return entries[:first_fma], entries[first_fma:last], entries[last:]
+
+
+def _interleave(a: list[TraceEntry], b: list[TraceEntry]) -> list[TraceEntry]:
+    """Round-robin merge preserving relative order within each stream."""
+    out: list[TraceEntry] = []
+    ia = ib = 0
+    while ia < len(a) or ib < len(b):
+        if ia < len(a):
+            out.append(a[ia])
+            ia += 1
+        if ib < len(b):
+            out.append(b[ib])
+            ib += 1
+    return out
+
+
+def fuse_traces(traces: list[Trace]) -> Trace:
+    """Fuse consecutive micro-kernel traces at their boundaries.
+
+    Each boundary interleaves the previous tile's trailing stores with the
+    next tile's prologue (pointer ALU, prefetches, first loads), exactly the
+    overlap Figure 4 depicts.  Register dataflow keeps the result causally
+    sound in the timing model: the next tile's C loads target the same
+    accumulator registers the stores read, and the scoreboard's rename
+    tracking orders them relative to the *writes*, the hardware-accurate
+    constraint.
+    """
+    if not traces:
+        return Trace()
+    fused = Trace()
+    fused.fma_lane_ops = sum(t.fma_lane_ops for t in traces)
+
+    pending: list[TraceEntry] = []  # previous tile's epilogue stores
+    for trace in traces:
+        prologue, body, stores = split_boundary(trace)
+        fused.entries.extend(_interleave(pending, prologue))
+        fused.entries.extend(body)
+        pending = list(stores)
+    fused.entries.extend(pending)
+    return fused
+
+
+def boundary_modes(kernels: list[MicroKernel]) -> list[str]:
+    """Figure 4 mode names for each fusion boundary in a kernel sequence."""
+    modes: list[str] = []
+    for prev, nxt in zip(kernels, kernels[1:]):
+        modes.append(fusion_kind(prev.config.compute_bound, nxt.config.compute_bound))
+    return modes

@@ -1,0 +1,561 @@
+"""Micro-kernel auto-generation (paper §III-A2, Listing 1).
+
+``generate_microkernel`` emits the three-stage kernel of the paper:
+
+* **prologue** -- prefetch A/B/C, scale leading dimensions to bytes, fan out
+  per-row A and C pointers, load the C accumulators and the first A/B
+  fragments;
+* **mainloop** -- for each vector-wide ``k`` step, ``sigma_lane`` unrolled
+  sub-steps of by-element FMLAs over the full accumulator tile, with the next
+  B row (and at step end the next A fragments) loaded in flight;
+* **epilogue** -- the ``k_c mod sigma_lane`` remainder computed with scalar
+  A-lane loads, then the accumulator tile stored back.
+
+Two pipeline variants are produced:
+
+* ``rotate=False`` -- the literal Listing 1 structure: a counted loop whose
+  B loads overwrite the registers the preceding FMAs read, creating the
+  ``FMA -> LOAD -> FMA`` dependency the paper analyses;
+* ``rotate=True`` -- rotating register allocation (§III-C1): the mainloop is
+  fully unrolled and spare vector registers double-buffer the A and/or B
+  streams, breaking the reuse dependency.  Spares go to the A stream for
+  compute-bound tiles and to the B stream for memory-bound ones, exactly the
+  policy of Figure 3(c)/(d).
+
+The generated :class:`MicroKernel` carries the typed instruction
+:class:`~repro.isa.program.Program` plus section boundaries (used by the
+epilogue/prologue fusion of §III-C2) and renders the C++-wrapped assembly
+text via :mod:`repro.codegen.emitter`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..isa.instructions import (
+    AddReg,
+    Branch,
+    Eor,
+    FmlaElem,
+    Instr,
+    Label,
+    LoadScalarLane,
+    LoadVec,
+    LoadVecPair,
+    Lsl,
+    MovImm,
+    MovReg,
+    Prfm,
+    StoreVec,
+    StoreVecPair,
+    SubsImm,
+)
+from ..isa.program import Program
+from ..isa.registers import Register, VReg, XReg, ZReg
+from .tiles import GENERATOR_MAX_MR, REGISTER_BUDGET, TileShape, ai_max
+
+__all__ = ["KernelConfig", "MicroKernel", "generate_microkernel", "ARG_REGS"]
+
+#: Inline-asm operand bindings, in Listing 1 order:
+#: ``[A] "r"(A), [B] "r"(B), [C] "r"(C), [lda] "r"(lda), ...``
+ARG_REGS: dict[str, XReg] = {
+    "A": XReg(0),
+    "B": XReg(1),
+    "C": XReg(2),
+    "lda": XReg(3),
+    "ldb": XReg(4),
+    "ldc": XReg(5),
+}
+
+_COUNTER = XReg(29)
+_FIRST_PTR = 6  # x6..x(5+2*mr): A row pointers then C row pointers
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Full specification of one generated micro-kernel."""
+
+    mr: int
+    nr: int
+    kc: int
+    lane: int = 4
+    #: beta = 1 (load C and accumulate) vs beta = 0 (zero accumulators).
+    accumulate: bool = True
+    #: Apply rotating register allocation (implies a fully unrolled mainloop).
+    rotate: bool = False
+    #: Hardware AI threshold used to pick the rotation target stream.
+    sigma_ai: float = 6.0
+    #: Software-pipelined loads: stream the *next* B row / A fragments in
+    #: flight behind the current FMAs (the Listing 1 discipline).  False
+    #: models code without hand-arranged pipelines (LLVM/JIT output, paper
+    #: SII-B): each sub-step loads its own operands immediately before the
+    #: FMAs that consume them, exposing the load latency.
+    lookahead: bool = True
+    #: Use LDP/STP pair instructions for the C-tile prologue loads and
+    #: epilogue stores (NEON only): halves the instruction count of the
+    #: boundary stages, which matter most at small k_c.
+    use_pairs: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mr < 1 or self.nr < 1 or self.kc < 1:
+            raise ValueError("kernel dimensions must be positive")
+        if self.rotate and not self.lookahead:
+            raise ValueError("rotating register allocation requires lookahead")
+        if self.mr > GENERATOR_MAX_MR:
+            raise ValueError(
+                f"generator supports m_r <= {GENERATOR_MAX_MR} (pointer "
+                f"registers), got {self.mr}"
+            )
+
+    @property
+    def nv(self) -> int:
+        return math.ceil(self.nr / self.lane)
+
+    @property
+    def tail_lanes(self) -> int:
+        return self.nr - (self.nv - 1) * self.lane
+
+    @property
+    def tile(self) -> TileShape:
+        nr_padded = self.nv * self.lane
+        return TileShape(self.mr, nr_padded, self.lane)
+
+    @property
+    def base_registers(self) -> int:
+        return self.mr * self.nv + self.mr + self.nv
+
+    @property
+    def compute_bound(self) -> bool:
+        return ai_max(self.mr, self.nv * self.lane) >= self.sigma_ai
+
+    @property
+    def name(self) -> str:
+        bits = [f"micro_{self.mr}x{self.nr}x{self.kc}"]
+        if self.lane != 4:
+            bits.append(f"sve{self.lane}")
+        if self.rotate:
+            bits.append("rot")
+        if not self.lookahead:
+            bits.append("naive")
+        if self.use_pairs:
+            bits.append("ldp")
+        if not self.accumulate:
+            bits.append("b0")
+        return "_".join(bits)
+
+
+@dataclass
+class MicroKernel:
+    """A generated micro-kernel: program + section map + metadata."""
+
+    config: KernelConfig
+    program: Program
+    #: Instruction index ranges: {"prologue": (lo, hi), "mainloop": ...,
+    #: "epilogue": ...}; half-open, over ``program.instructions``.
+    sections: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def section_instructions(self, section: str) -> list[Instr]:
+        lo, hi = self.sections[section]
+        return self.program.instructions[lo:hi]
+
+    @property
+    def flops(self) -> int:
+        """FLOPs one invocation performs (2 * m_r * n_r * k_c)."""
+        cfg = self.config
+        return 2 * cfg.mr * cfg.nr * cfg.kc
+
+    def cpp_source(self) -> str:
+        """The C++ inline-asm wrapper text (the artefact of Listing 1)."""
+        from .emitter import emit_cpp
+
+        return emit_cpp(self)
+
+
+class _RegisterPlan:
+    """Vector-register assignment, with rotating pools when enabled."""
+
+    def __init__(self, cfg: KernelConfig) -> None:
+        self.cfg = cfg
+        reg_cls = ZReg if cfg.lane > 4 else VReg
+        self.reg_cls = reg_cls
+        mr, nv = cfg.mr, cfg.nv
+
+        self.acc = [[reg_cls(r * nv + c) for c in range(nv)] for r in range(mr)]
+        a_base = mr * nv
+        b_base = mr * nv + mr
+        next_free = b_base + nv
+        spares = list(range(next_free, REGISTER_BUDGET))
+
+        # Rotating pools: one list per A row / B column; depth 1 = no
+        # rotation for that stream.  Spare registers extend the preferred
+        # stream first (A when compute-bound, B when memory-bound).
+        self.a_pool = [[reg_cls(a_base + r)] for r in range(mr)]
+        self.b_pool = [[reg_cls(b_base + c)] for c in range(nv)]
+        if cfg.rotate and spares:
+            order = ("a", "b") if cfg.compute_bound else ("b", "a")
+            for stream in order:
+                pools = self.a_pool if stream == "a" else self.b_pool
+                for pool in pools:
+                    if not spares:
+                        break
+                    pool.append(reg_cls(spares.pop(0)))
+
+    def a_reg(self, row: int, step: int) -> Register:
+        pool = self.a_pool[row]
+        return pool[step % len(pool)]
+
+    def b_reg(self, col: int, p: int) -> Register:
+        pool = self.b_pool[col]
+        return pool[p % len(pool)]
+
+    @property
+    def rotates_a(self) -> bool:
+        return any(len(p) > 1 for p in self.a_pool)
+
+    @property
+    def rotates_b(self) -> bool:
+        return any(len(p) > 1 for p in self.b_pool)
+
+
+def _a_ptr(row: int) -> XReg:
+    return XReg(_FIRST_PTR + row)
+
+
+def _c_ptr(cfg: KernelConfig, row: int) -> XReg:
+    return XReg(_FIRST_PTR + cfg.mr + row)
+
+
+def _tail(cfg: KernelConfig, col: int) -> int | None:
+    """active_lanes for column vector ``col`` (None = full width)."""
+    if col == cfg.nv - 1 and cfg.tail_lanes != cfg.lane:
+        return cfg.tail_lanes
+    return None
+
+
+def _emit_prologue(cfg: KernelConfig, plan: _RegisterPlan, out: list[Instr]) -> None:
+    eb = 4  # float32 element bytes
+    out.append(Prfm(ARG_REGS["A"], 0, 1))
+    out.append(Prfm(ARG_REGS["B"], 0, 1))
+    out.append(Prfm(ARG_REGS["C"], 0, 1))
+    out.append(Lsl(ARG_REGS["lda"], ARG_REGS["lda"], 2))
+    out.append(Lsl(ARG_REGS["ldb"], ARG_REGS["ldb"], 2))
+    out.append(Lsl(ARG_REGS["ldc"], ARG_REGS["ldc"], 2))
+    out.append(MovReg(_a_ptr(0), ARG_REGS["A"]))
+    out.append(MovReg(_c_ptr(cfg, 0), ARG_REGS["C"]))
+    for row in range(1, cfg.mr):
+        out.append(AddReg(_a_ptr(row), _a_ptr(row - 1), ARG_REGS["lda"]))
+        out.append(AddReg(_c_ptr(cfg, row), _c_ptr(cfg, row - 1), ARG_REGS["ldc"]))
+
+    if cfg.accumulate:
+        for row in range(cfg.mr):
+            col = 0
+            while col < cfg.nv:
+                pairable = (
+                    cfg.use_pairs
+                    and cfg.lane == 4
+                    and col + 1 < cfg.nv
+                    and _tail(cfg, col) is None
+                    and _tail(cfg, col + 1) is None
+                )
+                if pairable:
+                    out.append(
+                        LoadVecPair(
+                            plan.acc[row][col],
+                            plan.acc[row][col + 1],
+                            _c_ptr(cfg, row),
+                            offset=col * cfg.lane * eb,
+                        )
+                    )
+                    col += 2
+                else:
+                    out.append(
+                        LoadVec(
+                            plan.acc[row][col],
+                            _c_ptr(cfg, row),
+                            offset=col * cfg.lane * eb,
+                            active_lanes=_tail(cfg, col),
+                        )
+                    )
+                    col += 1
+    else:
+        for row in range(cfg.mr):
+            for col in range(cfg.nv):
+                out.append(Eor(plan.acc[row][col]))
+
+    ksteps = cfg.kc // cfg.lane
+    if ksteps > 0 and cfg.lookahead:
+        # First A fragments (step 0) and first B row (p = 0).
+        for row in range(cfg.mr):
+            out.append(
+                LoadVec(plan.a_reg(row, 0), _a_ptr(row), post_increment=cfg.lane * eb)
+            )
+        for col in range(cfg.nv):
+            out.append(
+                LoadVec(
+                    plan.b_reg(col, 0),
+                    ARG_REGS["B"],
+                    offset=col * cfg.lane * eb,
+                    active_lanes=_tail(cfg, col),
+                )
+            )
+        out.append(AddReg(ARG_REGS["B"], ARG_REGS["B"], ARG_REGS["ldb"]))
+
+
+def _emit_substep(
+    cfg: KernelConfig,
+    plan: _RegisterPlan,
+    out: list[Instr],
+    step: int,
+    i: int,
+    load_next_b: bool,
+    load_next_a: bool,
+) -> None:
+    """FMAs for ``p = step * lane + i`` plus in-flight loads.
+
+    B for ``p + 1`` is loaded interleaved with the FMA stream (after the
+    first column's FMAs) so the loads sit behind compute in program order;
+    A for ``step + 1`` streams in at the end of the last sub-step.
+    """
+    eb = 4
+    p = step * cfg.lane + i
+    for col in range(cfg.nv):
+        for row in range(cfg.mr):
+            out.append(
+                FmlaElem(
+                    plan.acc[row][col],
+                    plan.b_reg(col, p),
+                    plan.a_reg(row, step),
+                    lane=i,
+                    active_lanes=_tail(cfg, col),
+                )
+            )
+        if load_next_b:
+            out.append(
+                LoadVec(
+                    plan.b_reg(col, p + 1),
+                    ARG_REGS["B"],
+                    offset=col * cfg.lane * eb,
+                    active_lanes=_tail(cfg, col),
+                )
+            )
+    if load_next_b:
+        out.append(AddReg(ARG_REGS["B"], ARG_REGS["B"], ARG_REGS["ldb"]))
+    if load_next_a:
+        for row in range(cfg.mr):
+            out.append(
+                LoadVec(
+                    plan.a_reg(row, step + 1),
+                    _a_ptr(row),
+                    post_increment=cfg.lane * eb,
+                )
+            )
+
+
+def _emit_step(
+    cfg: KernelConfig,
+    plan: _RegisterPlan,
+    out: list[Instr],
+    step: int,
+    is_last_vector_step: bool,
+    has_remainder: bool,
+) -> None:
+    for i in range(cfg.lane):
+        last_sub = i == cfg.lane - 1
+        load_next_b = not (is_last_vector_step and last_sub and not has_remainder)
+        # On the final sub-step of the final vector step, the "next B row"
+        # is the first remainder row -- load it only if the remainder
+        # epilogue exists; otherwise it would read past B.
+        if is_last_vector_step and last_sub and has_remainder:
+            load_next_b = False  # the remainder path loads its own B rows
+        load_next_a = last_sub and not is_last_vector_step
+        _emit_substep(cfg, plan, out, step, i, load_next_b, load_next_a)
+
+
+def _emit_naive_step(
+    cfg: KernelConfig, plan: _RegisterPlan, out: list[Instr]
+) -> None:
+    """One vector k-step without load lookahead: every sub-step loads its B
+    row (and the step loads its A fragments) right before the FMAs."""
+    eb = 4
+    for row in range(cfg.mr):
+        out.append(
+            LoadVec(plan.a_reg(row, 0), _a_ptr(row), post_increment=cfg.lane * eb)
+        )
+    for i in range(cfg.lane):
+        for col in range(cfg.nv):
+            out.append(
+                LoadVec(
+                    plan.b_reg(col, 0),
+                    ARG_REGS["B"],
+                    offset=col * cfg.lane * eb,
+                    active_lanes=_tail(cfg, col),
+                )
+            )
+            for row in range(cfg.mr):
+                out.append(
+                    FmlaElem(
+                        plan.acc[row][col],
+                        plan.b_reg(col, 0),
+                        plan.a_reg(row, 0),
+                        lane=i,
+                        active_lanes=_tail(cfg, col),
+                    )
+                )
+        out.append(AddReg(ARG_REGS["B"], ARG_REGS["B"], ARG_REGS["ldb"]))
+
+
+def _emit_mainloop(cfg: KernelConfig, plan: _RegisterPlan, out: list[Instr]) -> None:
+    ksteps = cfg.kc // cfg.lane
+    has_remainder = cfg.kc % cfg.lane != 0
+    if ksteps == 0:
+        return
+
+    if not cfg.lookahead:
+        # Naive pipeline: a plain counted loop, no pre-loads, no peeling.
+        if ksteps > 1:
+            out.append(MovImm(_COUNTER, ksteps))
+            out.append(Label("1"))
+            _emit_naive_step(cfg, plan, out)
+            out.append(SubsImm(_COUNTER, _COUNTER, 1))
+            out.append(Branch("1", "ne"))
+        else:
+            _emit_naive_step(cfg, plan, out)
+        return
+
+    if cfg.rotate:
+        # Fully unrolled: rotating pools need static per-step register names.
+        for step in range(ksteps):
+            _emit_step(cfg, plan, out, step, step == ksteps - 1, has_remainder)
+        return
+
+    # Listing 1 structure: a counted loop over the first ksteps - 1 vector
+    # steps (each pre-loading the next step's A/B), then the final step
+    # peeled so it does not over-read B.  Without rotation every step uses
+    # the same registers, so one loop body serves all steps.
+    if ksteps > 1:
+        out.append(MovImm(_COUNTER, ksteps - 1))
+        out.append(Label("1"))
+        _emit_step(cfg, plan, out, 0, False, has_remainder)
+        out.append(SubsImm(_COUNTER, _COUNTER, 1))
+        out.append(Branch("1", "ne"))
+    _emit_step(cfg, plan, out, ksteps - 1, True, has_remainder)
+
+
+def _emit_epilogue(cfg: KernelConfig, plan: _RegisterPlan, out: list[Instr]) -> None:
+    eb = 4
+    ksteps = cfg.kc // cfg.lane
+    remainder = cfg.kc % cfg.lane
+    for q in range(remainder):
+        p = ksteps * cfg.lane + q
+        for col in range(cfg.nv):
+            out.append(
+                LoadVec(
+                    plan.b_reg(col, p),
+                    ARG_REGS["B"],
+                    offset=col * cfg.lane * eb,
+                    active_lanes=_tail(cfg, col),
+                )
+            )
+        out.append(AddReg(ARG_REGS["B"], ARG_REGS["B"], ARG_REGS["ldb"]))
+        for row in range(cfg.mr):
+            out.append(
+                LoadScalarLane(
+                    plan.a_reg(row, ksteps + q), _a_ptr(row), post_increment=eb
+                )
+            )
+        for col in range(cfg.nv):
+            for row in range(cfg.mr):
+                out.append(
+                    FmlaElem(
+                        plan.acc[row][col],
+                        plan.b_reg(col, p),
+                        plan.a_reg(row, ksteps + q),
+                        lane=0,
+                        active_lanes=_tail(cfg, col),
+                    )
+                )
+    for row in range(cfg.mr):
+        col = 0
+        while col < cfg.nv:
+            pairable = (
+                cfg.use_pairs
+                and cfg.lane == 4
+                and col + 1 < cfg.nv
+                and _tail(cfg, col) is None
+                and _tail(cfg, col + 1) is None
+            )
+            if pairable:
+                out.append(
+                    StoreVecPair(
+                        plan.acc[row][col],
+                        plan.acc[row][col + 1],
+                        _c_ptr(cfg, row),
+                        offset=col * cfg.lane * eb,
+                    )
+                )
+                col += 2
+            else:
+                out.append(
+                    StoreVec(
+                        plan.acc[row][col],
+                        _c_ptr(cfg, row),
+                        offset=col * cfg.lane * eb,
+                        active_lanes=_tail(cfg, col),
+                    )
+                )
+                col += 1
+
+
+def generate_microkernel(
+    mr: int,
+    nr: int,
+    kc: int,
+    lane: int = 4,
+    accumulate: bool = True,
+    rotate: bool = False,
+    sigma_ai: float = 6.0,
+    lookahead: bool = True,
+    use_pairs: bool = False,
+) -> MicroKernel:
+    """Generate the micro-kernel for ``C(m_r, n_r) += A(m_r, k_c) B(k_c, n_r)``.
+
+    Raises ``ValueError`` if the shape exceeds the 32-vector-register budget
+    or the generator's pointer-register limit.
+    """
+    cfg = KernelConfig(
+        mr=mr,
+        nr=nr,
+        kc=kc,
+        lane=lane,
+        accumulate=accumulate,
+        rotate=rotate,
+        sigma_ai=sigma_ai,
+        lookahead=lookahead,
+        use_pairs=use_pairs,
+    )
+    if cfg.base_registers > REGISTER_BUDGET:
+        raise ValueError(
+            f"tile {mr}x{nr} needs {cfg.base_registers} vector registers "
+            f"(> {REGISTER_BUDGET})"
+        )
+    plan = _RegisterPlan(cfg)
+    instrs: list[Instr] = []
+
+    _emit_prologue(cfg, plan, instrs)
+    prologue_end = len(instrs)
+    _emit_mainloop(cfg, plan, instrs)
+    mainloop_end = len(instrs)
+    _emit_epilogue(cfg, plan, instrs)
+
+    program = Program(instrs, name=cfg.name)
+    sections = {
+        "prologue": (0, prologue_end),
+        "mainloop": (prologue_end, mainloop_end),
+        "epilogue": (mainloop_end, len(instrs)),
+    }
+    return MicroKernel(config=cfg, program=program, sections=sections)

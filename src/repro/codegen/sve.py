@@ -1,0 +1,59 @@
+"""SVE (Scalable Vector Extension) convenience layer.
+
+The micro-kernel generator is lane-parametric: passing ``lane = 16``
+produces predicated 512-bit SVE kernels (``ld1w``/``st1w``/``fmla z...``)
+for A64FX-class machines, exactly as the paper ports autoGEMM "by replacing
+NEON vector intrinsic with A64FX's SVE intrinsic".  This module packages
+the SVE-specific entry points and tile sets so callers do not hand-compute
+lane counts.
+"""
+
+from __future__ import annotations
+
+from ..machine.chips import ChipSpec
+from .microkernel import MicroKernel, generate_microkernel
+from .tiles import TileShape, enumerate_tiles, first_choice_tiles
+
+__all__ = [
+    "sve_lane_count",
+    "sve_tiles",
+    "sve_first_choice_tiles",
+    "generate_sve_microkernel",
+]
+
+
+def sve_lane_count(chip: ChipSpec) -> int:
+    """float32 lanes of the chip's SVE implementation (16 on A64FX)."""
+    if chip.simd != "sve":
+        raise ValueError(f"{chip.name} is not an SVE chip")
+    return chip.sigma_lane
+
+
+def sve_tiles(chip: ChipSpec) -> tuple[TileShape, ...]:
+    """All feasible SVE register tiles for the chip's vector length."""
+    return enumerate_tiles(sve_lane_count(chip), generatable_only=True)
+
+
+def sve_first_choice_tiles(chip: ChipSpec) -> tuple[TileShape, ...]:
+    """The high-AI main tiles for the chip's vector length."""
+    return first_choice_tiles(sve_lane_count(chip))
+
+
+def generate_sve_microkernel(
+    mr: int,
+    nr: int,
+    kc: int,
+    chip: ChipSpec,
+    accumulate: bool = True,
+    rotate: bool = True,
+) -> MicroKernel:
+    """Generate a predicated SVE micro-kernel for an SVE chip."""
+    return generate_microkernel(
+        mr,
+        nr,
+        kc,
+        lane=sve_lane_count(chip),
+        accumulate=accumulate,
+        rotate=rotate,
+        sigma_ai=chip.sigma_ai,
+    )

@@ -1,0 +1,183 @@
+"""Register-tile enumeration and arithmetic-intensity maths (Table II).
+
+A micro-kernel of shape ``(m_r, n_r)`` keeps in vector registers:
+
+* ``m_r * ceil(n_r / sigma_lane)`` accumulators for ``C``,
+* ``m_r`` streaming registers for ``A`` fragments,
+* ``ceil(n_r / sigma_lane)`` streaming registers for one ``B`` row.
+
+The 32-register budget therefore admits exactly the tile shapes with
+``(m_r + 1) * (n_vec + 1) <= 33`` -- 58 shapes for NEON, matching the count
+the paper states below Eqn 2.  ``ai_max`` is Eqn 2, ``ai`` is the
+``k_c``-aware Eqn 3 that drives Figure 2 and the DMT cost function.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+__all__ = [
+    "TileShape",
+    "REGISTER_BUDGET",
+    "ai_max",
+    "ai",
+    "registers_used",
+    "is_feasible",
+    "enumerate_tiles",
+    "first_choice_tiles",
+    "table2",
+    "GENERATOR_MAX_MR",
+]
+
+#: Vector registers available on every Arm chip considered (NEON and SVE).
+REGISTER_BUDGET = 32
+
+#: The assembly generator keeps per-row A and C pointers in x6..x(5+2*m_r)
+#: with x29 as loop counter, capping m_r (see codegen.microkernel).
+GENERATOR_MAX_MR = 10
+
+
+@dataclass(frozen=True, order=True)
+class TileShape:
+    """A register-tile shape ``(m_r, n_r)`` for a given SIMD lane count."""
+
+    mr: int
+    nr: int
+    lane: int = 4
+
+    def __post_init__(self) -> None:
+        if self.mr < 1 or self.nr < 1 or self.lane < 1:
+            raise ValueError("tile dimensions must be positive")
+
+    @property
+    def nv(self) -> int:
+        """Vector registers per B row / per C accumulator row."""
+        return math.ceil(self.nr / self.lane)
+
+    @property
+    def tail_lanes(self) -> int:
+        """Active float32 lanes in the final column vector."""
+        return self.nr - (self.nv - 1) * self.lane
+
+    @property
+    def registers(self) -> int:
+        return registers_used(self.mr, self.nr, self.lane)
+
+    @property
+    def ai_max(self) -> float:
+        return ai_max(self.mr, self.nr)
+
+    def ai(self, kc: int) -> float:
+        return ai(self.mr, self.nr, kc, self.lane)
+
+    def feasible(self) -> bool:
+        return is_feasible(self.mr, self.nr, self.lane)
+
+    def compute_bound(self, sigma_ai: float) -> bool:
+        """Whether the tile can reach peak on a chip with threshold
+        ``sigma_AI`` (paper §III-B: tiles below the threshold are
+        memory-bound -- FMAs cannot cover the B-row loads)."""
+        return self.ai_max >= sigma_ai
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mr}x{self.nr}"
+
+
+def registers_used(mr: int, nr: int, lane: int = 4) -> int:
+    """Vector registers a basic (non-rotating) micro-kernel occupies."""
+    nv = math.ceil(nr / lane)
+    return mr * nv + mr + nv
+
+
+def is_feasible(mr: int, nr: int, lane: int = 4) -> bool:
+    """Fits the 32-register budget with ``n_r`` a multiple of the lane count.
+
+    Multiples-of-lane only: Table II enumerates lane-aligned tiles; arbitrary
+    ``n`` edges are handled by predicated tail lanes inside the generator,
+    not by distinct tile shapes.
+    """
+    return nr % lane == 0 and registers_used(mr, nr, lane) <= REGISTER_BUDGET
+
+
+def ai_max(mr: int, nr: int) -> float:
+    """Eqn 2: asymptotic arithmetic intensity of an ``(m_r, n_r)`` tile."""
+    return 2.0 * mr * nr / (mr + nr)
+
+
+def ai(mr: int, nr: int, kc: int, lane: int = 4) -> float:
+    """Eqn 3: finite-``k_c`` arithmetic intensity.
+
+    ``AI = 2 * m_r * nv * k_c / (2 * m_r * nv + m_r * kv + k_c * nv)`` with
+    ``nv = n_r / sigma_lane`` and ``kv = k_c / sigma_lane``.  For small
+    ``k_c`` the C-tile load/store traffic (the ``2 * m_r * nv`` term)
+    dominates and the kernel is memory-bound at its prologue/epilogue.
+    """
+    if kc < 1:
+        raise ValueError("kc must be >= 1")
+    nv = nr / lane
+    kv = kc / lane
+    return 2.0 * mr * nv * kc / (2.0 * mr * nv + mr * kv + kc * nv)
+
+
+@lru_cache(maxsize=None)
+def enumerate_tiles(
+    lane: int = 4, generatable_only: bool = False
+) -> tuple[TileShape, ...]:
+    """All feasible tile shapes for a SIMD lane count, best-AI first.
+
+    ``generatable_only`` restricts to shapes the assembly generator can emit
+    (``m_r <= GENERATOR_MAX_MR``); the excluded shapes (``m_r`` 11..15 with a
+    single column vector) have low AI and are never selected by DMT anyway.
+    """
+    tiles = []
+    for mr in range(1, REGISTER_BUDGET):
+        if generatable_only and mr > GENERATOR_MAX_MR:
+            continue
+        for nv in range(1, REGISTER_BUDGET):
+            nr = nv * lane
+            if not is_feasible(mr, nr, lane):
+                break
+            tiles.append(TileShape(mr, nr, lane))
+    return tuple(sorted(tiles, key=lambda t: (-t.ai_max, t.mr)))
+
+
+def first_choice_tiles(lane: int = 4) -> tuple[TileShape, ...]:
+    """The four blue-highlighted main tiles of Table II.
+
+    For NEON the paper names them explicitly: 8x8, 6x12, 5x16 and 4x20.
+    (The generic per-``n_vec``-maximum rule would also admit 7x12 and 10x8,
+    which Table II marks infeasible/unlisted -- the paper's generator
+    appears to reserve registers beyond the ``m_r*n_v + m_r + n_v``
+    minimum for those shapes; we follow its published selection.)  For
+    other lane counts the generic rule applies, restricted to the
+    ``m_r <= 8`` range Table II enumerates.
+    """
+    if lane == 4:
+        return (
+            TileShape(8, 8, 4),
+            TileShape(6, 12, 4),
+            TileShape(5, 16, 4),
+            TileShape(4, 20, 4),
+        )
+    best: dict[int, TileShape] = {}
+    for tile in enumerate_tiles(lane, generatable_only=True):
+        if tile.mr > 8:
+            continue
+        nv = tile.nv
+        if nv not in best or tile.ai_max > best[nv].ai_max + 1e-12:
+            best[nv] = tile
+    ranked = sorted(best.values(), key=lambda t: -t.ai_max)
+    return tuple(ranked[:4])
+
+
+def table2(lane: int = 4) -> dict[tuple[int, int], float]:
+    """Reproduce Table II: ``{(m_r, n_r): AI_max}`` for m_r in 2..8 and
+    n_r in 4..28, feasible entries only."""
+    out: dict[tuple[int, int], float] = {}
+    for mr in range(2, 9):
+        for nr in range(lane, 7 * lane + 1, lane):
+            if is_feasible(mr, nr, lane):
+                out[(mr, nr)] = round(ai_max(mr, nr), 2)
+    return out

@@ -1,0 +1,40 @@
+"""TNN-style DNN inference substrate for the end-to-end evaluation."""
+
+from .graph import GemmOp, Network
+from .lowering import conv2d_direct, conv2d_via_gemm, im2col
+from .models import (
+    MODELS,
+    bert_encoder,
+    build_model,
+    inception_v3,
+    inception_v4,
+    mobilenet_v1,
+    resnet50,
+    squeezenet,
+)
+from .ops import OTHER_OP_CYCLES_PER_ELEMENT, Conv2d, Dense, OtherOp
+from .runner import NetworkRunner, NetworkTiming, OpTiming, run_network
+
+__all__ = [
+    "GemmOp",
+    "Network",
+    "conv2d_direct",
+    "conv2d_via_gemm",
+    "im2col",
+    "MODELS",
+    "build_model",
+    "bert_encoder",
+    "inception_v4",
+    "inception_v3",
+    "mobilenet_v1",
+    "resnet50",
+    "squeezenet",
+    "OTHER_OP_CYCLES_PER_ELEMENT",
+    "Conv2d",
+    "Dense",
+    "OtherOp",
+    "NetworkRunner",
+    "NetworkTiming",
+    "OpTiming",
+    "run_network",
+]

@@ -1,0 +1,78 @@
+"""Network graphs: ordered operator lists with a GEMM / non-GEMM split.
+
+TNN executes models as operator sequences; swapping the GEMM backend (the
+Figure 12 experiment) only changes how :class:`GemmOp` nodes run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..workloads.resnet50 import LayerShape
+from .ops import Conv2d, Dense, OtherOp
+
+__all__ = ["GemmOp", "Network"]
+
+
+@dataclass(frozen=True)
+class GemmOp:
+    """A convolution/FC operator in its lowered GEMM form."""
+
+    shape: LayerShape
+
+    @classmethod
+    def from_conv(cls, conv: Conv2d) -> "GemmOp":
+        return cls(conv.gemm_shape())
+
+    @classmethod
+    def from_dense(cls, dense: Dense) -> "GemmOp":
+        return cls(dense.gemm_shape())
+
+
+Op = Union[GemmOp, OtherOp]
+
+
+@dataclass
+class Network:
+    """One inference model as an ordered operator list."""
+
+    name: str
+    ops: list[Op] = field(default_factory=list)
+
+    def add_conv(self, conv: Conv2d, batchnorm: bool = True, relu: bool = True) -> None:
+        """Append a conv block: GEMM + its attached non-GEMM tail ops."""
+        self.ops.append(GemmOp.from_conv(conv))
+        if batchnorm:
+            self.ops.append(
+                OtherOp(f"{conv.name}.bn", "batchnorm", conv.output_elements)
+            )
+        if relu:
+            self.ops.append(OtherOp(f"{conv.name}.relu", "relu", conv.output_elements))
+
+    def add_dense(self, dense: Dense, relu: bool = False) -> None:
+        self.ops.append(GemmOp.from_dense(dense))
+        if relu:
+            self.ops.append(
+                OtherOp(f"{dense.name}.relu", "relu", dense.output_elements)
+            )
+
+    def add_other(self, name: str, kind: str, elements: int) -> None:
+        self.ops.append(OtherOp(name, kind, elements))
+
+    @property
+    def gemm_ops(self) -> list[GemmOp]:
+        return [op for op in self.ops if isinstance(op, GemmOp)]
+
+    @property
+    def other_ops(self) -> list[OtherOp]:
+        return [op for op in self.ops if isinstance(op, OtherOp)]
+
+    @property
+    def gemm_flops(self) -> int:
+        return sum(op.shape.flops for op in self.gemm_ops)
+
+    def gemm_workload(self) -> list[LayerShape]:
+        """The network's GEMM shapes as a workload list (the Table V
+        extraction, applied to any model)."""
+        return [op.shape for op in self.gemm_ops]

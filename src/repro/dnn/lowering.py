@@ -1,0 +1,111 @@
+"""Functional conv -> GEMM lowering (im2col), executed on the simulator.
+
+The rest of :mod:`repro.dnn` *times* networks analytically from their GEMM
+shapes; this module closes the loop functionally: a convolution is lowered
+exactly the way TNN/Table V do (im2col), run through the generated kernels
+on the cycle simulator, and the numerical output compared against direct
+convolution in the tests.
+
+Layout conventions (channels-first, batch 1):
+``image`` is ``(C_in, H, W)``, ``weights`` is ``(C_out, C_in, Kh, Kw)``,
+output is ``(C_out, H_out, W_out)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gemm.executor import GemmExecutor, GemmResult
+from ..machine.chips import ChipSpec
+from .ops import Conv2d
+
+__all__ = ["im2col", "conv2d_direct", "conv2d_via_gemm"]
+
+
+def im2col(image: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Unfold an image into the ``(C_in * Kh * Kw, H_out * W_out)`` matrix.
+
+    Column ``j`` holds the receptive field of output pixel ``j`` flattened
+    channel-major -- so ``weights.reshape(C_out, -1) @ im2col(...)`` is the
+    convolution, the Table V extraction.
+    """
+    if image.ndim != 3:
+        raise ValueError("image must be (C, H, W)")
+    c, h, w = image.shape
+    padded = np.pad(
+        image, ((0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError("kernel does not fit the padded image")
+    cols = np.empty((c * kernel * kernel, out_h * out_w), dtype=np.float32)
+    idx = 0
+    for ch in range(c):
+        for kh in range(kernel):
+            for kw in range(kernel):
+                patch = padded[
+                    ch,
+                    kh : kh + out_h * stride : stride,
+                    kw : kw + out_w * stride : stride,
+                ]
+                cols[idx] = patch.reshape(-1)
+                idx += 1
+    return cols
+
+
+def conv2d_direct(
+    image: np.ndarray, weights: np.ndarray, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Reference direct convolution (cross-correlation, DL convention)."""
+    c_out, c_in, kh, kw = weights.shape
+    if kh != kw:
+        raise ValueError("square kernels only")
+    cols = im2col(np.asarray(image, np.float32), kh, stride, padding)
+    flat = weights.reshape(c_out, -1).astype(np.float32) @ cols
+    c, h, w = image.shape
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    return flat.reshape(c_out, out_h, out_w)
+
+
+def conv2d_via_gemm(
+    image: np.ndarray,
+    weights: np.ndarray,
+    chip: ChipSpec,
+    stride: int = 1,
+    padding: int = 0,
+    executor: GemmExecutor | None = None,
+) -> tuple[np.ndarray, GemmResult]:
+    """Lower a convolution to GEMM and execute it on the simulated chip.
+
+    Returns ``(output_feature_map, gemm_result)``; the GEMM shape matches
+    :meth:`repro.dnn.ops.Conv2d.gemm_shape` for the same layer, which the
+    tests assert.
+    """
+    image = np.asarray(image, dtype=np.float32)
+    weights = np.asarray(weights, dtype=np.float32)
+    c_out, c_in, kh, kw = weights.shape
+    if image.shape[0] != c_in:
+        raise ValueError("channel mismatch between image and weights")
+    if kh != kw:
+        raise ValueError("square kernels only")
+
+    cols = im2col(image, kh, stride, padding)  # (K, N)
+    a = weights.reshape(c_out, -1)  # (M, K)
+
+    ex = executor if executor is not None else GemmExecutor(chip)
+    result = ex.run(a, cols)
+
+    layer = Conv2d(
+        "lowered",
+        in_channels=c_in,
+        out_channels=c_out,
+        in_h=image.shape[1],
+        in_w=image.shape[2],
+        kernel=kh,
+        stride=stride,
+        padding=padding,
+    )
+    out = result.c.reshape(c_out, layer.out_h, layer.out_w)
+    return out, result

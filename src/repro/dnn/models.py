@@ -1,0 +1,227 @@
+"""The four Figure 12 models: ResNet-50, Inception-V3, MobileNet-V1,
+SqueezeNet, as operator graphs with realistic layer shapes.
+
+ResNet-50 re-uses the paper's Table V GEMM extraction verbatim (each shape
+appears once per distinct layer; the surrounding batch-norm/ReLU/pool/add
+operators are attached with matching element counts).  The other three
+models encode their published architectures' conv shapes at 224x224 (299
+for Inception-V3) batch-1 inference, depthwise convolutions counted as
+non-GEMM work exactly as TNN's dedicated depthwise kernels are.
+"""
+
+from __future__ import annotations
+
+from ..workloads.resnet50 import RESNET50_LAYERS
+from .graph import GemmOp, Network
+from .ops import Conv2d, Dense
+
+__all__ = [
+    "resnet50",
+    "inception_v3",
+    "mobilenet_v1",
+    "squeezenet",
+    "inception_v4",
+    "bert_encoder",
+    "MODELS",
+    "build_model",
+]
+
+
+def resnet50() -> Network:
+    """ResNet-50 from the Table V GEMM shapes + attached non-GEMM ops."""
+    net = Network("ResNet50")
+    net.add_other("stem.pool", "pool", 64 * 56 * 56)
+    for shape in RESNET50_LAYERS:
+        net.ops.append(GemmOp(shape))
+        elements = shape.m * shape.n
+        net.add_other(f"{shape.name}.bn", "batchnorm", elements)
+        net.add_other(f"{shape.name}.relu", "relu", elements)
+        # Residual adds close each bottleneck (every third conv, roughly).
+        if shape.name in ("L5", "L10", "L15", "L20"):
+            net.add_other(f"{shape.name}.add", "add", elements)
+    net.add_other("head.pool", "pool", 2048 * 7 * 7)
+    net.add_dense(Dense("fc", 2048, 1000))
+    net.add_other("softmax", "softmax", 1000)
+    return net
+
+
+def inception_v3() -> Network:
+    """Inception-V3 stem + representative inception branches (299x299)."""
+    net = Network("InceptionV3")
+    net.add_conv(Conv2d("stem1", 3, 32, 299, 299, kernel=3, stride=2, padding=0))
+    net.add_conv(Conv2d("stem2", 32, 32, 149, 149, kernel=3, stride=1, padding=0))
+    net.add_conv(Conv2d("stem3", 32, 64, 147, 147, kernel=3, stride=1, padding=1))
+    net.add_other("stem.pool", "pool", 64 * 73 * 73)
+    net.add_conv(Conv2d("stem4", 64, 80, 73, 73, kernel=1, stride=1, padding=0))
+    net.add_conv(Conv2d("stem5", 80, 192, 73, 73, kernel=3, stride=1, padding=0))
+    net.add_other("stem.pool2", "pool", 192 * 35 * 35)
+    # Mixed 35x35 blocks (branches: 1x1, 5x5 factored, 3x3 double).
+    for i, in_ch in enumerate((192, 256, 288)):
+        hw = 35
+        net.add_conv(Conv2d(f"mix5{chr(98 + i)}.1x1", in_ch, 64, hw, hw, kernel=1, padding=0))
+        net.add_conv(Conv2d(f"mix5{chr(98 + i)}.5x5a", in_ch, 48, hw, hw, kernel=1, padding=0))
+        net.add_conv(Conv2d(f"mix5{chr(98 + i)}.5x5b", 48, 64, hw, hw, kernel=5, padding=2))
+        net.add_conv(Conv2d(f"mix5{chr(98 + i)}.3x3a", in_ch, 64, hw, hw, kernel=1, padding=0))
+        net.add_conv(Conv2d(f"mix5{chr(98 + i)}.3x3b", 64, 96, hw, hw, kernel=3, padding=1))
+        net.add_conv(Conv2d(f"mix5{chr(98 + i)}.3x3c", 96, 96, hw, hw, kernel=3, padding=1))
+        net.add_other(f"mix5{chr(98 + i)}.concat", "concat", 288 * hw * hw)
+    # Mixed 17x17 blocks (7x1/1x7 factorisations).
+    for i in range(4):
+        hw = 17
+        net.add_conv(Conv2d(f"mix6{chr(98 + i)}.1x1", 768, 192, hw, hw, kernel=1, padding=0))
+        net.add_conv(Conv2d(f"mix6{chr(98 + i)}.7x1", 768, 128, hw, hw, kernel=1, padding=0))
+        net.add_conv(Conv2d(f"mix6{chr(98 + i)}.1x7", 128, 192, hw, hw, kernel=7, padding=3))
+        net.add_other(f"mix6{chr(98 + i)}.concat", "concat", 768 * hw * hw)
+    # Mixed 8x8 blocks.
+    for i in range(2):
+        hw = 8
+        net.add_conv(Conv2d(f"mix7{chr(98 + i)}.1x1", 1280, 320, hw, hw, kernel=1, padding=0))
+        net.add_conv(Conv2d(f"mix7{chr(98 + i)}.3x3", 448, 384, hw, hw, kernel=3, padding=1))
+        net.add_other(f"mix7{chr(98 + i)}.concat", "concat", 2048 * hw * hw)
+    net.add_other("head.pool", "pool", 2048 * 8 * 8)
+    net.add_dense(Dense("fc", 2048, 1000))
+    net.add_other("softmax", "softmax", 1000)
+    return net
+
+
+def mobilenet_v1() -> Network:
+    """MobileNet-V1: depthwise (non-GEMM) + pointwise 1x1 (GEMM) pairs."""
+    net = Network("MobileNetV1")
+    net.add_conv(Conv2d("conv1", 3, 32, 224, 224, kernel=3, stride=2, padding=1))
+    # (in_ch, out_ch, hw, stride of the depthwise stage)
+    stages = [
+        (32, 64, 112, 1),
+        (64, 128, 112, 2),
+        (128, 128, 56, 1),
+        (128, 256, 56, 2),
+        (256, 256, 28, 1),
+        (256, 512, 28, 2),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 1024, 14, 2),
+        (1024, 1024, 7, 1),
+    ]
+    for i, (cin, cout, hw, stride) in enumerate(stages):
+        out_hw = hw // stride
+        net.add_other(f"dw{i}", "depthwise", cin * out_hw * out_hw)
+        net.add_conv(
+            Conv2d(f"pw{i}", cin, cout, out_hw, out_hw, kernel=1, stride=1, padding=0)
+        )
+    net.add_other("head.pool", "pool", 1024 * 7 * 7)
+    net.add_dense(Dense("fc", 1024, 1000))
+    net.add_other("softmax", "softmax", 1000)
+    return net
+
+
+def squeezenet() -> Network:
+    """SqueezeNet 1.0 fire modules (squeeze 1x1 -> expand 1x1 + 3x3)."""
+    net = Network("SqueezeNet")
+    net.add_conv(Conv2d("conv1", 3, 96, 224, 224, kernel=7, stride=2, padding=3))
+    net.add_other("pool1", "pool", 96 * 55 * 55)
+    fires = [
+        # (in_ch, squeeze, expand, hw)
+        (96, 16, 64, 55),
+        (128, 16, 64, 55),
+        (128, 32, 128, 55),
+        (256, 32, 128, 27),
+        (256, 48, 192, 27),
+        (384, 48, 192, 27),
+        (384, 64, 256, 27),
+        (512, 64, 256, 13),
+    ]
+    for i, (cin, squeeze, expand, hw) in enumerate(fires):
+        net.add_conv(Conv2d(f"fire{i}.squeeze", cin, squeeze, hw, hw, kernel=1, padding=0))
+        net.add_conv(Conv2d(f"fire{i}.e1", squeeze, expand, hw, hw, kernel=1, padding=0))
+        net.add_conv(Conv2d(f"fire{i}.e3", squeeze, expand, hw, hw, kernel=3, padding=1))
+        net.add_other(f"fire{i}.concat", "concat", 2 * expand * hw * hw)
+    net.add_conv(Conv2d("conv10", 512, 1000, 13, 13, kernel=1, padding=0))
+    net.add_other("head.pool", "pool", 1000 * 13 * 13)
+    net.add_other("softmax", "softmax", 1000)
+    return net
+
+
+def inception_v4() -> Network:
+    """Inception-V4 (cited as an irregular-shape source, [64]): deeper stem
+    and wider mixed blocks than V3, 299x299 input."""
+    net = Network("InceptionV4")
+    net.add_conv(Conv2d("stem1", 3, 32, 299, 299, kernel=3, stride=2, padding=0))
+    net.add_conv(Conv2d("stem2", 32, 32, 149, 149, kernel=3, stride=1, padding=0))
+    net.add_conv(Conv2d("stem3", 32, 64, 147, 147, kernel=3, stride=1, padding=1))
+    net.add_conv(Conv2d("stem4", 64, 96, 147, 147, kernel=3, stride=2, padding=0))
+    net.add_conv(Conv2d("stem5a", 160, 64, 73, 73, kernel=1, padding=0))
+    net.add_conv(Conv2d("stem5b", 64, 96, 73, 73, kernel=3, padding=0))
+    net.add_other("stem.concat", "concat", 192 * 71 * 71)
+    # Inception-A blocks (35x35, 384 channels).
+    for i in range(4):
+        hw = 35
+        net.add_conv(Conv2d(f"ia{i}.1x1", 384, 96, hw, hw, kernel=1, padding=0))
+        net.add_conv(Conv2d(f"ia{i}.3x3a", 384, 64, hw, hw, kernel=1, padding=0))
+        net.add_conv(Conv2d(f"ia{i}.3x3b", 64, 96, hw, hw, kernel=3, padding=1))
+        net.add_other(f"ia{i}.concat", "concat", 384 * hw * hw)
+    # Inception-B blocks (17x17, 1024 channels, 1x7/7x1 factorisations).
+    for i in range(7):
+        hw = 17
+        net.add_conv(Conv2d(f"ib{i}.1x1", 1024, 384, hw, hw, kernel=1, padding=0))
+        net.add_conv(Conv2d(f"ib{i}.7x1a", 1024, 192, hw, hw, kernel=1, padding=0))
+        net.add_conv(Conv2d(f"ib{i}.7x1b", 192, 256, hw, hw, kernel=7, padding=3))
+        net.add_other(f"ib{i}.concat", "concat", 1024 * hw * hw)
+    # Inception-C blocks (8x8, 1536 channels).
+    for i in range(3):
+        hw = 8
+        net.add_conv(Conv2d(f"ic{i}.1x1", 1536, 256, hw, hw, kernel=1, padding=0))
+        net.add_conv(Conv2d(f"ic{i}.3x3", 384, 512, hw, hw, kernel=3, padding=1))
+        net.add_other(f"ic{i}.concat", "concat", 1536 * hw * hw)
+    net.add_other("head.pool", "pool", 1536 * 8 * 8)
+    net.add_dense(Dense("fc", 1536, 1000))
+    net.add_other("softmax", "softmax", 1000)
+    return net
+
+
+def bert_encoder(seq_len: int = 128, layers: int = 12) -> Network:
+    """BERT-base as a TNN-style graph: the paper's transformer motivation
+    [23].  Dense projections and FFN pairs are GEMM ops; attention scores/
+    context, layer norms and GELU run as non-GEMM work (attention is a
+    batched-small-GEMM workload better served by
+    :class:`repro.gemm.batched.BatchedGemm`; here it is costed as data-
+    parallel other-work so the Figure-12-style decomposition stays clean)."""
+    from ..workloads.bert import BERT_BASE, encoder_layer_gemms
+
+    net = Network(f"BERT-base-s{seq_len}")
+    hidden = BERT_BASE.hidden
+    for layer_idx in range(layers):
+        for shape in encoder_layer_gemms(BERT_BASE, seq_len=seq_len):
+            renamed = type(shape)(f"l{layer_idx}.{shape.name}", shape.m, shape.n, shape.k)
+            net.ops.append(GemmOp(renamed))
+        # attention score+context per head, softmax, norms, gelu
+        net.add_other(f"l{layer_idx}.attn", "add", BERT_BASE.heads * seq_len * seq_len)
+        net.add_other(f"l{layer_idx}.softmax", "softmax", BERT_BASE.heads * seq_len * seq_len)
+        net.add_other(f"l{layer_idx}.ln1", "layernorm", seq_len * hidden)
+        net.add_other(f"l{layer_idx}.gelu", "gelu", seq_len * BERT_BASE.ffn)
+        net.add_other(f"l{layer_idx}.ln2", "layernorm", seq_len * hidden)
+    return net
+
+
+#: The Figure 12 model set, in the paper's N1..N4 order; V4 and BERT are
+#: extension workloads from the same cited sources.
+MODELS = {
+    "N1": resnet50,
+    "N2": inception_v3,
+    "N3": mobilenet_v1,
+    "N4": squeezenet,
+    "N5": inception_v4,
+    "N6": bert_encoder,
+}
+
+
+def build_model(key: str) -> Network:
+    """Build a model by Figure 12 key (N1..N4) or by name."""
+    if key in MODELS:
+        return MODELS[key]()
+    for builder in MODELS.values():
+        net = builder()
+        if net.name.lower() == key.lower():
+            return net
+    raise KeyError(f"unknown model {key!r}")

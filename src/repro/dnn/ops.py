@@ -1,0 +1,125 @@
+"""Network operators for the TNN-style inference substrate (Figure 12).
+
+Convolution and fully-connected operators lower to GEMM exactly the way TNN
+(and the paper's Table V extraction) does: im2col turns a ``C_out x C_in x
+Kh x Kw`` convolution over an ``H x W`` feature map into
+``M = C_out, N = H_out * W_out, K = C_in * Kh * Kw``.  Everything else
+(activations, pooling, batch-norm, element-wise adds, softmax, depthwise
+convolution) is a *non-GEMM* operator with a simple per-element cycle cost
+-- the ``T_other`` that Figure 12 shows is backend-invariant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..machine.chips import ChipSpec
+from ..workloads.resnet50 import LayerShape
+
+__all__ = ["Conv2d", "Dense", "OtherOp", "OTHER_OP_CYCLES_PER_ELEMENT"]
+
+
+@dataclass(frozen=True)
+class Conv2d:
+    """A convolution layer, lowered to GEMM via im2col."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    in_h: int
+    in_w: int
+    kernel: int = 3
+    stride: int = 1
+    padding: int = 1
+
+    @property
+    def out_h(self) -> int:
+        return (self.in_h + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def out_w(self) -> int:
+        return (self.in_w + 2 * self.padding - self.kernel) // self.stride + 1
+
+    def gemm_shape(self) -> LayerShape:
+        """The im2col GEMM: M = C_out, N = spatial, K = C_in * Kh * Kw."""
+        return LayerShape(
+            self.name,
+            self.out_channels,
+            self.out_h * self.out_w,
+            self.in_channels * self.kernel * self.kernel,
+        )
+
+    @property
+    def output_elements(self) -> int:
+        return self.out_channels * self.out_h * self.out_w
+
+
+@dataclass(frozen=True)
+class Dense:
+    """A fully-connected layer (batch-1 inference)."""
+
+    name: str
+    in_features: int
+    out_features: int
+    batch: int = 1
+
+    def gemm_shape(self) -> LayerShape:
+        return LayerShape(self.name, self.out_features, self.batch, self.in_features)
+
+    @property
+    def output_elements(self) -> int:
+        return self.out_features * self.batch
+
+
+#: Per-element costs (cycles) of the non-GEMM operators.  These model the
+#: mostly-scalar layout-transform-heavy paths mobile frameworks use for
+#: auxiliary ops (TNN's default components), not hand-vectorised kernels --
+#: which is why T_other is a visible slab in Figure 12.  They are identical
+#: for every GEMM backend, the Figure 12 invariant.
+OTHER_OP_CYCLES_PER_ELEMENT: dict[str, float] = {
+    "relu": 1.0,
+    "batchnorm": 2.0,
+    "pool": 3.0,
+    "add": 1.5,
+    "softmax": 8.0,
+    "depthwise": 5.0,
+    "concat": 1.5,
+    "layernorm": 3.0,
+    "gelu": 4.0,
+}
+
+
+@dataclass(frozen=True)
+class OtherOp:
+    """A non-GEMM operator with a data-parallel per-element cost."""
+
+    name: str
+    kind: str
+    elements: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in OTHER_OP_CYCLES_PER_ELEMENT:
+            raise ValueError(
+                f"unknown op kind {self.kind!r}; known: "
+                f"{sorted(OTHER_OP_CYCLES_PER_ELEMENT)}"
+            )
+
+    def cycles(self, chip: ChipSpec, threads: int = 1) -> float:
+        """Cost on ``threads`` cores: element-parallel scalar work plus a
+        fork/join barrier when threaded."""
+        per_elem = OTHER_OP_CYCLES_PER_ELEMENT[self.kind]
+        scalar = self.elements * per_elem
+        return scalar / max(1, threads) + (chip.barrier_cycles if threads > 1 else 0)
+
+    def seconds(self, chip: ChipSpec, threads: int = 1) -> float:
+        return self.cycles(chip, threads) / (chip.freq_ghz * 1e9)
+
+
+def conv_output_hw(in_hw: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a square convolution."""
+    return (in_hw + 2 * padding - kernel) // stride + 1
+
+
+def pool_output_hw(in_hw: int, kernel: int = 2, stride: int = 2) -> int:
+    return math.ceil((in_hw - kernel) / stride) + 1

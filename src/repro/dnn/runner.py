@@ -1,0 +1,110 @@
+"""TNN-style network execution with swappable GEMM backends (Figure 12).
+
+``run_network`` times one inference pass: GEMM operators go through the
+selected library model (autoGEMM, OpenBLAS-style, ...); non-GEMM operators
+use the fixed per-element cost model -- identical across backends, which is
+the Figure 12 invariant (``T_other`` unchanged, ``T_GEMM`` shrinks).
+
+Libraries with shape restrictions fall back to the OpenBLAS-style path for
+the shapes they cannot run, as a real integration would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines.base import BaselineLibrary, UnsupportedProblem
+from ..baselines.registry import make_library
+from ..machine.chips import ChipSpec
+from .graph import GemmOp, Network
+from .ops import OtherOp
+
+__all__ = ["OpTiming", "NetworkTiming", "NetworkRunner", "run_network"]
+
+
+@dataclass(frozen=True)
+class OpTiming:
+    """Seconds spent in one operator."""
+
+    name: str
+    kind: str  # "gemm" | the OtherOp kind
+    seconds: float
+
+
+@dataclass
+class NetworkTiming:
+    """One inference pass, decomposed the way Figure 12 reports it."""
+
+    network: str
+    backend: str
+    chip: ChipSpec
+    threads: int
+    ops: list[OpTiming] = field(default_factory=list)
+
+    @property
+    def t_gemm(self) -> float:
+        return sum(o.seconds for o in self.ops if o.kind == "gemm")
+
+    @property
+    def t_other(self) -> float:
+        return sum(o.seconds for o in self.ops if o.kind != "gemm")
+
+    @property
+    def total(self) -> float:
+        return self.t_gemm + self.t_other
+
+    def normalized_to(self, reference: "NetworkTiming") -> tuple[float, float]:
+        """(T_GEMM, T_other) as fractions of a reference run's total."""
+        return self.t_gemm / reference.total, self.t_other / reference.total
+
+
+class NetworkRunner:
+    """Times networks on one chip with a chosen GEMM backend."""
+
+    def __init__(self, chip: ChipSpec, backend: str | BaselineLibrary = "autoGEMM") -> None:
+        self.chip = chip
+        self.library = (
+            backend
+            if isinstance(backend, BaselineLibrary)
+            else make_library(backend, chip)
+        )
+        self._fallback = make_library("OpenBLAS", chip)
+        self._gemm_seconds_cache: dict[tuple[int, int, int, int], float] = {}
+
+    def _gemm_seconds(self, m: int, n: int, k: int, threads: int) -> float:
+        key = (m, n, k, threads)
+        cached = self._gemm_seconds_cache.get(key)
+        if cached is None:
+            try:
+                cached = self.library.estimate(m, n, k, threads=threads).seconds
+            except UnsupportedProblem:
+                cached = self._fallback.estimate(m, n, k, threads=threads).seconds
+            self._gemm_seconds_cache[key] = cached
+        return cached
+
+    def run(self, network: Network, threads: int = 1) -> NetworkTiming:
+        timing = NetworkTiming(
+            network=network.name,
+            backend=self.library.name,
+            chip=self.chip,
+            threads=threads,
+        )
+        for op in network.ops:
+            if isinstance(op, GemmOp):
+                seconds = self._gemm_seconds(
+                    op.shape.m, op.shape.n, op.shape.k, threads
+                )
+                timing.ops.append(OpTiming(op.shape.name, "gemm", seconds))
+            else:
+                assert isinstance(op, OtherOp)
+                timing.ops.append(
+                    OpTiming(op.name, op.kind, op.seconds(self.chip, threads))
+                )
+        return timing
+
+
+def run_network(
+    network: Network, chip: ChipSpec, backend: str = "autoGEMM", threads: int = 1
+) -> NetworkTiming:
+    """Convenience wrapper: one network, one chip, one backend."""
+    return NetworkRunner(chip, backend).run(network, threads=threads)

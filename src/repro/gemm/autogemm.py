@@ -1,0 +1,145 @@
+"""The public autoGEMM API -- the library the paper describes.
+
+:class:`AutoGEMM` ties the whole stack together for one target chip:
+
+>>> from repro.gemm import AutoGEMM
+>>> from repro.machine import GRAVITON2
+>>> lib = AutoGEMM(GRAVITON2)
+>>> result = lib.gemm(a, b)                    # simulated execution
+>>> estimate = lib.estimate(256, 3136, 64)     # large-shape projection
+>>> tuned = lib.tune(64, 64, 64)               # TVM-style auto-tuning
+>>> print(lib.kernel_source(5, 16, 64))        # the generated C++/asm
+
+``gemm`` runs the generated kernels functionally on the cycle simulator and
+returns the numerical result (verified against numpy to the paper's 1e-6
+relative-error bar in the test suite) together with simulated timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..codegen.microkernel import generate_microkernel
+from ..machine.chips import ChipSpec, get_chip
+from .estimator import GemmEstimate, GemmEstimator
+from .executor import GemmExecutor, GemmResult
+from .kernel_cache import KernelCache
+from .packing import packing_cycles
+from .schedule import Schedule, default_schedule
+
+__all__ = ["AutoGEMM"]
+
+
+class AutoGEMM:
+    """Irregular-GEMM library for one (simulated) Arm chip."""
+
+    def __init__(
+        self,
+        chip: ChipSpec | str,
+        schedule: Schedule | None = None,
+        tuning_records: "str | None" = None,
+    ) -> None:
+        """``tuning_records`` names a JSON-lines file of persisted tuning
+        outcomes (see :class:`repro.tuner.records.RecordStore`): known-best
+        schedules are replayed without re-searching, and new ``tune`` results
+        are appended."""
+        self.chip = get_chip(chip) if isinstance(chip, str) else chip
+        self.schedule = schedule
+        self._kernels = KernelCache()
+        self.executor = GemmExecutor(self.chip, kernels=self._kernels)
+        self.estimator = GemmEstimator(self.chip, kernels=self._kernels)
+        self._tuned: dict[tuple[int, int, int], Schedule] = {}
+        self._records = None
+        if tuning_records is not None:
+            from ..tuner.records import RecordStore
+
+            self._records = RecordStore(tuning_records)
+            for rec in self._records.records():
+                if rec.chip == self.chip.name:
+                    self._tuned[(rec.m, rec.n, rec.k)] = rec.schedule
+
+    # ------------------------------------------------------------------
+    def schedule_for(self, m: int, n: int, k: int, threads: int = 1) -> Schedule:
+        """The schedule used for a problem: explicit > tuned > heuristic."""
+        if self.schedule is not None:
+            return self.schedule.clipped(m, n, k)
+        tuned = self._tuned.get((m, n, k))
+        if tuned is not None:
+            return tuned
+        return default_schedule(m, n, k, self.chip, threads=threads)
+
+    def gemm(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray | None = None,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        trans_a: bool = False,
+        trans_b: bool = False,
+        threads: int = 1,
+        schedule: Schedule | None = None,
+    ) -> GemmResult:
+        """``C = alpha * op(A) @ op(B) + beta * C`` (full sgemm semantics).
+
+        The kernels compute ``C += A B`` row-major; transposition and alpha
+        are realised as layout/scale transforms on the operand *copies*
+        staged into simulated memory (the in-library packing path of a real
+        BLAS front end), with the transform's streaming cost added to the
+        result's cycle count.
+        """
+        a = np.asarray(a, dtype=np.float32)
+        b = np.asarray(b, dtype=np.float32)
+        transform_cycles = 0.0
+        if trans_a:
+            a = np.ascontiguousarray(a.T)
+            transform_cycles += packing_cycles(a.shape[0], a.shape[1], self.chip).cycles
+        if trans_b:
+            b = np.ascontiguousarray(b.T)
+            transform_cycles += packing_cycles(b.shape[0], b.shape[1], self.chip).cycles
+        if alpha != 1.0:
+            a = (np.float32(alpha) * a).astype(np.float32)
+            transform_cycles += packing_cycles(a.shape[0], a.shape[1], self.chip).cycles
+
+        m, k = a.shape
+        n = b.shape[1]
+        sched = schedule if schedule is not None else self.schedule_for(m, n, k, threads)
+        result = self.executor.run(a, b, c, schedule=sched, threads=threads, beta=beta)
+        result.cycles += transform_cycles
+        return result
+
+    def estimate(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        threads: int = 1,
+        schedule: Schedule | None = None,
+    ) -> GemmEstimate:
+        """Projected performance without full functional simulation."""
+        sched = schedule if schedule is not None else self.schedule_for(m, n, k, threads)
+        return self.estimator.estimate(m, n, k, schedule=sched, threads=threads)
+
+    def tune(self, m: int, n: int, k: int, budget: int = 64, seed: int = 0) -> Schedule:
+        """Auto-tune the schedule for a shape (TVM-style search, §IV-C);
+        the result is remembered for subsequent ``gemm``/``estimate`` calls."""
+        from ..tuner.tuner import AutoTuner
+
+        tuner = AutoTuner(self.chip, estimator=self.estimator)
+        best = tuner.tune(m, n, k, budget=budget, seed=seed)
+        self._tuned[(m, n, k)] = best.schedule
+        if self._records is not None:
+            self._records.add_result(self.chip.name, m, n, k, best)
+        return best.schedule
+
+    def kernel_source(self, mr: int, nr: int, kc: int, rotate: bool = True) -> str:
+        """The generated C++ inline-asm source for a micro-kernel shape."""
+        kernel = generate_microkernel(
+            mr,
+            nr,
+            kc,
+            lane=self.chip.sigma_lane,
+            rotate=rotate,
+            sigma_ai=self.chip.sigma_ai,
+        )
+        return kernel.cpp_source()

@@ -1,0 +1,96 @@
+"""Data packing (the ``sigma_packing`` parameter of Table III).
+
+Packing copies a cache block of ``B`` (and optionally ``A``) into a dense
+scratch panel so the micro-kernels stream unit-strided, conflict-free data.
+Three modes, per paper §IV-C2:
+
+* ``none``    -- kernels read the operands in place; no copy cost, but wide
+  leading dimensions cause cache-set conflicts and partial-line traffic.
+* ``online``  -- the block is packed inside the timed region; the copy cost
+  is charged to the run (amortised over the block's reuse).
+* ``offline`` -- operands are pre-packed before the timed region (the
+  LibShalom-style regime for repeated-B inference workloads); the copy cost
+  is reported but excluded from kernel time, like the paper's Figure 9.
+
+The copy itself is performed in simulated memory, so packed runs really do
+see the improved locality in the cache model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..machine.chips import ChipSpec
+from ..machine.memory import MatrixHandle, Memory
+
+__all__ = ["PackingMode", "PackCost", "pack_block", "packing_cycles", "choose_packing"]
+
+
+class PackingMode(enum.Enum):
+    NONE = "none"
+    ONLINE = "online"
+    OFFLINE = "offline"
+
+
+@dataclass(frozen=True)
+class PackCost:
+    """Cycles and bytes of one packing copy."""
+
+    cycles: float
+    bytes_moved: int
+
+
+def packing_cycles(rows: int, cols: int, chip: ChipSpec) -> PackCost:
+    """Streaming copy cost of packing a ``rows x cols`` float32 panel.
+
+    The copy is vector loads + vector stores at the chip's L1 throughput
+    (a packed panel is built while it is still cache-resident), plus one
+    load latency to start the stream.
+    """
+    elements = rows * cols
+    vecs = -(-elements // chip.sigma_lane)
+    cycles = vecs * (1.0 / chip.ipc_load + 1.0 / chip.ipc_store) + chip.lat_load_l1
+    return PackCost(cycles=cycles, bytes_moved=2 * 4 * elements)
+
+
+def pack_block(
+    memory: Memory,
+    src: MatrixHandle,
+    row0: int,
+    col0: int,
+    rows: int,
+    cols: int,
+    scratch: MatrixHandle | None = None,
+) -> MatrixHandle:
+    """Copy a sub-block into a dense scratch panel (``ld == cols``).
+
+    Returns the packed handle; pass ``scratch`` to reuse an existing panel
+    allocation across blocks (the executor does, to keep the packed panel at
+    a stable, cache-friendly address).
+    """
+    if scratch is None:
+        scratch = memory.alloc_matrix(rows, cols)
+    elif rows * cols > scratch.rows * scratch.ld:
+        raise ValueError("scratch panel too small for the requested block")
+    # The packed panel is always dense: ld == cols of *this* block.
+    dst = MatrixHandle(scratch.base, rows, cols, cols)
+    for r in range(rows):
+        row = memory.load_f32(src.addr(row0 + r, col0), cols)
+        memory.store_f32(dst.addr(r, 0), row)
+    return dst
+
+
+def choose_packing(n: int, nc: int, chip: ChipSpec, reuse_factor: int) -> PackingMode:
+    """The paper's packing heuristic: skip packing when ``N`` is small
+    (locality gains cannot repay the copy), pack online otherwise.
+
+    ``reuse_factor`` is how many times the packed panel is re-read (the
+    number of M-blocks sweeping over it).
+    """
+    if n < 4 * chip.sigma_lane or reuse_factor <= 1:
+        return PackingMode.NONE
+    panel_bytes = 4 * nc * max(1, n // max(1, nc))
+    if panel_bytes > chip.l2_bytes:
+        return PackingMode.NONE
+    return PackingMode.ONLINE

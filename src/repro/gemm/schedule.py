@@ -1,0 +1,123 @@
+"""GEMM schedules: the algorithm parameters of Table III.
+
+A :class:`Schedule` fixes everything the auto-tuner searches over: cache
+blocking ``(m_c, n_c, k_c)``, the loop order ``sigma_order`` (a permutation
+of the five loop dimensions, 5! = 120 candidates), the packing mode
+``sigma_packing``, and the pipeline options (rotation, fusion, DMT vs a
+static main tile).
+
+``default_schedule`` is the untuned heuristic starting point: classic
+Goto-style blocking fitted to the chip's cache sizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+
+from ..machine.chips import ChipSpec
+from .packing import PackingMode, choose_packing
+
+__all__ = ["Schedule", "default_schedule", "all_loop_orders", "LOOP_DIMS"]
+
+#: The five loop dimensions of sigma_order, outermost first in a schedule.
+LOOP_DIMS = ("mc", "nc", "kc", "mr", "nr")
+
+
+def all_loop_orders() -> list[tuple[str, ...]]:
+    """All 120 permutations of the five loop dimensions (paper §IV-C2)."""
+    return [tuple(p) for p in itertools.permutations(LOOP_DIMS)]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """One point in the tuning space."""
+
+    mc: int
+    nc: int
+    kc: int
+    loop_order: tuple[str, ...] = ("nc", "kc", "mc", "mr", "nr")
+    packing: PackingMode = PackingMode.NONE
+    rotate: bool = True
+    fuse: bool = True
+    use_dmt: bool = True
+    #: Software-pipelined load lookahead in the generated kernels (False
+    #: models LLVM/JIT codegen without hand-arranged pipelines).
+    lookahead: bool = True
+    #: LDP/STP pair instructions for the C-tile boundary stages (NEON).
+    use_pairs: bool = False
+    #: When ``use_dmt`` is False, the fixed register tile a static strategy
+    #: uses; ``None`` lets the executor pick the chip default.
+    main_tile: tuple[int, int] | None = None
+    #: Edge policy for static tiling: "pad" (OpenBLAS-style) or "shrink"
+    #: (LIBXSMM-style remainder kernels).
+    static_edges: str = "shrink"
+
+    def __post_init__(self) -> None:
+        if min(self.mc, self.nc, self.kc) < 1:
+            raise ValueError("cache block dimensions must be positive")
+        if sorted(self.loop_order) != sorted(LOOP_DIMS):
+            raise ValueError(f"loop_order must permute {LOOP_DIMS}")
+        if self.static_edges not in ("pad", "shrink"):
+            raise ValueError("static_edges must be 'pad' or 'shrink'")
+
+    @property
+    def block_order(self) -> tuple[str, ...]:
+        """The cache-block loops (mc/nc/kc) in nesting order, outermost
+        first -- the behavioural content of sigma_order at block level."""
+        return tuple(d for d in self.loop_order if d in ("mc", "nc", "kc"))
+
+    @property
+    def tile_row_major(self) -> bool:
+        """Whether micro-tiles are visited row-major (mr outside nr)."""
+        return self.loop_order.index("mr") < self.loop_order.index("nr")
+
+    @property
+    def parallel_dim(self) -> str:
+        """The block dimension multi-core runs split (outermost non-K loop;
+        the paper notes TVM cannot parallelise the K reduction)."""
+        for dim in self.block_order:
+            if dim != "kc":
+                return dim
+        return "mc"
+
+    def clipped(self, m: int, n: int, k: int) -> "Schedule":
+        """The schedule with blocks clipped to the problem size."""
+        return replace(self, mc=min(self.mc, m), nc=min(self.nc, n), kc=min(self.kc, k))
+
+
+def default_schedule(m: int, n: int, k: int, chip: ChipSpec, threads: int = 1) -> Schedule:
+    """Heuristic Goto-style blocking for an untuned run.
+
+    ``k_c`` keeps a ``k_c x n_r`` B panel plus the A fragments inside half
+    of L1; ``m_c`` keeps the A block in half of L2; ``n_c`` bounds the B
+    block by L3 (or L2 when there is no L3).  ``C(m_c, n_c)`` blocks are the
+    multi-thread scheduling unit (paper §IV-A1), so for ``threads > 1`` the
+    blocks are additionally shrunk until at least ``4 * threads`` of them
+    exist (when the problem is big enough to allow it).
+    """
+    nr_ref = 4 * chip.sigma_lane
+    kc = max(chip.sigma_lane, min(k, chip.l1d_bytes // 2 // (4 * nr_ref)))
+    mc = max(8, min(m, 128, chip.l2_bytes // 2 // (4 * max(1, kc))))
+    outer_bytes = chip.l3_bytes if chip.l3_bytes else chip.l2_bytes
+    nc = max(nr_ref, min(n, 1024, outer_bytes // 2 // (4 * max(1, kc))))
+
+    def blocks(extent: int, block: int) -> int:
+        return -(-extent // block)
+
+    target = 4 * threads if threads > 1 else 1
+    while blocks(m, mc) * blocks(n, nc) < target:
+        if nc >= 2 * nr_ref and nc >= mc:
+            nc = max(nr_ref, nc // 2 // nr_ref * nr_ref)
+        elif mc >= 16:
+            mc = max(8, mc // 2)
+        else:
+            break
+
+    mc, nc, kc = min(mc, m), min(nc, n), min(kc, k)
+    return Schedule(
+        mc=mc,
+        nc=nc,
+        kc=kc,
+        packing=choose_packing(n, nc, chip, reuse_factor=blocks(m, mc)),
+    )

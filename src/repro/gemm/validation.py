@@ -1,0 +1,133 @@
+"""Correctness-validation campaigns (the paper's §V verification step).
+
+The paper states: "The correctness of our implementation has been verified
+against all other libraries we compare with by ensuring the relative error
+is less than 1e-6."  This module packages that procedure: run a shape suite
+through any set of library models on a chip, compare every result against
+the numpy oracle, and report the worst relative error per (library, shape).
+
+Used by the test suite, the porting guide, and available to users who
+change chip parameters or generator behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..baselines.base import BaselineLibrary, UnsupportedProblem
+from ..baselines.registry import libraries_for_chip
+from ..machine.chips import ChipSpec
+from ..workloads.resnet50 import LayerShape
+from .reference import random_gemm_operands, reference_gemm, relative_error
+
+__all__ = [
+    "ValidationCase",
+    "ValidationReport",
+    "validate_libraries",
+    "default_validation_suite",
+]
+
+
+@dataclass(frozen=True)
+class ValidationCase:
+    """One (library, shape) verification outcome.
+
+    ``tolerance`` is the shape-scaled bound (base * 10 * sqrt(K), the
+    float32-reassociation allowance of ``assert_close``); ``relative_error``
+    is ``None`` when the library's documented limits exclude the shape.
+    """
+
+    library: str
+    shape: LayerShape
+    relative_error: float | None
+    tolerance: float
+
+    @property
+    def supported(self) -> bool:
+        return self.relative_error is not None
+
+    @property
+    def passed(self) -> bool:
+        if self.relative_error is None:
+            return True  # unsupported is a documented limit, not a failure
+        return self.relative_error <= self.tolerance
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one campaign."""
+
+    chip: str
+    tolerance_base: float
+    cases: list[ValidationCase] = field(default_factory=list)
+
+    @property
+    def worst(self) -> float:
+        errors = [c.relative_error for c in self.cases if c.relative_error is not None]
+        return max(errors) if errors else 0.0
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.cases)
+
+    def failures(self) -> list[ValidationCase]:
+        return [c for c in self.cases if not c.passed]
+
+    def summary(self) -> str:
+        supported = sum(1 for c in self.cases if c.supported)
+        return (
+            f"{self.chip}: {len(self.cases)} cases ({supported} supported), "
+            f"worst relative error {self.worst:.2e}, "
+            f"{'PASS' if self.all_passed else 'FAIL'}"
+        )
+
+
+def default_validation_suite(seed: int = 0) -> list[LayerShape]:
+    """A small but adversarial shape suite: the three irregularity classes,
+    lane remainders in every dimension, and degenerate edges."""
+    from ..workloads.irregular import mixed_suite
+
+    handpicked = [
+        LayerShape("unit", 1, 1, 1),
+        LayerShape("row", 1, 37, 9),
+        LayerShape("col", 29, 1, 7),
+        LayerShape("lane-tails", 13, 22, 19),
+        LayerShape("square", 24, 24, 24),
+        LayerShape("fig5-block", 26, 36, 17),
+    ]
+    synthetic = [s for s in mixed_suite(seed) if max(s.m, s.n, s.k) <= 96][:4]
+    return handpicked + synthetic
+
+
+def validate_libraries(
+    chip: ChipSpec,
+    libraries: Sequence[BaselineLibrary] | Sequence[str] | None = None,
+    shapes: Sequence[LayerShape] | None = None,
+    tolerance_base: float = 1e-6,
+    seed: int = 7,
+) -> ValidationReport:
+    """Run the §V verification campaign for a chip."""
+    if libraries is None or (libraries and isinstance(libraries[0], str)):
+        libs = libraries_for_chip(chip, list(libraries) if libraries else None)
+    else:
+        libs = list(libraries)  # type: ignore[arg-type]
+    suite = list(shapes) if shapes is not None else default_validation_suite()
+
+    report = ValidationReport(chip=chip.name, tolerance_base=tolerance_base)
+    for shape in suite:
+        a, b, c = random_gemm_operands(shape.m, shape.n, shape.k, seed=seed)
+        want = reference_gemm(a, b, c)
+        tol = tolerance_base * max(1.0, float(np.sqrt(shape.k))) * 10
+        for lib in libs:
+            try:
+                got = lib.gemm(a, b, c).c
+            except UnsupportedProblem:
+                report.cases.append(ValidationCase(lib.name, shape, None, tol))
+                continue
+            report.cases.append(
+                ValidationCase(lib.name, shape, relative_error(got, want), tol)
+            )
+    return report

@@ -1,0 +1,214 @@
+"""Two-way assembler for the ISA subset.
+
+The micro-kernel generator produces :class:`~repro.isa.program.Program`
+objects directly, but the paper's artefact emits *text* (C++ inline asm).  To
+keep that contract testable we provide ``assemble`` (text -> Program) and rely
+on ``Program.asm`` for the reverse direction; round-tripping is covered by
+property-based tests.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .instructions import (
+    AddImm,
+    AddReg,
+    Branch,
+    Eor,
+    FmlaElem,
+    FmlaVec,
+    FmulElem,
+    Instr,
+    Label,
+    LoadScalarLane,
+    LoadVec,
+    LoadVecPair,
+    Lsl,
+    MovImm,
+    MovReg,
+    Prfm,
+    StoreVec,
+    StoreVecPair,
+    SubImm,
+    SubsImm,
+)
+from .program import Program
+from .registers import VReg, XReg, parse_register
+
+__all__ = ["assemble", "AssemblerError"]
+
+
+class AssemblerError(ValueError):
+    """Raised when a line cannot be parsed as a known instruction."""
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.][\w.]*|\d+):$")
+_ELEM_RE = re.compile(r"^([vz]\d+)\.s\[(\d+)\]$", re.IGNORECASE)
+
+
+def _imm(token: str) -> int:
+    token = token.strip()
+    if not token.startswith("#"):
+        raise AssemblerError(f"expected immediate, got {token!r}")
+    return int(token[1:], 0)
+
+
+def _q_to_v(token: str) -> VReg:
+    token = token.strip().lower()
+    if token.startswith(("q", "s")):
+        return VReg(int(token[1:]))
+    reg = parse_register(token)
+    if not isinstance(reg, VReg):
+        raise AssemblerError(f"expected NEON register, got {token!r}")
+    return reg
+
+
+def _parse_mem(rest: str) -> tuple[XReg, int, int]:
+    """Parse ``[xN]``, ``[xN, #off]`` or ``[xN], #inc`` ->
+    ``(base, offset, post_increment)``."""
+    rest = rest.strip()
+    m = re.match(r"^\[\s*(x\d+)\s*(?:,\s*#(-?\w+)\s*)?\]\s*(?:,\s*#(-?\w+))?$", rest)
+    if not m:
+        raise AssemblerError(f"bad memory operand {rest!r}")
+    base = parse_register(m.group(1))
+    assert isinstance(base, XReg)
+    offset = int(m.group(2), 0) if m.group(2) else 0
+    post = int(m.group(3), 0) if m.group(3) else 0
+    if offset and post:
+        raise AssemblerError(f"both offset and post-index in {rest!r}")
+    return base, offset, post
+
+
+def _split_operands(rest: str) -> list[str]:
+    """Split operands on commas that are not inside brackets."""
+    parts: list[str] = []
+    depth = 0
+    cur = ""
+    for ch in rest:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(cur.strip())
+            cur = ""
+        else:
+            cur += ch
+    if cur.strip():
+        parts.append(cur.strip())
+    return parts
+
+
+def _parse_line(line: str) -> Instr | None:
+    """Parse one line; return ``None`` for blank/comment lines."""
+    line = line.strip()
+    if not line or line.startswith(("//", ";", "@")):
+        return None
+    label = _LABEL_RE.match(line)
+    if label:
+        return Label(label.group(1))
+
+    mnemonic, _, rest = line.partition(" ")
+    mnemonic = mnemonic.lower()
+    rest = rest.strip()
+
+    if mnemonic == "prfm":
+        ops = _split_operands(rest)
+        level = 1 if "l1" in ops[0].lower() else 2
+        base, offset, _ = _parse_mem(ops[1])
+        return Prfm(base, offset, level)
+    if mnemonic == "lsl":
+        d, s, imm = _split_operands(rest)
+        return Lsl(parse_register(d), parse_register(s), _imm(imm))  # type: ignore[arg-type]
+    if mnemonic == "mov":
+        d, s = _split_operands(rest)
+        dst = parse_register(d)
+        assert isinstance(dst, XReg)
+        if s.startswith("#"):
+            return MovImm(dst, _imm(s))
+        src = parse_register(s)
+        assert isinstance(src, XReg)
+        return MovReg(dst, src)
+    if mnemonic == "add":
+        d, a, b = _split_operands(rest)
+        dst = parse_register(d)
+        assert isinstance(dst, XReg)
+        if b.startswith("#"):
+            return AddImm(dst, parse_register(a), _imm(b))  # type: ignore[arg-type]
+        return AddReg(dst, parse_register(a), parse_register(b))  # type: ignore[arg-type]
+    if mnemonic == "sub":
+        d, s, imm = _split_operands(rest)
+        return SubImm(parse_register(d), parse_register(s), _imm(imm))  # type: ignore[arg-type]
+    if mnemonic == "subs":
+        d, s, imm = _split_operands(rest)
+        return SubsImm(parse_register(d), parse_register(s), _imm(imm))  # type: ignore[arg-type]
+    if mnemonic in ("b", "b.ne", "b.eq"):
+        cond = "al" if mnemonic == "b" else mnemonic.split(".", 1)[1]
+        target = rest.strip()
+        # "1b"/"1f" local-label direction suffixes resolve to the bare name.
+        if re.match(r"^\d+[bf]$", target):
+            target = target[:-1]
+        return Branch(target, cond)
+    if mnemonic == "ldp":
+        r1, r2, mem = _split_operands(rest)
+        base, offset, post = _parse_mem(mem)
+        if post:
+            raise AssemblerError("ldp post-index not supported in this subset")
+        return LoadVecPair(_q_to_v(r1), _q_to_v(r2), base, offset)
+    if mnemonic == "stp":
+        r1, r2, mem = _split_operands(rest)
+        base, offset, post = _parse_mem(mem)
+        if post:
+            raise AssemblerError("stp post-index not supported in this subset")
+        return StoreVecPair(_q_to_v(r1), _q_to_v(r2), base, offset)
+    if mnemonic in ("ldr", "ld1w", "ld1"):
+        ops = _split_operands(rest)
+        reg_tok = ops[0].strip("{} ")
+        mem = ", ".join(ops[1:])
+        base, offset, post = _parse_mem(mem)
+        if ops[0].strip().lower().startswith("s") and mnemonic == "ldr":
+            return LoadScalarLane(_q_to_v(ops[0]), base, offset, post)
+        dst = parse_register(reg_tok) if reg_tok[0] in "vz" else _q_to_v(reg_tok)
+        return LoadVec(dst, base, offset, post)
+    if mnemonic in ("str", "st1w", "st1"):
+        ops = _split_operands(rest)
+        reg_tok = ops[0].strip("{} ")
+        mem = ", ".join(ops[1:])
+        base, offset, post = _parse_mem(mem)
+        src = parse_register(reg_tok) if reg_tok[0] in "vz" else _q_to_v(reg_tok)
+        return StoreVec(src, base, offset, post)
+    if mnemonic in ("fmla", "fmul"):
+        d, n, m = _split_operands(rest)
+        dst = parse_register(d)
+        vn = parse_register(n)
+        elem = _ELEM_RE.match(m.strip())
+        if elem:
+            vm = parse_register(elem.group(1))
+            lane = int(elem.group(2))
+            if mnemonic == "fmla":
+                return FmlaElem(dst, vn, vm, lane)
+            return FmulElem(dst, vn, vm, lane)
+        if mnemonic == "fmul":
+            raise AssemblerError(f"fmul requires by-element operand: {line!r}")
+        return FmlaVec(dst, vn, parse_register(m))
+    if mnemonic == "eor":
+        d, *_ = _split_operands(rest)
+        return Eor(parse_register(d))
+
+    raise AssemblerError(f"unknown instruction {line!r}")
+
+
+def assemble(text: str, name: str = "kernel") -> Program:
+    """Assemble multi-line assembly text into a :class:`Program`.
+
+    Blank lines and ``//`` comments are ignored.  Inline ``#``-comments are
+    *not* stripped (``#`` introduces immediates in AArch64); write comments
+    with ``//``.
+    """
+    instrs: list[Instr] = []
+    for raw in text.splitlines():
+        instr = _parse_line(raw)
+        if instr is not None:
+            instrs.append(instr)
+    return Program(instrs, name=name)

@@ -1,0 +1,699 @@
+"""Typed AArch64 instruction subset used by the generated micro-kernels.
+
+Each instruction is an immutable dataclass that knows:
+
+* its **assembly spelling** (:meth:`Instr.asm`) -- the text Listing 1 of the
+  paper emits into the C++ inline-asm block;
+* its **register dataflow** (:meth:`Instr.reads` / :meth:`Instr.writes`) --
+  what the pipeline scoreboard uses to find RAW hazards;
+* its **functional unit** (:attr:`Instr.unit`) -- which issue port class it
+  occupies (FMA, LOAD, STORE, ALU, BRANCH, PREFETCH);
+* its **functional semantics** (:meth:`Instr.execute`) -- bit-level float32
+  behaviour against a :class:`~repro.isa.registers.RegisterFile` and a
+  :class:`~repro.machine.memory.Memory`.
+
+Only the instructions the generator needs are modelled.  That is the same
+subset the paper's Listing 1 uses: ``prfm``, ``lsl``, ``mov``, ``add``,
+``ldr`` (Q/S forms, offset and post-index), ``str``, ``fmla`` (vector and
+by-element), ``subs`` and ``b.ne``, plus predicated SVE forms.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar, Sequence
+
+import numpy as np
+
+from .registers import Register, VReg, XReg, ZReg
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .program import MachineState
+
+__all__ = [
+    "Unit",
+    "Instr",
+    "Prfm",
+    "Lsl",
+    "MovImm",
+    "MovReg",
+    "AddReg",
+    "AddImm",
+    "SubImm",
+    "SubsImm",
+    "LoadVec",
+    "LoadScalarLane",
+    "StoreVec",
+    "LoadVecPair",
+    "StoreVecPair",
+    "FmlaElem",
+    "FmlaVec",
+    "FmulElem",
+    "Eor",
+    "Branch",
+    "Label",
+]
+
+
+class Unit(enum.Enum):
+    """Functional-unit class an instruction issues to."""
+
+    FMA = "fma"
+    LOAD = "load"
+    STORE = "store"
+    ALU = "alu"
+    BRANCH = "branch"
+    PREFETCH = "prefetch"
+
+
+@dataclass(frozen=True, slots=True)
+class Instr:
+    """Base instruction.  Subclasses fill in dataflow and semantics."""
+
+    unit: ClassVar["Unit"] = Unit.ALU
+
+    def reads(self) -> Sequence[Register]:
+        return ()
+
+    def writes(self) -> Sequence[Register]:
+        return ()
+
+    def execute(self, state: "MachineState") -> None:
+        raise NotImplementedError
+
+    def asm(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def is_memory(self) -> bool:
+        return self.unit in (Unit.LOAD, Unit.STORE, Unit.PREFETCH)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.asm()
+
+
+def _vec_suffix(reg: Register, lanes: int) -> str:
+    if isinstance(reg, ZReg):
+        return f"{reg.name}.s"
+    if lanes == 4:
+        return f"{reg.name}.4s"
+    return f"{reg.name}.{lanes}s"
+
+
+# ---------------------------------------------------------------------------
+# scalar / control instructions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Prfm(Instr):
+    """``prfm PLDL1KEEP, [xN, #off]`` -- software prefetch into a cache level.
+
+    ``level`` is 1 or 2 (PLDL1KEEP / PLDL2KEEP).  Prefetches never fault and
+    have no architectural effect; the cache model uses them to warm lines.
+    """
+
+    base: XReg
+    offset: int = 0
+    level: int = 1
+
+    unit: ClassVar[Unit] = Unit.PREFETCH
+
+    def reads(self) -> Sequence[Register]:
+        return (self.base,)
+
+    def execute(self, state: "MachineState") -> None:
+        addr = state.regs.read_x(self.base) + self.offset
+        state.record_prefetch(self, addr)
+
+    def asm(self) -> str:
+        return f"prfm PLDL{self.level}KEEP, [{self.base}, #{self.offset}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Lsl(Instr):
+    """``lsl xd, xn, #imm`` -- logical shift left (stride-to-bytes scaling)."""
+
+    dst: XReg
+    src: XReg
+    shift: int
+
+    unit: ClassVar[Unit] = Unit.ALU
+
+    def reads(self) -> Sequence[Register]:
+        return (self.src,)
+
+    def writes(self) -> Sequence[Register]:
+        return (self.dst,)
+
+    def execute(self, state: "MachineState") -> None:
+        state.regs.write_x(self.dst, state.regs.read_x(self.src) << self.shift)
+
+    def asm(self) -> str:
+        return f"lsl {self.dst}, {self.src}, #{self.shift}"
+
+
+@dataclass(frozen=True, slots=True)
+class MovImm(Instr):
+    """``mov xd, #imm``."""
+
+    dst: XReg
+    imm: int
+
+    unit: ClassVar[Unit] = Unit.ALU
+
+    def writes(self) -> Sequence[Register]:
+        return (self.dst,)
+
+    def execute(self, state: "MachineState") -> None:
+        state.regs.write_x(self.dst, self.imm)
+
+    def asm(self) -> str:
+        return f"mov {self.dst}, #{self.imm}"
+
+
+@dataclass(frozen=True, slots=True)
+class MovReg(Instr):
+    """``mov xd, xn``."""
+
+    dst: XReg
+    src: XReg
+
+    unit: ClassVar[Unit] = Unit.ALU
+
+    def reads(self) -> Sequence[Register]:
+        return (self.src,)
+
+    def writes(self) -> Sequence[Register]:
+        return (self.dst,)
+
+    def execute(self, state: "MachineState") -> None:
+        state.regs.write_x(self.dst, state.regs.read_x(self.src))
+
+    def asm(self) -> str:
+        return f"mov {self.dst}, {self.src}"
+
+
+@dataclass(frozen=True, slots=True)
+class AddReg(Instr):
+    """``add xd, xn, xm``."""
+
+    dst: XReg
+    a: XReg
+    b: XReg
+
+    unit: ClassVar[Unit] = Unit.ALU
+
+    def reads(self) -> Sequence[Register]:
+        return (self.a, self.b)
+
+    def writes(self) -> Sequence[Register]:
+        return (self.dst,)
+
+    def execute(self, state: "MachineState") -> None:
+        state.regs.write_x(
+            self.dst, state.regs.read_x(self.a) + state.regs.read_x(self.b)
+        )
+
+    def asm(self) -> str:
+        return f"add {self.dst}, {self.a}, {self.b}"
+
+
+@dataclass(frozen=True, slots=True)
+class AddImm(Instr):
+    """``add xd, xn, #imm``."""
+
+    dst: XReg
+    src: XReg
+    imm: int
+
+    unit: ClassVar[Unit] = Unit.ALU
+
+    def reads(self) -> Sequence[Register]:
+        return (self.src,)
+
+    def writes(self) -> Sequence[Register]:
+        return (self.dst,)
+
+    def execute(self, state: "MachineState") -> None:
+        state.regs.write_x(self.dst, state.regs.read_x(self.src) + self.imm)
+
+    def asm(self) -> str:
+        return f"add {self.dst}, {self.src}, #{self.imm}"
+
+
+@dataclass(frozen=True, slots=True)
+class SubImm(Instr):
+    """``sub xd, xn, #imm`` (no flags)."""
+
+    dst: XReg
+    src: XReg
+    imm: int
+
+    unit: ClassVar[Unit] = Unit.ALU
+
+    def reads(self) -> Sequence[Register]:
+        return (self.src,)
+
+    def writes(self) -> Sequence[Register]:
+        return (self.dst,)
+
+    def execute(self, state: "MachineState") -> None:
+        state.regs.write_x(self.dst, state.regs.read_x(self.src) - self.imm)
+
+    def asm(self) -> str:
+        return f"sub {self.dst}, {self.src}, #{self.imm}"
+
+
+@dataclass(frozen=True, slots=True)
+class SubsImm(Instr):
+    """``subs xd, xn, #imm`` -- subtract and set the Z flag (loop counters)."""
+
+    dst: XReg
+    src: XReg
+    imm: int
+
+    unit: ClassVar[Unit] = Unit.ALU
+
+    def reads(self) -> Sequence[Register]:
+        return (self.src,)
+
+    def writes(self) -> Sequence[Register]:
+        return (self.dst,)
+
+    def execute(self, state: "MachineState") -> None:
+        value = state.regs.read_x(self.src) - self.imm
+        state.regs.write_x(self.dst, value)
+        state.zero_flag = value == 0
+
+    def asm(self) -> str:
+        return f"subs {self.dst}, {self.src}, #{self.imm}"
+
+
+@dataclass(frozen=True, slots=True)
+class Branch(Instr):
+    """Conditional / unconditional branch to a :class:`Label` by name.
+
+    ``cond`` is ``"ne"`` (branch if Z clear -- the mainloop back-edge in
+    Listing 1), ``"eq"``, or ``"al"`` (always).
+    """
+
+    target: str
+    cond: str = "ne"
+
+    unit: ClassVar[Unit] = Unit.BRANCH
+
+    def execute(self, state: "MachineState") -> None:
+        take = (
+            self.cond == "al"
+            or (self.cond == "ne" and not state.zero_flag)
+            or (self.cond == "eq" and state.zero_flag)
+        )
+        if take:
+            state.branch_to(self.target)
+
+    def asm(self) -> str:
+        if self.cond == "al":
+            return f"b {self.target}"
+        return f"b.{self.cond} {self.target}"
+
+
+@dataclass(frozen=True, slots=True)
+class Label(Instr):
+    """Pseudo-instruction marking a branch target.  Costs zero cycles."""
+
+    name: str
+
+    unit: ClassVar[Unit] = Unit.ALU
+
+    def execute(self, state: "MachineState") -> None:
+        pass
+
+    def asm(self) -> str:
+        return f"{self.name}:"
+
+
+# ---------------------------------------------------------------------------
+# memory instructions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class LoadVec(Instr):
+    """``ldr qD, [xN, #off]`` / ``ldr qD, [xN], #imm`` (NEON) or a predicated
+    SVE ``ld1w`` when ``active_lanes`` is below the machine vector width.
+
+    ``post_increment`` non-zero means post-index addressing: the effective
+    address is ``[base]`` and ``base += post_increment`` afterwards -- this is
+    the streaming-pointer idiom of Listing 1 (line 19).  ``active_lanes``
+    (``None`` = all) models SVE predication for corner tiles; inactive lanes
+    are zero-filled on load.
+    """
+
+    dst: Register
+    base: XReg
+    offset: int = 0
+    post_increment: int = 0
+    active_lanes: int | None = None
+
+    unit: ClassVar[Unit] = Unit.LOAD
+
+    def reads(self) -> Sequence[Register]:
+        return (self.base,)
+
+    def writes(self) -> Sequence[Register]:
+        if self.post_increment:
+            return (self.dst, self.base)
+        return (self.dst,)
+
+    def execute(self, state: "MachineState") -> None:
+        base = state.regs.read_x(self.base)
+        if self.post_increment:
+            addr = base
+            state.regs.write_x(self.base, base + self.post_increment)
+        else:
+            addr = base + self.offset
+        regs = state.regs
+        lanes = regs.vector_lanes
+        if self.active_lanes is None:
+            regs.write_v_owned(
+                self.dst, state.memory.load_f32(addr, lanes).copy()
+            )
+            state.record_load(self, addr, lanes * 4)
+            return
+        active = self.active_lanes
+        data = np.zeros(lanes, dtype=np.float32)
+        data[:active] = state.memory.load_f32(addr, active)
+        regs.write_v_owned(self.dst, data)
+        state.record_load(self, addr, active * 4)
+
+    def asm(self) -> str:
+        mn = "ld1w" if isinstance(self.dst, ZReg) else "ldr"
+        dst = self.dst.name if mn == "ldr" else f"{{{self.dst.name}.s}}"
+        reg = f"q{self.dst.index}" if mn == "ldr" else dst
+        if self.post_increment:
+            return f"{mn} {reg}, [{self.base}], #{self.post_increment}"
+        if self.offset:
+            return f"{mn} {reg}, [{self.base}, #{self.offset}]"
+        return f"{mn} {reg}, [{self.base}]"
+
+
+@dataclass(frozen=True, slots=True)
+class LoadScalarLane(Instr):
+    """``ldr sD, [xN, #off]`` -- load one float32 into lane 0, zero the rest.
+
+    Used by the k-remainder epilogue, where a single ``A[row][p]`` element
+    must enter a vector lane to feed a by-element FMLA.
+    """
+
+    dst: Register
+    base: XReg
+    offset: int = 0
+    post_increment: int = 0
+
+    unit: ClassVar[Unit] = Unit.LOAD
+
+    def reads(self) -> Sequence[Register]:
+        return (self.base,)
+
+    def writes(self) -> Sequence[Register]:
+        if self.post_increment:
+            return (self.dst, self.base)
+        return (self.dst,)
+
+    def execute(self, state: "MachineState") -> None:
+        base = state.regs.read_x(self.base)
+        if self.post_increment:
+            addr = base
+            state.regs.write_x(self.base, base + self.post_increment)
+        else:
+            addr = base + self.offset
+        data = np.zeros(state.regs.vector_lanes, dtype=np.float32)
+        data[0] = state.memory.load_f32(addr, 1)[0]
+        state.regs.write_v(self.dst, data)
+        state.record_load(self, addr, 4)
+
+    def asm(self) -> str:
+        if self.post_increment:
+            return f"ldr s{self.dst.index}, [{self.base}], #{self.post_increment}"
+        if self.offset:
+            return f"ldr s{self.dst.index}, [{self.base}, #{self.offset}]"
+        return f"ldr s{self.dst.index}, [{self.base}]"
+
+
+@dataclass(frozen=True, slots=True)
+class StoreVec(Instr):
+    """``str qS, [xN, #off]`` / post-indexed form; predicated ``st1w`` on SVE.
+
+    ``active_lanes`` limits how many leading float32 lanes reach memory
+    (corner-tile stores on SVE, or partial-n stores).
+    """
+
+    src: Register
+    base: XReg
+    offset: int = 0
+    post_increment: int = 0
+    active_lanes: int | None = None
+
+    unit: ClassVar[Unit] = Unit.STORE
+
+    def reads(self) -> Sequence[Register]:
+        return (self.src, self.base)
+
+    def writes(self) -> Sequence[Register]:
+        if self.post_increment:
+            return (self.base,)
+        return ()
+
+    def execute(self, state: "MachineState") -> None:
+        base = state.regs.read_x(self.base)
+        if self.post_increment:
+            addr = base
+            state.regs.write_x(self.base, base + self.post_increment)
+        else:
+            addr = base + self.offset
+        lanes = state.regs.vector_lanes
+        active = lanes if self.active_lanes is None else self.active_lanes
+        data = state.regs.read_v(self.src)[:active]
+        state.memory.store_f32(addr, data)
+        state.record_store(self, addr, active * 4)
+
+    def asm(self) -> str:
+        mn = "st1w" if isinstance(self.src, ZReg) else "str"
+        reg = f"q{self.src.index}" if mn == "str" else f"{{{self.src.name}.s}}"
+        if self.post_increment:
+            return f"{mn} {reg}, [{self.base}], #{self.post_increment}"
+        if self.offset:
+            return f"{mn} {reg}, [{self.base}, #{self.offset}]"
+        return f"{mn} {reg}, [{self.base}]"
+
+
+@dataclass(frozen=True, slots=True)
+class LoadVecPair(Instr):
+    """``ldp qD1, qD2, [xN, #off]`` -- one instruction filling two adjacent
+    NEON registers from consecutive memory (32 bytes).
+
+    Real hand-written kernels use LDP for the C-tile prologue: half the
+    load instructions for the same data.  NEON offset form only (no SVE
+    pair instruction in this subset; no post-index)."""
+
+    dst1: Register
+    dst2: Register
+    base: XReg
+    offset: int = 0
+
+    unit: ClassVar[Unit] = Unit.LOAD
+
+    def reads(self) -> Sequence[Register]:
+        return (self.base,)
+
+    def writes(self) -> Sequence[Register]:
+        return (self.dst1, self.dst2)
+
+    def execute(self, state: "MachineState") -> None:
+        addr = state.regs.read_x(self.base) + self.offset
+        lanes = state.regs.vector_lanes
+        data = state.memory.load_f32(addr, 2 * lanes)
+        state.regs.write_v(self.dst1, data[:lanes].copy())
+        state.regs.write_v(self.dst2, data[lanes:].copy())
+        state.record_load(self, addr, 2 * lanes * 4)
+
+    def asm(self) -> str:
+        d1, d2 = f"q{self.dst1.index}", f"q{self.dst2.index}"
+        if self.offset:
+            return f"ldp {d1}, {d2}, [{self.base}, #{self.offset}]"
+        return f"ldp {d1}, {d2}, [{self.base}]"
+
+
+@dataclass(frozen=True, slots=True)
+class StoreVecPair(Instr):
+    """``stp qS1, qS2, [xN, #off]`` -- paired store of two adjacent NEON
+    registers to consecutive memory."""
+
+    src1: Register
+    src2: Register
+    base: XReg
+    offset: int = 0
+
+    unit: ClassVar[Unit] = Unit.STORE
+
+    def reads(self) -> Sequence[Register]:
+        return (self.src1, self.src2, self.base)
+
+    def writes(self) -> Sequence[Register]:
+        return ()
+
+    def execute(self, state: "MachineState") -> None:
+        addr = state.regs.read_x(self.base) + self.offset
+        lanes = state.regs.vector_lanes
+        data = np.concatenate(
+            [state.regs.read_v(self.src1), state.regs.read_v(self.src2)]
+        )
+        state.memory.store_f32(addr, data)
+        state.record_store(self, addr, 2 * lanes * 4)
+
+    def asm(self) -> str:
+        s1, s2 = f"q{self.src1.index}", f"q{self.src2.index}"
+        if self.offset:
+            return f"stp {s1}, {s2}, [{self.base}, #{self.offset}]"
+        return f"stp {s1}, {s2}, [{self.base}]"
+
+
+# ---------------------------------------------------------------------------
+# arithmetic vector instructions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FmlaElem(Instr):
+    """``fmla vd.4s, vn.4s, vm.s[lane]`` -- the workhorse of the mainloop.
+
+    ``vd[i] += vn[i] * vm[lane]`` for each active lane ``i``.  The by-element
+    form lets one A-vector register feed ``sigma_lane`` FMA steps, which is
+    what makes the register-tiling arithmetic of Table II work.
+    """
+
+    dst: Register
+    vn: Register
+    vm: Register
+    lane: int
+    active_lanes: int | None = None
+
+    unit: ClassVar[Unit] = Unit.FMA
+
+    def reads(self) -> Sequence[Register]:
+        return (self.dst, self.vn, self.vm)
+
+    def writes(self) -> Sequence[Register]:
+        return (self.dst,)
+
+    def execute(self, state: "MachineState") -> None:
+        regs = state.regs
+        vn = regs.read_v(self.vn)
+        scalar = regs.read_v(self.vm)[self.lane]
+        if self.active_lanes is None:
+            # Full-width fast path: one fused numpy expression, no slicing.
+            regs.write_v_owned(
+                self.dst, (regs.read_v(self.dst) + vn * scalar).astype(np.float32, copy=False)
+            )
+            state.count_fma(regs.vector_lanes)
+            return
+        active = self.active_lanes
+        acc = regs.read_v(self.dst).copy()
+        acc[:active] = np.float32(acc[:active] + vn[:active] * scalar)
+        regs.write_v_owned(self.dst, acc)
+        state.count_fma(active)
+
+    def asm(self) -> str:
+        lanes = 4 if isinstance(self.dst, VReg) else None
+        d = _vec_suffix(self.dst, lanes or 4)
+        n = _vec_suffix(self.vn, lanes or 4)
+        return f"fmla {d}, {n}, {self.vm.name}.s[{self.lane}]"
+
+
+@dataclass(frozen=True, slots=True)
+class FmlaVec(Instr):
+    """``fmla vd.4s, vn.4s, vm.4s`` -- full vector-by-vector FMA."""
+
+    dst: Register
+    vn: Register
+    vm: Register
+    active_lanes: int | None = None
+
+    unit: ClassVar[Unit] = Unit.FMA
+
+    def reads(self) -> Sequence[Register]:
+        return (self.dst, self.vn, self.vm)
+
+    def writes(self) -> Sequence[Register]:
+        return (self.dst,)
+
+    def execute(self, state: "MachineState") -> None:
+        lanes = state.regs.vector_lanes
+        active = lanes if self.active_lanes is None else self.active_lanes
+        acc = state.regs.read_v(self.dst).copy()
+        vn = state.regs.read_v(self.vn)
+        vm = state.regs.read_v(self.vm)
+        acc[:active] = np.float32(acc[:active] + vn[:active] * vm[:active])
+        state.regs.write_v(self.dst, acc)
+        state.count_fma(active)
+
+    def asm(self) -> str:
+        d = _vec_suffix(self.dst, 4)
+        return f"fmla {d}, {_vec_suffix(self.vn, 4)}, {_vec_suffix(self.vm, 4)}"
+
+
+@dataclass(frozen=True, slots=True)
+class FmulElem(Instr):
+    """``fmul vd.4s, vn.4s, vm.s[lane]`` -- multiply without accumulate
+    (first k-step when C is not pre-loaded, i.e. beta = 0)."""
+
+    dst: Register
+    vn: Register
+    vm: Register
+    lane: int
+    active_lanes: int | None = None
+
+    unit: ClassVar[Unit] = Unit.FMA
+
+    def reads(self) -> Sequence[Register]:
+        return (self.vn, self.vm)
+
+    def writes(self) -> Sequence[Register]:
+        return (self.dst,)
+
+    def execute(self, state: "MachineState") -> None:
+        lanes = state.regs.vector_lanes
+        active = lanes if self.active_lanes is None else self.active_lanes
+        out = np.zeros(lanes, dtype=np.float32)
+        vn = state.regs.read_v(self.vn)
+        scalar = state.regs.read_v(self.vm)[self.lane]
+        out[:active] = np.float32(vn[:active] * scalar)
+        state.regs.write_v(self.dst, out)
+        state.count_fma(active)
+
+    def asm(self) -> str:
+        d = _vec_suffix(self.dst, 4)
+        return f"fmul {d}, {_vec_suffix(self.vn, 4)}, {self.vm.name}.s[{self.lane}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Eor(Instr):
+    """``eor vd.16b, vd.16b, vd.16b`` -- zero a vector register (clear C
+    accumulators when beta = 0)."""
+
+    dst: Register
+
+    unit: ClassVar[Unit] = Unit.ALU
+
+    def writes(self) -> Sequence[Register]:
+        return (self.dst,)
+
+    def execute(self, state: "MachineState") -> None:
+        state.regs.write_v(
+            self.dst, np.zeros(state.regs.vector_lanes, dtype=np.float32)
+        )
+
+    def asm(self) -> str:
+        return f"eor {self.dst.name}.16b, {self.dst.name}.16b, {self.dst.name}.16b"

@@ -1,0 +1,146 @@
+"""Programs, execution state, and dynamic traces.
+
+A :class:`Program` is an ordered instruction list with resolved labels.  The
+functional interpreter (:class:`~repro.machine.simulator.Simulator`) runs a
+program against a :class:`MachineState` and produces a :class:`Trace` -- the
+dynamic instruction stream annotated with memory addresses.  The timing
+pipeline replays that trace against a chip's scoreboard and cache model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .instructions import Instr, Label, Unit
+from .registers import RegisterFile
+
+__all__ = ["Program", "MachineState", "TraceEntry", "Trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEntry:
+    """One dynamically executed instruction.
+
+    ``address``/``size`` are set for loads, stores and prefetches (byte
+    address and access width); ``None`` otherwise.
+    """
+
+    instr: Instr
+    address: int | None = None
+    size: int = 0
+
+
+class Trace:
+    """Dynamic instruction stream recorded by functional execution."""
+
+    def __init__(self) -> None:
+        self.entries: list[TraceEntry] = []
+        self.fma_lane_ops = 0
+
+    def append(self, entry: TraceEntry) -> None:
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def count(self, unit: Unit) -> int:
+        return sum(1 for e in self.entries if e.instr.unit is unit)
+
+    @property
+    def flops(self) -> int:
+        """Floating-point operations performed (2 per multiply-accumulate lane)."""
+        return 2 * self.fma_lane_ops
+
+
+class Program:
+    """An instruction sequence with label resolution.
+
+    Labels are :class:`~repro.isa.instructions.Label` pseudo-instructions in
+    the stream; branch targets are resolved at construction.
+    """
+
+    def __init__(self, instructions: Iterable[Instr], name: str = "kernel") -> None:
+        self.name = name
+        self.instructions: list[Instr] = list(instructions)
+        self.labels: dict[str, int] = {}
+        for i, instr in enumerate(self.instructions):
+            if isinstance(instr, Label):
+                if instr.name in self.labels:
+                    raise ValueError(f"duplicate label {instr.name!r}")
+                self.labels[instr.name] = i
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instr]:
+        return iter(self.instructions)
+
+    def label_index(self, name: str) -> int:
+        try:
+            return self.labels[name]
+        except KeyError as exc:
+            raise KeyError(f"undefined label {name!r} in {self.name}") from exc
+
+    def asm(self) -> str:
+        """Full assembly text of the program."""
+        lines = []
+        for instr in self.instructions:
+            text = instr.asm()
+            lines.append(text if isinstance(instr, Label) else "    " + text)
+        return "\n".join(lines) + "\n"
+
+    def static_count(self, unit: Unit) -> int:
+        return sum(
+            1
+            for i in self.instructions
+            if i.unit is unit and not isinstance(i, Label)
+        )
+
+    def max_vreg_index(self) -> int:
+        """Highest vector-register index referenced (register-budget checks)."""
+        from .registers import VReg, ZReg
+
+        top = -1
+        for instr in self.instructions:
+            for reg in (*instr.reads(), *instr.writes()):
+                if isinstance(reg, (VReg, ZReg)):
+                    top = max(top, reg.index)
+        return top
+
+
+@dataclass
+class MachineState:
+    """Architectural state threaded through functional execution."""
+
+    regs: RegisterFile
+    memory: "object"
+    zero_flag: bool = False
+    trace: Trace = field(default_factory=Trace)
+    _branch_target: str | None = field(default=None, repr=False)
+
+    def branch_to(self, label: str) -> None:
+        self._branch_target = label
+
+    def take_branch_target(self) -> str | None:
+        target, self._branch_target = self._branch_target, None
+        return target
+
+    # Recording hooks used by instruction semantics -----------------------
+    def record_load(self, instr: Instr, addr: int, size: int) -> None:
+        self.trace.append(TraceEntry(instr, addr, size))
+
+    def record_store(self, instr: Instr, addr: int, size: int) -> None:
+        self.trace.append(TraceEntry(instr, addr, size))
+
+    def record_prefetch(self, instr: Instr, addr: int) -> None:
+        self.trace.append(TraceEntry(instr, addr, 64))
+
+    def record_plain(self, instr: Instr) -> None:
+        self.trace.append(TraceEntry(instr))
+
+    def count_fma(self, lanes: int) -> None:
+        self.trace.fma_lane_ops += lanes

@@ -1,0 +1,195 @@
+"""AArch64 register model: general-purpose, NEON, and SVE register files.
+
+The micro-kernel generator allocates from these register classes exactly the
+way Listing 1 in the paper does: ``x``-registers hold row pointers and loop
+counters, ``v``-registers (NEON, 128-bit) or ``z``-registers (SVE, up to
+2048-bit) hold micro-tile accumulators and streaming A/B fragments.
+
+Registers are value objects: two ``VReg(3)`` instances compare equal and hash
+alike, so they can key scoreboard and register-file dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+__all__ = [
+    "Register",
+    "XReg",
+    "VReg",
+    "ZReg",
+    "RegisterFile",
+    "NUM_XREGS",
+    "NUM_VREGS",
+    "NUM_ZREGS",
+    "NEON_BYTES",
+]
+
+#: AArch64 exposes x0-x30 (x31 is SP/XZR depending on context; we exclude it).
+NUM_XREGS = 31
+#: Both NEON and SVE expose 32 vector registers -- the budget that caps the
+#: feasible micro-tile shapes in Table II of the paper.
+NUM_VREGS = 32
+NUM_ZREGS = 32
+#: NEON vector registers are fixed 128-bit (4 x float32 lanes).
+NEON_BYTES = 16
+
+
+@dataclass(frozen=True, slots=True)
+class Register:
+    """Base class for one architectural register.
+
+    Attributes
+    ----------
+    index:
+        Architectural register number within its class.
+    """
+
+    index: int
+
+    prefix: ClassVar[str] = "?"
+    count: ClassVar[int] = 0
+    _hash_salt: ClassVar[int] = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.count:
+            raise ValueError(
+                f"{type(self).__name__} index {self.index} out of range "
+                f"[0, {self.count})"
+            )
+
+    # Explicit constant-time hash (the generated frozen-dataclass hash
+    # re-tuples the fields on every call; register objects key the hottest
+    # dicts in the timing pipeline).  Consistent with the generated __eq__:
+    # equal (class, index) pairs hash equally.
+    def __hash__(self) -> int:
+        return self._hash_salt + self.index
+
+    @property
+    def name(self) -> str:
+        """Assembly spelling, e.g. ``x7``, ``v31``, ``z2``."""
+        return f"{self.prefix}{self.index}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class XReg(Register):
+    """64-bit general-purpose register ``x0``..``x30``."""
+
+    prefix: ClassVar[str] = "x"
+    count: ClassVar[int] = NUM_XREGS
+    _hash_salt: ClassVar[int] = 1000
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class VReg(Register):
+    """128-bit NEON vector register ``v0``..``v31`` (4 float32 lanes)."""
+
+    prefix: ClassVar[str] = "v"
+    count: ClassVar[int] = NUM_VREGS
+    _hash_salt: ClassVar[int] = 2000
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class ZReg(Register):
+    """SVE scalable vector register ``z0``..``z31``.
+
+    The architectural width is implementation-defined; the simulator reads it
+    from the active :class:`~repro.machine.chips.ChipSpec` (512-bit on A64FX).
+    """
+
+    prefix: ClassVar[str] = "z"
+    count: ClassVar[int] = NUM_ZREGS
+    _hash_salt: ClassVar[int] = 3000
+
+
+# The subclass @dataclass decorators regenerate __hash__ (fields-only, so
+# XReg(3) and VReg(3) would collide); rebind the salted constant-time hash.
+for _cls in (XReg, VReg, ZReg):
+    _cls.__hash__ = Register.__hash__  # type: ignore[method-assign]
+
+_REG_CLASSES = {"x": XReg, "v": VReg, "z": ZReg}
+
+
+def parse_register(text: str) -> Register:
+    """Parse an assembly register spelling (``x5``, ``v12``, ``v12.4s``,
+    ``z3.s``) into a :class:`Register`.
+
+    Lane-arrangement suffixes (``.4s``, ``.s``, ``.s[2]``) are accepted and
+    ignored -- the instruction, not the operand, carries element semantics in
+    this ISA subset.
+    """
+    body = text.strip().lower()
+    body = body.split(".", 1)[0]
+    if not body or body[0] not in _REG_CLASSES:
+        raise ValueError(f"unrecognised register {text!r}")
+    cls = _REG_CLASSES[body[0]]
+    try:
+        index = int(body[1:])
+    except ValueError as exc:
+        raise ValueError(f"unrecognised register {text!r}") from exc
+    return cls(index)
+
+
+class RegisterFile:
+    """Architectural register state for the functional simulator.
+
+    Scalar registers hold Python ints (64-bit wrapped); vector registers hold
+    ``numpy.ndarray`` of float32 lanes whose length is set by the machine's
+    vector width.
+    """
+
+    def __init__(self, vector_lanes: int = 4) -> None:
+        import numpy as np
+
+        if vector_lanes < 1:
+            raise ValueError("vector_lanes must be >= 1")
+        self.vector_lanes = int(vector_lanes)
+        self._np = np
+        self._x: list[int] = [0] * NUM_XREGS
+        self._v = [
+            np.zeros(self.vector_lanes, dtype=np.float32) for _ in range(NUM_VREGS)
+        ]
+
+    # -- scalar ----------------------------------------------------------
+    def read_x(self, reg: XReg) -> int:
+        return self._x[reg.index]
+
+    def write_x(self, reg: XReg, value: int) -> None:
+        # Wrap to 64-bit two's-complement like hardware.
+        self._x[reg.index] = ((int(value) + (1 << 63)) % (1 << 64)) - (1 << 63)
+
+    # -- vector ----------------------------------------------------------
+    def read_v(self, reg: Register):
+        return self._v[reg.index]
+
+    def write_v(self, reg: Register, value) -> None:
+        arr = self._np.asarray(value, dtype=self._np.float32)
+        if arr.shape != (self.vector_lanes,):
+            raise ValueError(
+                f"vector write of shape {arr.shape}, expected ({self.vector_lanes},)"
+            )
+        self._v[reg.index] = arr.copy()
+
+    def write_v_owned(self, reg: Register, arr) -> None:
+        """Fast path for instruction semantics: install a float32 array the
+        caller owns (no copy, no re-validation).  The hot FMA/load loop is
+        measurably bound by ``write_v``'s checks otherwise."""
+        self._v[reg.index] = arr
+
+    def read(self, reg: Register):
+        if isinstance(reg, XReg):
+            return self.read_x(reg)
+        return self.read_v(reg)
+
+    def write(self, reg: Register, value) -> None:
+        if isinstance(reg, XReg):
+            self.write_x(reg, value)
+        else:
+            self.write_v(reg, value)

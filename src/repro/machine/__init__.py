@@ -1,0 +1,46 @@
+"""Cycle-level Arm machine model: chips, memory, caches, pipeline, simulator."""
+
+from .cache import CacheHierarchy, CacheLevel, CacheStats
+from .chips import (
+    A64FX,
+    ALL_CHIPS,
+    ALTRA,
+    APPLE_M2,
+    EXTRA_CHIPS,
+    GRAVITON2,
+    GRAVITON3,
+    KP920,
+    ChipSpec,
+    get_chip,
+)
+from .memory import MatrixHandle, Memory
+from .multicore import ParallelTiming, domain_span, parallel_time, partition_blocks
+from .pipeline import PipelineModel, TimingResult
+from .simulator import RunResult, SimulationError, Simulator
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLevel",
+    "CacheStats",
+    "A64FX",
+    "ALL_CHIPS",
+    "EXTRA_CHIPS",
+    "GRAVITON3",
+    "ALTRA",
+    "APPLE_M2",
+    "GRAVITON2",
+    "KP920",
+    "ChipSpec",
+    "get_chip",
+    "MatrixHandle",
+    "Memory",
+    "ParallelTiming",
+    "domain_span",
+    "parallel_time",
+    "partition_blocks",
+    "PipelineModel",
+    "TimingResult",
+    "RunResult",
+    "SimulationError",
+    "Simulator",
+]

@@ -1,0 +1,142 @@
+"""Set-associative LRU cache hierarchy.
+
+The hierarchy decides which level services each load in a timed replay: the
+KP920 efficiency cliff in Figure 6 (B overflowing the 64 KB L1 between K=64
+and K=256) falls directly out of this model, as does the benefit of the
+``prfm`` prologue prefetches in the generated kernels.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from .chips import ChipSpec
+
+__all__ = ["CacheLevel", "CacheHierarchy", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit counters per level (level 4 = DRAM)."""
+
+    hits: dict[int, int] = field(default_factory=lambda: {1: 0, 2: 0, 3: 0, 4: 0})
+
+    def record(self, level: int) -> None:
+        self.hits[level] += 1
+
+    @property
+    def accesses(self) -> int:
+        return sum(self.hits.values())
+
+    def hit_rate(self, level: int) -> float:
+        total = self.accesses
+        return self.hits[level] / total if total else 0.0
+
+
+class CacheLevel:
+    """One set-associative LRU cache level."""
+
+    def __init__(self, size_bytes: int, ways: int, line_bytes: int) -> None:
+        if size_bytes <= 0:
+            raise ValueError("cache size must be positive")
+        if size_bytes % (ways * line_bytes):
+            raise ValueError("cache size must be a multiple of ways * line size")
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (ways * line_bytes)
+        # set index -> OrderedDict of tags (LRU order: oldest first)
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def lookup(self, addr: int) -> bool:
+        """Probe without fill; refresh LRU on hit."""
+        set_idx, tag = self._locate(addr)
+        entries = self._sets[set_idx]
+        if tag in entries:
+            entries.move_to_end(tag)
+            return True
+        return False
+
+    def fill(self, addr: int) -> None:
+        """Install the line containing ``addr``, evicting LRU if full."""
+        set_idx, tag = self._locate(addr)
+        entries = self._sets[set_idx]
+        if tag in entries:
+            entries.move_to_end(tag)
+            return
+        if len(entries) >= self.ways:
+            entries.popitem(last=False)
+        entries[tag] = None
+
+    def contains(self, addr: int) -> bool:
+        """Probe without updating LRU state."""
+        set_idx, tag = self._locate(addr)
+        return tag in self._sets[set_idx]
+
+    def flush(self) -> None:
+        for s in self._sets:
+            s.clear()
+
+
+class CacheHierarchy:
+    """Private-L1 view of a chip's cache hierarchy for one core.
+
+    ``access`` returns the level that serviced a demand access (1..3, or 4
+    for DRAM) and fills all levels on the way (inclusive hierarchy).
+    """
+
+    def __init__(self, chip: ChipSpec) -> None:
+        self.chip = chip
+        self.levels: list[tuple[int, CacheLevel]] = [
+            (1, CacheLevel(chip.l1d_bytes, chip.cache_ways, chip.cache_line))
+        ]
+        if chip.l2_bytes:
+            self.levels.append(
+                (2, CacheLevel(chip.l2_bytes, chip.cache_ways, chip.cache_line))
+            )
+        if chip.l3_bytes:
+            self.levels.append(
+                (3, CacheLevel(chip.l3_bytes, max(chip.cache_ways, 16), chip.cache_line))
+            )
+        self.stats = CacheStats()
+
+    def access(self, addr: int, is_write: bool = False) -> int:
+        """Service a demand access; returns the hit level (4 = DRAM)."""
+        hit_level = 4
+        for level, cache in self.levels:
+            if cache.lookup(addr):
+                hit_level = level
+                break
+        for level, cache in self.levels:
+            if level <= hit_level or hit_level == 4:
+                cache.fill(addr)
+        self.stats.record(hit_level)
+        return hit_level
+
+    def prefetch(self, addr: int, target_level: int = 1) -> None:
+        """Warm the line into ``target_level`` and below (PLDL1KEEP/PLDL2KEEP)."""
+        for level, cache in self.levels:
+            if level >= target_level:
+                cache.fill(addr)
+        # L1 prefetch should also fill L1 itself when target_level == 1;
+        # the loop above already does (level >= 1 covers all levels).
+
+    def warm_range(self, base: int, nbytes: int, level: int = 1) -> None:
+        """Pre-load a contiguous byte range into the hierarchy (pre-warmed
+        working set for kernel-in-cache timing scenarios)."""
+        line = self.chip.cache_line
+        start = base // line * line
+        for addr in range(start, base + nbytes, line):
+            self.prefetch(addr, level)
+
+    def flush(self) -> None:
+        for _, cache in self.levels:
+            cache.flush()
+        self.stats = CacheStats()

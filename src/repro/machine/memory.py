@@ -1,0 +1,117 @@
+"""Byte-addressed flat memory backed by a float32 buffer.
+
+Generated kernels compute byte addresses (``lda`` is scaled by 4 in the
+prologue, exactly as Listing 1 does with ``lsl``).  All accesses in this
+workload are 4-byte aligned float32, so the store is a float32 array indexed
+by ``addr // 4`` with alignment asserted -- cheap enough for instruction-level
+functional simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Memory", "MatrixHandle"]
+
+
+@dataclass(frozen=True)
+class MatrixHandle:
+    """A row-major float32 matrix placed in simulated memory.
+
+    ``ld`` is the leading dimension in *elements* (row stride); the matrix may
+    be a sub-view of a larger allocation, so ``ld >= cols``.
+    """
+
+    base: int  # byte address of element (0, 0)
+    rows: int
+    cols: int
+    ld: int
+
+    def addr(self, row: int, col: int) -> int:
+        """Byte address of element ``(row, col)``."""
+        return self.base + 4 * (row * self.ld + col)
+
+    @property
+    def bytes_spanned(self) -> int:
+        return 4 * ((self.rows - 1) * self.ld + self.cols) if self.rows else 0
+
+    def sub(self, row: int, col: int, rows: int, cols: int) -> "MatrixHandle":
+        """A sub-matrix view (same backing storage)."""
+        if row + rows > self.rows or col + cols > self.cols:
+            raise ValueError("sub-matrix out of bounds")
+        return MatrixHandle(self.addr(row, col), rows, cols, self.ld)
+
+
+class Memory:
+    """Flat simulated memory with a bump allocator for matrices."""
+
+    def __init__(self, size_bytes: int = 1 << 26) -> None:
+        if size_bytes % 4:
+            raise ValueError("memory size must be a multiple of 4 bytes")
+        self._buf = np.zeros(size_bytes // 4, dtype=np.float32)
+        self._next = 64  # keep address 0 unused; start line-aligned
+
+    @property
+    def size_bytes(self) -> int:
+        return self._buf.size * 4
+
+    # -- raw access --------------------------------------------------------
+    def _index(self, addr: int, count: int) -> int:
+        if addr % 4:
+            raise ValueError(f"unaligned float32 access at {addr:#x}")
+        idx = addr // 4
+        if not 0 <= idx and idx + count <= self._buf.size:
+            raise IndexError(f"access [{addr:#x}, +{count * 4}) out of memory")
+        if idx + count > self._buf.size or idx < 0:
+            raise IndexError(f"access [{addr:#x}, +{count * 4}) out of memory")
+        return idx
+
+    def load_f32(self, addr: int, count: int) -> np.ndarray:
+        """Read ``count`` float32 values starting at byte ``addr``."""
+        idx = self._index(addr, count)
+        return self._buf[idx : idx + count]
+
+    def store_f32(self, addr: int, values: np.ndarray) -> None:
+        """Write float32 values starting at byte ``addr``."""
+        values = np.asarray(values, dtype=np.float32)
+        idx = self._index(addr, values.size)
+        self._buf[idx : idx + values.size] = values
+
+    # -- allocation ---------------------------------------------------------
+    def alloc(self, nbytes: int, align: int = 64) -> int:
+        """Allocate ``nbytes`` and return the byte address (line-aligned)."""
+        addr = (self._next + align - 1) // align * align
+        if addr + nbytes > self.size_bytes:
+            raise MemoryError(
+                f"simulated memory exhausted ({addr + nbytes} > {self.size_bytes})"
+            )
+        self._next = addr + nbytes
+        return addr
+
+    def alloc_matrix(self, rows: int, cols: int, ld: int | None = None) -> MatrixHandle:
+        """Allocate a row-major float32 matrix, returning its handle."""
+        ld = cols if ld is None else ld
+        if ld < cols:
+            raise ValueError("leading dimension smaller than column count")
+        base = self.alloc(4 * rows * ld)
+        return MatrixHandle(base, rows, cols, ld)
+
+    # -- numpy bridge --------------------------------------------------------
+    def write_matrix(self, handle: MatrixHandle, data: np.ndarray) -> None:
+        """Copy a numpy array into the simulated matrix."""
+        data = np.asarray(data, dtype=np.float32)
+        if data.shape != (handle.rows, handle.cols):
+            raise ValueError(
+                f"shape mismatch: {data.shape} vs ({handle.rows}, {handle.cols})"
+            )
+        for r in range(handle.rows):
+            self.store_f32(handle.addr(r, 0), data[r])
+
+    def read_matrix(self, handle: MatrixHandle) -> np.ndarray:
+        """Copy the simulated matrix out into a numpy array."""
+        out = np.empty((handle.rows, handle.cols), dtype=np.float32)
+        for r in range(handle.rows):
+            out[r] = self.load_f32(handle.addr(r, 0), handle.cols)
+        return out

@@ -1,0 +1,99 @@
+"""Multi-core execution model: static partitioning, barriers, NUMA/CMG.
+
+The paper parallelises over cache-block rows/columns of ``C`` (never over
+``K`` -- §V.C notes TVM cannot parallelise the reduction dimension, which
+hurts L7/L12/L17/L20).  We model the same scheme: sub-matrix blocks are
+statically assigned to cores; the parallel region costs the slowest core
+plus a fork/join barrier; crossing NUMA or CMG domains adds a relative
+penalty (the A64FX ring bus between its 4 CMGs is why its Figure 11 scaling
+efficiency collapses to ~30%); and aggregate DRAM traffic is capped by the
+socket bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .chips import ChipSpec
+
+__all__ = ["ParallelTiming", "parallel_time", "partition_blocks", "domain_span"]
+
+
+@dataclass(frozen=True)
+class ParallelTiming:
+    """Timing of one fork/join parallel region."""
+
+    cycles: float
+    critical_core_cycles: float
+    barrier_cycles: float
+    domain_penalty_cycles: float
+    bandwidth_limited: bool
+
+    @property
+    def overhead_fraction(self) -> float:
+        extra = self.cycles - self.critical_core_cycles
+        return extra / self.cycles if self.cycles else 0.0
+
+
+def partition_blocks(n_blocks: int, n_cores: int) -> list[int]:
+    """Blocks per core under static block-cyclic assignment.
+
+    Returns a list of length ``n_cores``; load imbalance when
+    ``n_blocks % n_cores != 0`` is exactly the ceil/floor split a static
+    schedule produces.
+    """
+    if n_cores < 1:
+        raise ValueError("need at least one core")
+    base, extra = divmod(n_blocks, n_cores)
+    return [base + (1 if i < extra else 0) for i in range(n_cores)]
+
+
+def domain_span(cores_used: int, chip: ChipSpec) -> int:
+    """How many NUMA/CMG domains a run on ``cores_used`` cores touches."""
+    return min(chip.smp_domains, math.ceil(cores_used / chip.cores_per_domain))
+
+
+def parallel_time(
+    per_core_cycles: Sequence[float],
+    chip: ChipSpec,
+    dram_bytes: float = 0.0,
+) -> ParallelTiming:
+    """Fork/join time for one parallel region.
+
+    Parameters
+    ----------
+    per_core_cycles:
+        Compute cycles each participating core spends on its share.
+    dram_bytes:
+        Total bytes the region must move from DRAM; converts to a lower
+        bound via the socket bandwidth (roofline-style memory cap).
+    """
+    if not per_core_cycles:
+        raise ValueError("empty core assignment")
+    cores_used = len(per_core_cycles)
+    critical = max(per_core_cycles)
+
+    domains = domain_span(cores_used, chip)
+    penalty = critical * chip.cross_domain_penalty * (domains - 1) if domains > 1 else 0.0
+
+    barrier = float(chip.barrier_cycles) * (1.0 if cores_used > 1 else 0.0)
+
+    compute_cycles = critical + penalty + barrier
+
+    bandwidth_limited = False
+    if dram_bytes > 0:
+        seconds_floor = dram_bytes / (chip.dram_gbps * 1e9)
+        cycles_floor = seconds_floor * chip.freq_ghz * 1e9
+        if cycles_floor > compute_cycles:
+            compute_cycles = cycles_floor
+            bandwidth_limited = True
+
+    return ParallelTiming(
+        cycles=compute_cycles,
+        critical_core_cycles=critical,
+        barrier_cycles=barrier,
+        domain_penalty_cycles=penalty,
+        bandwidth_limited=bandwidth_limited,
+    )

@@ -1,0 +1,180 @@
+"""Scoreboard timing model: replay a dynamic trace against a chip pipeline.
+
+The model captures the three effects the paper's optimisations target:
+
+* **dependency stalls** -- an instruction issues no earlier than its source
+  registers are ready (RAW) and no earlier than the value it overwrites is
+  produced (WAW);
+* **issue-port throughput** -- each unit class (FMA / load / store / ALU /
+  branch / prefetch) sustains ``IPC_unit`` instructions per cycle;
+* **reorder window** -- instruction *i* cannot issue until instruction
+  *i - ooo_window* has completed (a ROB-occupancy approximation).  A wide
+  window lets hardware hide the ``FMA -> LOAD -> FMA`` register-reuse
+  dependency that rotating register allocation removes in software, which is
+  why that optimisation helps KP920 (window 24) and not M2 (window 512) --
+  the Figure 6 trend.
+
+Loads consult a :class:`~repro.machine.cache.CacheHierarchy` for the level
+that services each access, so load latency varies with locality; the KP920
+L1-overflow cliff in Figure 6 falls out of this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..isa.instructions import Label, Unit
+from ..isa.program import Trace
+from .cache import CacheHierarchy
+from .chips import ChipSpec
+
+__all__ = ["TimingResult", "PipelineModel"]
+
+
+@dataclass
+class TimingResult:
+    """Outcome of timing one trace."""
+
+    cycles: float
+    instructions: int
+    flops: int
+    loads_by_level: dict[int, int] = field(default_factory=dict)
+    stall_cycles: float = 0.0
+
+    @property
+    def flops_per_cycle(self) -> float:
+        return self.flops / self.cycles if self.cycles else 0.0
+
+    def efficiency(self, chip: ChipSpec) -> float:
+        """Fraction of the chip's single-core peak achieved."""
+        return self.flops_per_cycle / chip.flops_per_cycle
+
+    def gflops(self, chip: ChipSpec) -> float:
+        return self.flops_per_cycle * chip.freq_ghz
+
+    def seconds(self, chip: ChipSpec) -> float:
+        return self.cycles / (chip.freq_ghz * 1e9)
+
+
+class PipelineModel:
+    """Greedy scoreboard scheduler with a bounded reorder window."""
+
+    def __init__(
+        self,
+        chip: ChipSpec,
+        caches: CacheHierarchy | None = None,
+        launch_cycles: float = 0.0,
+    ) -> None:
+        self.chip = chip
+        self.caches = caches if caches is not None else CacheHierarchy(chip)
+        self.launch_cycles = launch_cycles
+
+    def time_trace(self, trace: Trace) -> TimingResult:
+        chip = self.chip
+        launch = self.launch_cycles
+        caches = self.caches
+        reg_ready: dict[object, float] = {}
+        # Completion times of recent writes per architectural register; a new
+        # write stalls until the write `rename_limit` back has completed
+        # (finite physical-register / rename-depth approximation).
+        write_hist: dict[object, deque[float]] = {}
+        rename_limit = max(1, chip.rename_limit)
+        unit_free: dict[Unit, float] = {u: launch for u in Unit}
+        window: deque[float] = deque()  # completion times, program order
+        window_size = max(1, chip.ooo_window)
+        completion = launch
+        dep_stall = 0.0
+        loads_by_level = {1: 0, 2: 0, 3: 0, 4: 0}
+        n_instr = 0
+        t_fetch = launch
+        fetch_step = 1.0 / chip.decode_width
+
+        # Hot-loop hoists: per-unit reciprocal throughput / latency tables,
+        # per-level load latencies, and a per-instruction dataflow cache
+        # (instructions are immutable and repeat across loop iterations, so
+        # their reads()/writes() tuples are computed once).
+        rt = {u: 1.0 / chip.ipc(u.value) for u in Unit}
+        lat = {u: float(chip.latency(u.value)) for u in Unit}
+        load_lat = {lvl: float(chip.load_latency(lvl)) for lvl in (1, 2, 3, 4)}
+        store_lat = float(chip.lat_store)
+        dataflow: dict[int, tuple[tuple, tuple]] = {}
+        LOAD, STORE, PREFETCH = Unit.LOAD, Unit.STORE, Unit.PREFETCH
+
+        for entry in trace.entries:
+            instr = entry.instr
+            if type(instr) is Label:
+                continue
+            n_instr += 1
+            unit = instr.unit
+
+            flow = dataflow.get(id(instr))
+            if flow is None:
+                flow = (tuple(instr.reads()), tuple(instr.writes()))
+                dataflow[id(instr)] = flow
+            reads, writes = flow
+
+            # RAW: sources must be produced.  WAW: overwriting an
+            # architectural register stalls once the rename depth for that
+            # register is exhausted -- the reuse pressure rotating register
+            # allocation relieves in software on shallow-rename cores.
+            ready = t_fetch
+            for reg in reads:
+                t = reg_ready.get(reg, 0.0)
+                if t > ready:
+                    ready = t
+            for reg in writes:
+                hist = write_hist.get(reg)
+                if hist is not None and len(hist) >= rename_limit:
+                    t = hist[0]
+                    if t > ready:
+                        ready = t
+
+            start = ready if ready > unit_free[unit] else unit_free[unit]
+            if len(window) >= window_size and window[0] > start:
+                start = window[0]
+            if ready > t_fetch:
+                dep_stall += ready - t_fetch
+
+            # Latency: loads ask the cache model which level services them.
+            address = entry.address
+            if unit is LOAD and address is not None:
+                level = caches.access(address)
+                loads_by_level[level] += 1
+                latency = load_lat[level]
+            elif unit is PREFETCH and address is not None:
+                caches.prefetch(address, getattr(instr, "level", 1))
+                latency = 1.0
+            elif unit is STORE and address is not None:
+                caches.access(address, is_write=True)
+                latency = store_lat
+            else:
+                latency = lat[unit]
+
+            finish = start + latency
+            unit_free[unit] = start + rt[unit]
+            for reg in writes:
+                reg_ready[reg] = finish
+                hist = write_hist.get(reg)
+                if hist is None:
+                    hist = deque()
+                    write_hist[reg] = hist
+                hist.append(finish)
+                if len(hist) > rename_limit:
+                    hist.popleft()
+            if finish > completion:
+                completion = finish
+
+            window.append(finish)
+            if len(window) > window_size:
+                window.popleft()
+
+            t_fetch += fetch_step
+
+        return TimingResult(
+            cycles=completion,
+            instructions=n_instr,
+            flops=trace.flops,
+            loads_by_level=loads_by_level,
+            stall_cycles=dep_stall,
+        )

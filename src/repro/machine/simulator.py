@@ -1,0 +1,112 @@
+"""Functional execution of generated programs, with optional timing replay.
+
+``Simulator.run`` interprets a :class:`~repro.isa.program.Program` against a
+:class:`~repro.machine.memory.Memory`, producing the architectural side
+effects (the GEMM result lands in simulated memory, where tests compare it to
+``numpy``) and a dynamic :class:`~repro.isa.program.Trace`.  ``run_timed``
+additionally replays the trace through the chip's scoreboard pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.instructions import Branch, Label
+from ..isa.program import MachineState, Program, Trace
+from ..isa.registers import RegisterFile, XReg
+from .cache import CacheHierarchy
+from .chips import ChipSpec
+from .memory import Memory
+from .pipeline import PipelineModel, TimingResult
+
+__all__ = ["Simulator", "SimulationError", "RunResult"]
+
+#: Default fuel: generated micro-kernels execute a bounded instruction count;
+#: anything past this indicates a broken back-edge.
+DEFAULT_FUEL = 50_000_000
+
+
+class SimulationError(RuntimeError):
+    """Raised on runaway execution or an undefined branch target."""
+
+
+@dataclass
+class RunResult:
+    """Functional + (optional) timing outcome of one program execution."""
+
+    trace: Trace
+    state: MachineState
+    timing: TimingResult | None = None
+
+
+class Simulator:
+    """Interpreter for the AArch64 subset."""
+
+    def __init__(self, memory: Memory, vector_lanes: int = 4) -> None:
+        self.memory = memory
+        self.vector_lanes = vector_lanes
+
+    def fresh_state(self, args: dict[XReg, int] | None = None) -> MachineState:
+        """A zeroed machine state with optional pre-set x-registers (the
+        ``[A] "r"(A), [B] "r"(B) ...`` operand bindings of the inline asm)."""
+        regs = RegisterFile(vector_lanes=self.vector_lanes)
+        state = MachineState(regs=regs, memory=self.memory)
+        if args:
+            for reg, value in args.items():
+                regs.write_x(reg, value)
+        return state
+
+    def run(
+        self,
+        program: Program,
+        args: dict[XReg, int] | None = None,
+        state: MachineState | None = None,
+        fuel: int = DEFAULT_FUEL,
+    ) -> RunResult:
+        """Execute ``program`` to completion; returns trace and final state."""
+        st = state if state is not None else self.fresh_state(args)
+        pc = 0
+        instrs = program.instructions
+        n = len(instrs)
+        executed = 0
+        while pc < n:
+            instr = instrs[pc]
+            if not isinstance(instr, Label):
+                before = len(st.trace.entries)
+                instr.execute(st)
+                # Non-memory instructions record themselves here so the trace
+                # is the complete dynamic stream.
+                if len(st.trace.entries) == before:
+                    st.record_plain(instr)
+                executed += 1
+                if executed > fuel:
+                    raise SimulationError(
+                        f"{program.name}: exceeded fuel of {fuel} instructions"
+                    )
+                if isinstance(instr, Branch):
+                    target = st.take_branch_target()
+                    if target is not None:
+                        pc = program.label_index(target)
+                        continue
+            pc += 1
+        return RunResult(trace=st.trace, state=st)
+
+    def run_timed(
+        self,
+        program: Program,
+        chip: ChipSpec,
+        args: dict[XReg, int] | None = None,
+        caches: CacheHierarchy | None = None,
+        launch_cycles: float = 0.0,
+        fuel: int = DEFAULT_FUEL,
+    ) -> RunResult:
+        """Execute functionally, then replay through the timing pipeline."""
+        if chip.sigma_lane != self.vector_lanes:
+            raise ValueError(
+                f"simulator lanes ({self.vector_lanes}) do not match chip "
+                f"{chip.name} sigma_lane ({chip.sigma_lane})"
+            )
+        result = self.run(program, args=args, fuel=fuel)
+        pipeline = PipelineModel(chip, caches=caches, launch_cycles=launch_cycles)
+        result.timing = pipeline.time_trace(result.trace)
+        return result

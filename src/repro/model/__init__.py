@@ -1,0 +1,41 @@
+"""Performance models: micro-kernel equations, block model, roofline."""
+
+from .block_model import BlockCost, block_runtime, problem_runtime
+from .calibration import (
+    CalibrationResult,
+    TileMeasurement,
+    calibrate_sigma_ai,
+    measure_tile,
+)
+from .roofline import (
+    RooflinePoint,
+    attainable_gflops,
+    gemm_arithmetic_intensity,
+    l3_bandwidth_gbps,
+)
+from .perf_model import (
+    DEFAULT_LAUNCH_CYCLES,
+    FusionKind,
+    MicroKernelModel,
+    ModelParams,
+    fusion_kind,
+)
+
+__all__ = [
+    "BlockCost",
+    "CalibrationResult",
+    "TileMeasurement",
+    "calibrate_sigma_ai",
+    "measure_tile",
+    "block_runtime",
+    "problem_runtime",
+    "RooflinePoint",
+    "attainable_gflops",
+    "gemm_arithmetic_intensity",
+    "l3_bandwidth_gbps",
+    "DEFAULT_LAUNCH_CYCLES",
+    "FusionKind",
+    "MicroKernelModel",
+    "ModelParams",
+    "fusion_kind",
+]

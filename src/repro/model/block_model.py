@@ -1,0 +1,90 @@
+"""Block-level performance model -- Eqn 13 of the paper.
+
+``T_c(m_c, n_c)`` combines the projected runtimes of the four DMT regions
+(front-up, front-down, back-up, back-down), each tiled with its chosen
+register tile: the quantity TVM uses to prune the schedule search space
+(§IV-B).  The region arithmetic is delegated to
+:class:`~repro.tiling.dmt.DynamicMicroTiler`, whose ``tile()`` *is* the
+minimisation of Eqn 13 over the split parameters; this module packages the
+evaluation of a full problem under a schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..machine.chips import ChipSpec
+from ..model.perf_model import MicroKernelModel, ModelParams
+
+__all__ = ["BlockCost", "block_runtime", "problem_runtime"]
+
+
+@dataclass(frozen=True)
+class BlockCost:
+    """Eqn 13 evaluation of one cache block."""
+
+    cycles: float
+    num_tiles: int
+    n_front: int
+    m_front_up: int
+    m_back_up: int
+
+
+def _model_for(chip: ChipSpec, load_latency: float | None) -> MicroKernelModel:
+    params = ModelParams.from_chip(chip)
+    if load_latency is not None:
+        params = replace(params, lat_load=load_latency)
+    return MicroKernelModel(params)
+
+
+def block_runtime(
+    mc: int,
+    nc: int,
+    kc: int,
+    chip: ChipSpec,
+    load_latency: float | None = None,
+) -> BlockCost:
+    """Minimum projected cycles of one ``C(m_c, n_c)`` block (Eqn 13).
+
+    ``load_latency`` overrides the L1 load latency to model blocks whose
+    working set lives in a deeper cache level.
+    """
+    from ..tiling.dmt import DynamicMicroTiler
+
+    tiler = DynamicMicroTiler(_model_for(chip, load_latency), lane=chip.sigma_lane)
+    result = tiler.tile(mc, nc, kc)
+    return BlockCost(
+        cycles=result.cost,
+        num_tiles=result.plan.num_tiles,
+        n_front=result.n_front,
+        m_front_up=result.m_front_up,
+        m_back_up=result.m_back_up,
+    )
+
+
+def problem_runtime(
+    m: int,
+    n: int,
+    k: int,
+    mc: int,
+    nc: int,
+    kc: int,
+    chip: ChipSpec,
+    load_latency: float | None = None,
+) -> float:
+    """Projected single-core cycles of a full blocked problem: the Eqn 13
+    block cost times the block grid (remainder blocks costed separately)."""
+    mc, nc, kc = min(mc, m), min(nc, n), min(kc, k)
+    total = 0.0
+    cache: dict[tuple[int, int, int], float] = {}
+    for m0 in range(0, m, mc):
+        mm = min(mc, m - m0)
+        for n0 in range(0, n, nc):
+            nn = min(nc, n - n0)
+            for k0 in range(0, k, kc):
+                kk = min(kc, k - k0)
+                key = (mm, nn, kk)
+                if key not in cache:
+                    cache[key] = block_runtime(mm, nn, kk, chip, load_latency).cycles
+                total += cache[key]
+    return total

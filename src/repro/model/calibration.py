@@ -1,0 +1,128 @@
+"""sigma_AI calibration by micro-benchmarking (paper §III-A1).
+
+The paper treats ``sigma_AI`` -- the arithmetic-intensity threshold above
+which a micro-kernel can reach peak -- as a per-chip constant "obtained by
+micro-benchmarking a target hardware".  This module reproduces that
+workflow against the simulated machines: sweep the feasible register tiles,
+measure each one's steady-state efficiency on the cycle simulator, and
+report the smallest AI at which efficiency clears a fraction of the chip's
+best observed tile.
+
+The shipped :class:`~repro.machine.chips.ChipSpec` values were set by this
+procedure (rounded); ``calibrate_sigma_ai`` lets a user re-derive them for
+modified chip parameters, exactly as they would re-run the paper's
+micro-benchmarks on new silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..codegen.microkernel import ARG_REGS, generate_microkernel
+from ..codegen.tiles import TileShape, enumerate_tiles
+from ..machine.cache import CacheHierarchy
+from ..machine.chips import ChipSpec
+from ..machine.memory import Memory
+from ..machine.simulator import Simulator
+
+__all__ = ["TileMeasurement", "CalibrationResult", "measure_tile", "calibrate_sigma_ai"]
+
+
+@dataclass(frozen=True)
+class TileMeasurement:
+    """One tile's steady-state micro-benchmark."""
+
+    tile: TileShape
+    efficiency: float
+
+    @property
+    def ai_max(self) -> float:
+        return self.tile.ai_max
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of a sigma_AI calibration sweep."""
+
+    chip: str
+    sigma_ai: float
+    peak_efficiency: float
+    measurements: list[TileMeasurement] = field(default_factory=list)
+
+    def above_threshold(self) -> list[TileMeasurement]:
+        return [m for m in self.measurements if m.ai_max >= self.sigma_ai]
+
+
+def measure_tile(
+    tile: TileShape, chip: ChipSpec, kc: int = 128, seed: int = 0
+) -> TileMeasurement:
+    """Steady-state efficiency of one tile's kernel, cache-warm."""
+    rng = np.random.default_rng(seed)
+    memory = Memory()
+    h_a = memory.alloc_matrix(tile.mr, kc)
+    h_b = memory.alloc_matrix(kc, tile.nr)
+    h_c = memory.alloc_matrix(tile.mr, tile.nr)
+    memory.write_matrix(h_a, rng.uniform(-1, 1, (tile.mr, kc)).astype(np.float32))
+    memory.write_matrix(h_b, rng.uniform(-1, 1, (kc, tile.nr)).astype(np.float32))
+    memory.write_matrix(h_c, np.zeros((tile.mr, tile.nr), np.float32))
+    kernel = generate_microkernel(
+        tile.mr, tile.nr, kc, lane=chip.sigma_lane, rotate=True,
+        sigma_ai=chip.sigma_ai,
+    )
+    sim = Simulator(memory, vector_lanes=chip.sigma_lane)
+    caches = CacheHierarchy(chip)
+    for h in (h_a, h_b, h_c):
+        caches.warm_range(h.base, h.bytes_spanned)
+    args = {
+        ARG_REGS["A"]: h_a.base,
+        ARG_REGS["B"]: h_b.base,
+        ARG_REGS["C"]: h_c.base,
+        ARG_REGS["lda"]: h_a.ld,
+        ARG_REGS["ldb"]: h_b.ld,
+        ARG_REGS["ldc"]: h_c.ld,
+    }
+    result = sim.run_timed(kernel.program, chip, args=args, caches=caches)
+    assert result.timing is not None
+    return TileMeasurement(tile=tile, efficiency=result.timing.efficiency(chip))
+
+
+def calibrate_sigma_ai(
+    chip: ChipSpec,
+    kc: int = 128,
+    peak_fraction: float = 0.95,
+    max_tiles: int = 24,
+) -> CalibrationResult:
+    """Derive sigma_AI for a chip by sweeping register tiles.
+
+    ``sigma_AI`` is reported as the smallest ``AI_max`` among tiles whose
+    measured efficiency reaches ``peak_fraction`` of the best tile's, such
+    that every higher-AI tile also reaches it (the threshold property the
+    paper's Figure 2 uses).
+    """
+    if not 0 < peak_fraction <= 1:
+        raise ValueError("peak_fraction must be in (0, 1]")
+    tiles = list(enumerate_tiles(chip.sigma_lane, generatable_only=True))
+    # Thin the sweep: spread across the AI range, always keeping extremes.
+    if len(tiles) > max_tiles:
+        step = (len(tiles) - 1) / (max_tiles - 1)
+        tiles = [tiles[round(i * step)] for i in range(max_tiles)]
+
+    measurements = [measure_tile(t, chip, kc=kc) for t in tiles]
+    measurements.sort(key=lambda m: m.ai_max)
+    best = max(m.efficiency for m in measurements)
+    target = peak_fraction * best
+
+    sigma = measurements[-1].ai_max
+    for i, m in enumerate(measurements):
+        if all(mm.efficiency >= target for mm in measurements[i:]):
+            sigma = m.ai_max
+            break
+
+    return CalibrationResult(
+        chip=chip.name,
+        sigma_ai=sigma,
+        peak_efficiency=best,
+        measurements=measurements,
+    )

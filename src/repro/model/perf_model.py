@@ -1,0 +1,205 @@
+"""Micro-kernel performance model (paper §III-B and §III-C, Eqns 4-11).
+
+All equations are implemented exactly as printed.  The paper's ``IPC`` in
+these formulas is a reciprocal throughput (cycles per instruction) -- setting
+``L_load = L_store = L_fma = 8`` and all reciprocal throughputs to 1 must
+reproduce the worked example below Eqn 7: a ``5x16`` basic micro-kernel costs
+``20*k_c + 13*floor(kv) + 65`` cycles beyond launch (unit-tested).
+
+The model is what Dynamic Micro-Tiling (Algorithm 1) and the TVM-style tuner
+minimise; the cycle simulator is the ground truth it is validated against
+(Figure 3 bench).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..codegen.tiles import ai_max
+from ..machine.chips import ChipSpec
+
+__all__ = [
+    "ModelParams",
+    "MicroKernelModel",
+    "FusionKind",
+    "fusion_kind",
+]
+
+#: Cycles to enter the micro-kernel (call + asm block entry); eliminated by
+#: epilogue/prologue fusion (§III-C2).
+DEFAULT_LAUNCH_CYCLES = 40.0
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Hardware parameters of Table III, in the units the equations use.
+
+    ``rt_*`` are reciprocal throughputs (cycles/instruction) -- the paper
+    writes these as ``IPC_[fma/load/store]``.
+    """
+
+    lat_fma: float
+    lat_load: float
+    lat_store: float
+    rt_fma: float
+    rt_load: float
+    rt_store: float
+    lane: int
+    sigma_ai: float
+    launch: float = DEFAULT_LAUNCH_CYCLES
+
+    @classmethod
+    def from_chip(cls, chip: ChipSpec, launch: float = DEFAULT_LAUNCH_CYCLES) -> "ModelParams":
+        return cls(
+            lat_fma=float(chip.lat_fma),
+            lat_load=float(chip.lat_load_l1),
+            lat_store=float(chip.lat_store),
+            rt_fma=1.0 / chip.ipc_fma,
+            rt_load=1.0 / chip.ipc_load,
+            rt_store=1.0 / chip.ipc_store,
+            lane=chip.sigma_lane,
+            sigma_ai=chip.sigma_ai,
+            launch=launch,
+        )
+
+    @classmethod
+    def paper_example(cls) -> "ModelParams":
+        """The illustration setting of Figure 3: L = 8, IPC = 1."""
+        return cls(
+            lat_fma=8.0,
+            lat_load=8.0,
+            lat_store=8.0,
+            rt_fma=1.0,
+            rt_load=1.0,
+            rt_store=1.0,
+            lane=4,
+            sigma_ai=6.0,
+            launch=0.0,
+        )
+
+
+class FusionKind:
+    """The four epilogue->prologue fusion modes of Figure 4."""
+
+    C_TO_C = "c_to_c"
+    M_TO_M = "m_to_m"
+    C_TO_M = "c_to_m"
+    M_TO_C = "m_to_c"
+
+
+def fusion_kind(current_compute_bound: bool, next_compute_bound: bool) -> str:
+    """Name the fusion mode between two consecutive micro-kernels."""
+    a = "c" if current_compute_bound else "m"
+    b = "c" if next_compute_bound else "m"
+    return f"{a}_to_{b}"
+
+
+class MicroKernelModel:
+    """Projected cycles of one ``(m_r, n_r, k_c)`` micro-kernel invocation."""
+
+    def __init__(self, params: ModelParams) -> None:
+        self.p = params
+
+    # -- helpers ----------------------------------------------------------
+    def _dims(self, mr: int, nr: int, kc: int) -> tuple[int, int, int]:
+        """``(nv, kv, rem)``: vectorised n, whole vector k-steps, k remainder."""
+        nv = math.ceil(nr / self.p.lane)
+        kv = kc // self.p.lane
+        rem = kc - kv * self.p.lane
+        return nv, kv, rem
+
+    def compute_bound(self, mr: int, nr: int) -> bool:
+        """Whether the tile's asymptotic AI clears the chip threshold."""
+        return ai_max(mr, nr) >= self.p.sigma_ai
+
+    # -- Eqn 5 ------------------------------------------------------------
+    def prologue(self, mr: int, nr: int) -> float:
+        nv, _, _ = self._dims(mr, nr, self.p.lane)
+        return (mr * nv + mr + nv) * self.p.rt_load + self.p.lat_load
+
+    # -- Eqns 6 / 8 (basic) and 9 / 10 (rotating) --------------------------
+    def mainloop(self, mr: int, nr: int, kc: int, rotate: bool = False) -> float:
+        p = self.p
+        nv, kv, _ = self._dims(mr, nr, kc)
+        # Each accumulator is re-used once per k element; the tile must hold
+        # enough parallel accumulators (m_r * n_v issue slots per element) to
+        # cover the FMA latency, or the dependence chain stalls the loop --
+        # the constraint that makes shallow tiles unusable on long-latency
+        # FMA pipes like A64FX's.  (Neutral in the paper's L = 8 / IPC = 1
+        # illustration, where every listed tile already covers it.)
+        per_element = max(mr * nv * p.rt_fma, p.lat_fma)
+        fma_term = per_element * (kv * p.lane)
+        if self.compute_bound(mr, nr):
+            if rotate:
+                # Eqn 9: A-loads overlap fully every second vector step.
+                return fma_term + math.ceil(kv / 2) * (mr * p.rt_load + p.lat_load)
+            # Eqn 6.
+            return fma_term + kv * (mr * p.rt_load + p.lat_load)
+        # Eqn 10: with double-buffered B the FMA->LOAD->FMA bubble is gone
+        # and the loop runs at the FMA-issue floor plus the A-load tail.
+        floor = fma_term + kv * (mr * p.rt_load + p.lat_load)
+        if rotate:
+            return floor
+        # Eqn 8: B loads cannot hide behind FMAs; a bubble per iteration.
+        # The printed formula models the bubble-dominated regime only; the
+        # FMA-issue floor (Eqn 10) bounds it from below for wide tiles where
+        # arithmetic, not the bubble, is the constraint.
+        bubble = mr * p.rt_load * kv * p.lane + p.lat_load * kv * (p.lane + 1)
+        return max(bubble, floor)
+
+    # -- Eqn 7 --------------------------------------------------------------
+    def epilogue(self, mr: int, nr: int, kc: int) -> float:
+        p = self.p
+        nv, kv, rem = self._dims(mr, nr, kc)
+        return (
+            mr * nv * p.rt_fma * rem
+            + p.lat_fma
+            + mr * nv * p.rt_store
+        )
+
+    # -- Eqn 11 --------------------------------------------------------------
+    def fused_epilogue_prologue(self, mr: int, nr: int, kc: int) -> float:
+        """Cost of the epilogue + next prologue when fused (c_to_c form of
+        Eqn 11; the model uses the same overlap credit for all four modes,
+        which the Figure 4 bench validates against simulation)."""
+        p = self.p
+        nv, kv, rem = self._dims(mr, nr, kc)
+        return (
+            mr * nv * p.rt_fma * rem
+            + (mr * nv + mr) * p.rt_load
+            + p.lat_load
+        )
+
+    # -- Eqn 4 --------------------------------------------------------------
+    def total(
+        self,
+        mr: int,
+        nr: int,
+        kc: int,
+        rotate: bool = False,
+        fused: bool = False,
+    ) -> float:
+        """Projected cycles of one invocation (``T_r`` in the paper).
+
+        ``fused = True`` drops the launch cost and replaces the separate
+        epilogue + following prologue with the Eqn 11 overlapped form.
+        """
+        if mr < 1 or nr < 1 or kc < 1:
+            raise ValueError("kernel dimensions must be positive")
+        main = self.mainloop(mr, nr, kc, rotate=rotate)
+        if fused:
+            return main + self.fused_epilogue_prologue(mr, nr, kc)
+        return (
+            self.p.launch
+            + self.prologue(mr, nr)
+            + main
+            + self.epilogue(mr, nr, kc)
+        )
+
+    def tile_cost(self, mr: int, nr: int, kc: int, rotate: bool = True) -> float:
+        """Cost used by DMT's ``T_r(m_r, n_r)``: fused steady-state cycles
+        (launch amortised away, epilogue overlapping the next prologue)."""
+        return self.mainloop(mr, nr, kc, rotate=rotate) + self.fused_epilogue_prologue(
+            mr, nr, kc
+        )

@@ -1,0 +1,63 @@
+"""Roofline model (Figure 10).
+
+The classic Williams et al. formulation: attainable GFLOP/s is the minimum
+of the compute peak and ``AI x bandwidth`` for the memory level feeding the
+kernel.  GEMM arithmetic intensity is computed from compulsory traffic
+(``A`` and ``B`` read once, ``C`` read and written once), matching how the
+paper positions its small and ResNet-50 shapes against the DRAM and L3
+ceilings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.chips import ChipSpec
+
+__all__ = ["RooflinePoint", "gemm_arithmetic_intensity", "attainable_gflops", "l3_bandwidth_gbps"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel positioned on a roofline plot."""
+
+    name: str
+    ai: float  # flops per DRAM byte
+    gflops: float
+
+    def bound(self, chip: ChipSpec, cores: int = 1) -> str:
+        """"compute" or "memory", per the DRAM roofline."""
+        ceiling = attainable_gflops(chip, self.ai, cores)
+        compute_peak = chip.peak_gflops_core * cores
+        return "compute" if ceiling >= compute_peak else "memory"
+
+
+def gemm_arithmetic_intensity(m: int, n: int, k: int) -> float:
+    """FLOPs per byte of compulsory traffic for ``C += A B`` in float32."""
+    flops = 2.0 * m * n * k
+    bytes_moved = 4.0 * (m * k + k * n + 2 * m * n)
+    return flops / bytes_moved
+
+
+def l3_bandwidth_gbps(chip: ChipSpec) -> float:
+    """Approximate last-level-cache bandwidth: one line per ``lat/4`` cycles
+    per core, aggregated -- the L3 ceiling of Figure 10."""
+    level_latency = chip.lat_load_l3 if chip.l3_bytes else chip.lat_load_l2
+    lines_per_cycle = 4.0 / level_latency
+    return lines_per_cycle * chip.cache_line * chip.freq_ghz * chip.cores
+
+
+def attainable_gflops(
+    chip: ChipSpec, ai: float, cores: int = 1, level: str = "dram"
+) -> float:
+    """Roofline ceiling for a kernel of the given arithmetic intensity."""
+    if ai <= 0:
+        raise ValueError("arithmetic intensity must be positive")
+    compute = chip.peak_gflops_core * cores
+    if level == "dram":
+        bandwidth = chip.dram_gbps
+    elif level == "l3":
+        bandwidth = l3_bandwidth_gbps(chip) * cores / chip.cores
+    else:
+        raise ValueError("level must be 'dram' or 'l3'")
+    return min(compute, ai * bandwidth)

@@ -1,0 +1,129 @@
+"""Tile-plan datatypes shared by the static and dynamic tiling strategies.
+
+A :class:`TilePlan` is an exact cover of an ``(m, n)`` sub-matrix region by
+micro-tiles.  Each :class:`PlacedTile` records its position, its actual cell
+size, and the micro-kernel shape that executes it (which may be larger than
+the cell when a strategy pads, as OpenBLAS-style tiling does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..codegen.tiles import ai_max
+
+__all__ = ["PlacedTile", "TilePlan", "coverage_errors"]
+
+
+@dataclass(frozen=True)
+class PlacedTile:
+    """One micro-tile placed inside a sub-matrix region.
+
+    ``rows``/``cols`` are the cell actually owned (written exactly once);
+    ``kernel_mr``/``kernel_nr`` the micro-kernel shape used.  Padding means
+    the kernel computes more than the cell (the overhang is wasted work on a
+    scratch buffer, the OpenBLAS-style penalty of Figure 5a).
+    """
+
+    row: int
+    col: int
+    rows: int
+    cols: int
+    kernel_mr: int
+    kernel_nr: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("placed tile must be non-empty")
+        if self.kernel_mr < self.rows or self.kernel_nr < self.cols:
+            raise ValueError("kernel smaller than the cell it covers")
+
+    @property
+    def padded(self) -> bool:
+        return self.kernel_mr != self.rows or self.kernel_nr != self.cols
+
+    @property
+    def padding_flops(self) -> int:
+        """Wasted multiply-accumulates per unit k (padding penalty)."""
+        return self.kernel_mr * self.kernel_nr - self.rows * self.cols
+
+    @property
+    def ai_max(self) -> float:
+        """Asymptotic AI of the executed kernel shape."""
+        return ai_max(self.kernel_mr, self.kernel_nr)
+
+
+@dataclass
+class TilePlan:
+    """An exact cover of an ``(m, n)`` region by placed micro-tiles."""
+
+    m: int
+    n: int
+    tiles: list[PlacedTile] = field(default_factory=list)
+    strategy: str = ""
+
+    def __post_init__(self) -> None:
+        if self.m < 1 or self.n < 1:
+            raise ValueError("plan region must be non-empty")
+
+    def __len__(self) -> int:
+        return len(self.tiles)
+
+    def __iter__(self):
+        return iter(self.tiles)
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.tiles)
+
+    def low_ai_tiles(self, sigma_ai: float) -> list[PlacedTile]:
+        """Tiles whose kernel shape cannot reach peak on a chip with the
+        given AI threshold (the LIBXSMM-style edge penalty of Figure 5b)."""
+        return [t for t in self.tiles if t.ai_max < sigma_ai]
+
+    @property
+    def padded_tiles(self) -> list[PlacedTile]:
+        return [t for t in self.tiles if t.padded]
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless the plan covers the region exactly."""
+        errors = coverage_errors(self.m, self.n, self.tiles)
+        if errors:
+            raise ValueError(
+                f"invalid plan ({self.strategy!r}): " + "; ".join(errors[:5])
+            )
+
+    def model_cost(self, model, kc: int, rotate: bool = True) -> float:
+        """Projected cycles of executing the plan once (Eqn 13 spirit):
+        the sum of the per-tile model costs."""
+        return sum(
+            model.tile_cost(t.kernel_mr, t.kernel_nr, kc, rotate=rotate)
+            for t in self.tiles
+        )
+
+
+def coverage_errors(m: int, n: int, tiles: Iterable[PlacedTile]) -> list[str]:
+    """Check that ``tiles`` cover ``m x n`` exactly once; return messages."""
+    import numpy as np
+
+    seen = np.zeros((m, n), dtype=np.int16)
+    errors: list[str] = []
+    for t in tiles:
+        if t.row < 0 or t.col < 0 or t.row + t.rows > m or t.col + t.cols > n:
+            errors.append(
+                f"tile at ({t.row},{t.col}) size {t.rows}x{t.cols} out of bounds"
+            )
+            continue
+        seen[t.row : t.row + t.rows, t.col : t.col + t.cols] += 1
+    uncovered = np.argwhere(seen == 0)
+    for r, c in uncovered[:10]:
+        errors.append(f"cell ({r},{c}) uncovered")
+    multi = np.argwhere(seen > 1)
+    for r, c in multi[:10]:
+        errors.append(f"cell ({r},{c}) covered {seen[r, c]} times")
+    if len(uncovered) > 10 or len(multi) > 10:
+        errors.append(
+            f"... {len(uncovered)} uncovered / {len(multi)} multi-covered in total"
+        )
+    return errors

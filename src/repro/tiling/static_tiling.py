@@ -1,0 +1,82 @@
+"""Static micro-tiling strategies (Figure 5a/5b baselines).
+
+* :func:`openblas_tiling` -- one fixed main tile; edge cells are *padded* to
+  the full kernel shape (redundant work on a zero-padded scratch buffer).
+* :func:`libxsmm_tiling` -- one fixed main tile; edge rows/columns run
+  remainder-sized kernels, which can have very low arithmetic intensity.
+
+Both cover the region exactly (plans validate), differing only in how the
+edges are paid for -- padding flops vs low-AI kernels -- which is precisely
+the trade-off DMT (Figure 5c) dissolves.
+"""
+
+from __future__ import annotations
+
+from ..codegen.tiles import TileShape
+from .plans import PlacedTile, TilePlan
+
+__all__ = ["openblas_tiling", "libxsmm_tiling", "DEFAULT_MAIN_TILE"]
+
+#: OpenBLAS's armv8 sgemm kernel uses an 8x8-ish register block; the paper's
+#: Figure 5 illustration uses 5x16 for all three strategies, which we follow.
+DEFAULT_MAIN_TILE = (5, 16)
+
+
+def openblas_tiling(
+    m: int, n: int, tile: tuple[int, int] = DEFAULT_MAIN_TILE
+) -> TilePlan:
+    """Fixed-tile cover with padded edges (Figure 5a).
+
+    Every grid cell runs the full ``tile`` kernel; cells that stick out past
+    the region boundary still compute the full tile into padded buffers.
+    """
+    mr, nr = tile
+    plan = TilePlan(m, n, strategy=f"openblas-{mr}x{nr}")
+    for r0 in range(0, m, mr):
+        rows = min(mr, m - r0)
+        for c0 in range(0, n, nr):
+            cols = min(nr, n - c0)
+            plan.tiles.append(
+                PlacedTile(
+                    row=r0, col=c0, rows=rows, cols=cols, kernel_mr=mr, kernel_nr=nr
+                )
+            )
+    plan.validate()
+    return plan
+
+
+def libxsmm_tiling(
+    m: int, n: int, tile: tuple[int, int] = DEFAULT_MAIN_TILE
+) -> TilePlan:
+    """Fixed-tile cover with remainder-sized edge kernels (Figure 5b).
+
+    Interior cells run the main tile; the last row band and column band run
+    kernels exactly the size of the remainder, so no work is wasted but the
+    edge kernels may have very low arithmetic intensity (e.g. ``1 x 16``).
+    """
+    mr, nr = tile
+    plan = TilePlan(m, n, strategy=f"libxsmm-{mr}x{nr}")
+    for r0 in range(0, m, mr):
+        rows = min(mr, m - r0)
+        for c0 in range(0, n, nr):
+            cols = min(nr, n - c0)
+            plan.tiles.append(
+                PlacedTile(
+                    row=r0,
+                    col=c0,
+                    rows=rows,
+                    cols=cols,
+                    kernel_mr=rows,
+                    kernel_nr=cols,
+                )
+            )
+    plan.validate()
+    return plan
+
+
+def tile_for_chip(sigma_lane: int) -> TileShape:
+    """The default main tile for a SIMD width: 5x16 on NEON, the analogous
+    high-AI shape on 512-bit SVE."""
+    if sigma_lane == 4:
+        return TileShape(5, 16, 4)
+    return TileShape(5, sigma_lane, sigma_lane)

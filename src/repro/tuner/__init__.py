@@ -1,0 +1,31 @@
+"""TVM-style auto-tuning: search space, Eqn 13 pruning, GBT model, annealing."""
+
+from .annealing import anneal
+from .gbt import GradientBoostedTrees, RegressionTree, featurize_schedule
+from .prune import model_cost, prune
+from .records import RecordStore, TuningRecord, schedule_from_dict, schedule_to_dict
+from .sketch import Sketch, SketchTuner, generate_sketches
+from .space import SearchSpace, candidate_blocks, divisors
+from .tuner import AutoTuner, Trial, TuneResult
+
+__all__ = [
+    "anneal",
+    "GradientBoostedTrees",
+    "RegressionTree",
+    "featurize_schedule",
+    "model_cost",
+    "prune",
+    "RecordStore",
+    "TuningRecord",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "Sketch",
+    "SketchTuner",
+    "generate_sketches",
+    "SearchSpace",
+    "candidate_blocks",
+    "divisors",
+    "AutoTuner",
+    "Trial",
+    "TuneResult",
+]

@@ -1,0 +1,62 @@
+"""Simulated annealing over the schedule space.
+
+AutoTVM proposes measurement candidates by annealing on its learned cost
+model rather than measuring blindly; we reproduce that loop: starting from
+the model-pruned seeds, random local moves are accepted with Metropolis
+probability under a geometric temperature decay, and the best ``batch``
+distinct schedules visited are returned for measurement.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable
+
+from ..gemm.schedule import Schedule
+from .space import SearchSpace
+
+__all__ = ["anneal"]
+
+
+def anneal(
+    space: SearchSpace,
+    objective: Callable[[Schedule], float],
+    seeds: list[Schedule],
+    batch: int = 8,
+    steps: int = 200,
+    t_start: float = 1.0,
+    t_min: float = 0.02,
+    seed: int = 0,
+) -> list[Schedule]:
+    """Return up to ``batch`` promising distinct schedules.
+
+    ``objective`` maps a schedule to predicted cost (lower is better) --
+    typically the GBT model's prediction, falling back to the analytic
+    model before any measurements exist.
+    """
+    if not seeds:
+        raise ValueError("anneal needs at least one seed schedule")
+    rng = random.Random(seed)
+    decay = (t_min / t_start) ** (1.0 / max(1, steps))
+
+    best_seen: dict[Schedule, float] = {}
+    for chain_seed in seeds:
+        current = chain_seed
+        current_cost = objective(current)
+        best_seen.setdefault(current, current_cost)
+        temperature = t_start
+        scale = max(abs(current_cost), 1e-9)
+        for _ in range(max(1, steps // len(seeds))):
+            candidate = space.neighbours(current, rng)
+            cost = best_seen.get(candidate)
+            if cost is None:
+                cost = objective(candidate)
+                best_seen[candidate] = cost
+            delta = (cost - current_cost) / scale
+            if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+                current, current_cost = candidate, cost
+            temperature *= decay
+
+    ranked = sorted(best_seen.items(), key=lambda kv: kv[1])
+    return [sched for sched, _ in ranked[:batch]]

@@ -1,0 +1,179 @@
+"""Gradient-boosted regression trees, from scratch.
+
+AutoTVM's cost model is XGBoost; no network access means no XGBoost, so we
+implement the part the tuner needs: depth-limited regression trees greedily
+minimising squared error, boosted stage-wise on residuals with shrinkage.
+Pure numpy, deterministic, and small -- the tuner fits on at most a few
+hundred samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RegressionTree", "GradientBoostedTrees", "featurize_schedule"]
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a prediction, internal nodes a split."""
+
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RegressionTree:
+    """CART-style regression tree minimising within-node variance."""
+
+    def __init__(self, max_depth: int = 4, min_samples_leaf: int = 3) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._root: _Node | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or y.ndim != 1 or len(x) != len(y):
+            raise ValueError("x must be (n, d), y must be (n,)")
+        self._root = self._build(x, y, depth=0)
+        return self
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf:
+            return node
+        best_gain, best_feat, best_thr = 0.0, -1, 0.0
+        base_sse = float(((y - y.mean()) ** 2).sum())
+        for feat in range(x.shape[1]):
+            column = x[:, feat]
+            order = np.argsort(column, kind="stable")
+            xs, ys = column[order], y[order]
+            # candidate thresholds between distinct neighbouring values
+            csum = np.cumsum(ys)
+            csum2 = np.cumsum(ys**2)
+            total, total2 = csum[-1], csum2[-1]
+            n = len(ys)
+            for i in range(self.min_samples_leaf, n - self.min_samples_leaf + 1):
+                if i < n and xs[i - 1] == xs[i]:
+                    continue
+                left_sse = csum2[i - 1] - csum[i - 1] ** 2 / i
+                right_n = n - i
+                right_sum = total - csum[i - 1]
+                right_sse = (total2 - csum2[i - 1]) - right_sum**2 / right_n
+                gain = base_sse - (left_sse + right_sse)
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best_feat = feat
+                    best_thr = (xs[i - 1] + xs[i]) / 2.0
+        if best_feat < 0:
+            return node
+        mask = x[:, best_feat] <= best_thr
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return node
+        node.feature = best_feat
+        node.threshold = best_thr
+        node.left = self._build(x[mask], y[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        out = np.empty(len(x))
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+
+@dataclass
+class GradientBoostedTrees:
+    """Stage-wise boosting of regression trees on squared-error residuals."""
+
+    n_estimators: int = 50
+    learning_rate: float = 0.15
+    max_depth: int = 4
+    min_samples_leaf: int = 3
+    _trees: list[RegressionTree] = field(default_factory=list, repr=False)
+    _base: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        self._trees = []
+        self._base = float(y.mean())
+        residual = y - self._base
+        for _ in range(self.n_estimators):
+            tree = RegressionTree(self.max_depth, self.min_samples_leaf).fit(
+                x, residual
+            )
+            pred = tree.predict(x)
+            if np.allclose(pred, 0.0):
+                break
+            self._trees.append(tree)
+            residual = residual - self.learning_rate * pred
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        out = np.full(len(x), self._base)
+        for tree in self._trees:
+            out += self.learning_rate * tree.predict(x)
+        return out
+
+    @property
+    def fitted(self) -> bool:
+        return bool(self._trees)
+
+
+def featurize_schedule(schedule, m: int, n: int, k: int, chip) -> np.ndarray:
+    """Numeric features of a schedule for the cost model.
+
+    Log-scaled block sizes and ratios, cache-fit indicators, loop-order
+    positions, and packing mode -- the knobs that determine performance on
+    the substrate.
+    """
+    s = schedule.clipped(m, n, k)
+    b_bytes = 4 * s.kc * s.nc
+    a_bytes = 4 * s.mc * s.kc
+    c_bytes = 4 * s.mc * s.nc
+    order_pos = {dim: i for i, dim in enumerate(s.loop_order)}
+    packing_code = {"none": 0.0, "online": 1.0, "offline": 2.0}[s.packing.value]
+    return np.array(
+        [
+            np.log2(s.mc),
+            np.log2(s.nc),
+            np.log2(s.kc),
+            np.log2(max(1, m // s.mc)),
+            np.log2(max(1, n // s.nc)),
+            np.log2(max(1, k // s.kc)),
+            float(m % s.mc == 0),
+            float(n % s.nc == 0),
+            float(k % s.kc == 0),
+            float(b_bytes <= chip.l1d_bytes // 2),
+            float(a_bytes + b_bytes <= chip.l2_bytes // 2 if chip.l2_bytes else 0.0),
+            float(c_bytes <= chip.l1d_bytes // 2),
+            order_pos["mc"],
+            order_pos["nc"],
+            order_pos["kc"],
+            float(order_pos["mr"] < order_pos["nr"]),
+            packing_code,
+            float(s.rotate),
+            float(s.fuse),
+        ],
+        dtype=np.float64,
+    )

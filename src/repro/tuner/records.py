@@ -1,0 +1,148 @@
+"""Tuning-record persistence (the AutoTVM log-file role).
+
+Real TVM deployments tune once and replay the best schedules from a log;
+this module serialises :class:`~repro.tuner.tuner.TuneResult` trials to a
+JSON-lines file keyed by (chip, M, N, K) and loads them back, so repeated
+sessions skip the search.  The format is append-only and
+forward-compatible: unknown keys are ignored on load.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..gemm.packing import PackingMode
+from ..gemm.schedule import Schedule
+from .tuner import TuneResult
+
+__all__ = ["TuningRecord", "schedule_to_dict", "schedule_from_dict", "RecordStore"]
+
+
+def schedule_to_dict(schedule: Schedule) -> dict:
+    """JSON-safe encoding of a schedule."""
+    return {
+        "mc": schedule.mc,
+        "nc": schedule.nc,
+        "kc": schedule.kc,
+        "loop_order": list(schedule.loop_order),
+        "packing": schedule.packing.value,
+        "rotate": schedule.rotate,
+        "fuse": schedule.fuse,
+        "use_dmt": schedule.use_dmt,
+        "lookahead": schedule.lookahead,
+        "main_tile": list(schedule.main_tile) if schedule.main_tile else None,
+        "static_edges": schedule.static_edges,
+    }
+
+
+def schedule_from_dict(data: dict) -> Schedule:
+    """Decode a schedule; unknown keys are ignored."""
+    return Schedule(
+        mc=int(data["mc"]),
+        nc=int(data["nc"]),
+        kc=int(data["kc"]),
+        loop_order=tuple(data.get("loop_order", ("nc", "kc", "mc", "mr", "nr"))),
+        packing=PackingMode(data.get("packing", "none")),
+        rotate=bool(data.get("rotate", True)),
+        fuse=bool(data.get("fuse", True)),
+        use_dmt=bool(data.get("use_dmt", True)),
+        lookahead=bool(data.get("lookahead", True)),
+        main_tile=tuple(data["main_tile"]) if data.get("main_tile") else None,
+        static_edges=data.get("static_edges", "shrink"),
+    )
+
+
+@dataclass(frozen=True)
+class TuningRecord:
+    """One persisted tuning outcome."""
+
+    chip: str
+    m: int
+    n: int
+    k: int
+    cycles: float
+    schedule: Schedule
+
+    @property
+    def key(self) -> tuple[str, int, int, int]:
+        return (self.chip, self.m, self.n, self.k)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "chip": self.chip,
+                "m": self.m,
+                "n": self.n,
+                "k": self.k,
+                "cycles": self.cycles,
+                "schedule": schedule_to_dict(self.schedule),
+            }
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TuningRecord":
+        data = json.loads(line)
+        return cls(
+            chip=data["chip"],
+            m=int(data["m"]),
+            n=int(data["n"]),
+            k=int(data["k"]),
+            cycles=float(data["cycles"]),
+            schedule=schedule_from_dict(data["schedule"]),
+        )
+
+
+class RecordStore:
+    """Append-only JSON-lines store of best-known schedules."""
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self._best: dict[tuple[str, int, int, int], TuningRecord] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            record = TuningRecord.from_json(line)
+            self._keep_best(record)
+
+    def _keep_best(self, record: TuningRecord) -> None:
+        current = self._best.get(record.key)
+        if current is None or record.cycles < current.cycles:
+            self._best[record.key] = record
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def lookup(self, chip: str, m: int, n: int, k: int) -> TuningRecord | None:
+        """Best known record for a problem, or None."""
+        return self._best.get((chip, m, n, k))
+
+    def add(self, record: TuningRecord) -> None:
+        """Persist a record (appended; the in-memory view keeps the best)."""
+        self._keep_best(record)
+        with self.path.open("a") as fh:
+            fh.write(record.to_json() + "\n")
+
+    def add_result(
+        self, chip: str, m: int, n: int, k: int, result: TuneResult
+    ) -> TuningRecord:
+        record = TuningRecord(
+            chip=chip, m=m, n=n, k=k, cycles=result.cycles, schedule=result.schedule
+        )
+        self.add(record)
+        return record
+
+    def records(self) -> Iterable[TuningRecord]:
+        return list(self._best.values())
+
+    def compact(self) -> None:
+        """Rewrite the file keeping only the best record per key."""
+        lines = [r.to_json() for r in self._best.values()]
+        self.path.write_text("\n".join(lines) + ("\n" if lines else ""))

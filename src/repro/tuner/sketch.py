@@ -1,0 +1,237 @@
+"""Ansor-style sketch generation + evolutionary search (alternative tuner).
+
+AutoTVM (the paper's §II-B path, reproduced in :mod:`repro.tuner.tuner`)
+proposes candidates by annealing around measured points.  Ansor [40], which
+the paper cites alongside it, instead enumerates a small set of structural
+*sketches* and fills their free parameters by evolutionary search under a
+learned cost model.  This module reproduces that second search style on the
+same schedule space, so the two can be compared head-to-head (the sample-
+efficiency ablation in the benches).
+
+A sketch here fixes the *structural* schedule decisions -- loop-order family
+and packing mode, plus the pipeline options -- and leaves the numeric block
+sizes ``(m_c, n_c, k_c)`` as holes.  Evolution fills the holes: tournament
+selection, block-size crossover, and divisor-ladder mutation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gemm.estimator import GemmEstimator
+from ..gemm.packing import PackingMode
+from ..gemm.schedule import Schedule
+from ..machine.chips import ChipSpec
+from .gbt import GradientBoostedTrees, featurize_schedule
+from .prune import model_cost
+from .space import SearchSpace
+from .tuner import Trial, TuneResult
+
+__all__ = ["Sketch", "generate_sketches", "SketchTuner"]
+
+#: The loop-order families worth distinguishing at block level (the 120
+#: permutations collapse to the relative order of mc/nc/kc plus the tile
+#: traversal; see Schedule.block_order).
+_ORDER_FAMILIES: tuple[tuple[str, ...], ...] = (
+    ("nc", "kc", "mc", "mr", "nr"),  # B-panel resident (Goto)
+    ("mc", "kc", "nc", "mr", "nr"),  # A-panel resident
+    ("kc", "nc", "mc", "mr", "nr"),  # reduction-outer
+    ("nc", "mc", "kc", "nr", "mr"),  # column-major tiles
+)
+
+
+@dataclass(frozen=True)
+class Sketch:
+    """Structural schedule decisions with block-size holes."""
+
+    loop_order: tuple[str, ...]
+    packing: PackingMode
+    rotate: bool = True
+    fuse: bool = True
+
+    def instantiate(self, mc: int, nc: int, kc: int) -> Schedule:
+        return Schedule(
+            mc=mc,
+            nc=nc,
+            kc=kc,
+            loop_order=self.loop_order,
+            packing=self.packing,
+            rotate=self.rotate,
+            fuse=self.fuse,
+        )
+
+
+def generate_sketches(m: int, n: int, k: int, chip: ChipSpec) -> list[Sketch]:
+    """Enumerate structural sketches, filtered by Ansor-style rules.
+
+    Rules: packing is only sketched when N is wide enough to repay it (the
+    paper's §IV-C2 skip rule); the reduction-outer order is only sketched
+    when K has multiple blocks to iterate.
+    """
+    sketches = []
+    packings = [PackingMode.NONE]
+    if n >= 8 * chip.sigma_lane:
+        packings += [PackingMode.ONLINE, PackingMode.OFFLINE]
+    for order in _ORDER_FAMILIES:
+        if order[0] == "kc" and k <= chip.l1d_bytes // (8 * chip.sigma_lane):
+            continue
+        for packing in packings:
+            sketches.append(Sketch(loop_order=order, packing=packing))
+    return sketches
+
+
+@dataclass
+class _Individual:
+    schedule: Schedule
+    fitness: float | None = None  # predicted or measured cost (lower = better)
+
+
+class SketchTuner:
+    """Evolutionary schedule search over sketch instantiations."""
+
+    def __init__(
+        self,
+        chip: ChipSpec,
+        estimator: GemmEstimator | None = None,
+        population: int = 24,
+        mutation_rate: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if population < 4:
+            raise ValueError("population must be >= 4")
+        self.chip = chip
+        self.estimator = estimator if estimator is not None else GemmEstimator(chip)
+        self.population = population
+        self.mutation_rate = mutation_rate
+        self.seed = seed
+
+    # -- evolution primitives ----------------------------------------------
+    def _seed_population(
+        self, space: SearchSpace, sketches: list[Sketch], rng: random.Random
+    ) -> list[Schedule]:
+        out = []
+        for i in range(self.population):
+            sketch = sketches[i % len(sketches)]
+            out.append(
+                sketch.instantiate(
+                    rng.choice(space.mc_candidates),
+                    rng.choice(space.nc_candidates),
+                    rng.choice(space.kc_candidates),
+                )
+            )
+        return out
+
+    @staticmethod
+    def _crossover(a: Schedule, b: Schedule, rng: random.Random) -> Schedule:
+        """Mix block sizes between parents; structure comes from parent a."""
+        return Schedule(
+            mc=rng.choice((a.mc, b.mc)),
+            nc=rng.choice((a.nc, b.nc)),
+            kc=rng.choice((a.kc, b.kc)),
+            loop_order=a.loop_order,
+            packing=a.packing,
+            rotate=a.rotate,
+            fuse=a.fuse,
+        )
+
+    @staticmethod
+    def _mutate(s: Schedule, space: SearchSpace, rng: random.Random) -> Schedule:
+        dim = rng.randrange(3)
+        if dim == 0:
+            return Schedule(
+                mc=SearchSpace._step(space.mc_candidates, s.mc, rng),
+                nc=s.nc, kc=s.kc, loop_order=s.loop_order, packing=s.packing,
+                rotate=s.rotate, fuse=s.fuse,
+            )
+        if dim == 1:
+            return Schedule(
+                mc=s.mc, nc=SearchSpace._step(space.nc_candidates, s.nc, rng),
+                kc=s.kc, loop_order=s.loop_order, packing=s.packing,
+                rotate=s.rotate, fuse=s.fuse,
+            )
+        return Schedule(
+            mc=s.mc, nc=s.nc,
+            kc=SearchSpace._step(space.kc_candidates, s.kc, rng),
+            loop_order=s.loop_order, packing=s.packing,
+            rotate=s.rotate, fuse=s.fuse,
+        )
+
+    # -- main loop ------------------------------------------------------------
+    def tune(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        budget: int = 32,
+        generations: int = 6,
+        measure_per_generation: int = 4,
+    ) -> TuneResult:
+        """Evolve schedules within a measurement budget.
+
+        Each generation evolves the population under the current cost
+        predictor (the analytic Eqn 13 model until enough measurements
+        exist, the GBT afterwards) and measures its
+        ``measure_per_generation`` best unmeasured members.
+        """
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        rng = random.Random(self.seed)
+        space = SearchSpace(m=m, n=n, k=k, chip=self.chip)
+        sketches = generate_sketches(m, n, k, self.chip)
+        pop = self._seed_population(space, sketches, rng)
+
+        measured: dict[Schedule, float] = {}
+        trials: list[Trial] = []
+        gbt = GradientBoostedTrees()
+
+        def predict(s: Schedule) -> float:
+            if s in measured:
+                return measured[s]
+            if gbt.fitted:
+                feats = featurize_schedule(s, m, n, k, self.chip)
+                return float(np.exp(gbt.predict(feats[None, :])[0]))
+            return model_cost(s, m, n, k, self.chip)
+
+        def measure(s: Schedule, generation: int) -> None:
+            if s in measured or len(trials) >= budget:
+                return
+            cycles = self.estimator.estimate(m, n, k, schedule=s).cycles
+            measured[s] = cycles
+            trials.append(Trial(schedule=s, cycles=cycles, round=generation))
+
+        for generation in range(generations):
+            if len(trials) >= budget:
+                break
+            ranked = sorted(pop, key=predict)
+            for s in ranked[:measure_per_generation]:
+                measure(s, generation)
+            if len(measured) >= 8:
+                x = np.array(
+                    [featurize_schedule(s, m, n, k, self.chip) for s in measured]
+                )
+                y = np.log(np.array(list(measured.values())))
+                gbt.fit(x, y)
+
+            # next generation: elitism + crossover + mutation
+            elites = ranked[: max(2, self.population // 4)]
+            children: list[Schedule] = list(elites)
+            while len(children) < self.population:
+                a, b = rng.sample(elites, 2) if len(elites) >= 2 else (elites[0], elites[0])
+                child = self._crossover(a, b, rng)
+                if rng.random() < self.mutation_rate:
+                    child = self._mutate(child, space, rng)
+                children.append(child)
+            pop = children
+
+        # Spend any remaining budget on the best unmeasured predictions.
+        for s in sorted(set(pop), key=predict):
+            measure(s, generations)
+        if not trials:
+            fallback = pop[0]
+            measure(fallback, generations)
+
+        best = min(trials, key=lambda t: t.cycles)
+        return TuneResult(schedule=best.schedule, cycles=best.cycles, trials=trials)

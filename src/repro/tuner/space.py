@@ -1,0 +1,154 @@
+"""The tuning search space (paper §IV-C2).
+
+Cache blocks are divisor-constrained exactly as the paper states
+(``0 < m_c <= M, M % m_c == 0`` and likewise for ``n_c``/``k_c``), loop
+order ranges over all ``5! = 120`` permutations, and packing over the three
+modes.  The full cross product is huge for large problems -- which is the
+point of the Eqn 13 model pruning in :mod:`repro.tuner.prune`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator, Sequence
+
+from ..gemm.packing import PackingMode
+from ..gemm.schedule import Schedule, all_loop_orders
+from ..machine.chips import ChipSpec
+
+__all__ = ["divisors", "candidate_blocks", "SearchSpace"]
+
+
+@lru_cache(maxsize=4096)
+def divisors(x: int) -> tuple[int, ...]:
+    """All positive divisors of ``x``, ascending."""
+    if x < 1:
+        raise ValueError("x must be positive")
+    small, large = [], []
+    d = 1
+    while d * d <= x:
+        if x % d == 0:
+            small.append(d)
+            if d != x // d:
+                large.append(x // d)
+        d += 1
+    return tuple(small + large[::-1])
+
+
+def candidate_blocks(
+    extent: int, chip: ChipSpec, min_block: int = 1, max_candidates: int = 16
+) -> tuple[int, ...]:
+    """Divisor-constrained block sizes for one dimension, thinned to at most
+    ``max_candidates`` (geometrically spread) to keep the cross product sane."""
+    divs = [d for d in divisors(extent) if d >= min_block]
+    if not divs:
+        divs = [extent]
+    if len(divs) <= max_candidates:
+        return tuple(divs)
+    step = (len(divs) - 1) / (max_candidates - 1)
+    picked = sorted({divs[round(i * step)] for i in range(max_candidates)})
+    return tuple(picked)
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """The full tuning space for one problem shape on one chip."""
+
+    m: int
+    n: int
+    k: int
+    chip: ChipSpec
+    loop_orders: tuple[tuple[str, ...], ...] = ()
+    packings: tuple[PackingMode, ...] = (
+        PackingMode.NONE,
+        PackingMode.ONLINE,
+        PackingMode.OFFLINE,
+    )
+    max_blocks_per_dim: int = 12
+
+    def __post_init__(self) -> None:
+        if not self.loop_orders:
+            object.__setattr__(self, "loop_orders", tuple(all_loop_orders()))
+
+    @property
+    def mc_candidates(self) -> tuple[int, ...]:
+        return candidate_blocks(self.m, self.chip, max_candidates=self.max_blocks_per_dim)
+
+    @property
+    def nc_candidates(self) -> tuple[int, ...]:
+        lane = self.chip.sigma_lane
+        return candidate_blocks(
+            self.n, self.chip, min_block=min(lane, self.n),
+            max_candidates=self.max_blocks_per_dim,
+        )
+
+    @property
+    def kc_candidates(self) -> tuple[int, ...]:
+        return candidate_blocks(self.k, self.chip, max_candidates=self.max_blocks_per_dim)
+
+    @property
+    def size(self) -> int:
+        """Cardinality of the (thinned) cross product."""
+        return (
+            len(self.mc_candidates)
+            * len(self.nc_candidates)
+            * len(self.kc_candidates)
+            * len(self.loop_orders)
+            * len(self.packings)
+        )
+
+    def __iter__(self) -> Iterator[Schedule]:
+        for mc, nc, kc, order, packing in itertools.product(
+            self.mc_candidates,
+            self.nc_candidates,
+            self.kc_candidates,
+            self.loop_orders,
+            self.packings,
+        ):
+            yield Schedule(mc=mc, nc=nc, kc=kc, loop_order=order, packing=packing)
+
+    def sample(self, count: int, seed: int = 0) -> list[Schedule]:
+        """Uniform random sample of schedules (without full enumeration)."""
+        import random
+
+        rng = random.Random(seed)
+        out = []
+        for _ in range(count):
+            out.append(
+                Schedule(
+                    mc=rng.choice(self.mc_candidates),
+                    nc=rng.choice(self.nc_candidates),
+                    kc=rng.choice(self.kc_candidates),
+                    loop_order=rng.choice(self.loop_orders),
+                    packing=rng.choice(self.packings),
+                )
+            )
+        return out
+
+    def neighbours(self, schedule: Schedule, rng) -> Schedule:
+        """One random local move (annealing neighbourhood)."""
+        move = rng.randrange(5)
+        mc, nc, kc = schedule.mc, schedule.nc, schedule.kc
+        order = schedule.loop_order
+        packing = schedule.packing
+        if move == 0:
+            mc = self._step(self.mc_candidates, mc, rng)
+        elif move == 1:
+            nc = self._step(self.nc_candidates, nc, rng)
+        elif move == 2:
+            kc = self._step(self.kc_candidates, kc, rng)
+        elif move == 3:
+            order = rng.choice(self.loop_orders)
+        else:
+            packing = rng.choice(self.packings)
+        return Schedule(mc=mc, nc=nc, kc=kc, loop_order=order, packing=packing)
+
+    @staticmethod
+    def _step(candidates: Sequence[int], current: int, rng) -> int:
+        if current not in candidates:
+            return rng.choice(candidates)
+        i = candidates.index(current)
+        j = max(0, min(len(candidates) - 1, i + rng.choice((-1, 1))))
+        return candidates[j]

@@ -1,0 +1,165 @@
+"""The auto-tuning driver (paper §IV-C): model-pruned, GBT-guided search.
+
+The loop mirrors AutoTVM's structure with the paper's Eqn 13 pruning bolted
+on the front:
+
+1. **seed** -- sample the divisor-constrained space and rank by the analytic
+   Eqn 13 model; only the top sliver is ever measured (the pruning that
+   "drops the tuning time dramatically");
+2. **measure** -- a candidate's cost is its kernel-level-simulated cycle
+   count from :class:`~repro.gemm.estimator.GemmEstimator` (the stand-in for
+   running on hardware);
+3. **learn** -- a gradient-boosted-trees cost model fits all measurements;
+4. **propose** -- simulated annealing on the learned model surfaces the next
+   measurement batch;
+5. repeat until the trial budget is spent; return the best schedule seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gemm.estimator import GemmEstimator
+from ..gemm.schedule import Schedule
+from ..machine.chips import ChipSpec
+from .annealing import anneal
+from .gbt import GradientBoostedTrees, featurize_schedule
+from .prune import model_cost, prune
+from .space import SearchSpace
+
+__all__ = ["Trial", "TuneResult", "AutoTuner"]
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One measured schedule."""
+
+    schedule: Schedule
+    cycles: float
+    round: int
+
+
+@dataclass
+class TuneResult:
+    """Outcome of a tuning run."""
+
+    schedule: Schedule
+    cycles: float
+    trials: list[Trial] = field(default_factory=list)
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+    def best_by_round(self) -> list[float]:
+        """Best cycles seen after each trial (convergence curve)."""
+        best = float("inf")
+        curve = []
+        for t in self.trials:
+            best = min(best, t.cycles)
+            curve.append(best)
+        return curve
+
+
+class AutoTuner:
+    """Model-pruned, learning-guided schedule search for one chip."""
+
+    def __init__(
+        self,
+        chip: ChipSpec,
+        estimator: GemmEstimator | None = None,
+        use_model_pruning: bool = True,
+        use_cost_model: bool = True,
+    ) -> None:
+        self.chip = chip
+        self.estimator = estimator if estimator is not None else GemmEstimator(chip)
+        self.use_model_pruning = use_model_pruning
+        self.use_cost_model = use_cost_model
+
+    def measure(self, schedule: Schedule, m: int, n: int, k: int) -> float:
+        """Measured cost of one candidate: simulated cycles."""
+        return self.estimator.estimate(m, n, k, schedule=schedule).cycles
+
+    def tune(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        budget: int = 64,
+        batch: int = 8,
+        seed: int = 0,
+        threads: int = 1,
+    ) -> TuneResult:
+        """Search for the best schedule within ``budget`` measurements."""
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        space = SearchSpace(m=m, n=n, k=k, chip=self.chip)
+
+        # Seeding: sample broadly, prune with the analytic Eqn 13 model.
+        sample_count = min(max(4 * budget, 64), 512)
+        candidates = space.sample(sample_count, seed=seed)
+        if self.use_model_pruning:
+            seeds = prune(candidates, m, n, k, self.chip, keep=max(batch, budget // 4))
+        else:
+            seeds = candidates[: max(batch, budget // 4)]
+
+        trials: list[Trial] = []
+        measured: dict[Schedule, float] = {}
+        gbt = GradientBoostedTrees()
+        rnd = 0
+
+        def run_batch(batch_schedules: list[Schedule]) -> None:
+            nonlocal rnd
+            for sched in batch_schedules:
+                if len(trials) >= budget:
+                    return
+                if sched in measured:
+                    continue
+                cycles = self.measure(sched, m, n, k)
+                measured[sched] = cycles
+                trials.append(Trial(schedule=sched, cycles=cycles, round=rnd))
+            rnd += 1
+
+        run_batch(seeds[:batch])
+
+        while len(trials) < budget:
+            if self.use_cost_model and len(trials) >= 8:
+                x = np.array(
+                    [featurize_schedule(t.schedule, m, n, k, self.chip) for t in trials]
+                )
+                y = np.log(np.array([t.cycles for t in trials]))
+                gbt.fit(x, y)
+
+                def objective(s: Schedule) -> float:
+                    if s in measured:
+                        return float(np.log(measured[s]))
+                    feats = featurize_schedule(s, m, n, k, self.chip)
+                    return float(gbt.predict(feats[None, :])[0])
+
+            else:
+
+                def objective(s: Schedule) -> float:
+                    return model_cost(s, m, n, k, self.chip)
+
+            chain_seeds = [
+                t.schedule for t in sorted(trials, key=lambda t: t.cycles)[:4]
+            ]
+            proposals = anneal(
+                space,
+                objective,
+                seeds=chain_seeds,
+                batch=batch * 2,
+                seed=seed + rnd,
+            )
+            fresh = [s for s in proposals if s not in measured]
+            if not fresh:
+                fresh = [s for s in space.sample(batch, seed=seed + 1000 + rnd)
+                         if s not in measured]
+                if not fresh:
+                    break
+            run_batch(fresh[:batch])
+
+        best = min(trials, key=lambda t: t.cycles)
+        return TuneResult(schedule=best.schedule, cycles=best.cycles, trials=trials)

@@ -1,0 +1,33 @@
+"""Workload definitions: Table V ResNet-50 shapes, small sweeps, synthetic."""
+
+from .bert import (
+    BERT_BASE,
+    BERT_LARGE,
+    BertConfig,
+    attention_head_gemm,
+    encoder_layer_gemms,
+)
+from .irregular import long_rectangle, mixed_suite, small_matrices, tall_skinny
+from .resnet50 import LARGE_K_LAYERS, RESNET50_LAYERS, LayerShape, layer
+from .small import FIG6_SHAPES, FIG7_BLOCKS, FIG7_KC, FIG8_SIZES, small_cube_sizes
+
+__all__ = [
+    "BERT_BASE",
+    "BERT_LARGE",
+    "BertConfig",
+    "attention_head_gemm",
+    "encoder_layer_gemms",
+    "long_rectangle",
+    "mixed_suite",
+    "small_matrices",
+    "tall_skinny",
+    "LARGE_K_LAYERS",
+    "RESNET50_LAYERS",
+    "LayerShape",
+    "layer",
+    "FIG6_SHAPES",
+    "FIG7_BLOCKS",
+    "FIG7_KC",
+    "FIG8_SIZES",
+    "small_cube_sizes",
+]

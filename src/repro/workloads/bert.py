@@ -1,0 +1,62 @@
+"""BERT transformer GEMM shapes (extension workload).
+
+The paper names BERT [23] among the sources of mismatched / irregular GEMM
+dimensions.  These are the batch-1 inference GEMMs of one encoder layer at
+common sequence lengths: QKV/output projections (``hidden x seq x hidden``),
+the FFN pair (``4h x seq x h`` and ``h x seq x 4h``), and the attention
+score/context products per head (small ``seq x seq x d_head`` GEMMs, a
+natural :class:`~repro.gemm.batched.BatchedGemm` workload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .resnet50 import LayerShape
+
+__all__ = ["BertConfig", "BERT_BASE", "BERT_LARGE", "encoder_layer_gemms", "attention_head_gemm"]
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    """Transformer dimensions."""
+
+    name: str
+    hidden: int
+    heads: int
+    ffn: int
+
+    @property
+    def d_head(self) -> int:
+        return self.hidden // self.heads
+
+
+BERT_BASE = BertConfig("bert-base", hidden=768, heads=12, ffn=3072)
+BERT_LARGE = BertConfig("bert-large", hidden=1024, heads=16, ffn=4096)
+
+
+def encoder_layer_gemms(config: BertConfig, seq_len: int = 128) -> list[LayerShape]:
+    """The dense GEMMs of one encoder layer (weights-major, batch 1).
+
+    Weight matrices multiply from the left in the TNN/ONNX lowering, so
+    M = output features, N = sequence length, K = input features -- the
+    same tall-skinny / long-rectangle classes as Table V.
+    """
+    if seq_len < 1:
+        raise ValueError("seq_len must be positive")
+    h, f = config.hidden, config.ffn
+    return [
+        LayerShape(f"{config.name}.q", h, seq_len, h),
+        LayerShape(f"{config.name}.k", h, seq_len, h),
+        LayerShape(f"{config.name}.v", h, seq_len, h),
+        LayerShape(f"{config.name}.attn_out", h, seq_len, h),
+        LayerShape(f"{config.name}.ffn_up", f, seq_len, h),
+        LayerShape(f"{config.name}.ffn_down", h, seq_len, f),
+    ]
+
+
+def attention_head_gemm(config: BertConfig, seq_len: int = 128) -> tuple[LayerShape, int]:
+    """The per-head score GEMM (``seq x seq x d_head``) and how many of
+    them one layer runs -- a batched small-GEMM workload."""
+    shape = LayerShape(f"{config.name}.scores", seq_len, seq_len, config.d_head)
+    return shape, config.heads

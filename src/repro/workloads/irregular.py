@@ -1,0 +1,57 @@
+"""Synthetic irregular-shape generators.
+
+Property tests and extended benches draw from the three irregularity
+classes the paper names (§II-A): tall-skinny, long-rectangle, and small
+(every dimension at most ~80, fitting last-level cache).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .resnet50 import LayerShape
+
+__all__ = ["tall_skinny", "long_rectangle", "small_matrices", "mixed_suite"]
+
+
+def tall_skinny(count: int = 6, seed: int = 0) -> list[LayerShape]:
+    """N >> M shapes (transformed FC / im2col activations)."""
+    rng = random.Random(seed)
+    shapes = []
+    for i in range(count):
+        m = rng.choice([16, 32, 64, 96, 128])
+        n = m * rng.choice([16, 32, 64])
+        k = rng.choice([32, 64, 128, 256])
+        shapes.append(LayerShape(f"ts{i}", m, n, k))
+    return shapes
+
+
+def long_rectangle(count: int = 6, seed: int = 1) -> list[LayerShape]:
+    """M >> N shapes (weight-major layouts, attention projections)."""
+    rng = random.Random(seed)
+    shapes = []
+    for i in range(count):
+        n = rng.choice([16, 32, 49, 64])
+        m = n * rng.choice([16, 32, 64])
+        k = rng.choice([64, 128, 256, 512])
+        shapes.append(LayerShape(f"lr{i}", m, n, k))
+    return shapes
+
+
+def small_matrices(count: int = 8, seed: int = 2) -> list[LayerShape]:
+    """Every dimension <= 80 (the LIBXSMM regime)."""
+    rng = random.Random(seed)
+    return [
+        LayerShape(
+            f"sm{i}",
+            rng.randrange(4, 81),
+            rng.randrange(4, 81),
+            rng.randrange(4, 81),
+        )
+        for i in range(count)
+    ]
+
+
+def mixed_suite(seed: int = 3) -> list[LayerShape]:
+    """A balanced suite across the three classes."""
+    return tall_skinny(4, seed) + long_rectangle(4, seed + 1) + small_matrices(4, seed + 2)

@@ -1,0 +1,73 @@
+"""Table V: the 20 irregular GEMM shapes of ResNet-50.
+
+These are the im2col-lowered convolution shapes the paper benchmarks in
+Figure 9 (single- and multi-core), the roofline (Figure 10, layers L4, L8,
+L10, L16) and the scaling study (Figure 11, layer L1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LayerShape", "RESNET50_LAYERS", "layer", "LARGE_K_LAYERS"]
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """One GEMM problem extracted from a network layer."""
+
+    name: str
+    m: int
+    n: int
+    k: int
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.m * self.n * self.k
+
+    @property
+    def kind(self) -> str:
+        """Irregularity class: tall-skinny, long-rectangle, or small."""
+        big, small = max(self.m, self.n), min(self.m, self.n)
+        if big <= 128 and self.k <= 128:
+            return "small"
+        if big >= 8 * small:
+            return "tall-skinny" if self.n > self.m else "long-rectangle"
+        return "rectangular"
+
+
+#: Table V, verbatim.
+RESNET50_LAYERS: tuple[LayerShape, ...] = (
+    LayerShape("L1", 64, 12544, 147),
+    LayerShape("L2", 64, 3136, 64),
+    LayerShape("L3", 64, 3136, 576),
+    LayerShape("L4", 256, 3136, 64),
+    LayerShape("L5", 64, 3136, 256),
+    LayerShape("L6", 128, 784, 256),
+    LayerShape("L7", 128, 784, 1152),
+    LayerShape("L8", 512, 784, 128),
+    LayerShape("L9", 512, 784, 256),
+    LayerShape("L10", 128, 784, 512),
+    LayerShape("L11", 256, 196, 512),
+    LayerShape("L12", 256, 196, 2304),
+    LayerShape("L13", 1024, 196, 256),
+    LayerShape("L14", 1024, 196, 512),
+    LayerShape("L15", 256, 196, 1024),
+    LayerShape("L16", 512, 49, 1024),
+    LayerShape("L17", 512, 49, 4608),
+    LayerShape("L18", 2048, 49, 512),
+    LayerShape("L19", 2048, 49, 1024),
+    LayerShape("L20", 512, 49, 2048),
+)
+
+#: The large-K layers whose multi-core performance the paper flags as
+#: degraded (no K parallelism: L7, L12, L17, L20).
+LARGE_K_LAYERS = ("L7", "L12", "L17", "L20")
+
+
+def layer(name: str) -> LayerShape:
+    """Look a Table V layer up by name (e.g. ``"L4"``)."""
+    for shape in RESNET50_LAYERS:
+        if shape.name == name:
+            return shape
+    raise KeyError(f"unknown ResNet-50 layer {name!r}")

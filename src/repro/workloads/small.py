@@ -1,0 +1,53 @@
+"""Small-matrix workloads: the Figure 6/7/8 sweeps.
+
+The paper's small-matrix evaluation runs cubes from (1,1,1) to
+(128,128,128); the step-wise study (Figure 6) sweeps the K dimension at
+fixed M = N; the micro-tiling study (Figure 7) uses specific M x N blocks.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "small_cube_sizes",
+    "FIG6_SHAPES",
+    "FIG7_BLOCKS",
+    "FIG8_SIZES",
+]
+
+
+def small_cube_sizes(limit: int = 128) -> list[int]:
+    """The M = N = K sizes of the Figure 8 sweep (denser at the small end)."""
+    sizes = [1, 2, 4, 8, 12, 16, 20, 24, 32, 40, 48, 64, 80, 96, 112, 128]
+    return [s for s in sizes if s <= limit]
+
+
+#: Figure 6: (M, N, K) shapes for the step-wise pipeline study -- the
+#: K sweep at N = 64 includes the KP920 L1-overflow point (K = 256), and
+#: K = 4 exercises the epilogue-fusion gain the paper quantifies.
+FIG6_SHAPES: tuple[tuple[int, int, int], ...] = (
+    (64, 64, 4),
+    (64, 64, 8),
+    (64, 64, 16),
+    (64, 64, 32),
+    (64, 64, 64),
+    (64, 64, 128),
+    (64, 64, 256),
+)
+
+#: Figure 7: sub-matrix blocks for the micro-tiling strategy comparison.
+#: 80x32 and 25x64 tile identically under all three strategies (no gain);
+#: 26x64 is the worked example of Figure 5.
+FIG7_BLOCKS: tuple[tuple[int, int], ...] = (
+    (80, 32),
+    (25, 64),
+    (26, 64),
+    (26, 36),
+    (30, 40),
+    (33, 70),
+    (47, 52),
+)
+
+#: Figure 7 runs each block with this K depth.
+FIG7_KC = 64
+
+FIG8_SIZES = small_cube_sizes(128)

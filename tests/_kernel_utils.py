@@ -1,0 +1,76 @@
+"""Kernel-execution helpers shared by the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.microkernel import ARG_REGS, generate_microkernel
+from repro.machine.cache import CacheHierarchy
+from repro.machine.chips import GRAVITON2
+from repro.machine.memory import Memory
+from repro.machine.simulator import Simulator
+
+
+def run_kernel(
+    mr: int,
+    nr: int,
+    kc: int,
+    chip=GRAVITON2,
+    seed: int = 0,
+    accumulate: bool = True,
+    rotate: bool = False,
+    lookahead: bool = True,
+    warm: bool = True,
+    lda_pad: int = 0,
+    ldb_pad: int = 0,
+    ldc_pad: int = 0,
+):
+    """Generate, execute and time one micro-kernel against fresh operands.
+
+    Returns ``(result_matrix, expected_matrix, timing)``.
+    """
+    lane = chip.sigma_lane
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1, 1, (mr, kc)).astype(np.float32)
+    b = rng.uniform(-1, 1, (kc, nr)).astype(np.float32)
+    c = rng.uniform(-1, 1, (mr, nr)).astype(np.float32)
+
+    memory = Memory()
+    h_a = memory.alloc_matrix(mr, kc, kc + lda_pad)
+    h_b = memory.alloc_matrix(kc, nr, nr + ldb_pad)
+    h_c = memory.alloc_matrix(mr, nr, nr + ldc_pad)
+    memory.write_matrix(h_a, a)
+    memory.write_matrix(h_b, b)
+    memory.write_matrix(h_c, c)
+
+    kernel = generate_microkernel(
+        mr,
+        nr,
+        kc,
+        lane=lane,
+        accumulate=accumulate,
+        rotate=rotate,
+        sigma_ai=chip.sigma_ai,
+        lookahead=lookahead,
+    )
+    sim = Simulator(memory, vector_lanes=lane)
+    args = {
+        ARG_REGS["A"]: h_a.base,
+        ARG_REGS["B"]: h_b.base,
+        ARG_REGS["C"]: h_c.base,
+        ARG_REGS["lda"]: h_a.ld,
+        ARG_REGS["ldb"]: h_b.ld,
+        ARG_REGS["ldc"]: h_c.ld,
+    }
+    caches = CacheHierarchy(chip)
+    if warm:
+        for h in (h_a, h_b, h_c):
+            caches.warm_range(h.base, h.bytes_spanned)
+    result = sim.run_timed(kernel.program, chip, args=args, caches=caches)
+    expected = ((c if accumulate else 0) + a @ b).astype(np.float32)
+    return memory.read_matrix(h_c), expected, result.timing
+
+
+def kernel_tolerance(kc: int) -> float:
+    """Relative tolerance for float32 GEMM with reassociated accumulation."""
+    return 1e-6 * max(1.0, np.sqrt(float(kc))) * 10

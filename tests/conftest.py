@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.chips import ALL_CHIPS, GRAVITON2, KP920
+
+
+@pytest.fixture
+def kp920():
+    return KP920
+
+
+@pytest.fixture
+def graviton2():
+    return GRAVITON2
+
+
+@pytest.fixture(params=sorted(ALL_CHIPS), ids=sorted(ALL_CHIPS))
+def any_chip(request):
+    return ALL_CHIPS[request.param]

@@ -1,0 +1,65 @@
+"""Metrics and reporting helpers."""
+
+import pytest
+
+from repro.analysis import (
+    efficiency,
+    format_series,
+    format_table,
+    geomean,
+    gflops,
+    parallel_efficiency,
+    speedup,
+)
+from repro.machine.chips import GRAVITON2
+
+
+class TestMetrics:
+    def test_gflops(self):
+        assert gflops(2 * 10**9, 1.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            gflops(1, 0.0)
+
+    def test_efficiency(self):
+        assert efficiency(GRAVITON2.peak_gflops_core, GRAVITON2) == pytest.approx(1.0)
+        assert efficiency(GRAVITON2.peak_gflops_core, GRAVITON2, cores=2) == pytest.approx(0.5)
+
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == 2.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_parallel_efficiency(self):
+        assert parallel_efficiency(8.0, 1.0, 8) == pytest.approx(1.0)
+        assert parallel_efficiency(8.0, 2.0, 8) == pytest.approx(0.5)
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, -1.0])
+
+
+class TestReporting:
+    def test_table_alignment(self):
+        out = format_table(["name", "x"], [["a", 1], ["bb", 22]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len({len(l) for l in lines[2:]}) <= 2  # consistent width
+
+    def test_empty_table(self):
+        out = format_table(["a", "b"], [])
+        assert out.splitlines()[0] == "a  b"
+
+    def test_ragged_row_rejected_gracefully(self):
+        # rows narrower than headers raise IndexError rather than garbling
+        import pytest as _pytest
+
+        with _pytest.raises(IndexError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_series(self):
+        s = format_series("eff", [8, 16], [0.5, 0.75])
+        assert "8=0.5" in s and "16=0.75" in s

@@ -1,0 +1,96 @@
+"""Trace report: agreement with the timing model and stall attribution."""
+
+import numpy as np
+import pytest
+
+from _kernel_utils import run_kernel
+from repro.analysis.trace_report import analyze_trace
+from repro.codegen.microkernel import ARG_REGS, generate_microkernel
+from repro.machine.cache import CacheHierarchy
+from repro.machine.chips import GRAVITON2, KP920
+from repro.machine.memory import Memory
+from repro.machine.pipeline import PipelineModel
+from repro.machine.simulator import Simulator
+
+
+def traced_kernel(mr, nr, kc, chip, rotate=False, lookahead=True):
+    rng = np.random.default_rng(0)
+    mem = Memory()
+    h_a = mem.alloc_matrix(mr, kc)
+    h_b = mem.alloc_matrix(kc, nr)
+    h_c = mem.alloc_matrix(mr, nr)
+    mem.write_matrix(h_a, rng.uniform(-1, 1, (mr, kc)).astype(np.float32))
+    mem.write_matrix(h_b, rng.uniform(-1, 1, (kc, nr)).astype(np.float32))
+    mem.write_matrix(h_c, np.zeros((mr, nr), np.float32))
+    kernel = generate_microkernel(
+        mr, nr, kc, rotate=rotate, lookahead=lookahead, sigma_ai=chip.sigma_ai
+    )
+    sim = Simulator(mem)
+    args = {
+        ARG_REGS["A"]: h_a.base,
+        ARG_REGS["B"]: h_b.base,
+        ARG_REGS["C"]: h_c.base,
+        ARG_REGS["lda"]: h_a.ld,
+        ARG_REGS["ldb"]: h_b.ld,
+        ARG_REGS["ldc"]: h_c.ld,
+    }
+    caches = CacheHierarchy(chip)
+    for h in (h_a, h_b, h_c):
+        caches.warm_range(h.base, h.bytes_spanned)
+    return sim.run(kernel.program, args=args).trace, caches
+
+
+class TestAgreementWithPipeline:
+    @pytest.mark.parametrize("mr,nr", [(5, 16), (2, 16), (8, 8)])
+    def test_cycles_match_timing_model(self, mr, nr):
+        chip = KP920
+        trace, caches = traced_kernel(mr, nr, 32, chip)
+        trace2, caches2 = traced_kernel(mr, nr, 32, chip)
+        timing = PipelineModel(chip, caches=caches).time_trace(trace)
+        report = analyze_trace(trace2, chip, caches=caches2)
+        assert report.cycles == pytest.approx(timing.cycles)
+        assert report.instructions == timing.instructions
+        assert report.loads_by_level == timing.loads_by_level
+
+
+class TestAttribution:
+    def test_compute_bound_kernel_busy_on_fma(self):
+        trace, caches = traced_kernel(5, 16, 64, GRAVITON2)
+        report = analyze_trace(trace, GRAVITON2, caches=caches)
+        assert report.occupancy("fma") > 0.8
+        assert report.occupancy("fma") > report.occupancy("load")
+
+    def test_naive_kernel_has_more_raw_stall(self):
+        """Without load lookahead the FMA stream waits on its own loads:
+        RAW stall cycles grow versus the software-pipelined kernel.  (A
+        saturated kernel's dominant 'delay' is always queueing behind its
+        own busiest unit; the pipeline difference shows up in RAW.)"""
+        trace_n, caches_n = traced_kernel(5, 16, 64, KP920, lookahead=False)
+        trace_p, caches_p = traced_kernel(5, 16, 64, KP920, lookahead=True)
+        naive = analyze_trace(trace_n, KP920, caches=caches_n)
+        piped = analyze_trace(trace_p, KP920, caches=caches_p)
+        assert naive.stall_by_cause["raw"] > piped.stall_by_cause["raw"]
+        assert naive.cycles > piped.cycles
+
+    def test_summary_renders(self):
+        trace, caches = traced_kernel(4, 8, 8, GRAVITON2)
+        report = analyze_trace(trace, GRAVITON2, caches=caches)
+        text = report.summary()
+        assert "occupancy" in text and "cycles" in text
+
+    def test_rotation_reduces_waw_share_on_kp920(self):
+        trace_b, caches_b = traced_kernel(2, 16, 64, KP920, rotate=False)
+        trace_r, caches_r = traced_kernel(2, 16, 64, KP920, rotate=True)
+        base = analyze_trace(trace_b, KP920, caches=caches_b)
+        rot = analyze_trace(trace_r, KP920, caches=caches_r)
+        assert rot.stall_by_cause["waw"] <= base.stall_by_cause["waw"]
+
+
+class TestEdgeCases:
+    def test_empty_trace(self):
+        from repro.isa.program import Trace
+
+        report = analyze_trace(Trace(), KP920)
+        assert report.cycles == 0.0
+        assert report.dominant_stall in ("none", "raw", "waw", "unit", "window")
+        assert report.occupancy("fma") == 0.0

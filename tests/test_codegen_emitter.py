@@ -1,0 +1,53 @@
+"""C++ emission: the Listing 1 artefact contract."""
+
+import re
+
+from repro.codegen.emitter import clobber_list, emit_cpp
+from repro.codegen.microkernel import generate_microkernel
+from repro.isa.assembler import assemble
+
+
+def test_function_signature_matches_listing1():
+    kernel = generate_microkernel(5, 16, 32)
+    src = kernel.cpp_source()
+    assert "void MicroKernel_5x16x32(" in src
+    assert "const float *A, const float *B, float *C" in src
+    assert "long lda, long ldb, long ldc" in src
+
+
+def test_operand_bindings_present():
+    src = generate_microkernel(4, 8, 8).cpp_source()
+    for operand in ('[A] "+r"(A)', '[B] "+r"(B)', '[C] "+r"(C)', '[lda] "+r"(lda)'):
+        assert operand in src
+
+
+def test_clobbers_cover_used_registers():
+    kernel = generate_microkernel(5, 16, 16)
+    clobbers = clobber_list(kernel)
+    assert "cc" in clobbers and "memory" in clobbers
+    top = kernel.program.max_vreg_index()
+    assert f"v{top}" in clobbers
+    assert "x6" in clobbers  # first pointer register
+    assert "x0" not in clobbers  # operands are not clobbers
+
+
+def test_asm_block_reassembles():
+    """The asm text inside the C++ block is valid for our assembler."""
+    kernel = generate_microkernel(6, 12, 20, rotate=True)
+    src = emit_cpp(kernel)
+    lines = re.findall(r'^\s*"(.*)\\n"$', src, re.MULTILINE)
+    text = "\n".join(lines)
+    reparsed = assemble(text)
+    assert reparsed.instructions == kernel.program.instructions
+
+
+def test_metadata_comment():
+    src = generate_microkernel(5, 16, 8, rotate=True).cpp_source()
+    assert "rotate = true" in src
+    assert "Tile 5x16" in src
+
+
+def test_braces_balanced():
+    src = generate_microkernel(2, 8, 4).cpp_source()
+    assert src.count("{") == src.count("}")
+    assert src.count("(") == src.count(")")

@@ -1,0 +1,112 @@
+"""Epilogue/prologue fusion (§III-C2): trace surgery and timing effect."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.fusion import boundary_modes, fuse_traces, split_boundary
+from repro.codegen.microkernel import ARG_REGS, generate_microkernel
+from repro.isa.instructions import Unit
+from repro.machine.cache import CacheHierarchy
+from repro.machine.chips import KP920
+from repro.machine.memory import Memory
+from repro.machine.pipeline import PipelineModel
+from repro.machine.simulator import Simulator
+from repro.model.perf_model import fusion_kind
+
+
+def trace_for(mr, nr, kc, seed=0):
+    rng = np.random.default_rng(seed)
+    mem = Memory()
+    h_a = mem.alloc_matrix(mr, kc)
+    h_b = mem.alloc_matrix(kc, nr)
+    h_c = mem.alloc_matrix(mr, nr)
+    mem.write_matrix(h_a, rng.uniform(-1, 1, (mr, kc)).astype(np.float32))
+    mem.write_matrix(h_b, rng.uniform(-1, 1, (kc, nr)).astype(np.float32))
+    mem.write_matrix(h_c, np.zeros((mr, nr), np.float32))
+    kernel = generate_microkernel(mr, nr, kc)
+    sim = Simulator(mem)
+    args = {
+        ARG_REGS["A"]: h_a.base,
+        ARG_REGS["B"]: h_b.base,
+        ARG_REGS["C"]: h_c.base,
+        ARG_REGS["lda"]: h_a.ld,
+        ARG_REGS["ldb"]: h_b.ld,
+        ARG_REGS["ldc"]: h_c.ld,
+    }
+    return sim.run(kernel.program, args=args).trace
+
+
+class TestSplitBoundary:
+    def test_partition_is_complete(self):
+        trace = trace_for(5, 16, 8)
+        pro, body, stores = split_boundary(trace)
+        assert len(pro) + len(body) + len(stores) == len(trace)
+
+    def test_prologue_has_no_fma(self):
+        pro, _, _ = split_boundary(trace_for(5, 16, 8))
+        assert all(e.instr.unit is not Unit.FMA for e in pro)
+
+    def test_tail_is_all_stores(self):
+        _, _, stores = split_boundary(trace_for(5, 16, 8))
+        assert stores and all(e.instr.unit is Unit.STORE for e in stores)
+        assert len(stores) == 5 * 4  # the C tile
+
+
+class TestFuseTraces:
+    def test_preserves_every_instruction(self):
+        traces = [trace_for(5, 16, 8, seed=i) for i in range(3)]
+        fused = fuse_traces(traces)
+        assert len(fused) == sum(len(t) for t in traces)
+        assert fused.flops == sum(t.flops for t in traces)
+
+    def test_empty(self):
+        assert len(fuse_traces([])) == 0
+
+    def test_single_trace_order_preserved(self):
+        t = trace_for(4, 8, 8)
+        fused = fuse_traces([t])
+        assert [e.instr for e in fused.entries] == [e.instr for e in t.entries]
+
+    def test_boundary_interleaves_stores_with_next_prologue(self):
+        t1, t2 = trace_for(5, 16, 8, 0), trace_for(5, 16, 8, 1)
+        fused = fuse_traces([t1, t2])
+        _, _, stores1 = split_boundary(t1)
+        # find the first store of t1's epilogue in the fused stream; a
+        # prologue instruction of t2 must appear before the last store.
+        units = [e.instr.unit for e in fused.entries]
+        first_store = units.index(Unit.STORE)
+        last_store = len(units) - 1 - units[::-1].index(Unit.STORE)
+        between = units[first_store:last_store]
+        assert Unit.LOAD in between or Unit.ALU in between
+
+    def test_fusion_reduces_cycles_on_kp920(self):
+        """The core §III-C2 claim: fused sequences beat launch-per-tile."""
+        chip = KP920
+        traces = [trace_for(5, 16, 4, seed=i) for i in range(6)]
+        caches = CacheHierarchy(chip)
+        caches.warm_range(0, 1 << 16, 1)
+        fused_timing = PipelineModel(chip, caches=caches, launch_cycles=40).time_trace(
+            fuse_traces(traces)
+        )
+        separate = 0.0
+        caches2 = CacheHierarchy(chip)
+        caches2.warm_range(0, 1 << 16, 1)
+        for t in traces:
+            separate += PipelineModel(
+                chip, caches=caches2, launch_cycles=40
+            ).time_trace(t).cycles
+        assert fused_timing.cycles < separate
+
+
+class TestModes:
+    def test_fusion_kind_names(self):
+        assert fusion_kind(True, True) == "c_to_c"
+        assert fusion_kind(False, False) == "m_to_m"
+        assert fusion_kind(True, False) == "c_to_m"
+        assert fusion_kind(False, True) == "m_to_c"
+
+    def test_boundary_modes_sequence(self):
+        k_c = generate_microkernel(5, 16, 8, sigma_ai=6.0)  # AI 7.62: compute
+        k_m = generate_microkernel(2, 16, 8, sigma_ai=6.0)  # AI 3.56: memory
+        modes = boundary_modes([k_c, k_m, k_m, k_c])
+        assert modes == ["c_to_m", "m_to_m", "m_to_c"]

@@ -1,0 +1,63 @@
+"""SVE convenience layer and SVE-specific kernel behaviour."""
+
+import numpy as np
+import pytest
+
+from _kernel_utils import kernel_tolerance, run_kernel
+from repro.codegen.sve import (
+    generate_sve_microkernel,
+    sve_first_choice_tiles,
+    sve_lane_count,
+    sve_tiles,
+)
+from repro.isa.registers import ZReg
+from repro.machine.chips import A64FX, KP920
+
+
+def test_lane_count():
+    assert sve_lane_count(A64FX) == 16
+    with pytest.raises(ValueError):
+        sve_lane_count(KP920)
+
+
+def test_sve_tiles_lane_aligned():
+    for tile in sve_tiles(A64FX):
+        assert tile.nr % 16 == 0
+        assert tile.registers <= 32
+
+
+def test_first_choice_tiles_nonempty_and_high_ai():
+    tiles = sve_first_choice_tiles(A64FX)
+    assert tiles
+    assert all(t.ai_max >= 5.0 for t in tiles)
+
+
+def test_sve_kernel_uses_z_registers():
+    kernel = generate_sve_microkernel(4, 32, 16, A64FX)
+    assert any(
+        isinstance(reg, ZReg)
+        for instr in kernel.program
+        for reg in (*instr.reads(), *instr.writes())
+    )
+    text = kernel.program.asm()
+    assert "ld1w" in text and "st1w" in text
+
+
+def test_sve_kernel_functional():
+    got, want, _ = run_kernel(4, 32, 20, chip=A64FX, rotate=True)
+    err = np.abs(got - want).max() / max(1e-30, np.abs(want).max())
+    assert err < kernel_tolerance(20)
+
+
+def test_sve_predicated_tail_functional():
+    # nr = 40: two z-vectors, second with 8 of 16 lanes active.
+    got, want, _ = run_kernel(3, 40, 7, chip=A64FX)
+    err = np.abs(got - want).max() / max(1e-30, np.abs(want).max())
+    assert err < kernel_tolerance(7)
+
+
+def test_a64fx_prefers_deep_mr_tiles():
+    """A64FX's 9-cycle FMA latency needs long accumulator rotations: the
+    best-AI SVE tiles have enough parallel accumulators to cover it."""
+    best = sve_first_choice_tiles(A64FX)[0]
+    assert best.mr * best.nv >= 16

@@ -1,0 +1,132 @@
+"""Tile enumeration and AI maths (Table II, Eqns 2-3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.tiles import (
+    REGISTER_BUDGET,
+    TileShape,
+    ai,
+    ai_max,
+    enumerate_tiles,
+    first_choice_tiles,
+    is_feasible,
+    registers_used,
+    table2,
+)
+
+
+class TestEqn2:
+    @pytest.mark.parametrize(
+        "mr,nr,expected",
+        [
+            (8, 8, 8.00),
+            (6, 12, 8.00),
+            (5, 16, 7.62),
+            (4, 20, 6.67),
+            (2, 16, 3.56),
+            (2, 4, 2.67),
+            (3, 8, 4.36),
+            (7, 8, 7.47),
+        ],
+    )
+    def test_table2_values(self, mr, nr, expected):
+        assert ai_max(mr, nr) == pytest.approx(expected, abs=0.005)
+
+    def test_table2_reproduction(self):
+        t = table2()
+        assert t[(8, 8)] == 8.00
+        assert t[(5, 16)] == 7.62
+        assert (5, 20) not in t  # infeasible: the '-' cells
+        assert (4, 24) not in t
+        assert (6, 16) not in t
+
+
+class TestEqn3:
+    def test_converges_to_ai_max(self):
+        assert ai(5, 16, 10**6) == pytest.approx(ai_max(5, 16), rel=1e-3)
+
+    def test_small_kc_below_ai_max(self):
+        assert ai(5, 16, 4) < ai_max(5, 16)
+
+    @settings(max_examples=40, deadline=None)
+    @given(mr=st.integers(1, 8), nv=st.integers(1, 5), kc=st.integers(1, 511))
+    def test_monotone_in_kc(self, mr, nv, kc):
+        nr = 4 * nv
+        assert ai(mr, nr, kc) <= ai(mr, nr, kc + 1) + 1e-12
+
+    def test_invalid_kc(self):
+        with pytest.raises(ValueError):
+            ai(5, 16, 0)
+
+
+class TestRegisterBudget:
+    def test_usage_formula(self):
+        # 5x16: 20 accumulators + 5 A + 4 B = 29
+        assert registers_used(5, 16) == 29
+        assert registers_used(8, 8) == 26
+
+    def test_feasibility_excludes_budget_violations(self):
+        assert is_feasible(5, 16)
+        assert not is_feasible(5, 20)  # 25 + 5 + 5 = 35 > 32
+        assert not is_feasible(6, 16)
+        assert not is_feasible(5, 15)  # not lane-aligned
+
+    def test_58_feasible_neon_tiles(self):
+        """The count the paper states below Eqn 2."""
+        assert len(enumerate_tiles(4)) == 58
+
+    @settings(max_examples=60, deadline=None)
+    @given(mr=st.integers(1, 31), nv=st.integers(1, 31))
+    def test_feasible_iff_budget(self, mr, nv):
+        nr = 4 * nv
+        assert is_feasible(mr, nr) == (registers_used(mr, nr) <= REGISTER_BUDGET)
+
+    def test_all_enumerated_fit_budget(self):
+        for tile in enumerate_tiles(4):
+            assert tile.registers <= REGISTER_BUDGET
+            assert tile.nr % tile.lane == 0
+
+
+class TestFirstChoice:
+    def test_neon_blue_tiles(self):
+        """The four blue-highlighted shapes of Table II."""
+        chosen = {(t.mr, t.nr) for t in first_choice_tiles(4)}
+        assert chosen == {(8, 8), (6, 12), (5, 16), (4, 20)}
+
+    def test_sve_first_choices_fit_budget(self):
+        for tile in first_choice_tiles(16):
+            assert tile.registers <= REGISTER_BUDGET
+            assert tile.nr % 16 == 0
+
+
+class TestTileShape:
+    def test_nv_and_tail(self):
+        t = TileShape(5, 16, 4)
+        assert t.nv == 4 and t.tail_lanes == 4
+        t2 = TileShape(5, 14, 4)
+        assert t2.nv == 4 and t2.tail_lanes == 2
+
+    def test_compute_bound_threshold(self):
+        assert TileShape(8, 8).compute_bound(6.5)
+        assert not TileShape(2, 16).compute_bound(6.5)
+
+    def test_ordering_by_ai(self):
+        tiles = enumerate_tiles(4)
+        ais = [t.ai_max for t in tiles]
+        assert ais == sorted(ais, reverse=True)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            TileShape(0, 16)
+
+    def test_sve_lane_count(self):
+        tiles = enumerate_tiles(16)
+        assert all(t.nr % 16 == 0 for t in tiles)
+        # budget formula is lane-independent in (mr, nv) space
+        assert len(tiles) == len(
+            [t for t in enumerate_tiles(4)]
+        )

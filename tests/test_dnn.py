@@ -1,0 +1,145 @@
+"""DNN substrate: op lowering, model structure, Figure 12 invariants."""
+
+import pytest
+
+from repro.dnn import (
+    Conv2d,
+    Dense,
+    NetworkRunner,
+    OtherOp,
+    build_model,
+    run_network,
+)
+from repro.dnn.models import MODELS
+from repro.machine.chips import GRAVITON2, KP920
+from repro.workloads.resnet50 import layer
+
+
+class TestConvLowering:
+    def test_resnet_l2_shape(self):
+        """ResNet-50's 3x3/64ch conv at 56x56 must reproduce Table V L2."""
+        conv = Conv2d("L2", in_channels=64, out_channels=64, in_h=56, in_w=56)
+        shape = conv.gemm_shape()
+        l2 = layer("L3")  # 64 x 3136 x 576: the 3x3 one
+        assert shape.n == 3136
+        assert (shape.m, shape.k) == (64, 64 * 9)
+        assert (shape.m, shape.n, shape.k) == (l2.m, l2.n, l2.k)
+
+    def test_1x1_conv(self):
+        conv = Conv2d("pw", 256, 64, 56, 56, kernel=1, padding=0)
+        shape = conv.gemm_shape()
+        assert (shape.m, shape.n, shape.k) == (64, 3136, 256)  # Table V L5 transposed family
+
+    def test_strided_conv_output(self):
+        conv = Conv2d("s2", 3, 32, 224, 224, kernel=3, stride=2, padding=1)
+        assert conv.out_h == 112
+
+    def test_dense_lowering(self):
+        d = Dense("fc", 2048, 1000)
+        assert (d.gemm_shape().m, d.gemm_shape().n, d.gemm_shape().k) == (1000, 1, 2048)
+
+
+class TestOtherOps:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            OtherOp("x", "fft", 100)
+
+    def test_threads_reduce_time(self):
+        op = OtherOp("relu", "relu", 10**6)
+        assert op.cycles(KP920, threads=4) < op.cycles(KP920, threads=1)
+
+    def test_seconds_positive(self):
+        assert OtherOp("p", "pool", 1000).seconds(KP920) > 0
+
+
+class TestModels:
+    @pytest.mark.parametrize("key", list(MODELS))
+    def test_buildable_with_gemm_and_other(self, key):
+        net = build_model(key)
+        assert net.gemm_ops and net.other_ops
+
+    def test_resnet50_uses_table_v(self):
+        net = build_model("N1")
+        names = [op.shape.name for op in net.gemm_ops]
+        for expected in [f"L{i}" for i in range(1, 21)]:
+            assert expected in names
+
+    def test_mobilenet_depthwise_is_other(self):
+        net = build_model("N3")
+        assert any(op.kind == "depthwise" for op in net.other_ops)
+
+    def test_build_by_name(self):
+        assert build_model("SqueezeNet").name == "SqueezeNet"
+        with pytest.raises(KeyError):
+            build_model("VGG")
+
+    def test_gemm_flops_positive(self):
+        assert build_model("N4").gemm_flops > 10**8
+
+    def test_inception_v4_extension(self):
+        net = build_model("N5")
+        assert net.name == "InceptionV4"
+        assert net.gemm_flops > build_model("N2").gemm_flops  # deeper than V3
+
+    def test_bert_encoder_extension(self):
+        net = build_model("N6")
+        assert net.name.startswith("BERT")
+        kinds = {op.kind for op in net.other_ops}
+        assert {"layernorm", "gelu", "softmax"} <= kinds
+        assert len(net.gemm_ops) == 12 * 6  # 6 projections per layer
+
+    def test_gemm_workload_extraction(self):
+        shapes = build_model("N1").gemm_workload()
+        assert [s.name for s in shapes][:3] == ["L1", "L2", "L3"]
+        assert all(s.flops > 0 for s in shapes)
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def timings(self):
+        net = build_model("N4")  # SqueezeNet: smallest
+        auto = run_network(net, KP920, "autoGEMM")
+        openblas = run_network(net, KP920, "OpenBLAS")
+        return auto, openblas
+
+    def test_t_other_backend_invariant(self, timings):
+        """Figure 12: 'the time consumed by Other is identical for both
+        OpenBLAS and autoGEMM'."""
+        auto, openblas = timings
+        assert auto.t_other == pytest.approx(openblas.t_other, rel=1e-12)
+
+    def test_autogemm_shrinks_t_gemm(self, timings):
+        auto, openblas = timings
+        assert auto.t_gemm < openblas.t_gemm
+
+    def test_decomposition_sums(self, timings):
+        auto, _ = timings
+        assert auto.total == pytest.approx(auto.t_gemm + auto.t_other)
+        assert len(auto.ops) > 0
+
+    def test_normalised_fractions(self, timings):
+        auto, openblas = timings
+        g, o = auto.normalized_to(openblas)
+        assert 0 < g < 1 and 0 < o < 1
+
+    def test_fallback_for_restricted_backend(self):
+        """LibShalom cannot run every conv shape; the runner must fall back
+        rather than fail."""
+        net = build_model("N4")
+        t = run_network(net, KP920, "LibShalom")
+        assert t.total > 0
+
+    def test_runner_caches_shapes(self):
+        runner = NetworkRunner(KP920, "autoGEMM")
+        net = build_model("N4")
+        runner.run(net)
+        before = dict(runner._gemm_seconds_cache)
+        runner.run(net)
+        assert runner._gemm_seconds_cache == before
+
+    def test_threads_speed_up_inference(self):
+        net = build_model("N4")
+        runner = NetworkRunner(GRAVITON2, "autoGEMM")
+        t1 = runner.run(net, threads=1)
+        t8 = runner.run(net, threads=8)
+        assert t8.total < t1.total

@@ -1,0 +1,94 @@
+"""Functional conv -> GEMM lowering on the simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnn.lowering import conv2d_direct, conv2d_via_gemm, im2col
+from repro.dnn.ops import Conv2d
+from repro.machine.chips import GRAVITON2
+
+
+def random_conv(c_in, c_out, hw, k, seed=0):
+    rng = np.random.default_rng(seed)
+    image = rng.uniform(-1, 1, (c_in, hw, hw)).astype(np.float32)
+    weights = rng.uniform(-1, 1, (c_out, c_in, k, k)).astype(np.float32)
+    return image, weights
+
+
+class TestIm2col:
+    def test_shape(self):
+        image, _ = random_conv(3, 4, 8, 3)
+        cols = im2col(image, kernel=3, stride=1, padding=1)
+        assert cols.shape == (3 * 9, 8 * 8)
+
+    def test_identity_kernel_1x1(self):
+        image, _ = random_conv(2, 2, 5, 1)
+        cols = im2col(image, kernel=1, stride=1, padding=0)
+        np.testing.assert_array_equal(cols, image.reshape(2, -1))
+
+    def test_kernel_too_big(self):
+        image, _ = random_conv(1, 1, 4, 3)
+        with pytest.raises(ValueError):
+            im2col(image, kernel=9, stride=1, padding=0)
+
+    def test_stride_downsamples(self):
+        image, _ = random_conv(1, 1, 8, 3)
+        cols = im2col(image, kernel=3, stride=2, padding=1)
+        assert cols.shape[1] == 4 * 4
+
+
+class TestDirectReference:
+    def test_matches_manual_small_case(self):
+        # 1 channel, 3x3 image, 2x2 kernel, no padding.
+        image = np.arange(9, dtype=np.float32).reshape(1, 3, 3)
+        weights = np.ones((1, 1, 2, 2), dtype=np.float32)
+        out = conv2d_direct(image, weights)
+        # each output = sum of its 2x2 window
+        expected = np.array([[[0 + 1 + 3 + 4, 1 + 2 + 4 + 5], [3 + 4 + 6 + 7, 4 + 5 + 7 + 8]]])
+        np.testing.assert_array_equal(out, expected)
+
+
+class TestConvViaGemm:
+    def test_matches_direct(self):
+        image, weights = random_conv(3, 8, 10, 3, seed=1)
+        out, result = conv2d_via_gemm(image, weights, GRAVITON2, padding=1)
+        want = conv2d_direct(image, weights, padding=1)
+        assert out.shape == want.shape
+        np.testing.assert_allclose(out, want, rtol=1e-4, atol=1e-5)
+        assert result.cycles > 0
+
+    def test_gemm_shape_matches_table_v_extraction(self):
+        image, weights = random_conv(4, 6, 12, 3, seed=2)
+        _, result = conv2d_via_gemm(image, weights, GRAVITON2, stride=1, padding=1)
+        layer = Conv2d("x", 4, 6, 12, 12, kernel=3, stride=1, padding=1)
+        shape = layer.gemm_shape()
+        assert result.flops == 2 * shape.m * shape.n * shape.k
+
+    def test_strided(self):
+        image, weights = random_conv(2, 4, 9, 3, seed=3)
+        out, _ = conv2d_via_gemm(image, weights, GRAVITON2, stride=2, padding=1)
+        want = conv2d_direct(image, weights, stride=2, padding=1)
+        np.testing.assert_allclose(out, want, rtol=1e-4, atol=1e-5)
+
+    def test_channel_mismatch(self):
+        image, _ = random_conv(3, 4, 6, 3)
+        _, weights = random_conv(2, 4, 6, 3)
+        with pytest.raises(ValueError):
+            conv2d_via_gemm(image, weights, GRAVITON2)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        c_in=st.integers(1, 3),
+        c_out=st.integers(1, 5),
+        hw=st.integers(4, 9),
+        k=st.sampled_from([1, 3]),
+        seed=st.integers(0, 50),
+    )
+    def test_property_matches_direct(self, c_in, c_out, hw, k, seed):
+        image, weights = random_conv(c_in, c_out, hw, k, seed=seed)
+        pad = k // 2
+        out, _ = conv2d_via_gemm(image, weights, GRAVITON2, padding=pad)
+        want = conv2d_direct(image, weights, padding=pad)
+        np.testing.assert_allclose(out, want, rtol=1e-3, atol=1e-4)

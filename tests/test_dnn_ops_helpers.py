@@ -1,0 +1,40 @@
+"""Convolution spatial-size helpers and conv edge cases."""
+
+import pytest
+
+from repro.dnn.ops import Conv2d, conv_output_hw, pool_output_hw
+
+
+class TestConvOutputSize:
+    @pytest.mark.parametrize(
+        "hw,k,s,p,expected",
+        [
+            (224, 3, 1, 1, 224),  # same padding
+            (224, 3, 2, 1, 112),  # stride 2
+            (224, 7, 2, 3, 112),  # resnet stem
+            (299, 3, 2, 0, 149),  # inception stem
+            (7, 1, 1, 0, 7),  # pointwise
+        ],
+    )
+    def test_known_sizes(self, hw, k, s, p, expected):
+        assert conv_output_hw(hw, k, s, p) == expected
+
+    def test_pool(self):
+        assert pool_output_hw(112, kernel=2, stride=2) == 56
+
+
+class TestConvToGemmEdgeCases:
+    def test_non_square_input(self):
+        conv = Conv2d("x", 16, 32, in_h=28, in_w=14, kernel=3, stride=1, padding=1)
+        assert conv.out_h == 28 and conv.out_w == 14
+        assert conv.gemm_shape().n == 28 * 14
+
+    def test_output_elements(self):
+        conv = Conv2d("x", 3, 8, 8, 8, kernel=3, stride=1, padding=1)
+        assert conv.output_elements == 8 * 8 * 8
+
+    def test_k_includes_kernel_area(self):
+        conv = Conv2d("x", 64, 64, 56, 56, kernel=3)
+        assert conv.gemm_shape().k == 64 * 9
+        pointwise = Conv2d("y", 64, 64, 56, 56, kernel=1, padding=0)
+        assert pointwise.gemm_shape().k == 64

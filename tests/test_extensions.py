@@ -1,0 +1,115 @@
+"""Extension features: split-K parallelism, Graviton3, the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.gemm.estimator import GemmEstimator
+from repro.gemm.schedule import Schedule
+from repro.machine.chips import ALL_CHIPS, EXTRA_CHIPS, GRAVITON3, get_chip
+
+
+class TestSplitK:
+    """The paper's stated future work (§V-C): parallelising the reduction
+    dimension for the large-K layers that starve C-block parallelism."""
+
+    @pytest.fixture(scope="class")
+    def est(self):
+        return GemmEstimator(ALL_CHIPS["Graviton2"])
+
+    def test_helps_block_starved_large_k(self, est):
+        """One C block, many K blocks, many cores: split-K must win big."""
+        sched = Schedule(128, 784, 128)  # single C block for 128x784x1152
+        base = est.estimate(128, 784, 1152, schedule=sched, threads=16)
+        sk = est.estimate(128, 784, 1152, schedule=sched, threads=16, split_k=True)
+        assert sk.cycles < base.cycles * 0.5
+
+    def test_noop_when_blocks_plentiful(self, est):
+        sched = Schedule(16, 64, 64)
+        base = est.estimate(256, 512, 64, schedule=sched, threads=8)
+        sk = est.estimate(256, 512, 64, schedule=sched, threads=8, split_k=True)
+        assert sk.cycles == pytest.approx(base.cycles)
+
+    def test_noop_single_thread(self, est):
+        sched = Schedule(128, 784, 128)
+        base = est.estimate(128, 784, 1152, schedule=sched, threads=1)
+        sk = est.estimate(128, 784, 1152, schedule=sched, threads=1, split_k=True)
+        assert sk.cycles == base.cycles
+
+    def test_reduction_cost_charged(self, est):
+        """Split-K is not free: with only 2 k-blocks and a huge C the
+        reduction must keep the gain below the ideal 2x."""
+        sched = Schedule(512, 512, 256)
+        base = est.estimate(512, 512, 512, schedule=sched, threads=2)
+        sk = est.estimate(512, 512, 512, schedule=sched, threads=2, split_k=True)
+        if sk.cycles < base.cycles:  # split engaged
+            assert base.cycles / sk.cycles < 2.0
+
+
+class TestGraviton3:
+    def test_registered_as_extension(self):
+        assert "Graviton3" in EXTRA_CHIPS
+        assert "Graviton3" not in ALL_CHIPS  # not a Table IV chip
+        assert get_chip("graviton3") is GRAVITON3
+
+    def test_sve_256(self):
+        assert GRAVITON3.simd == "sve"
+        assert GRAVITON3.sigma_lane == 8
+
+    def test_kernels_run_on_graviton3(self):
+        from _kernel_utils import kernel_tolerance, run_kernel
+
+        got, want, timing = run_kernel(5, 24, 19, chip=GRAVITON3, rotate=True)
+        err = np.abs(got - want).max() / max(1e-30, np.abs(want).max())
+        assert err < kernel_tolerance(19)
+        assert timing.efficiency(GRAVITON3) > 0.3
+
+    def test_full_gemm_on_graviton3(self):
+        from repro import AutoGEMM
+        from repro.gemm.reference import assert_close, random_gemm_operands, reference_gemm
+
+        lib = AutoGEMM(GRAVITON3)
+        a, b, c = random_gemm_operands(20, 40, 16)
+        result = lib.gemm(a, b, c)
+        assert_close(result.c, reference_gemm(a, b, c), 16)
+
+
+class TestCLI:
+    def test_chips(self, capsys):
+        assert cli_main(["chips"]) == 0
+        out = capsys.readouterr().out
+        assert "KP920" in out and "Graviton3" in out
+
+    def test_kernel(self, capsys):
+        assert cli_main(["kernel", "5", "16", "8", "--chip", "KP920"]) == 0
+        out = capsys.readouterr().out
+        assert "MicroKernel_5x16x8" in out
+
+    def test_gemm(self, capsys):
+        assert cli_main(["gemm", "12", "16", "8", "--chip", "Graviton2"]) == 0
+        out = capsys.readouterr().out
+        assert "relative error" in out
+
+    def test_estimate(self, capsys):
+        assert cli_main(["estimate", "64", "64", "64", "--chip", "KP920"]) == 0
+        out = capsys.readouterr().out
+        assert "GFLOP/s" in out
+
+    def test_tiles(self, capsys):
+        assert cli_main(["tiles", "--lane", "4", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "8x8" in out
+
+    def test_calibrate(self, capsys):
+        assert cli_main(["calibrate", "--chip", "KP920", "--tiles", "6", "--kc", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "sigma_AI" in out
+
+    def test_dmt(self, capsys):
+        assert cli_main(["dmt", "26", "36", "--kc", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "tiles:" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["frobnicate"])

@@ -1,0 +1,85 @@
+"""The public AutoGEMM facade."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.autogemm import AutoGEMM
+from repro.gemm.reference import assert_close, random_gemm_operands, reference_gemm
+from repro.gemm.schedule import Schedule
+from repro.machine.chips import GRAVITON2
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return AutoGEMM(GRAVITON2)
+
+
+def test_construct_by_name():
+    assert AutoGEMM("kp920").chip.name == "KP920"
+
+
+def test_gemm_correct(lib):
+    a, b, c = random_gemm_operands(24, 28, 20)
+    result = lib.gemm(a, b, c)
+    assert_close(result.c, reference_gemm(a, b, c), 20)
+
+
+def test_gemm_without_c(lib):
+    a, b, _ = random_gemm_operands(16, 16, 16)
+    result = lib.gemm(a, b)
+    assert_close(result.c, reference_gemm(a, b), 16)
+
+
+def test_estimate_agrees_with_gemm_magnitude(lib):
+    a, b, _ = random_gemm_operands(32, 32, 32)
+    run = lib.gemm(a, b)
+    proj = lib.estimate(32, 32, 32)
+    assert proj.cycles == pytest.approx(run.cycles, rel=0.3)
+
+
+def test_explicit_schedule_honoured():
+    sched = Schedule(8, 8, 8, fuse=False)
+    lib = AutoGEMM(GRAVITON2, schedule=sched)
+    assert lib.schedule_for(32, 32, 32).fuse is False
+    assert lib.schedule_for(4, 4, 4).mc == 4  # clipped
+
+
+def test_tune_remembers_schedule(lib):
+    tuned = lib.tune(24, 24, 24, budget=6)
+    assert lib.schedule_for(24, 24, 24) == tuned
+
+
+def test_kernel_source_text(lib):
+    src = lib.kernel_source(5, 16, 32)
+    assert "MicroKernel_5x16x32" in src
+    assert "fmla" in src
+
+
+def test_tuning_records_persist(tmp_path):
+    from repro.gemm.autogemm import AutoGEMM as AG
+
+    path = str(tmp_path / "tune.jsonl")
+    first = AG(GRAVITON2, tuning_records=path)
+    sched = first.tune(16, 16, 16, budget=4)
+    # a new instance replays the persisted schedule without re-tuning
+    second = AG(GRAVITON2, tuning_records=path)
+    assert second.schedule_for(16, 16, 16) == sched
+
+
+def test_records_are_chip_scoped(tmp_path):
+    from repro.gemm.autogemm import AutoGEMM as AG
+    from repro.machine.chips import KP920
+
+    path = str(tmp_path / "tune.jsonl")
+    AG(GRAVITON2, tuning_records=path).tune(8, 8, 8, budget=3)
+    other_chip = AG(KP920, tuning_records=path)
+    # KP920 must not inherit Graviton2's schedule
+    from repro.gemm.schedule import default_schedule
+
+    assert other_chip.schedule_for(8, 8, 8) == default_schedule(8, 8, 8, KP920)
+
+
+def test_threads_passthrough(lib):
+    a, b, _ = random_gemm_operands(32, 32, 16)
+    result = lib.gemm(a, b, threads=2, schedule=Schedule(8, 32, 16))
+    assert result.threads == 2

@@ -1,0 +1,81 @@
+"""Batched small-GEMM API."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.batched import BatchedGemm
+from repro.machine.chips import GRAVITON2
+
+
+@pytest.fixture(scope="module")
+def batched():
+    return BatchedGemm(GRAVITON2)
+
+
+def make_batch(batch, m, n, k, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1, 1, (batch, m, k)).astype(np.float32)
+    b = rng.uniform(-1, 1, (batch, k, n)).astype(np.float32)
+    return a, b
+
+
+class TestRun:
+    def test_numerics(self, batched):
+        a, b = make_batch(5, 10, 12, 8)
+        result = batched.run(a, b)
+        want = np.einsum("bij,bjk->bik", a, b)
+        assert np.abs(result.c - want).max() < 1e-4
+
+    def test_shape_validation(self, batched):
+        with pytest.raises(ValueError):
+            batched.run(np.zeros((2, 3, 4), np.float32), np.zeros((3, 4, 5), np.float32))
+        with pytest.raises(ValueError):
+            batched.run(np.zeros((2, 3), np.float32), np.zeros((2, 3, 4), np.float32))
+
+    def test_threads_split_items(self, batched):
+        a, b = make_batch(8, 8, 8, 8)
+        r1 = batched.run(a, b, threads=1)
+        r4 = batched.run(a, b, threads=4)
+        np.testing.assert_array_equal(r1.c, r4.c)
+        # The compute splits evenly (the fork/join barrier can dominate a
+        # batch this tiny, so compare critical paths, not totals).
+        assert len(r4.per_core_cycles) == 4
+        assert max(r4.per_core_cycles) < r1.cycles / 3
+
+    def test_threads_speed_up_large_batch(self, batched):
+        a, b = make_batch(64, 16, 16, 16)
+        r1 = batched.run(a, b, threads=1)
+        r8 = batched.run(a, b, threads=8)
+        assert r8.cycles < r1.cycles / 4
+
+    def test_thread_bounds(self, batched):
+        a, b = make_batch(2, 4, 4, 4)
+        with pytest.raises(ValueError):
+            batched.run(a, b, threads=0)
+
+
+class TestEstimate:
+    def test_scales_linearly_single_core(self, batched):
+        e1 = batched.estimate(16, 16, 16, batch=10)
+        e2 = batched.estimate(16, 16, 16, batch=20)
+        assert e2.cycles == pytest.approx(2 * e1.cycles, rel=0.01)
+
+    def test_threads_speed_up(self, batched):
+        e1 = batched.estimate(16, 16, 16, batch=64, threads=1)
+        e8 = batched.estimate(16, 16, 16, batch=64, threads=8)
+        assert e8.cycles < e1.cycles / 4
+
+    def test_per_item_matches_estimator(self, batched):
+        e = batched.estimate(16, 16, 16, batch=4)
+        assert e.per_item_cycles > 0
+        assert e.flops == 2 * 4 * 16**3
+
+    def test_invalid_batch(self, batched):
+        with pytest.raises(ValueError):
+            batched.estimate(8, 8, 8, batch=0)
+
+    def test_run_and_estimate_agree(self, batched):
+        a, b = make_batch(4, 16, 16, 16)
+        run = batched.run(a, b)
+        est = batched.estimate(16, 16, 16, batch=4)
+        assert est.cycles == pytest.approx(run.cycles, rel=0.3)

@@ -1,0 +1,130 @@
+"""Estimator: fidelity against full simulation and scaling behaviour."""
+
+import pytest
+
+from repro.gemm.estimator import GemmEstimator, _block_sizes, _fit_level
+from repro.gemm.executor import GemmExecutor
+from repro.gemm.kernel_cache import Residency
+from repro.gemm.reference import random_gemm_operands
+from repro.gemm.schedule import Schedule, default_schedule
+from repro.machine.chips import GRAVITON2, KP920
+from repro.workloads.resnet50 import layer
+
+
+@pytest.fixture(scope="module")
+def est():
+    return GemmEstimator(KP920)
+
+
+class TestHelpers:
+    def test_block_sizes(self):
+        assert _block_sizes(64, 16) == {16: 4}
+        assert _block_sizes(70, 16) == {16: 4, 6: 1}
+        assert _block_sizes(10, 16) == {10: 1}
+
+    def test_fit_level_ordering(self):
+        chip = KP920
+        assert _fit_level(1024, chip) == 1
+        assert _fit_level(chip.l1d_bytes, chip) == 2
+        assert _fit_level(chip.l2_bytes, chip) == 3
+        assert _fit_level(chip.l3_bytes, chip) == 4
+
+
+class TestFidelity:
+    @pytest.mark.parametrize(
+        "m,n,k,sched",
+        [
+            (64, 64, 64, None),
+            (26, 36, 17, None),
+            (48, 48, 48, Schedule(24, 48, 24)),
+            (40, 40, 40, Schedule(40, 40, 40, fuse=False)),
+        ],
+    )
+    def test_matches_full_simulation(self, m, n, k, sched):
+        """The estimator must track the instruction-level executor within
+        25% on shapes small enough to run both ways."""
+        ex = GemmExecutor(KP920)
+        est = GemmEstimator(KP920)
+        a, b, _ = random_gemm_operands(m, n, k)
+        schedule = sched if sched is not None else default_schedule(m, n, k, KP920)
+        sim = ex.run(a, b, schedule=schedule)
+        proj = est.estimate(m, n, k, schedule=schedule)
+        assert proj.cycles == pytest.approx(sim.cycles, rel=0.25)
+
+    def test_deterministic(self, est):
+        e1 = est.estimate(64, 64, 64)
+        e2 = est.estimate(64, 64, 64)
+        assert e1.cycles == e2.cycles
+
+
+class TestScalingBehaviour:
+    def test_cycles_grow_with_problem(self, est):
+        small = est.estimate(32, 32, 32)
+        big = est.estimate(64, 64, 64)
+        assert big.cycles > small.cycles
+
+    def test_flops_metrics(self, est):
+        e = est.estimate(64, 64, 64)
+        assert e.flops == 2 * 64**3
+        assert 0 < e.efficiency <= 1.0
+        assert e.gflops > 0
+
+    def test_resnet_layer_is_tractable(self, est):
+        """ResNet L4 (256x3136x64) estimates quickly and sensibly."""
+        s = layer("L4")
+        e = est.estimate(s.m, s.n, s.k)
+        assert 0.5 < e.efficiency <= 1.0
+
+    def test_threads_speedup(self, est):
+        s = layer("L4")
+        e1 = est.estimate(s.m, s.n, s.k, threads=1)
+        e8 = est.estimate(s.m, s.n, s.k, threads=8)
+        assert e8.cycles < e1.cycles
+        assert e1.cycles / e8.cycles > 4  # decent scaling on 8 cores
+
+    def test_thread_bounds(self, est):
+        with pytest.raises(ValueError):
+            est.estimate(64, 64, 64, threads=0)
+
+    def test_kernel_calls_counted(self, est):
+        e = est.estimate(64, 64, 64)
+        assert e.kernel_calls > 0
+
+
+class TestResidency:
+    def test_small_blocks_l1(self, est):
+        r = est.residency_for(Schedule(16, 16, 16))
+        assert r == Residency(1, 1, 1)
+
+    def test_huge_b_block_spills(self, est):
+        r = est.residency_for(Schedule(64, 4096, 256))
+        assert r.b_level >= 3
+
+    def test_l1_overflow_hurts(self, est):
+        """The Figure 6 KP920 cliff: K growing past L1 residency costs
+        efficiency at fixed M = N."""
+        small_k = est.estimate(64, 64, 64, schedule=Schedule(64, 64, 64))
+        big_k = est.estimate(
+            64, 1024, 256, schedule=Schedule(64, 1024, 256)
+        )
+        assert big_k.efficiency < small_k.efficiency
+
+
+class TestPackingAccounting:
+    def test_online_pack_charged(self, est):
+        from repro.gemm.packing import PackingMode
+
+        plain = est.estimate(64, 256, 64, schedule=Schedule(64, 256, 64))
+        packed = est.estimate(
+            64, 256, 64, schedule=Schedule(64, 256, 64, packing=PackingMode.ONLINE)
+        )
+        assert packed.pack_cycles > 0
+        assert plain.pack_cycles == 0
+
+    def test_offline_pack_reported_not_charged(self, est):
+        from repro.gemm.packing import PackingMode
+
+        off = est.estimate(
+            64, 256, 64, schedule=Schedule(64, 256, 64, packing=PackingMode.OFFLINE)
+        )
+        assert off.offline_pack_cycles > 0

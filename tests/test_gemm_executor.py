@@ -1,0 +1,185 @@
+"""Blocked executor: end-to-end functional correctness on the simulator.
+
+This is the paper's §V correctness claim: results agree with the reference
+to better than 1e-6 relative error (scaled for float32 accumulation order).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gemm.executor import GemmExecutor
+from repro.gemm.packing import PackingMode
+from repro.gemm.reference import (
+    assert_close,
+    random_gemm_operands,
+    reference_gemm,
+    relative_error,
+)
+from repro.gemm.schedule import Schedule, all_loop_orders
+from repro.machine.chips import A64FX, GRAVITON2, KP920
+
+
+@pytest.fixture(scope="module")
+def executor():
+    return GemmExecutor(GRAVITON2)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "m,n,k",
+        [(26, 36, 17), (5, 16, 8), (1, 1, 1), (13, 29, 31), (40, 40, 40), (3, 100, 7)],
+    )
+    def test_shapes_beta1(self, executor, m, n, k):
+        a, b, c = random_gemm_operands(m, n, k)
+        result = executor.run(a, b, c)
+        assert_close(result.c, reference_gemm(a, b, c), k)
+
+    def test_beta_zero(self, executor):
+        a, b, _ = random_gemm_operands(20, 24, 16)
+        result = executor.run(a, b)
+        assert_close(result.c, reference_gemm(a, b), 16)
+
+    def test_multi_k_blocks_accumulate(self, executor):
+        a, b, c = random_gemm_operands(16, 16, 64)
+        result = executor.run(a, b, c, schedule=Schedule(16, 16, 16))
+        assert_close(result.c, reference_gemm(a, b, c), 64)
+
+    def test_multi_k_blocks_beta_zero(self, executor):
+        a, b, _ = random_gemm_operands(16, 16, 48)
+        result = executor.run(a, b, schedule=Schedule(16, 16, 16))
+        assert_close(result.c, reference_gemm(a, b), 48)
+
+    @pytest.mark.parametrize("packing", list(PackingMode))
+    def test_packing_modes(self, executor, packing):
+        a, b, c = random_gemm_operands(24, 32, 24)
+        sched = Schedule(12, 16, 12, packing=packing)
+        result = executor.run(a, b, c, schedule=sched)
+        assert_close(result.c, reference_gemm(a, b, c), 24)
+
+    @pytest.mark.parametrize("edges", ["pad", "shrink"])
+    def test_static_strategies(self, executor, edges):
+        a, b, c = random_gemm_operands(26, 36, 16)
+        sched = Schedule(26, 36, 16, use_dmt=False, static_edges=edges)
+        result = executor.run(a, b, c, schedule=sched)
+        assert_close(result.c, reference_gemm(a, b, c), 16)
+
+    def test_no_fusion_path(self, executor):
+        a, b, c = random_gemm_operands(20, 20, 20)
+        result = executor.run(a, b, c, schedule=Schedule(20, 20, 20, fuse=False))
+        assert_close(result.c, reference_gemm(a, b, c), 20)
+
+    def test_naive_lookahead_path(self, executor):
+        a, b, c = random_gemm_operands(20, 20, 20)
+        result = executor.run(
+            a, b, c, schedule=Schedule(20, 20, 20, rotate=False, lookahead=False)
+        )
+        assert_close(result.c, reference_gemm(a, b, c), 20)
+
+    def test_sve_executor(self):
+        ex = GemmExecutor(A64FX)
+        a, b, c = random_gemm_operands(12, 40, 20)
+        result = ex.run(a, b, c)
+        assert_close(result.c, reference_gemm(a, b, c), 20)
+
+    def test_threads_produce_same_result(self, executor):
+        a, b, c = random_gemm_operands(32, 32, 16)
+        sched = Schedule(8, 16, 16)
+        r1 = executor.run(a, b, c, schedule=sched, threads=1)
+        r4 = executor.run(a, b, c, schedule=sched, threads=4)
+        np.testing.assert_array_equal(r1.c, r4.c)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        m=st.integers(1, 30),
+        n=st.integers(1, 30),
+        k=st.integers(1, 30),
+        seed=st.integers(0, 99),
+    )
+    def test_random_problems_property(self, m, n, k, seed):
+        ex = GemmExecutor(KP920)
+        a, b, c = random_gemm_operands(m, n, k, seed=seed)
+        result = ex.run(a, b, c)
+        assert_close(result.c, reference_gemm(a, b, c), k)
+
+    @settings(max_examples=8, deadline=None)
+    @given(order=st.sampled_from(all_loop_orders()))
+    def test_any_loop_order_is_correct(self, order):
+        ex = GemmExecutor(GRAVITON2)
+        a, b, c = random_gemm_operands(20, 24, 20, seed=5)
+        sched = Schedule(10, 12, 10, loop_order=order)
+        result = ex.run(a, b, c, schedule=sched)
+        assert_close(result.c, reference_gemm(a, b, c), 20)
+
+
+class TestValidation:
+    def test_dimension_mismatch(self, executor):
+        with pytest.raises(ValueError):
+            executor.run(np.zeros((2, 3), np.float32), np.zeros((4, 2), np.float32))
+
+    def test_c_shape_mismatch(self, executor):
+        with pytest.raises(ValueError):
+            executor.run(
+                np.zeros((2, 3), np.float32),
+                np.zeros((3, 2), np.float32),
+                np.zeros((3, 3), np.float32),
+            )
+
+    def test_thread_bounds(self, executor):
+        a, b, _ = random_gemm_operands(4, 4, 4)
+        with pytest.raises(ValueError):
+            executor.run(a, b, threads=0)
+        with pytest.raises(ValueError):
+            executor.run(a, b, threads=GRAVITON2.cores + 1)
+
+
+class TestTimingBehaviour:
+    def test_result_metrics(self, executor):
+        a, b, c = random_gemm_operands(24, 24, 24)
+        r = executor.run(a, b, c)
+        assert r.flops == 2 * 24**3
+        assert r.cycles > 0
+        assert 0 < r.efficiency <= 1.0
+        assert r.gflops > 0
+        assert r.kernel_calls > 0
+
+    def test_fusion_reduces_cycles(self, executor):
+        a, b, c = random_gemm_operands(30, 30, 12)
+        fused = executor.run(a, b, c, schedule=Schedule(30, 30, 12, fuse=True))
+        plain = executor.run(a, b, c, schedule=Schedule(30, 30, 12, fuse=False))
+        assert fused.cycles < plain.cycles
+
+    def test_dmt_beats_openblas_padding(self, executor):
+        a, b, c = random_gemm_operands(26, 36, 32)
+        dmt = executor.run(a, b, c, schedule=Schedule(26, 36, 32, use_dmt=True))
+        pad = executor.run(
+            a, b, c, schedule=Schedule(26, 36, 32, use_dmt=False, static_edges="pad")
+        )
+        assert dmt.cycles < pad.cycles
+
+    def test_cold_slower_than_warm(self, executor):
+        a, b, c = random_gemm_operands(24, 24, 24)
+        warm = executor.run(a, b, c, warm=True)
+        cold = executor.run(a, b, c, warm=False)
+        assert cold.cycles > warm.cycles
+
+    def test_threads_reduce_cycles_on_large_enough_problem(self):
+        ex = GemmExecutor(GRAVITON2)
+        a, b, _ = random_gemm_operands(64, 64, 32)
+        t1 = ex.run(a, b, schedule=Schedule(8, 32, 32), threads=1)
+        t4 = ex.run(a, b, schedule=Schedule(8, 32, 32), threads=4)
+        assert t4.cycles < t1.cycles
+        assert len(t4.per_core_cycles) == 4
+        assert max(t4.per_core_cycles) <= t1.cycles
+
+    def test_offline_pack_excluded_from_cycles(self, executor):
+        a, b, c = random_gemm_operands(24, 48, 24)
+        off = executor.run(
+            a, b, c, schedule=Schedule(24, 48, 24, packing=PackingMode.OFFLINE)
+        )
+        assert off.offline_pack_cost.cycles > 0
+        on = executor.run(
+            a, b, c, schedule=Schedule(24, 48, 24, packing=PackingMode.ONLINE)
+        )
+        assert on.pack_cost.cycles > 0

@@ -1,0 +1,68 @@
+"""Packing modes and copies."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.packing import (
+    PackingMode,
+    choose_packing,
+    pack_block,
+    packing_cycles,
+)
+from repro.machine.chips import GRAVITON2, KP920
+from repro.machine.memory import Memory
+
+
+class TestPackBlock:
+    def test_copies_block_densely(self):
+        mem = Memory(1 << 18)
+        src = mem.alloc_matrix(8, 10)
+        data = np.arange(80, dtype=np.float32).reshape(8, 10)
+        mem.write_matrix(src, data)
+        packed = pack_block(mem, src, 2, 3, 4, 5)
+        assert packed.ld == 5
+        np.testing.assert_array_equal(mem.read_matrix(packed), data[2:6, 3:8])
+
+    def test_scratch_reuse(self):
+        mem = Memory(1 << 18)
+        src = mem.alloc_matrix(8, 8)
+        mem.write_matrix(src, np.ones((8, 8), np.float32))
+        scratch = mem.alloc_matrix(8, 8)
+        p1 = pack_block(mem, src, 0, 0, 4, 4, scratch)
+        assert p1.base == scratch.base
+        p2 = pack_block(mem, src, 4, 4, 4, 4, scratch)
+        assert p2.base == scratch.base
+
+    def test_scratch_too_small(self):
+        mem = Memory(1 << 18)
+        src = mem.alloc_matrix(8, 8)
+        scratch = mem.alloc_matrix(2, 2)
+        with pytest.raises(ValueError):
+            pack_block(mem, src, 0, 0, 4, 4, scratch)
+
+
+class TestPackingCycles:
+    def test_scales_with_elements(self):
+        small = packing_cycles(16, 16, GRAVITON2)
+        big = packing_cycles(64, 64, GRAVITON2)
+        assert big.cycles > small.cycles
+        assert big.bytes_moved == 2 * 4 * 64 * 64
+
+    def test_positive(self):
+        c = packing_cycles(1, 1, KP920)
+        assert c.cycles > 0
+
+
+class TestChoosePacking:
+    def test_small_n_skips(self):
+        """'When the N dimension is relatively small ... we skip the
+        packing step' (§IV-C2)."""
+        assert choose_packing(8, 8, GRAVITON2, reuse_factor=4) is PackingMode.NONE
+
+    def test_no_reuse_skips(self):
+        assert choose_packing(512, 256, GRAVITON2, reuse_factor=1) is PackingMode.NONE
+
+    def test_reused_wide_panel_packs(self):
+        assert (
+            choose_packing(512, 256, GRAVITON2, reuse_factor=8) is PackingMode.ONLINE
+        )

@@ -1,0 +1,71 @@
+"""Reference GEMM and error metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gemm.reference import (
+    assert_close,
+    random_gemm_operands,
+    reference_gemm,
+    relative_error,
+)
+
+
+def test_reference_matches_numpy():
+    a, b, c = random_gemm_operands(5, 7, 3)
+    np.testing.assert_allclose(reference_gemm(a, b), a @ b, rtol=1e-6)
+    np.testing.assert_allclose(reference_gemm(a, b, c), c + a @ b, rtol=1e-6)
+
+
+def test_beta_zero_ignores_c():
+    a, b, c = random_gemm_operands(4, 4, 4)
+    np.testing.assert_allclose(reference_gemm(a, b, c, beta=0.0), a @ b, rtol=1e-6)
+
+
+def test_beta_scaling():
+    a, b, c = random_gemm_operands(4, 4, 4)
+    got = reference_gemm(a, b, c, beta=2.0)
+    np.testing.assert_allclose(got, 2.0 * c + a @ b, rtol=1e-5)
+
+
+def test_relative_error_zero_for_identical():
+    a, b, _ = random_gemm_operands(3, 3, 3)
+    assert relative_error(a @ b, a @ b) == 0.0
+
+
+def test_relative_error_normalised():
+    want = np.array([[100.0]])
+    got = np.array([[101.0]])
+    assert relative_error(got, want) == pytest.approx(0.01)
+
+
+def test_assert_close_accepts_float32_noise():
+    a, b, c = random_gemm_operands(16, 16, 64)
+    want = reference_gemm(a, b, c)
+    noisy = want + np.float32(1e-7) * want
+    assert_close(noisy, want, k=64)
+
+
+def test_assert_close_rejects_wrong_result():
+    a, b, c = random_gemm_operands(8, 8, 8)
+    want = reference_gemm(a, b, c)
+    with pytest.raises(AssertionError):
+        assert_close(want * 1.01, want, k=8)
+
+
+def test_operands_deterministic():
+    a1, b1, c1 = random_gemm_operands(4, 5, 6, seed=42)
+    a2, b2, c2 = random_gemm_operands(4, 5, 6, seed=42)
+    np.testing.assert_array_equal(a1, a2)
+    np.testing.assert_array_equal(b1, b2)
+    np.testing.assert_array_equal(c1, c2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(m=st.integers(1, 10), n=st.integers(1, 10), k=st.integers(1, 10))
+def test_shapes(m, n, k):
+    a, b, c = random_gemm_operands(m, n, k)
+    assert a.shape == (m, k) and b.shape == (k, n) and c.shape == (m, n)
+    assert a.dtype == np.float32

@@ -1,0 +1,76 @@
+"""Schedules: validation, sigma_order semantics, heuristic defaults."""
+
+import pytest
+
+from repro.gemm.packing import PackingMode
+from repro.gemm.schedule import LOOP_DIMS, Schedule, all_loop_orders, default_schedule
+from repro.machine.chips import A64FX, ALL_CHIPS, APPLE_M2, GRAVITON2, KP920
+
+
+class TestValidation:
+    def test_positive_blocks(self):
+        with pytest.raises(ValueError):
+            Schedule(0, 4, 4)
+
+    def test_loop_order_must_permute(self):
+        with pytest.raises(ValueError):
+            Schedule(4, 4, 4, loop_order=("mc", "nc", "kc", "mr", "mr"))
+
+    def test_static_edges_values(self):
+        with pytest.raises(ValueError):
+            Schedule(4, 4, 4, static_edges="wrap")
+
+
+class TestSigmaOrder:
+    def test_120_orders(self):
+        orders = all_loop_orders()
+        assert len(orders) == 120
+        assert len(set(orders)) == 120
+        for o in orders:
+            assert sorted(o) == sorted(LOOP_DIMS)
+
+    def test_block_order_projection(self):
+        s = Schedule(4, 4, 4, loop_order=("mr", "kc", "nr", "nc", "mc"))
+        assert s.block_order == ("kc", "nc", "mc")
+
+    def test_tile_row_major(self):
+        assert Schedule(4, 4, 4, loop_order=("mc", "nc", "kc", "mr", "nr")).tile_row_major
+        assert not Schedule(
+            4, 4, 4, loop_order=("mc", "nc", "kc", "nr", "mr")
+        ).tile_row_major
+
+    def test_parallel_dim_never_k(self):
+        for order in all_loop_orders():
+            assert Schedule(4, 4, 4, loop_order=order).parallel_dim in ("mc", "nc")
+
+
+class TestClipping:
+    def test_clipped_to_problem(self):
+        s = Schedule(64, 64, 64).clipped(10, 20, 30)
+        assert (s.mc, s.nc, s.kc) == (10, 20, 30)
+
+    def test_clip_preserves_options(self):
+        s = Schedule(64, 64, 64, rotate=False, packing=PackingMode.ONLINE)
+        c = s.clipped(8, 8, 8)
+        assert c.rotate is False and c.packing is PackingMode.ONLINE
+
+
+class TestDefaultSchedule:
+    @pytest.mark.parametrize("chip", list(ALL_CHIPS.values()), ids=lambda c: c.name)
+    def test_blocks_fit_problem(self, chip):
+        s = default_schedule(100, 200, 50, chip)
+        assert s.mc <= 100 and s.nc <= 200 and s.kc <= 50
+
+    def test_kc_keeps_b_panel_in_l1(self):
+        for chip in (KP920, GRAVITON2, APPLE_M2, A64FX):
+            s = default_schedule(4096, 4096, 4096, chip)
+            panel_bytes = 4 * s.kc * 4 * chip.sigma_lane
+            assert panel_bytes <= chip.l1d_bytes // 2
+
+    def test_small_problem_single_block(self):
+        s = default_schedule(16, 16, 16, GRAVITON2)
+        assert (s.mc, s.nc, s.kc) == (16, 16, 16)
+
+    def test_packing_heuristic_applied(self):
+        tiny = default_schedule(16, 8, 16, GRAVITON2)
+        assert tiny.packing is PackingMode.NONE

@@ -1,0 +1,78 @@
+"""Full sgemm semantics on the public API: alpha, beta, transposes."""
+
+import numpy as np
+import pytest
+
+from repro import AutoGEMM
+from repro.gemm.reference import random_gemm_operands, relative_error
+from repro.machine import GRAVITON2
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return AutoGEMM(GRAVITON2)
+
+
+def rnd(shape, seed):
+    return np.random.default_rng(seed).uniform(-1, 1, shape).astype(np.float32)
+
+
+class TestBeta:
+    def test_beta_zero(self, lib):
+        a, b, c = random_gemm_operands(12, 14, 10)
+        r = lib.gemm(a, b, c, beta=0.0)
+        assert relative_error(r.c, a @ b) < 1e-5
+
+    def test_beta_scaling(self, lib):
+        a, b, c = random_gemm_operands(12, 14, 10)
+        r = lib.gemm(a, b, c, beta=2.0)
+        want = np.float32(2.0) * c + a @ b
+        assert relative_error(r.c, want) < 1e-5
+
+    def test_beta_negative(self, lib):
+        a, b, c = random_gemm_operands(8, 8, 8)
+        r = lib.gemm(a, b, c, beta=-1.0)
+        assert relative_error(r.c, a @ b - c) < 1e-4
+
+
+class TestAlpha:
+    def test_alpha_scales_product_only(self, lib):
+        a, b, c = random_gemm_operands(10, 12, 8)
+        r = lib.gemm(a, b, c, alpha=3.0)
+        want = np.float32(3.0) * (a @ b) + c
+        assert relative_error(r.c, want) < 1e-5
+
+    def test_alpha_adds_transform_cost(self, lib):
+        a, b, _ = random_gemm_operands(16, 16, 16)
+        plain = lib.gemm(a, b)
+        scaled = lib.gemm(a, b, alpha=2.0)
+        assert scaled.cycles > plain.cycles
+
+
+class TestTranspose:
+    def test_trans_a(self, lib):
+        a = rnd((10, 6), 1)  # op(A) = A^T: 6x10
+        b = rnd((10, 8), 2)
+        r = lib.gemm(a, b, trans_a=True)
+        assert relative_error(r.c, a.T @ b) < 1e-5
+
+    def test_trans_b(self, lib):
+        a = rnd((6, 10), 3)
+        b = rnd((8, 10), 4)  # op(B) = B^T: 10x8
+        r = lib.gemm(a, b, trans_b=True)
+        assert relative_error(r.c, a @ b.T) < 1e-5
+
+    def test_trans_both_with_alpha_beta(self, lib):
+        a = rnd((20, 14), 5)
+        b = rnd((24, 20), 6)
+        c = rnd((14, 24), 7)
+        r = lib.gemm(a, b, c, alpha=2.5, beta=0.5, trans_a=True, trans_b=True)
+        want = np.float32(2.5) * (a.T @ b.T) + np.float32(0.5) * c
+        assert relative_error(r.c, want) < 1e-5
+
+    def test_transpose_charges_cycles(self, lib):
+        a, b, _ = random_gemm_operands(16, 16, 16)
+        plain = lib.gemm(a, b)
+        trans = lib.gemm(np.ascontiguousarray(a.T), b, trans_a=True)
+        assert trans.cycles > plain.cycles
+        np.testing.assert_allclose(trans.c, plain.c, rtol=1e-5)

@@ -1,0 +1,73 @@
+"""The §V validation-campaign module."""
+
+import pytest
+
+from repro.gemm.validation import (
+    ValidationCase,
+    default_validation_suite,
+    validate_libraries,
+)
+from repro.machine.chips import APPLE_M2, GRAVITON2
+from repro.workloads.resnet50 import LayerShape
+
+
+class TestSuite:
+    def test_contains_adversarial_shapes(self):
+        suite = default_validation_suite()
+        names = {s.name for s in suite}
+        assert {"unit", "row", "col", "lane-tails"} <= names
+        assert all(s.m >= 1 and s.n >= 1 and s.k >= 1 for s in suite)
+
+    def test_bounded_size(self):
+        assert all(max(s.m, s.n, s.k) <= 96 for s in default_validation_suite())
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def report(self):
+        shapes = [
+            LayerShape("a", 9, 14, 11),
+            LayerShape("b", 16, 16, 16),
+            LayerShape("c", 1, 5, 3),
+        ]
+        return validate_libraries(
+            GRAVITON2,
+            libraries=["autoGEMM", "LIBXSMM", "LibShalom"],
+            shapes=shapes,
+        )
+
+    def test_everything_passes(self, report):
+        assert report.all_passed, report.failures()
+        assert report.worst < 1e-4
+
+    def test_unsupported_shapes_recorded_not_failed(self, report):
+        shalom = [c for c in report.cases if c.library == "LibShalom"]
+        unsupported = [c for c in shalom if not c.supported]
+        # 9x14x11 and 1x5x3 violate the N,K % 8 == 0 limit
+        assert len(unsupported) == 2
+        assert all(c.passed for c in unsupported)
+
+    def test_case_count(self, report):
+        assert len(report.cases) == 3 * 3
+
+    def test_summary_renders(self, report):
+        text = report.summary()
+        assert "Graviton2" in text and "PASS" in text
+
+
+class TestCaseSemantics:
+    def test_failure_detection(self):
+        shape = LayerShape("x", 4, 4, 4)
+        bad = ValidationCase("lib", shape, relative_error=1.0, tolerance=1e-5)
+        good = ValidationCase("lib", shape, relative_error=1e-7, tolerance=1e-5)
+        assert not bad.passed and good.passed
+
+    def test_m2_campaign_excludes_libshalom_gracefully(self):
+        report = validate_libraries(
+            APPLE_M2,
+            libraries=["autoGEMM", "LibShalom"],
+            shapes=[LayerShape("sq", 16, 16, 16)],
+        )
+        assert report.all_passed
+        shalom = next(c for c in report.cases if c.library == "LibShalom")
+        assert not shalom.supported

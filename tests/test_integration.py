@@ -1,0 +1,89 @@
+"""Cross-module integration tests: the full pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro import AutoGEMM
+from repro.baselines import make_library
+from repro.gemm.reference import assert_close, random_gemm_operands, reference_gemm
+from repro.machine.chips import ALL_CHIPS
+
+
+class TestEndToEndPerChip:
+    @pytest.mark.parametrize("chip_name", sorted(ALL_CHIPS))
+    def test_gemm_correct_on_every_chip(self, chip_name):
+        """The §V correctness bar on all five Table IV machines."""
+        chip = ALL_CHIPS[chip_name]
+        lib = AutoGEMM(chip)
+        a, b, c = random_gemm_operands(21, 40, 18, seed=hash(chip_name) % 1000)
+        result = lib.gemm(a, b, c)
+        assert_close(result.c, reference_gemm(a, b, c), 18)
+        assert 0 < result.efficiency <= 1.0
+
+    @pytest.mark.parametrize("chip_name", sorted(ALL_CHIPS))
+    def test_estimator_available_on_every_chip(self, chip_name):
+        chip = ALL_CHIPS[chip_name]
+        est = AutoGEMM(chip).estimate(64, 64, 64)
+        assert 0 < est.efficiency <= 1.0
+
+
+class TestPipelineConsistency:
+    def test_tuned_schedule_executes_correctly(self):
+        """A tuner-chosen schedule must still produce correct numerics."""
+        lib = AutoGEMM("Graviton2")
+        sched = lib.tune(24, 24, 24, budget=6)
+        a, b, c = random_gemm_operands(24, 24, 24)
+        result = lib.gemm(a, b, c, schedule=sched)
+        assert_close(result.c, reference_gemm(a, b, c), 24)
+
+    def test_estimator_and_executor_agree_on_winner(self):
+        """If the estimator says DMT beats padding, the executor agrees."""
+        from repro.gemm.estimator import GemmEstimator
+        from repro.gemm.executor import GemmExecutor
+        from repro.gemm.schedule import Schedule
+        from repro.machine.chips import KP920
+
+        dmt = Schedule(26, 36, 32, use_dmt=True)
+        pad = Schedule(26, 36, 32, use_dmt=False, static_edges="pad")
+        est = GemmEstimator(KP920)
+        ex = GemmExecutor(KP920)
+        a, b, _ = random_gemm_operands(26, 36, 32)
+        est_order = est.estimate(26, 36, 32, schedule=dmt).cycles < est.estimate(
+            26, 36, 32, schedule=pad
+        ).cycles
+        sim_order = ex.run(a, b, schedule=dmt).cycles < ex.run(a, b, schedule=pad).cycles
+        assert est_order == sim_order is True
+
+    def test_baseline_and_autogemm_numerics_identical_problem(self):
+        """Every strategy computes the same matrix, whatever its speed."""
+        a, b, c = random_gemm_operands(26, 36, 17)
+        want = reference_gemm(a, b, c)
+        for name in ("autoGEMM", "OpenBLAS", "Eigen", "TVM"):
+            lib = make_library(name, ALL_CHIPS["KP920"])
+            assert_close(lib.gemm(a, b, c).c, want, 17)
+
+    def test_dnn_runner_uses_gemm_stack(self):
+        """Network GEMM seconds must equal the library estimates they wrap."""
+        from repro.dnn import build_model
+        from repro.dnn.runner import NetworkRunner
+        from repro.machine.chips import KP920
+
+        runner = NetworkRunner(KP920, "autoGEMM")
+        net = build_model("N4")
+        timing = runner.run(net)
+        first_gemm = next(op for op in timing.ops if op.kind == "gemm")
+        gemm_op = net.gemm_ops[0]
+        direct = runner.library.estimate(
+            gemm_op.shape.m, gemm_op.shape.n, gemm_op.shape.k
+        ).seconds
+        assert first_gemm.seconds == pytest.approx(direct)
+
+
+class TestDeterminism:
+    def test_full_run_deterministic(self):
+        lib = AutoGEMM("KP920")
+        a, b, c = random_gemm_operands(20, 20, 20)
+        r1 = lib.gemm(a, b, c)
+        r2 = lib.gemm(a, b, c)
+        np.testing.assert_array_equal(r1.c, r2.c)
+        assert r1.cycles == r2.cycles

@@ -1,0 +1,120 @@
+"""Assembler parsing and text round-trip tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.microkernel import generate_microkernel
+from repro.codegen.tiles import is_feasible
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instructions import (
+    AddReg,
+    Branch,
+    FmlaElem,
+    Label,
+    LoadScalarLane,
+    LoadVec,
+    MovImm,
+    Prfm,
+    StoreVec,
+    SubsImm,
+)
+from repro.isa.registers import VReg, XReg
+
+
+class TestParseSingleInstructions:
+    def test_mov_imm(self):
+        prog = assemble("mov x29, #16")
+        assert prog.instructions == [MovImm(XReg(29), 16)]
+
+    def test_ldr_post_index(self):
+        prog = assemble("ldr q8, [x6], #16")
+        assert prog.instructions == [LoadVec(VReg(8), XReg(6), post_increment=16)]
+
+    def test_ldr_offset(self):
+        prog = assemble("ldr q8, [x6, #32]")
+        assert prog.instructions == [LoadVec(VReg(8), XReg(6), offset=32)]
+
+    def test_ldr_scalar(self):
+        prog = assemble("ldr s3, [x7], #4")
+        assert prog.instructions == [LoadScalarLane(VReg(3), XReg(7), post_increment=4)]
+
+    def test_str(self):
+        prog = assemble("str q1, [x12, #48]")
+        assert prog.instructions == [StoreVec(VReg(1), XReg(12), offset=48)]
+
+    def test_fmla_by_element(self):
+        prog = assemble("fmla v0.4s, v24.4s, v20.s[3]")
+        assert prog.instructions == [FmlaElem(VReg(0), VReg(24), VReg(20), 3)]
+
+    def test_prfm(self):
+        prog = assemble("prfm PLDL1KEEP, [x0, #64]")
+        assert prog.instructions == [Prfm(XReg(0), 64, 1)]
+        prog = assemble("prfm PLDL2KEEP, [x1, #0]")
+        assert prog.instructions == [Prfm(XReg(1), 0, 2)]
+
+    def test_label_and_branch(self):
+        prog = assemble("1:\nsubs x29, x29, #1\nb.ne 1b")
+        assert prog.instructions == [
+            Label("1"),
+            SubsImm(XReg(29), XReg(29), 1),
+            Branch("1", "ne"),
+        ]
+        assert prog.label_index("1") == 0
+
+    def test_add_reg(self):
+        prog = assemble("add x7, x6, x3")
+        assert prog.instructions == [AddReg(XReg(7), XReg(6), XReg(3))]
+
+    def test_comments_and_blank_lines_skipped(self):
+        prog = assemble("\n// setup\nmov x0, #1\n\n")
+        assert len(prog) == 1
+
+    @pytest.mark.parametrize(
+        "bad", ["frobnicate x0", "ldr q1, x6", "mov", "fmul v0.4s, v1.4s, v2.4s"]
+    )
+    def test_rejects_garbage(self, bad):
+        with pytest.raises((AssemblerError, ValueError, IndexError)):
+            assemble(bad)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "mr,nr,kc,rotate,lookahead",
+        [
+            (5, 16, 32, False, True),
+            (5, 16, 18, True, True),
+            (2, 16, 7, False, True),
+            (8, 8, 12, True, True),
+            (4, 12, 8, False, False),
+            (1, 4, 1, False, True),
+        ],
+    )
+    def test_generated_kernel_roundtrips(self, mr, nr, kc, rotate, lookahead):
+        kernel = generate_microkernel(
+            mr, nr, kc, rotate=rotate, lookahead=lookahead
+        )
+        text = kernel.program.asm()
+        reparsed = assemble(text, name=kernel.name)
+        assert reparsed.instructions == kernel.program.instructions
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        mr=st.integers(1, 8),
+        nv=st.integers(1, 4),
+        kc=st.integers(1, 24),
+        rotate=st.booleans(),
+    )
+    def test_roundtrip_property(self, mr, nv, kc, rotate):
+        nr = 4 * nv
+        if not is_feasible(mr, nr, 4):
+            return
+        kernel = generate_microkernel(mr, nr, kc, rotate=rotate)
+        reparsed = assemble(kernel.program.asm())
+        assert reparsed.instructions == kernel.program.instructions
+
+    def test_roundtrip_is_stable(self):
+        kernel = generate_microkernel(5, 16, 16)
+        once = assemble(kernel.program.asm()).asm()
+        twice = assemble(once).asm()
+        assert once == twice

@@ -1,0 +1,237 @@
+"""Per-instruction semantics, dataflow and assembly text."""
+
+import numpy as np
+import pytest
+
+from repro.isa.instructions import (
+    AddImm,
+    AddReg,
+    Branch,
+    Eor,
+    FmlaElem,
+    FmlaVec,
+    FmulElem,
+    Label,
+    LoadScalarLane,
+    LoadVec,
+    Lsl,
+    MovImm,
+    MovReg,
+    Prfm,
+    StoreVec,
+    SubImm,
+    SubsImm,
+    Unit,
+)
+from repro.isa.program import MachineState
+from repro.isa.registers import RegisterFile, VReg, XReg
+from repro.machine.memory import Memory
+
+
+@pytest.fixture
+def state():
+    return MachineState(regs=RegisterFile(vector_lanes=4), memory=Memory(1 << 16))
+
+
+class TestScalarInstructions:
+    def test_mov_imm(self, state):
+        MovImm(XReg(1), 42).execute(state)
+        assert state.regs.read_x(XReg(1)) == 42
+
+    def test_mov_reg(self, state):
+        state.regs.write_x(XReg(0), 5)
+        MovReg(XReg(1), XReg(0)).execute(state)
+        assert state.regs.read_x(XReg(1)) == 5
+
+    def test_lsl_scales_stride_to_bytes(self, state):
+        state.regs.write_x(XReg(3), 17)
+        Lsl(XReg(3), XReg(3), 2).execute(state)
+        assert state.regs.read_x(XReg(3)) == 68
+
+    def test_add_reg_and_imm(self, state):
+        state.regs.write_x(XReg(0), 10)
+        state.regs.write_x(XReg(1), 20)
+        AddReg(XReg(2), XReg(0), XReg(1)).execute(state)
+        assert state.regs.read_x(XReg(2)) == 30
+        AddImm(XReg(2), XReg(2), 12).execute(state)
+        assert state.regs.read_x(XReg(2)) == 42
+
+    def test_sub_imm(self, state):
+        state.regs.write_x(XReg(0), 10)
+        SubImm(XReg(0), XReg(0), 4).execute(state)
+        assert state.regs.read_x(XReg(0)) == 6
+
+    def test_subs_sets_zero_flag(self, state):
+        state.regs.write_x(XReg(29), 1)
+        SubsImm(XReg(29), XReg(29), 1).execute(state)
+        assert state.zero_flag is True
+        state.regs.write_x(XReg(29), 5)
+        SubsImm(XReg(29), XReg(29), 1).execute(state)
+        assert state.zero_flag is False
+
+    def test_branch_conditions(self, state):
+        state.zero_flag = False
+        Branch("1", "ne").execute(state)
+        assert state.take_branch_target() == "1"
+        state.zero_flag = True
+        Branch("1", "ne").execute(state)
+        assert state.take_branch_target() is None
+        Branch("done", "eq").execute(state)
+        assert state.take_branch_target() == "done"
+        Branch("x", "al").execute(state)
+        assert state.take_branch_target() == "x"
+
+    def test_label_is_noop(self, state):
+        Label("5").execute(state)
+        assert state.take_branch_target() is None
+
+
+class TestMemoryInstructions:
+    def test_load_vec_offset(self, state):
+        state.memory.store_f32(256, np.array([1, 2, 3, 4], np.float32))
+        state.regs.write_x(XReg(0), 240)
+        LoadVec(VReg(0), XReg(0), offset=16).execute(state)
+        np.testing.assert_array_equal(state.regs.read_v(VReg(0)), [1, 2, 3, 4])
+        assert state.regs.read_x(XReg(0)) == 240  # base unchanged
+
+    def test_load_vec_post_increment(self, state):
+        state.memory.store_f32(256, np.array([5, 6, 7, 8], np.float32))
+        state.regs.write_x(XReg(0), 256)
+        LoadVec(VReg(1), XReg(0), post_increment=16).execute(state)
+        np.testing.assert_array_equal(state.regs.read_v(VReg(1)), [5, 6, 7, 8])
+        assert state.regs.read_x(XReg(0)) == 272
+
+    def test_load_vec_partial_lanes_zero_fill(self, state):
+        state.memory.store_f32(256, np.array([9, 10], np.float32))
+        state.regs.write_x(XReg(0), 256)
+        LoadVec(VReg(0), XReg(0), active_lanes=2).execute(state)
+        np.testing.assert_array_equal(state.regs.read_v(VReg(0)), [9, 10, 0, 0])
+
+    def test_load_scalar_lane(self, state):
+        state.memory.store_f32(512, np.array([3.5], np.float32))
+        state.regs.write_x(XReg(0), 512)
+        LoadScalarLane(VReg(2), XReg(0)).execute(state)
+        np.testing.assert_array_equal(state.regs.read_v(VReg(2)), [3.5, 0, 0, 0])
+
+    def test_store_vec(self, state):
+        state.regs.write_v(VReg(0), [1, 2, 3, 4])
+        state.regs.write_x(XReg(1), 128)
+        StoreVec(VReg(0), XReg(1), offset=0).execute(state)
+        np.testing.assert_array_equal(state.memory.load_f32(128, 4), [1, 2, 3, 4])
+
+    def test_store_vec_partial(self, state):
+        state.memory.store_f32(128, np.array([9, 9, 9, 9], np.float32))
+        state.regs.write_v(VReg(0), [1, 2, 3, 4])
+        state.regs.write_x(XReg(1), 128)
+        StoreVec(VReg(0), XReg(1), active_lanes=2).execute(state)
+        np.testing.assert_array_equal(state.memory.load_f32(128, 4), [1, 2, 9, 9])
+
+    def test_store_post_increment_writes_base(self, state):
+        state.regs.write_v(VReg(0), [0, 0, 0, 0])
+        state.regs.write_x(XReg(1), 128)
+        instr = StoreVec(VReg(0), XReg(1), post_increment=16)
+        assert XReg(1) in instr.writes()
+        instr.execute(state)
+        assert state.regs.read_x(XReg(1)) == 144
+
+    def test_prfm_records_trace_only(self, state):
+        state.regs.write_x(XReg(0), 4096)
+        Prfm(XReg(0), 64, 1).execute(state)
+        assert len(state.trace) == 1
+        assert state.trace.entries[0].address == 4160
+
+
+class TestVectorArithmetic:
+    def test_fmla_elem(self, state):
+        state.regs.write_v(VReg(0), [1, 1, 1, 1])  # acc
+        state.regs.write_v(VReg(1), [1, 2, 3, 4])  # vn
+        state.regs.write_v(VReg(2), [10, 20, 30, 40])  # vm
+        FmlaElem(VReg(0), VReg(1), VReg(2), lane=1).execute(state)
+        np.testing.assert_array_equal(state.regs.read_v(VReg(0)), [21, 41, 61, 81])
+
+    def test_fmla_elem_partial_lanes(self, state):
+        state.regs.write_v(VReg(0), [0, 0, 7, 7])
+        state.regs.write_v(VReg(1), [1, 1, 1, 1])
+        state.regs.write_v(VReg(2), [2, 0, 0, 0])
+        FmlaElem(VReg(0), VReg(1), VReg(2), lane=0, active_lanes=2).execute(state)
+        np.testing.assert_array_equal(state.regs.read_v(VReg(0)), [2, 2, 7, 7])
+
+    def test_fmla_vec(self, state):
+        state.regs.write_v(VReg(0), [1, 1, 1, 1])
+        state.regs.write_v(VReg(1), [1, 2, 3, 4])
+        state.regs.write_v(VReg(2), [2, 2, 2, 2])
+        FmlaVec(VReg(0), VReg(1), VReg(2)).execute(state)
+        np.testing.assert_array_equal(state.regs.read_v(VReg(0)), [3, 5, 7, 9])
+
+    def test_fmul_elem_overwrites(self, state):
+        state.regs.write_v(VReg(0), [9, 9, 9, 9])
+        state.regs.write_v(VReg(1), [1, 2, 3, 4])
+        state.regs.write_v(VReg(2), [3, 0, 0, 0])
+        FmulElem(VReg(0), VReg(1), VReg(2), lane=0).execute(state)
+        np.testing.assert_array_equal(state.regs.read_v(VReg(0)), [3, 6, 9, 12])
+
+    def test_eor_zeroes(self, state):
+        state.regs.write_v(VReg(0), [1, 2, 3, 4])
+        Eor(VReg(0)).execute(state)
+        np.testing.assert_array_equal(state.regs.read_v(VReg(0)), [0, 0, 0, 0])
+
+    def test_fma_counts_flops(self, state):
+        state.regs.write_v(VReg(0), [0, 0, 0, 0])
+        state.regs.write_v(VReg(1), [0, 0, 0, 0])
+        state.regs.write_v(VReg(2), [0, 0, 0, 0])
+        FmlaElem(VReg(0), VReg(1), VReg(2), 0).execute(state)
+        assert state.trace.flops == 8  # 4 lanes x 2 flops
+
+
+class TestDataflowAndUnits:
+    def test_units(self):
+        assert FmlaElem(VReg(0), VReg(1), VReg(2), 0).unit is Unit.FMA
+        assert LoadVec(VReg(0), XReg(0)).unit is Unit.LOAD
+        assert StoreVec(VReg(0), XReg(0)).unit is Unit.STORE
+        assert Prfm(XReg(0)).unit is Unit.PREFETCH
+        assert Branch("1").unit is Unit.BRANCH
+        assert AddImm(XReg(0), XReg(0), 1).unit is Unit.ALU
+
+    def test_fmla_reads_accumulator(self):
+        instr = FmlaElem(VReg(0), VReg(1), VReg(2), 0)
+        assert VReg(0) in instr.reads()
+        assert instr.writes() == (VReg(0),)
+
+    def test_fmul_does_not_read_destination(self):
+        instr = FmulElem(VReg(0), VReg(1), VReg(2), 0)
+        assert VReg(0) not in instr.reads()
+
+    def test_load_post_inc_writes_base(self):
+        assert XReg(0) in LoadVec(VReg(1), XReg(0), post_increment=16).writes()
+        assert XReg(0) not in LoadVec(VReg(1), XReg(0), offset=16).writes()
+
+    def test_is_memory(self):
+        assert LoadVec(VReg(0), XReg(0)).is_memory
+        assert not MovImm(XReg(0), 1).is_memory
+
+
+class TestAsmText:
+    @pytest.mark.parametrize(
+        "instr,text",
+        [
+            (MovImm(XReg(29), 16), "mov x29, #16"),
+            (MovReg(XReg(6), XReg(0)), "mov x6, x0"),
+            (Lsl(XReg(3), XReg(3), 2), "lsl x3, x3, #2"),
+            (AddReg(XReg(7), XReg(6), XReg(3)), "add x7, x6, x3"),
+            (SubsImm(XReg(29), XReg(29), 1), "subs x29, x29, #1"),
+            (Branch("1", "ne"), "b.ne 1"),
+            (Branch("exit", "al"), "b exit"),
+            (LoadVec(VReg(8), XReg(6), post_increment=16), "ldr q8, [x6], #16"),
+            (LoadVec(VReg(8), XReg(6), offset=32), "ldr q8, [x6, #32]"),
+            (StoreVec(VReg(0), XReg(11), offset=16), "str q0, [x11, #16]"),
+            (LoadScalarLane(VReg(5), XReg(6), post_increment=4), "ldr s5, [x6], #4"),
+            (
+                FmlaElem(VReg(0), VReg(24), VReg(20), 3),
+                "fmla v0.4s, v24.4s, v20.s[3]",
+            ),
+            (Prfm(XReg(0), 64, 1), "prfm PLDL1KEEP, [x0, #64]"),
+            (Label("1"), "1:"),
+        ],
+    )
+    def test_spelling(self, instr, text):
+        assert instr.asm() == text

@@ -1,0 +1,78 @@
+"""Program structure, labels and dynamic traces."""
+
+import pytest
+
+from repro.isa.instructions import (
+    Branch,
+    Label,
+    LoadVec,
+    MovImm,
+    StoreVec,
+    SubsImm,
+    Unit,
+)
+from repro.isa.program import Program, Trace, TraceEntry
+from repro.isa.registers import VReg, XReg
+from repro.machine.memory import Memory
+from repro.machine.simulator import Simulator
+
+
+def test_duplicate_labels_rejected():
+    with pytest.raises(ValueError):
+        Program([Label("1"), Label("1")])
+
+
+def test_label_index_lookup():
+    prog = Program([MovImm(XReg(0), 1), Label("loop"), MovImm(XReg(0), 2)])
+    assert prog.label_index("loop") == 1
+    with pytest.raises(KeyError):
+        prog.label_index("missing")
+
+
+def test_static_count_excludes_labels():
+    prog = Program([Label("1"), MovImm(XReg(0), 1), LoadVec(VReg(0), XReg(0))])
+    assert prog.static_count(Unit.ALU) == 1
+    assert prog.static_count(Unit.LOAD) == 1
+
+
+def test_max_vreg_index():
+    prog = Program([LoadVec(VReg(17), XReg(0)), StoreVec(VReg(3), XReg(0))])
+    assert prog.max_vreg_index() == 17
+
+
+def test_asm_indents_non_labels():
+    prog = Program([Label("1"), MovImm(XReg(0), 1)])
+    lines = prog.asm().splitlines()
+    assert lines[0] == "1:"
+    assert lines[1].startswith("    ")
+
+
+def test_trace_counts_and_flops():
+    trace = Trace()
+    trace.append(TraceEntry(MovImm(XReg(0), 1)))
+    trace.append(TraceEntry(LoadVec(VReg(0), XReg(0)), address=64, size=16))
+    trace.fma_lane_ops = 12
+    assert trace.count(Unit.LOAD) == 1
+    assert trace.count(Unit.ALU) == 1
+    assert trace.flops == 24
+    assert len(trace) == 2
+
+
+def test_loop_executes_expected_iterations():
+    # Counted loop: x0 accumulates one per iteration.
+    prog = Program(
+        [
+            MovImm(XReg(29), 5),
+            MovImm(XReg(0), 0),
+            Label("1"),
+            # add x0, x0, #1 modelled via SubsImm on another register
+            SubsImm(XReg(0), XReg(0), -1),
+            SubsImm(XReg(29), XReg(29), 1),
+            Branch("1", "ne"),
+        ]
+    )
+    sim = Simulator(Memory(1 << 16))
+    result = sim.run(prog)
+    assert result.state.regs.read_x(XReg(0)) == 5
+    # dynamic length: 2 setup + 5 * 3 loop body instructions
+    assert len(result.trace) == 2 + 5 * 3

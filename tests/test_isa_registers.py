@@ -1,0 +1,126 @@
+"""Unit and property tests for the register model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.registers import (
+    NUM_VREGS,
+    NUM_XREGS,
+    RegisterFile,
+    VReg,
+    XReg,
+    ZReg,
+    parse_register,
+)
+
+
+class TestRegisterIdentity:
+    def test_names(self):
+        assert XReg(7).name == "x7"
+        assert VReg(31).name == "v31"
+        assert ZReg(0).name == "z0"
+
+    def test_equality_and_hash(self):
+        assert VReg(3) == VReg(3)
+        assert hash(VReg(3)) == hash(VReg(3))
+        assert VReg(3) != VReg(4)
+
+    def test_cross_class_inequality(self):
+        assert XReg(3) != VReg(3)
+        assert VReg(3) != ZReg(3)
+
+    @pytest.mark.parametrize("cls,count", [(XReg, NUM_XREGS), (VReg, NUM_VREGS)])
+    def test_range_enforced(self, cls, count):
+        cls(count - 1)
+        with pytest.raises(ValueError):
+            cls(count)
+        with pytest.raises(ValueError):
+            cls(-1)
+
+    def test_x31_excluded(self):
+        with pytest.raises(ValueError):
+            XReg(31)
+
+
+class TestParseRegister:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("x5", XReg(5)),
+            ("v12", VReg(12)),
+            ("v12.4s", VReg(12)),
+            ("v0.s[2]", VReg(0)),
+            ("z3.s", ZReg(3)),
+            ("  V7 ", VReg(7)),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_register(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "q0x", "w5", "x", "r3", "vx1"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_register(text)
+
+    @given(st.integers(0, NUM_VREGS - 1))
+    def test_roundtrip_vreg(self, i):
+        assert parse_register(VReg(i).name) == VReg(i)
+
+    @given(st.integers(0, NUM_XREGS - 1))
+    def test_roundtrip_xreg(self, i):
+        assert parse_register(XReg(i).name) == XReg(i)
+
+
+class TestRegisterFile:
+    def test_scalar_roundtrip(self):
+        rf = RegisterFile()
+        rf.write_x(XReg(3), 12345)
+        assert rf.read_x(XReg(3)) == 12345
+
+    def test_scalar_wraps_to_64_bits(self):
+        rf = RegisterFile()
+        rf.write_x(XReg(0), 1 << 64)
+        assert rf.read_x(XReg(0)) == 0
+        rf.write_x(XReg(0), (1 << 63))
+        assert rf.read_x(XReg(0)) == -(1 << 63)
+
+    def test_vector_roundtrip(self):
+        rf = RegisterFile(vector_lanes=4)
+        rf.write_v(VReg(1), [1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_array_equal(rf.read_v(VReg(1)), [1.0, 2.0, 3.0, 4.0])
+
+    def test_vector_write_copies(self):
+        rf = RegisterFile(vector_lanes=4)
+        data = np.ones(4, dtype=np.float32)
+        rf.write_v(VReg(0), data)
+        data[0] = 99.0
+        assert rf.read_v(VReg(0))[0] == 1.0
+
+    def test_vector_shape_enforced(self):
+        rf = RegisterFile(vector_lanes=4)
+        with pytest.raises(ValueError):
+            rf.write_v(VReg(0), [1.0, 2.0])
+
+    def test_sve_lane_width(self):
+        rf = RegisterFile(vector_lanes=16)
+        rf.write_v(ZReg(5), np.arange(16, dtype=np.float32))
+        assert rf.read_v(ZReg(5)).shape == (16,)
+
+    def test_generic_read_write_dispatch(self):
+        rf = RegisterFile()
+        rf.write(XReg(2), 7)
+        assert rf.read(XReg(2)) == 7
+        rf.write(VReg(2), np.zeros(4, np.float32))
+        assert rf.read(VReg(2)).sum() == 0.0
+
+    def test_invalid_lane_count(self):
+        with pytest.raises(ValueError):
+            RegisterFile(vector_lanes=0)
+
+    @given(st.integers(-(2**63), 2**63 - 1))
+    def test_in_range_values_preserved(self, value):
+        rf = RegisterFile()
+        rf.write_x(XReg(9), value)
+        assert rf.read_x(XReg(9)) == value

@@ -1,0 +1,122 @@
+"""Chip database: Table IV fidelity and derived properties."""
+
+import pytest
+
+from repro.machine.chips import (
+    A64FX,
+    ALL_CHIPS,
+    ALTRA,
+    APPLE_M2,
+    GRAVITON2,
+    KP920,
+    get_chip,
+)
+
+
+class TestTableIV:
+    """The published hardware facts, verbatim from Table IV."""
+
+    def test_cores(self):
+        assert KP920.cores == 8
+        assert GRAVITON2.cores == 16
+        assert ALTRA.cores == 70
+        assert APPLE_M2.cores == 4  # performance cores; "(+4)" E-cores excluded
+        assert A64FX.cores == 48
+
+    def test_frequencies(self):
+        assert KP920.freq_ghz == 2.60
+        assert GRAVITON2.freq_ghz == 2.50
+        assert ALTRA.freq_ghz == 3.0
+        assert APPLE_M2.freq_ghz == 3.49
+        assert A64FX.freq_ghz == 2.20
+
+    def test_l1d(self):
+        assert KP920.l1d_bytes == 64 * 1024
+        assert APPLE_M2.l1d_bytes == 128 * 1024
+
+    def test_simd(self):
+        for chip in (KP920, GRAVITON2, ALTRA, APPLE_M2):
+            assert chip.simd == "neon" and chip.vector_bits == 128
+        assert A64FX.simd == "sve" and A64FX.vector_bits == 512
+
+    def test_no_l3_on_m2_and_a64fx(self):
+        assert APPLE_M2.l3_bytes == 0
+        assert A64FX.l3_bytes == 0
+        assert KP920.l3_bytes == 32 * 1024 * 1024
+
+    def test_numa_domains(self):
+        assert ALTRA.smp_domains == 2
+        assert A64FX.smp_domains == 4  # CMGs
+        assert KP920.smp_domains == 1
+
+    def test_chip_classes(self):
+        assert KP920.chip_class == "SoC"
+        assert A64FX.chip_class == "Supercomputer"
+
+
+class TestDerivedProperties:
+    def test_sigma_lane(self):
+        assert KP920.sigma_lane == 4
+        assert A64FX.sigma_lane == 16
+
+    def test_peak_flops(self):
+        # NEON 128-bit, 2 FMA pipes: 16 flops/cycle.
+        assert KP920.flops_per_cycle == 16.0
+        # A64FX: 512-bit SVE x 2 pipes: 64 flops/cycle -> 140.8 GF/core.
+        assert A64FX.flops_per_cycle == 64.0
+        assert A64FX.peak_gflops_core == pytest.approx(140.8)
+
+    def test_load_latency_ordering(self):
+        for chip in ALL_CHIPS.values():
+            assert (
+                chip.load_latency(1)
+                <= chip.load_latency(2)
+                <= chip.load_latency(3)
+                <= chip.load_latency(4)
+            )
+
+    def test_ipc_and_latency_lookup(self):
+        assert KP920.ipc("fma") == KP920.ipc_fma
+        assert KP920.latency("load") == KP920.lat_load_l1
+        with pytest.raises(KeyError):
+            KP920.ipc("bogus")
+
+    def test_cores_per_domain(self):
+        assert A64FX.cores_per_domain == 12  # 48 cores / 4 CMGs
+        assert ALTRA.cores_per_domain == 35
+
+    def test_ooo_window_narrative(self):
+        """The Figure 6 explanation: KP920's window is the smallest NEON one;
+        M2's the biggest."""
+        assert KP920.ooo_window < GRAVITON2.ooo_window
+        assert GRAVITON2.ooo_window < APPLE_M2.ooo_window
+        assert KP920.rename_limit == 1
+
+    def test_sigma_ai_ordering(self):
+        """sigma_AI: lower is easier (Figure 2): M2/Graviton2 easy, KP920 and
+        A64FX hard."""
+        assert APPLE_M2.sigma_ai <= GRAVITON2.sigma_ai < KP920.sigma_ai
+        assert A64FX.sigma_ai > GRAVITON2.sigma_ai
+
+
+class TestWithCores:
+    def test_restriction(self):
+        half = A64FX.with_cores(12)
+        assert half.cores == 12
+        assert half.smp_domains == 1  # one CMG
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            KP920.with_cores(0)
+        with pytest.raises(ValueError):
+            KP920.with_cores(9)
+
+    def test_identity(self):
+        assert KP920.with_cores(8).cores == 8
+
+
+def test_get_chip_lookup():
+    assert get_chip("kp920") is KP920
+    assert get_chip("M2") is APPLE_M2
+    with pytest.raises(KeyError):
+        get_chip("x86")

@@ -1,0 +1,109 @@
+"""Memory model: alignment, bounds, allocation, matrix handles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.memory import MatrixHandle, Memory
+
+
+class TestRawAccess:
+    def test_roundtrip(self):
+        mem = Memory(1 << 16)
+        mem.store_f32(256, np.array([1.5, -2.5], np.float32))
+        np.testing.assert_array_equal(mem.load_f32(256, 2), [1.5, -2.5])
+
+    def test_unaligned_rejected(self):
+        mem = Memory(1 << 16)
+        with pytest.raises(ValueError):
+            mem.load_f32(2, 1)
+
+    def test_out_of_bounds_rejected(self):
+        mem = Memory(1 << 12)
+        with pytest.raises(IndexError):
+            mem.load_f32(1 << 12, 1)
+        with pytest.raises(IndexError):
+            mem.load_f32(-4, 1)
+
+    def test_size_must_be_multiple_of_four(self):
+        with pytest.raises(ValueError):
+            Memory(1001)
+
+
+class TestAllocator:
+    def test_alignment(self):
+        mem = Memory(1 << 16)
+        a = mem.alloc(100, align=64)
+        b = mem.alloc(4, align=64)
+        assert a % 64 == 0 and b % 64 == 0
+        assert b >= a + 100
+
+    def test_exhaustion(self):
+        mem = Memory(1 << 12)
+        with pytest.raises(MemoryError):
+            mem.alloc(1 << 13)
+
+    def test_address_zero_never_returned(self):
+        mem = Memory(1 << 12)
+        assert mem.alloc(4) > 0
+
+
+class TestMatrixHandle:
+    def test_addressing(self):
+        h = MatrixHandle(base=1024, rows=4, cols=6, ld=8)
+        assert h.addr(0, 0) == 1024
+        assert h.addr(1, 0) == 1024 + 32
+        assert h.addr(2, 3) == 1024 + 4 * (2 * 8 + 3)
+
+    def test_bytes_spanned(self):
+        h = MatrixHandle(base=0, rows=3, cols=4, ld=10)
+        assert h.bytes_spanned == 4 * (2 * 10 + 4)
+
+    def test_sub_view(self):
+        h = MatrixHandle(base=0, rows=10, cols=10, ld=12)
+        s = h.sub(2, 3, 4, 5)
+        assert s.base == h.addr(2, 3)
+        assert (s.rows, s.cols, s.ld) == (4, 5, 12)
+
+    def test_sub_bounds_checked(self):
+        h = MatrixHandle(base=0, rows=4, cols=4, ld=4)
+        with pytest.raises(ValueError):
+            h.sub(2, 2, 3, 1)
+
+    def test_ld_smaller_than_cols_rejected(self):
+        mem = Memory(1 << 12)
+        with pytest.raises(ValueError):
+            mem.alloc_matrix(2, 8, ld=4)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(1, 12),
+        cols=st.integers(1, 12),
+        pad=st.integers(0, 5),
+        seed=st.integers(0, 1000),
+    )
+    def test_write_read_roundtrip_property(self, rows, cols, pad, seed):
+        mem = Memory(1 << 18)
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(-1, 1, (rows, cols)).astype(np.float32)
+        h = mem.alloc_matrix(rows, cols, ld=cols + pad)
+        mem.write_matrix(h, data)
+        np.testing.assert_array_equal(mem.read_matrix(h), data)
+
+    def test_padded_rows_do_not_overlap(self):
+        mem = Memory(1 << 16)
+        h1 = mem.alloc_matrix(4, 4, ld=6)
+        h2 = mem.alloc_matrix(4, 4)
+        a = np.full((4, 4), 7.0, np.float32)
+        b = np.full((4, 4), 9.0, np.float32)
+        mem.write_matrix(h1, a)
+        mem.write_matrix(h2, b)
+        np.testing.assert_array_equal(mem.read_matrix(h1), a)
+        np.testing.assert_array_equal(mem.read_matrix(h2), b)
+
+    def test_shape_mismatch_rejected(self):
+        mem = Memory(1 << 12)
+        h = mem.alloc_matrix(2, 2)
+        with pytest.raises(ValueError):
+            mem.write_matrix(h, np.zeros((3, 2), np.float32))

@@ -1,0 +1,86 @@
+"""Multi-core model: partitioning, domains, barriers, bandwidth cap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.chips import A64FX, ALTRA, GRAVITON2, KP920
+from repro.machine.multicore import domain_span, parallel_time, partition_blocks
+
+
+class TestPartition:
+    def test_even_split(self):
+        assert partition_blocks(8, 4) == [2, 2, 2, 2]
+
+    def test_remainder_spread_front(self):
+        assert partition_blocks(10, 4) == [3, 3, 2, 2]
+
+    def test_fewer_blocks_than_cores(self):
+        assert partition_blocks(2, 4) == [1, 1, 0, 0]
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            partition_blocks(4, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 500), st.integers(1, 70))
+    def test_partition_properties(self, blocks, cores):
+        parts = partition_blocks(blocks, cores)
+        assert sum(parts) == blocks
+        assert len(parts) == cores
+        assert max(parts) - min(parts) <= 1
+
+
+class TestDomainSpan:
+    def test_single_domain_chip(self):
+        assert domain_span(8, KP920) == 1
+
+    def test_altra_crosses_socket(self):
+        assert domain_span(35, ALTRA) == 1
+        assert domain_span(36, ALTRA) == 2
+
+    def test_a64fx_cmgs(self):
+        assert domain_span(12, A64FX) == 1
+        assert domain_span(13, A64FX) == 2
+        assert domain_span(48, A64FX) == 4
+
+
+class TestParallelTime:
+    def test_single_core_no_barrier(self):
+        t = parallel_time([1000.0], GRAVITON2)
+        assert t.cycles == 1000.0
+        assert t.barrier_cycles == 0.0
+
+    def test_multi_core_pays_barrier(self):
+        t = parallel_time([1000.0, 1000.0], GRAVITON2)
+        assert t.cycles == 1000.0 + GRAVITON2.barrier_cycles
+
+    def test_critical_path_is_slowest_core(self):
+        t = parallel_time([500.0, 2000.0, 100.0], GRAVITON2)
+        assert t.critical_core_cycles == 2000.0
+
+    def test_domain_penalty_on_a64fx(self):
+        inside = parallel_time([1e6] * 12, A64FX)
+        across = parallel_time([1e6] * 48, A64FX)
+        assert across.domain_penalty_cycles > 0
+        assert inside.domain_penalty_cycles == 0
+        assert across.cycles > inside.cycles
+
+    def test_bandwidth_floor(self):
+        # tiny compute, huge traffic -> bandwidth limited
+        t = parallel_time([100.0] * 4, GRAVITON2, dram_bytes=1e9)
+        assert t.bandwidth_limited
+        expected = 1e9 / (GRAVITON2.dram_gbps * 1e9) * GRAVITON2.freq_ghz * 1e9
+        assert t.cycles == pytest.approx(expected)
+
+    def test_compute_bound_ignores_small_traffic(self):
+        t = parallel_time([1e9], GRAVITON2, dram_bytes=100.0)
+        assert not t.bandwidth_limited
+
+    def test_empty_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_time([], GRAVITON2)
+
+    def test_overhead_fraction(self):
+        t = parallel_time([1000.0, 1000.0], GRAVITON2)
+        assert 0 < t.overhead_fraction < 1

@@ -1,0 +1,133 @@
+"""Scoreboard pipeline: throughput, dependencies, window, cache latency."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.isa.instructions import FmlaElem, LoadVec, MovImm
+from repro.isa.program import Trace, TraceEntry
+from repro.isa.registers import VReg, XReg
+from repro.machine.cache import CacheHierarchy
+from repro.machine.chips import GRAVITON2, KP920
+from repro.machine.pipeline import PipelineModel
+
+
+def fma(dst, vn, vm):
+    return TraceEntry(FmlaElem(VReg(dst), VReg(vn), VReg(vm), 0))
+
+
+def load(dst, addr):
+    return TraceEntry(LoadVec(VReg(dst), XReg(0)), address=addr, size=16)
+
+
+def make_trace(entries, flops_lanes=0):
+    t = Trace()
+    t.entries = list(entries)
+    t.fma_lane_ops = flops_lanes
+    return t
+
+
+class TestThroughput:
+    def test_independent_fmas_run_at_ipc(self):
+        chip = replace(GRAVITON2, ipc_fma=2.0)
+        # 40 independent FMAs on distinct registers (8 regs x 5 reuses,
+        # spaced enough to avoid chains at latency 4).
+        entries = [fma(i % 8, 8 + i % 8, 16 + i % 8) for i in range(40)]
+        timing = PipelineModel(chip).time_trace(make_trace(entries))
+        # issue-bound: 40 / 2 per cycle = 20 cycles + latency tail
+        assert timing.cycles <= 20 + chip.lat_fma + 2
+
+    def test_single_dependency_chain_runs_at_latency(self):
+        chip = GRAVITON2
+        entries = [fma(0, 1, 2) for _ in range(10)]  # RAW chain on v0
+        timing = PipelineModel(chip).time_trace(make_trace(entries))
+        assert timing.cycles >= 10 * chip.lat_fma
+
+    def test_alu_cheap(self):
+        chip = GRAVITON2
+        entries = [TraceEntry(MovImm(XReg(i % 8), i)) for i in range(30)]
+        timing = PipelineModel(chip).time_trace(make_trace(entries))
+        assert timing.cycles <= 30
+
+
+class TestCacheCoupling:
+    def test_load_latency_depends_on_residency(self):
+        chip = KP920
+        warm = CacheHierarchy(chip)
+        warm.warm_range(0, 4096, 1)
+        cold = CacheHierarchy(chip)
+        entries = [load(i % 4, i * 64) for i in range(16)]
+        t_warm = PipelineModel(chip, caches=warm).time_trace(make_trace(entries))
+        t_cold = PipelineModel(chip, caches=cold).time_trace(make_trace(entries))
+        assert t_cold.cycles > t_warm.cycles
+        assert t_cold.loads_by_level[4] == 16
+        assert t_warm.loads_by_level[1] == 16
+
+    def test_prefetch_warms_for_later_loads(self):
+        from repro.isa.instructions import Prfm
+
+        chip = KP920
+        caches = CacheHierarchy(chip)
+        entries = [TraceEntry(Prfm(XReg(0)), address=0, size=64), load(0, 0)]
+        timing = PipelineModel(chip, caches=caches).time_trace(make_trace(entries))
+        assert timing.loads_by_level[1] == 1
+
+
+class TestWindowAndRename:
+    def test_narrow_window_serialises_long_latency(self):
+        base = replace(KP920, ooo_window=4, rename_limit=99)
+        wide = replace(KP920, ooo_window=512, rename_limit=99)
+        # loads to DRAM interleaved with FMAs: narrow window stalls on the
+        # outstanding loads.
+        entries = []
+        for i in range(12):
+            entries.append(load(i % 4, 10 * 64 * 1024 + i * 4096))
+            entries.append(fma(8 + i % 8, 16 + i % 4, 24))
+        t_narrow = PipelineModel(base, caches=CacheHierarchy(base)).time_trace(
+            make_trace(entries)
+        )
+        t_wide = PipelineModel(wide, caches=CacheHierarchy(wide)).time_trace(
+            make_trace(entries)
+        )
+        assert t_narrow.cycles > t_wide.cycles
+
+    def test_rename_limit_one_serialises_waw(self):
+        no_rename = replace(GRAVITON2, rename_limit=1)
+        renamed = replace(GRAVITON2, rename_limit=8)
+        warm = CacheHierarchy(no_rename)
+        warm.warm_range(0, 1 << 16, 1)
+        warm2 = CacheHierarchy(renamed)
+        warm2.warm_range(0, 1 << 16, 1)
+        # repeated loads into the SAME register: WAW limited without rename.
+        entries = [load(0, i * 64) for i in range(32)]
+        t1 = PipelineModel(no_rename, caches=warm).time_trace(make_trace(entries))
+        t2 = PipelineModel(renamed, caches=warm2).time_trace(make_trace(entries))
+        assert t1.cycles > t2.cycles
+        # rename-limited: one load per L1 latency
+        assert t1.cycles >= 31 * no_rename.lat_load_l1
+
+
+class TestTimingResult:
+    def test_efficiency_and_gflops(self):
+        chip = GRAVITON2
+        entries = [fma(i % 8, 8, 16) for i in range(64)]
+        timing = PipelineModel(chip).time_trace(make_trace(entries, flops_lanes=64 * 4))
+        eff = timing.efficiency(chip)
+        assert 0 < eff <= 1.0
+        assert timing.gflops(chip) == pytest.approx(
+            timing.flops_per_cycle * chip.freq_ghz
+        )
+        assert timing.seconds(chip) > 0
+
+    def test_launch_cycles_floor(self):
+        chip = GRAVITON2
+        timing = PipelineModel(chip, launch_cycles=100.0).time_trace(make_trace([]))
+        assert timing.cycles == 100.0
+
+    def test_labels_not_counted(self):
+        from repro.isa.instructions import Label
+
+        chip = GRAVITON2
+        t = make_trace([TraceEntry(Label("1")), fma(0, 1, 2)])
+        timing = PipelineModel(chip).time_trace(t)
+        assert timing.instructions == 1

@@ -1,0 +1,62 @@
+"""Functional interpreter: fuel limits, branches, argument binding."""
+
+import pytest
+
+from repro.isa.instructions import Branch, Label, MovImm, SubsImm
+from repro.isa.program import Program
+from repro.isa.registers import XReg
+from repro.machine.chips import A64FX, GRAVITON2
+from repro.machine.memory import Memory
+from repro.machine.simulator import SimulationError, Simulator
+
+
+def test_args_preloaded():
+    sim = Simulator(Memory(1 << 12))
+    state = sim.fresh_state({XReg(0): 1234, XReg(5): -1})
+    assert state.regs.read_x(XReg(0)) == 1234
+    assert state.regs.read_x(XReg(5)) == -1
+
+
+def test_runaway_loop_hits_fuel():
+    prog = Program([Label("1"), MovImm(XReg(0), 1), Branch("1", "al")])
+    sim = Simulator(Memory(1 << 12))
+    with pytest.raises(SimulationError):
+        sim.run(prog, fuel=100)
+
+
+def test_undefined_branch_target():
+    prog = Program([MovImm(XReg(29), 1), SubsImm(XReg(29), XReg(29), 2), Branch("nowhere", "ne")])
+    sim = Simulator(Memory(1 << 12))
+    with pytest.raises(KeyError):
+        sim.run(prog)
+
+
+def test_run_timed_checks_lane_match():
+    sim = Simulator(Memory(1 << 12), vector_lanes=4)
+    prog = Program([MovImm(XReg(0), 1)])
+    with pytest.raises(ValueError):
+        sim.run_timed(prog, A64FX)  # A64FX wants 16 lanes
+
+
+def test_run_timed_produces_timing():
+    sim = Simulator(Memory(1 << 12), vector_lanes=4)
+    prog = Program([MovImm(XReg(0), 1), MovImm(XReg(1), 2)])
+    result = sim.run_timed(prog, GRAVITON2, launch_cycles=10.0)
+    assert result.timing is not None
+    assert result.timing.cycles >= 10.0
+    assert result.timing.instructions == 2
+
+
+def test_trace_is_complete_dynamic_stream():
+    prog = Program(
+        [
+            MovImm(XReg(29), 3),
+            Label("1"),
+            SubsImm(XReg(29), XReg(29), 1),
+            Branch("1", "ne"),
+        ]
+    )
+    sim = Simulator(Memory(1 << 12))
+    result = sim.run(prog)
+    # 1 mov + 3 * (subs + branch)
+    assert len(result.trace) == 1 + 3 * 2

@@ -1,0 +1,39 @@
+"""Block-level Eqn 13 model."""
+
+import pytest
+
+from repro.machine.chips import GRAVITON2, KP920
+from repro.model.block_model import block_runtime, problem_runtime
+
+
+class TestBlockRuntime:
+    def test_matches_dmt_cost(self):
+        cost = block_runtime(26, 36, 64, KP920)
+        assert cost.cycles > 0
+        assert cost.num_tiles == 13  # the Figure 5 example
+
+    def test_split_parameters_within_bounds(self):
+        cost = block_runtime(30, 48, 32, KP920)
+        assert 0 <= cost.n_front <= 48
+        assert 0 <= cost.m_front_up <= 30
+
+    def test_deeper_residency_costs_more(self):
+        l1 = block_runtime(32, 32, 32, KP920, load_latency=float(KP920.lat_load_l1))
+        l2 = block_runtime(32, 32, 32, KP920, load_latency=float(KP920.lat_load_l2))
+        assert l2.cycles > l1.cycles
+
+
+class TestProblemRuntime:
+    def test_scales_with_blocks(self):
+        one = problem_runtime(32, 32, 32, 32, 32, 32, GRAVITON2)
+        four = problem_runtime(64, 64, 32, 32, 32, 32, GRAVITON2)
+        assert four == pytest.approx(4 * one)
+
+    def test_remainder_blocks_cheaper_than_full(self):
+        full = problem_runtime(64, 64, 64, 32, 32, 64, GRAVITON2)
+        ragged = problem_runtime(48, 48, 64, 32, 32, 64, GRAVITON2)
+        assert ragged < full
+
+    def test_blocks_clipped(self):
+        # block bigger than the problem is fine
+        assert problem_runtime(8, 8, 8, 64, 64, 64, GRAVITON2) > 0

@@ -1,0 +1,55 @@
+"""sigma_AI calibration workflow."""
+
+import pytest
+
+from repro.machine.chips import GRAVITON2, KP920
+from repro.model.calibration import calibrate_sigma_ai, measure_tile
+from repro.codegen.tiles import TileShape
+
+
+class TestMeasureTile:
+    def test_high_ai_tile_near_peak(self):
+        m = measure_tile(TileShape(5, 16), GRAVITON2, kc=96)
+        assert m.efficiency > 0.9
+
+    def test_low_ai_tile_below_peak(self):
+        m = measure_tile(TileShape(1, 8), GRAVITON2, kc=96)
+        assert m.efficiency < 0.6
+
+    def test_deterministic(self):
+        a = measure_tile(TileShape(4, 12), KP920, kc=64)
+        b = measure_tile(TileShape(4, 12), KP920, kc=64)
+        assert a.efficiency == b.efficiency
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            chip.name: calibrate_sigma_ai(chip, kc=96, max_tiles=12)
+            for chip in (KP920, GRAVITON2)
+        }
+
+    def test_close_to_configured_values(self, results):
+        """The shipped ChipSpec sigma_AI values came from this procedure."""
+        assert abs(results["KP920"].sigma_ai - KP920.sigma_ai) < 1.5
+        assert abs(results["Graviton2"].sigma_ai - GRAVITON2.sigma_ai) < 1.5
+
+    def test_threshold_property(self, results):
+        """Every tile at or above the threshold reaches the peak fraction."""
+        for r in results.values():
+            target = 0.95 * r.peak_efficiency
+            for m in r.above_threshold():
+                assert m.efficiency >= target - 1e-9
+
+    def test_peak_is_high(self, results):
+        for r in results.values():
+            assert r.peak_efficiency > 0.9
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            calibrate_sigma_ai(KP920, peak_fraction=1.5)
+
+    def test_measurement_count_bounded(self, results):
+        for r in results.values():
+            assert len(r.measurements) <= 12

@@ -1,0 +1,128 @@
+"""Performance model (Eqns 4-11): exactness on the paper's worked examples
+and qualitative agreement with the cycle simulator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.perf_model import MicroKernelModel, ModelParams
+
+
+@pytest.fixture
+def paper_model():
+    return MicroKernelModel(ModelParams.paper_example())
+
+
+class TestPaperWorkedExamples:
+    """Figure 3's setting: L = 8, reciprocal throughput 1, lane 4."""
+
+    @pytest.mark.parametrize("kc", [4, 8, 16, 32, 64, 128])
+    def test_5x16_basic_formula(self, paper_model, kc):
+        """'the micro-kernel generated from tile size 5x16 will use
+        20*k_c + 13*kv + 65 cycles' (below Eqn 7)."""
+        kv = kc // 4
+        assert paper_model.total(5, 16, kc) == pytest.approx(20 * kc + 13 * kv + 65)
+
+    @pytest.mark.parametrize("kc", [8, 16, 32, 64])
+    def test_5x16_rotated_formula(self, paper_model, kc):
+        """'... 20*k_c + 13*ceil(kv/2) + 65 cycles' (below Eqn 9)."""
+        kv = kc // 4
+        expected = 20 * kc + 13 * math.ceil(kv / 2) + 65
+        assert paper_model.total(5, 16, kc, rotate=True) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("kc", [16, 32, 64])
+    def test_2x16_memory_bound_mainloop(self, paper_model, kc):
+        """'the projected main loop runtime for ... 2x16 is 48*kv cycles'
+        (below Eqn 8) and 42*kv after rotation (below Eqn 10)."""
+        kv = kc // 4
+        assert paper_model.mainloop(2, 16, kc) == pytest.approx(48 * kv)
+        assert paper_model.mainloop(2, 16, kc, rotate=True) == pytest.approx(42 * kv)
+
+    def test_prologue_eqn5(self, paper_model):
+        # (mr*nv + mr + nv) * rt_load + L_load = (20+5+4) + 8 = 37
+        assert paper_model.prologue(5, 16) == 37
+
+    def test_epilogue_eqn7_no_remainder(self, paper_model):
+        # L_fma + mr*nv*rt_store = 8 + 20 = 28
+        assert paper_model.epilogue(5, 16, 16) == 28
+
+    def test_epilogue_with_remainder(self, paper_model):
+        # 2 remainder steps: + mr*nv*rt_fma*2 = 40
+        assert paper_model.epilogue(5, 16, 18) == 28 + 40
+
+
+class TestBoundsClassification:
+    def test_5x16_compute_2x16_memory(self, paper_model):
+        assert paper_model.compute_bound(5, 16)
+        assert not paper_model.compute_bound(2, 16)
+
+    def test_threshold_respected(self):
+        strict = MicroKernelModel(
+            ModelParams(8, 8, 8, 1, 1, 1, lane=4, sigma_ai=7.9, launch=0)
+        )
+        assert strict.compute_bound(8, 8)  # AI 8.0
+        assert not strict.compute_bound(5, 16)  # AI 7.62
+
+
+class TestOptimisationsImprove:
+    @settings(max_examples=30, deadline=None)
+    @given(mr=st.integers(2, 8), nv=st.integers(1, 4), kc=st.integers(4, 128))
+    def test_rotation_never_hurts_model(self, mr, nv, kc):
+        from repro.codegen.tiles import is_feasible
+
+        nr = 4 * nv
+        if not is_feasible(mr, nr, 4):
+            return
+        m = MicroKernelModel(ModelParams.paper_example())
+        assert m.total(mr, nr, kc, rotate=True) <= m.total(mr, nr, kc) + 1e-9
+
+    def test_fusion_saves_launch_and_overlap(self, paper_model):
+        fused = paper_model.total(5, 16, 18, fused=True)
+        unfused = paper_model.total(5, 16, 18)
+        assert fused < unfused
+
+    def test_fusion_gain_at_small_k(self):
+        """The paper reports ~8.2% prologue + 15.1% epilogue share at
+        k_c = 18 for 5x16: fusing must recover a double-digit fraction."""
+        m = MicroKernelModel(ModelParams.paper_example())
+        total = m.total(5, 16, 18)
+        share = (m.prologue(5, 16) + m.epilogue(5, 16, 18)) / total
+        assert 0.15 < share < 0.35
+
+
+class TestChipParams:
+    def test_from_chip(self):
+        from repro.machine.chips import GRAVITON2
+
+        p = ModelParams.from_chip(GRAVITON2)
+        assert p.lane == 4
+        assert p.rt_fma == 0.5
+        assert p.lat_load == GRAVITON2.lat_load_l1
+        assert p.sigma_ai == GRAVITON2.sigma_ai
+
+    def test_invalid_dims_rejected(self, paper_model):
+        with pytest.raises(ValueError):
+            paper_model.total(0, 16, 8)
+
+
+class TestModelTracksSimulator:
+    """Figure 3's purpose: the projection orders variants like the machine."""
+
+    def test_ranking_agrees(self):
+        from _kernel_utils import run_kernel
+        from repro.machine.chips import KP920
+
+        model = MicroKernelModel(ModelParams.from_chip(KP920, launch=0.0))
+        sims = {}
+        projections = {}
+        for mr, nr in [(5, 16), (2, 16), (8, 8), (4, 20)]:
+            _, _, timing = run_kernel(mr, nr, 64, chip=KP920)
+            sims[(mr, nr)] = timing.cycles / (2 * mr * nr * 64)
+            projections[(mr, nr)] = model.total(mr, nr, 64) / (2 * mr * nr * 64)
+        sim_rank = sorted(sims, key=sims.get)
+        model_rank = sorted(projections, key=projections.get)
+        # the best and worst tiles agree between model and simulation
+        assert sim_rank[0] == model_rank[0]
+        assert sim_rank[-1] == model_rank[-1]

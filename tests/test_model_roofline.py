@@ -1,0 +1,84 @@
+"""Roofline model (Figure 10)."""
+
+import pytest
+
+from repro.machine.chips import APPLE_M2, GRAVITON2, KP920
+from repro.model.roofline import (
+    RooflinePoint,
+    attainable_gflops,
+    gemm_arithmetic_intensity,
+    l3_bandwidth_gbps,
+)
+
+
+class TestArithmeticIntensity:
+    def test_cube_ai(self):
+        # 64^3: 2*64^3 / (4 * (64^2 * 4)) = 8 flops/byte
+        assert gemm_arithmetic_intensity(64, 64, 64) == pytest.approx(8.0)
+
+    def test_grows_with_size(self):
+        assert gemm_arithmetic_intensity(128, 128, 128) > gemm_arithmetic_intensity(
+            8, 8, 8
+        )
+
+    def test_irregular_shapes_have_higher_ai_than_small(self):
+        """'The shape extracted from Resnet50 has larger arithmetic intensity
+        than small matrices' (§V-D)."""
+        from repro.workloads.resnet50 import layer
+
+        small = gemm_arithmetic_intensity(16, 16, 16)
+        for name in ("L4", "L8", "L10", "L16"):
+            s = layer(name)
+            assert gemm_arithmetic_intensity(s.m, s.n, s.k) > small
+
+
+class TestCeilings:
+    def test_compute_plateau(self):
+        chip = GRAVITON2
+        assert attainable_gflops(chip, 1000.0) == chip.peak_gflops_core
+
+    def test_memory_slope(self):
+        chip = GRAVITON2
+        low_ai = 0.1
+        assert attainable_gflops(chip, low_ai) == pytest.approx(
+            low_ai * chip.dram_gbps
+        )
+
+    def test_multicore_scales_compute(self):
+        chip = GRAVITON2
+        assert attainable_gflops(chip, 1000.0, cores=4) == pytest.approx(
+            4 * chip.peak_gflops_core
+        )
+
+    def test_l3_ceiling_above_dram(self):
+        for chip in (KP920, GRAVITON2):
+            assert l3_bandwidth_gbps(chip) > chip.dram_gbps
+
+    def test_invalid_ai(self):
+        with pytest.raises(ValueError):
+            attainable_gflops(GRAVITON2, 0.0)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            attainable_gflops(GRAVITON2, 1.0, level="l7")
+
+
+class TestPoints:
+    def test_bound_classification(self):
+        chip = KP920
+        compute_pt = RooflinePoint("big", ai=1000.0, gflops=30.0)
+        memory_pt = RooflinePoint("tiny", ai=0.05, gflops=3.0)
+        assert compute_pt.bound(chip) == "compute"
+        assert memory_pt.bound(chip) == "memory"
+
+    def test_multicore_can_exceed_dram_roof_from_cache(self):
+        """§V-D: multi-core autoGEMM 'can easily exceed the upper bounds of
+        DRAM' -- the L3 ceiling must allow more than the DRAM one."""
+        chip = KP920
+        ai = gemm_arithmetic_intensity(64, 64, 64)
+        dram_roof = attainable_gflops(chip, ai, cores=chip.cores, level="dram")
+        l3_roof = attainable_gflops(chip, ai, cores=chip.cores, level="l3")
+        assert l3_roof >= dram_roof
+
+    def test_m2_uses_l2_as_llc(self):
+        assert l3_bandwidth_gbps(APPLE_M2) > 0

@@ -1,0 +1,203 @@
+"""Cross-cutting property tests and failure injection."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from _kernel_utils import run_kernel
+from repro.codegen.microkernel import ARG_REGS, generate_microkernel
+from repro.machine.cache import CacheHierarchy
+from repro.machine.chips import GRAVITON2, KP920
+from repro.machine.memory import Memory
+from repro.machine.pipeline import PipelineModel
+from repro.machine.simulator import Simulator
+
+
+def kernel_trace(mr=4, nr=8, kc=8, seed=0):
+    rng = np.random.default_rng(seed)
+    mem = Memory()
+    h_a = mem.alloc_matrix(mr, kc)
+    h_b = mem.alloc_matrix(kc, nr)
+    h_c = mem.alloc_matrix(mr, nr)
+    mem.write_matrix(h_a, rng.uniform(-1, 1, (mr, kc)).astype(np.float32))
+    mem.write_matrix(h_b, rng.uniform(-1, 1, (kc, nr)).astype(np.float32))
+    mem.write_matrix(h_c, np.zeros((mr, nr), np.float32))
+    kernel = generate_microkernel(mr, nr, kc)
+    sim = Simulator(mem)
+    args = {
+        ARG_REGS["A"]: h_a.base,
+        ARG_REGS["B"]: h_b.base,
+        ARG_REGS["C"]: h_c.base,
+        ARG_REGS["lda"]: h_a.ld,
+        ARG_REGS["ldb"]: h_b.ld,
+        ARG_REGS["ldc"]: h_c.ld,
+    }
+    return sim.run(kernel.program, args=args).trace, (h_a, h_b, h_c)
+
+
+class TestPipelineProperties:
+    def test_higher_load_latency_never_faster(self):
+        from dataclasses import replace
+
+        trace, handles = kernel_trace()
+        base = replace(KP920, lat_load_l1=2)
+        slow = replace(KP920, lat_load_l1=12)
+        caches1, caches2 = CacheHierarchy(base), CacheHierarchy(slow)
+        for h in handles:
+            caches1.warm_range(h.base, h.bytes_spanned)
+            caches2.warm_range(h.base, h.bytes_spanned)
+        t_fast = PipelineModel(base, caches=caches1).time_trace(trace)
+        t_slow = PipelineModel(slow, caches=caches2).time_trace(trace)
+        assert t_slow.cycles >= t_fast.cycles
+
+    def test_wider_window_never_slower(self):
+        from dataclasses import replace
+
+        trace, handles = kernel_trace(kc=16)
+        narrow = replace(KP920, ooo_window=4)
+        wide = replace(KP920, ooo_window=256)
+        c1, c2 = CacheHierarchy(narrow), CacheHierarchy(wide)
+        for h in handles:
+            c1.warm_range(h.base, h.bytes_spanned)
+            c2.warm_range(h.base, h.bytes_spanned)
+        t_narrow = PipelineModel(narrow, caches=c1).time_trace(trace)
+        t_wide = PipelineModel(wide, caches=c2).time_trace(trace)
+        assert t_wide.cycles <= t_narrow.cycles
+
+    def test_trace_prefix_never_longer(self):
+        from repro.isa.program import Trace
+
+        trace, handles = kernel_trace(kc=12)
+        prefix = Trace()
+        prefix.entries = trace.entries[: len(trace.entries) // 2]
+        c1, c2 = CacheHierarchy(GRAVITON2), CacheHierarchy(GRAVITON2)
+        for h in handles:
+            c1.warm_range(h.base, h.bytes_spanned)
+            c2.warm_range(h.base, h.bytes_spanned)
+        t_full = PipelineModel(GRAVITON2, caches=c1).time_trace(trace)
+        t_prefix = PipelineModel(GRAVITON2, caches=c2).time_trace(prefix)
+        assert t_prefix.cycles <= t_full.cycles
+
+    def test_timing_deterministic(self):
+        trace, handles = kernel_trace()
+        results = []
+        for _ in range(2):
+            caches = CacheHierarchy(KP920)
+            for h in handles:
+                caches.warm_range(h.base, h.bytes_spanned)
+            results.append(PipelineModel(KP920, caches=caches).time_trace(trace).cycles)
+        assert results[0] == results[1]
+
+
+class TestDMTMatchesLiteralAlgorithm1:
+    """The decomposed split search must equal the paper's printed triple
+    loop over (n_front, m_front_up, m_back_up) on small blocks."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(mc=st.integers(2, 14), nc=st.integers(2, 14))
+    def test_equivalence(self, mc, nc):
+        from repro.model.perf_model import MicroKernelModel, ModelParams
+        from repro.tiling.dmt import DynamicMicroTiler
+
+        kc = 16
+        tiler = DynamicMicroTiler(MicroKernelModel(ModelParams.from_chip(KP920)), 4)
+        fast = tiler.tile(mc, nc, kc).cost
+
+        best = math.inf
+        for n_front in range(nc + 1):
+            for m_front_up in range(mc + 1):
+                for m_back_up in range(mc + 1):
+                    cost = (
+                        tiler.region(m_front_up, n_front, kc).cost
+                        + tiler.region(mc - m_front_up, n_front, kc).cost
+                        + tiler.region(m_back_up, nc - n_front, kc).cost
+                        + tiler.region(mc - m_back_up, nc - n_front, kc).cost
+                    )
+                    best = min(best, cost)
+        assert fast == pytest.approx(best)
+
+
+class TestFusionProperty:
+    def test_fused_never_slower_than_separate_with_launch(self):
+        from repro.codegen.fusion import fuse_traces
+
+        traces = [kernel_trace(seed=i)[0] for i in range(4)]
+        caches = CacheHierarchy(GRAVITON2)
+        caches.warm_range(0, 1 << 16, 1)
+        fused = PipelineModel(GRAVITON2, caches=caches, launch_cycles=40).time_trace(
+            fuse_traces(traces)
+        )
+        caches2 = CacheHierarchy(GRAVITON2)
+        caches2.warm_range(0, 1 << 16, 1)
+        separate = sum(
+            PipelineModel(GRAVITON2, caches=caches2, launch_cycles=40)
+            .time_trace(t)
+            .cycles
+            for t in traces
+        )
+        assert fused.cycles <= separate
+
+
+class TestFailureInjection:
+    def test_nan_inputs_propagate(self):
+        """IEEE semantics survive the generated-code path."""
+        from repro.gemm import GemmExecutor
+        from repro.machine import GRAVITON2 as chip
+
+        a = np.full((4, 4), np.nan, np.float32)
+        b = np.ones((4, 4), np.float32)
+        result = GemmExecutor(chip).run(a, b)
+        assert np.isnan(result.c).all()
+
+    def test_wrong_leading_dimension_detected(self):
+        """A corrupt ldb that walks past the allocation trips the memory
+        bounds check instead of silently reading garbage."""
+        mem = Memory(1 << 14)
+        h_a = mem.alloc_matrix(4, 8)
+        h_b = mem.alloc_matrix(8, 8)
+        h_c = mem.alloc_matrix(4, 8)
+        kernel = generate_microkernel(4, 8, 8)
+        sim = Simulator(mem)
+        args = {
+            ARG_REGS["A"]: h_a.base,
+            ARG_REGS["B"]: h_b.base,
+            ARG_REGS["C"]: h_c.base,
+            ARG_REGS["lda"]: h_a.ld,
+            ARG_REGS["ldb"]: 10_000,  # corrupt stride
+            ARG_REGS["ldc"]: h_c.ld,
+        }
+        with pytest.raises(IndexError):
+            sim.run(kernel.program, args=args)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="qxvz0123456789 ,#[]ldrstpfma.\n", max_size=60))
+    def test_assembler_fuzz_never_crashes_unhandled(self, text):
+        """Garbage input raises a clean error (or parses), never a random
+        internal exception type."""
+        from repro.isa.assembler import AssemblerError, assemble
+
+        try:
+            assemble(text)
+        except (AssemblerError, ValueError, IndexError):
+            pass
+
+    def test_simulation_fuel_protects_against_bad_counter(self):
+        """A loop whose counter never reaches zero is caught by fuel."""
+        from repro.isa.instructions import Branch, Label, MovImm, SubsImm
+        from repro.isa.program import Program
+        from repro.isa.registers import XReg
+        from repro.machine.simulator import SimulationError
+
+        prog = Program(
+            [
+                MovImm(XReg(29), 5),
+                Label("1"),
+                SubsImm(XReg(29), XReg(29), 2),  # skips zero: 5,3,1,-1,...
+                Branch("1", "ne"),
+            ]
+        )
+        with pytest.raises(SimulationError):
+            Simulator(Memory(1 << 12)).run(prog, fuel=1000)

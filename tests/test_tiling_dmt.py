@@ -1,0 +1,128 @@
+"""Dynamic Micro-Tiling (Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.chips import GRAVITON2, KP920
+from repro.model.perf_model import MicroKernelModel, ModelParams
+from repro.tiling.dmt import DynamicMicroTiler
+from repro.tiling.static_tiling import libxsmm_tiling, openblas_tiling
+
+
+@pytest.fixture(scope="module")
+def tiler():
+    return DynamicMicroTiler(MicroKernelModel(ModelParams.from_chip(KP920)), lane=4)
+
+
+class TestFigure5:
+    def test_fewer_tiles_than_static(self, tiler):
+        """'OpenBLAS and LIBXSMM would both have had 18 micro tiles,
+        whereas DMT has 13 micro tiles in total.'"""
+        result = tiler.tile(26, 36, 64)
+        assert result.plan.num_tiles < 18
+        assert result.plan.num_tiles <= 14
+
+    def test_at_most_two_low_ai_tiles(self, tiler):
+        """'LIBXSMM has 8 micro tiles with low arithmetic intensity, but
+        DMT has at most 2.'"""
+        result = tiler.tile(26, 36, 64)
+        assert len(result.plan.low_ai_tiles(KP920.sigma_ai)) <= 2
+
+    def test_dmt_never_pads(self, tiler):
+        assert tiler.tile(26, 36, 64).plan.padded_tiles == []
+
+    def test_model_cost_beats_static(self, tiler):
+        model = MicroKernelModel(ModelParams.from_chip(KP920))
+        dmt_cost = tiler.tile(26, 36, 64).cost
+        lx_cost = libxsmm_tiling(26, 36).model_cost(model, 64)
+        assert dmt_cost <= lx_cost + 1e-6
+
+
+class TestAlgorithmStructure:
+    def test_split_parameters_recorded(self, tiler):
+        result = tiler.tile(26, 64, 64)
+        assert 0 <= result.n_front <= 64
+        assert 0 <= result.m_front_up <= 26
+        assert 0 <= result.m_back_up <= 26
+
+    def test_aligned_block_uses_single_region(self, tiler):
+        """A perfectly divisible block needs no split: one shape, minimal
+        tile count."""
+        result = tiler.tile(25, 64, 64)  # 5x5 rows x 4 cols of 5x16
+        shapes = {(t.kernel_mr, t.kernel_nr) for t in result.plan}
+        assert len(shapes) == 1
+        assert result.plan.num_tiles == 20
+
+    def test_region_memoised(self, tiler):
+        tiler.tile(26, 36, 64)
+        before = len(tiler._region_cache)
+        tiler.tile(26, 36, 64)
+        assert len(tiler._region_cache) == before
+
+    def test_invalid_dims(self, tiler):
+        with pytest.raises(ValueError):
+            tiler.tile(0, 4, 4)
+
+
+class TestCoverageProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(mc=st.integers(1, 48), nc=st.integers(1, 48), kc=st.sampled_from([8, 32, 64]))
+    def test_exact_cover(self, mc, nc, kc):
+        tiler = DynamicMicroTiler(
+            MicroKernelModel(ModelParams.from_chip(GRAVITON2)), lane=4
+        )
+        result = tiler.tile(mc, nc, kc)
+        result.plan.validate()  # raises on gaps/overlaps
+
+    @settings(max_examples=15, deadline=None)
+    @given(mc=st.integers(1, 48), nc=st.integers(1, 48))
+    def test_cost_no_worse_than_static(self, mc, nc):
+        """DMT's optimum is over a superset of the single-tile covers."""
+        model = MicroKernelModel(ModelParams.from_chip(KP920))
+        tiler = DynamicMicroTiler(model, lane=4)
+        dmt = tiler.tile(mc, nc, 32).cost
+        static = libxsmm_tiling(mc, nc).model_cost(model, 32)
+        assert dmt <= static + 1e-6
+
+
+class TestLargeBlocks:
+    def test_bulk_peel_covers_exactly(self):
+        tiler = DynamicMicroTiler(
+            MicroKernelModel(ModelParams.from_chip(KP920)), lane=4
+        )
+        result = tiler.tile(64, 784, 64)
+        result.plan.validate()
+        assert result.plan.m == 64 and result.plan.n == 784
+
+    def test_tall_block(self):
+        tiler = DynamicMicroTiler(
+            MicroKernelModel(ModelParams.from_chip(KP920)), lane=4
+        )
+        result = tiler.tile(512, 49, 64)
+        result.plan.validate()
+
+    def test_bulk_matches_exact_dp_on_boundary(self):
+        """At the cap boundary the peel path must agree with the exact DP."""
+        tiler = DynamicMicroTiler(
+            MicroKernelModel(ModelParams.from_chip(KP920)), lane=4
+        )
+        exact = tiler.tile(40, tiler.N_CAP, 32)
+        assert exact.plan.num_tiles > 0
+        peeled = tiler.tile(40, tiler.N_CAP + 1, 32)
+        peeled.plan.validate()
+
+
+class TestSigmaAIDependence:
+    def test_tiling_differs_across_chips(self):
+        """Figure 5c: the DMT result depends on the hardware sigma_AI."""
+        plans = {}
+        for chip in (KP920, GRAVITON2):
+            tiler = DynamicMicroTiler(
+                MicroKernelModel(ModelParams.from_chip(chip)), lane=4
+            )
+            result = tiler.tile(26, 64, 64)
+            plans[chip.name] = sorted(
+                (t.kernel_mr, t.kernel_nr, t.row, t.col) for t in result.plan
+            )
+        assert plans["KP920"] != plans["Graviton2"]

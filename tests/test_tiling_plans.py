@@ -1,0 +1,109 @@
+"""Tile plan datatypes and coverage validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tiling.plans import PlacedTile, TilePlan, coverage_errors
+
+
+class TestPlacedTile:
+    def test_padding_detection(self):
+        t = PlacedTile(0, 0, 3, 16, kernel_mr=5, kernel_nr=16)
+        assert t.padded
+        assert t.padding_flops == (5 - 3) * 16
+
+    def test_exact_tile_not_padded(self):
+        t = PlacedTile(0, 0, 5, 16, kernel_mr=5, kernel_nr=16)
+        assert not t.padded
+        assert t.padding_flops == 0
+
+    def test_kernel_smaller_than_cell_rejected(self):
+        with pytest.raises(ValueError):
+            PlacedTile(0, 0, 5, 16, kernel_mr=4, kernel_nr=16)
+
+    def test_empty_cell_rejected(self):
+        with pytest.raises(ValueError):
+            PlacedTile(0, 0, 0, 16, kernel_mr=5, kernel_nr=16)
+
+    def test_ai_of_kernel_shape(self):
+        t = PlacedTile(0, 0, 1, 16, kernel_mr=5, kernel_nr=16)
+        assert t.ai_max == pytest.approx(7.62, abs=0.005)
+
+
+class TestCoverage:
+    def test_exact_cover_passes(self):
+        tiles = [
+            PlacedTile(0, 0, 2, 2, 2, 2),
+            PlacedTile(0, 2, 2, 2, 2, 2),
+            PlacedTile(2, 0, 2, 4, 2, 4),
+        ]
+        assert coverage_errors(4, 4, tiles) == []
+
+    def test_gap_detected(self):
+        tiles = [PlacedTile(0, 0, 2, 4, 2, 4)]
+        errors = coverage_errors(4, 4, tiles)
+        assert any("uncovered" in e for e in errors)
+
+    def test_overlap_detected(self):
+        tiles = [
+            PlacedTile(0, 0, 4, 4, 4, 4),
+            PlacedTile(2, 2, 2, 2, 2, 2),
+        ]
+        errors = coverage_errors(4, 4, tiles)
+        assert any("covered 2" in e for e in errors)
+
+    def test_out_of_bounds_detected(self):
+        tiles = [PlacedTile(2, 2, 4, 4, 4, 4)]
+        errors = coverage_errors(4, 4, tiles)
+        assert any("out of bounds" in e for e in errors)
+
+    def test_validate_raises(self):
+        plan = TilePlan(4, 4, [PlacedTile(0, 0, 2, 2, 2, 2)], strategy="partial")
+        with pytest.raises(ValueError, match="partial"):
+            plan.validate()
+
+
+class TestPlanQueries:
+    def test_low_ai_filter(self):
+        plan = TilePlan(
+            6,
+            16,
+            [
+                PlacedTile(0, 0, 5, 16, 5, 16),  # AI 7.62
+                PlacedTile(5, 0, 1, 16, 1, 16),  # AI 1.88
+            ],
+        )
+        assert len(plan.low_ai_tiles(6.5)) == 1
+        assert len(plan.low_ai_tiles(1.0)) == 0
+
+    def test_padded_tiles_listed(self):
+        plan = TilePlan(
+            6, 16, [PlacedTile(0, 0, 5, 16, 5, 16), PlacedTile(5, 0, 1, 16, 5, 16)]
+        )
+        assert len(plan.padded_tiles) == 1
+
+    def test_model_cost_sums_tiles(self):
+        from repro.model.perf_model import MicroKernelModel, ModelParams
+
+        model = MicroKernelModel(ModelParams.paper_example())
+        plan = TilePlan(10, 16, [PlacedTile(0, 0, 5, 16, 5, 16)] * 1)
+        plan.tiles.append(PlacedTile(5, 0, 5, 16, 5, 16))
+        cost = plan.model_cost(model, kc=16)
+        assert cost == pytest.approx(2 * model.tile_cost(5, 16, 16))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(1, 40),
+        n=st.integers(1, 40),
+        mr=st.integers(1, 8),
+        nr=st.integers(1, 20),
+    )
+    def test_grid_cover_property(self, m, n, mr, nr):
+        """Any shrink-edge grid covers exactly."""
+        tiles = []
+        for r in range(0, m, mr):
+            for c in range(0, n, nr):
+                rows, cols = min(mr, m - r), min(nr, n - c)
+                tiles.append(PlacedTile(r, c, rows, cols, rows, cols))
+        assert coverage_errors(m, n, tiles) == []

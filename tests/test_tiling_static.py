@@ -1,0 +1,63 @@
+"""Static tiling strategies (Figure 5a/5b)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tiling.static_tiling import libxsmm_tiling, openblas_tiling, tile_for_chip
+
+
+class TestFigure5Example:
+    """The worked 26x36 example of Figure 5."""
+
+    def test_openblas_18_tiles_8_padded(self):
+        plan = openblas_tiling(26, 36, (5, 16))
+        assert plan.num_tiles == 18
+        assert len(plan.padded_tiles) == 8
+
+    def test_libxsmm_18_tiles_8_low_ai(self):
+        plan = libxsmm_tiling(26, 36, (5, 16))
+        assert plan.num_tiles == 18
+        assert len(plan.low_ai_tiles(6.5)) == 8
+
+    def test_openblas_pads_never_shrinks(self):
+        plan = openblas_tiling(26, 36, (5, 16))
+        for t in plan:
+            assert (t.kernel_mr, t.kernel_nr) == (5, 16)
+
+    def test_libxsmm_never_pads(self):
+        plan = libxsmm_tiling(26, 36, (5, 16))
+        assert plan.padded_tiles == []
+
+
+class TestGeneralProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(m=st.integers(1, 60), n=st.integers(1, 60))
+    def test_both_strategies_cover_exactly(self, m, n):
+        openblas_tiling(m, n).validate()
+        libxsmm_tiling(m, n).validate()
+
+    @settings(max_examples=30, deadline=None)
+    @given(m=st.integers(1, 60), n=st.integers(1, 60))
+    def test_same_tile_count(self, m, n):
+        """Figure 5: both static strategies produce the same grid."""
+        assert openblas_tiling(m, n).num_tiles == libxsmm_tiling(m, n).num_tiles
+
+    def test_divisible_case_identical(self):
+        ob = openblas_tiling(25, 32, (5, 16))
+        lx = libxsmm_tiling(25, 32, (5, 16))
+        assert ob.padded_tiles == [] and lx.padded_tiles == []
+        assert ob.num_tiles == lx.num_tiles == 10
+
+    def test_padding_flops_accounting(self):
+        plan = openblas_tiling(26, 36, (5, 16))
+        waste = sum(t.padding_flops for t in plan)
+        # covered kernel area minus real area
+        assert waste == 18 * 5 * 16 - 26 * 36
+
+
+def test_tile_for_chip():
+    assert (tile_for_chip(4).mr, tile_for_chip(4).nr) == (5, 16)
+    sve = tile_for_chip(16)
+    assert sve.nr % 16 == 0
+    assert sve.feasible()

@@ -1,0 +1,96 @@
+"""From-scratch gradient-boosted trees."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.schedule import Schedule
+from repro.machine.chips import GRAVITON2
+from repro.tuner.gbt import GradientBoostedTrees, RegressionTree, featurize_schedule
+
+
+def make_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-2, 2, (n, 3))
+    y = np.where(x[:, 0] > 0, 5.0, -5.0) + 0.5 * x[:, 1]
+    return x, y
+
+
+class TestRegressionTree:
+    def test_fits_step_function(self):
+        x, y = make_data()
+        tree = RegressionTree(max_depth=2).fit(x, y)
+        pred = tree.predict(x)
+        assert np.mean((pred - y) ** 2) < np.var(y) * 0.2
+
+    def test_depth_one_is_single_split(self):
+        x, y = make_data()
+        tree = RegressionTree(max_depth=1).fit(x, y)
+        assert len(set(np.round(tree.predict(x), 6))) <= 2
+
+    def test_constant_target(self):
+        x = np.random.default_rng(0).uniform(size=(20, 2))
+        y = np.full(20, 3.0)
+        tree = RegressionTree().fit(x, y)
+        np.testing.assert_allclose(tree.predict(x), 3.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((1, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros(5), np.zeros(5))
+
+    def test_min_samples_respected(self):
+        x, y = make_data(n=8)
+        tree = RegressionTree(max_depth=5, min_samples_leaf=4).fit(x, y)
+        # at most one split possible with 8 samples and 4 per leaf
+        assert len(set(np.round(tree.predict(x), 9))) <= 2
+
+
+class TestBoosting:
+    def test_boosting_beats_single_tree(self):
+        x, y = make_data(n=300)
+        tree = RegressionTree(max_depth=2).fit(x, y)
+        gbt = GradientBoostedTrees(n_estimators=40, max_depth=2).fit(x, y)
+        err_tree = np.mean((tree.predict(x) - y) ** 2)
+        err_gbt = np.mean((gbt.predict(x) - y) ** 2)
+        assert err_gbt < err_tree
+
+    def test_deterministic(self):
+        x, y = make_data()
+        p1 = GradientBoostedTrees(n_estimators=10).fit(x, y).predict(x)
+        p2 = GradientBoostedTrees(n_estimators=10).fit(x, y).predict(x)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_fitted_flag(self):
+        gbt = GradientBoostedTrees()
+        assert not gbt.fitted
+        x, y = make_data(n=30)
+        gbt.fit(x, y)
+        assert gbt.fitted
+
+    def test_generalises_on_holdout(self):
+        x, y = make_data(n=400, seed=1)
+        gbt = GradientBoostedTrees(n_estimators=30, max_depth=3).fit(x[:300], y[:300])
+        err = np.mean((gbt.predict(x[300:]) - y[300:]) ** 2)
+        assert err < np.var(y) * 0.3
+
+
+class TestFeaturize:
+    def test_feature_vector_shape_and_determinism(self):
+        s = Schedule(16, 32, 64)
+        f1 = featurize_schedule(s, 64, 64, 64, GRAVITON2)
+        f2 = featurize_schedule(s, 64, 64, 64, GRAVITON2)
+        np.testing.assert_array_equal(f1, f2)
+        assert f1.ndim == 1 and len(f1) >= 12
+
+    def test_distinguishes_schedules(self):
+        a = featurize_schedule(Schedule(16, 32, 64), 64, 64, 64, GRAVITON2)
+        b = featurize_schedule(Schedule(32, 32, 64), 64, 64, 64, GRAVITON2)
+        assert not np.array_equal(a, b)
+
+    def test_divisibility_flags(self):
+        f = featurize_schedule(Schedule(10, 16, 16), 64, 64, 64, GRAVITON2)
+        # 64 % 10 != 0 -> first divisibility flag (index 6) is 0
+        assert f[6] == 0.0

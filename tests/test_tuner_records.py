@@ -1,0 +1,99 @@
+"""Tuning-record persistence."""
+
+import pytest
+
+from repro.gemm.packing import PackingMode
+from repro.gemm.schedule import Schedule
+from repro.tuner.records import (
+    RecordStore,
+    TuningRecord,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+
+def make_schedule(**kw):
+    base = dict(mc=16, nc=32, kc=64)
+    base.update(kw)
+    return Schedule(**base)
+
+
+class TestScheduleSerialisation:
+    def test_roundtrip_defaults(self):
+        s = make_schedule()
+        assert schedule_from_dict(schedule_to_dict(s)) == s
+
+    def test_roundtrip_all_options(self):
+        s = make_schedule(
+            loop_order=("kc", "mr", "nc", "mc", "nr"),
+            packing=PackingMode.OFFLINE,
+            rotate=False,
+            fuse=False,
+            use_dmt=False,
+            lookahead=False,
+            main_tile=(8, 8),
+            static_edges="pad",
+        )
+        assert schedule_from_dict(schedule_to_dict(s)) == s
+
+    def test_unknown_keys_ignored(self):
+        data = schedule_to_dict(make_schedule())
+        data["future_field"] = 42
+        assert schedule_from_dict(data) == make_schedule()
+
+
+class TestTuningRecord:
+    def test_json_roundtrip(self):
+        rec = TuningRecord("KP920", 64, 64, 64, 1234.5, make_schedule())
+        back = TuningRecord.from_json(rec.to_json())
+        assert back == rec
+
+
+class TestRecordStore:
+    def test_add_and_lookup(self, tmp_path):
+        store = RecordStore(tmp_path / "tune.jsonl")
+        rec = TuningRecord("KP920", 64, 64, 64, 1000.0, make_schedule())
+        store.add(rec)
+        found = store.lookup("KP920", 64, 64, 64)
+        assert found == rec
+        assert store.lookup("M2", 64, 64, 64) is None
+
+    def test_keeps_best_per_key(self, tmp_path):
+        store = RecordStore(tmp_path / "tune.jsonl")
+        store.add(TuningRecord("KP920", 8, 8, 8, 1000.0, make_schedule(mc=8, nc=8, kc=8)))
+        store.add(TuningRecord("KP920", 8, 8, 8, 500.0, make_schedule(mc=4, nc=8, kc=8)))
+        store.add(TuningRecord("KP920", 8, 8, 8, 900.0, make_schedule(mc=2, nc=8, kc=8)))
+        best = store.lookup("KP920", 8, 8, 8)
+        assert best.cycles == 500.0
+        assert len(store) == 1
+
+    def test_persistence_across_instances(self, tmp_path):
+        path = tmp_path / "tune.jsonl"
+        RecordStore(path).add(TuningRecord("M2", 4, 4, 4, 10.0, make_schedule(mc=4, nc=4, kc=4)))
+        reloaded = RecordStore(path)
+        assert reloaded.lookup("M2", 4, 4, 4) is not None
+
+    def test_compact_rewrites_file(self, tmp_path):
+        path = tmp_path / "tune.jsonl"
+        store = RecordStore(path)
+        for cycles in (100.0, 50.0, 75.0):
+            store.add(TuningRecord("KP920", 8, 8, 8, cycles, make_schedule(mc=8, nc=8, kc=8)))
+        assert len(path.read_text().splitlines()) == 3
+        store.compact()
+        assert len(path.read_text().splitlines()) == 1
+        assert RecordStore(path).lookup("KP920", 8, 8, 8).cycles == 50.0
+
+    def test_add_result(self, tmp_path):
+        from repro.tuner.tuner import TuneResult
+
+        store = RecordStore(tmp_path / "tune.jsonl")
+        result = TuneResult(schedule=make_schedule(), cycles=42.0)
+        rec = store.add_result("Altra", 16, 32, 64, result)
+        assert rec.key == ("Altra", 16, 32, 64)
+        assert store.lookup("Altra", 16, 32, 64).cycles == 42.0
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "tune.jsonl"
+        rec = TuningRecord("KP920", 8, 8, 8, 1.0, make_schedule(mc=8, nc=8, kc=8))
+        path.write_text("\n" + rec.to_json() + "\n\n")
+        assert len(RecordStore(path)) == 1

@@ -1,0 +1,113 @@
+"""Search space: divisors, candidates, neighbourhood moves."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gemm.packing import PackingMode
+from repro.machine.chips import GRAVITON2
+from repro.tuner.space import SearchSpace, candidate_blocks, divisors
+
+
+class TestDivisors:
+    def test_known(self):
+        assert divisors(12) == (1, 2, 3, 4, 6, 12)
+        assert divisors(1) == (1,)
+        assert divisors(17) == (1, 17)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 5000))
+    def test_property(self, x):
+        divs = divisors(x)
+        assert all(x % d == 0 for d in divs)
+        assert list(divs) == sorted(divs)
+        assert divs[0] == 1 and divs[-1] == x
+
+
+class TestCandidateBlocks:
+    def test_all_divide(self):
+        for c in candidate_blocks(3136, GRAVITON2):
+            assert 3136 % c == 0
+
+    def test_thinning(self):
+        cands = candidate_blocks(720720, GRAVITON2, max_candidates=10)
+        assert len(cands) <= 10
+        assert len(set(cands)) == len(cands)
+
+    def test_min_block_respected(self):
+        cands = candidate_blocks(64, GRAVITON2, min_block=8)
+        assert all(c >= 8 for c in cands)
+
+    def test_prime_extent(self):
+        assert candidate_blocks(49, GRAVITON2) == (1, 7, 49)
+
+
+class TestSearchSpace:
+    @pytest.fixture
+    def space(self):
+        return SearchSpace(m=64, n=64, k=64, chip=GRAVITON2)
+
+    def test_size_counts_cross_product(self, space):
+        assert space.size == (
+            len(space.mc_candidates)
+            * len(space.nc_candidates)
+            * len(space.kc_candidates)
+            * 120
+            * 3
+        )
+
+    def test_iteration_yields_valid_schedules(self, space):
+        seen = 0
+        for sched in space:
+            assert 64 % sched.mc == 0
+            seen += 1
+            if seen > 50:
+                break
+
+    def test_sample_deterministic(self, space):
+        assert space.sample(10, seed=3) == space.sample(10, seed=3)
+
+    def test_sample_within_space(self, space):
+        for s in space.sample(40, seed=1):
+            assert s.mc in space.mc_candidates
+            assert s.nc in space.nc_candidates
+            assert s.kc in space.kc_candidates
+            assert s.packing in space.packings
+
+    def test_neighbours_stay_in_space(self, space):
+        rng = random.Random(0)
+        current = space.sample(1, seed=0)[0]
+        for _ in range(100):
+            current = space.neighbours(current, rng)
+            assert current.mc in space.mc_candidates
+            assert current.nc in space.nc_candidates
+            assert current.kc in space.kc_candidates
+
+    def test_neighbour_is_local(self, space):
+        """A move changes at most one schedule dimension."""
+        rng = random.Random(7)
+        s = space.sample(1, seed=5)[0]
+        t = space.neighbours(s, rng)
+        diffs = sum(
+            a != b
+            for a, b in [
+                (s.mc, t.mc),
+                (s.nc, t.nc),
+                (s.kc, t.kc),
+                (s.loop_order, t.loop_order),
+                (s.packing, t.packing),
+            ]
+        )
+        assert diffs <= 1
+
+    def test_restricted_packings(self):
+        space = SearchSpace(
+            m=8, n=8, k=8, chip=GRAVITON2, packings=(PackingMode.NONE,)
+        )
+        assert all(s.packing is PackingMode.NONE for s in space.sample(10))

@@ -1,0 +1,112 @@
+"""Auto-tuner: pruning, annealing, budget, convergence."""
+
+import pytest
+
+from repro.gemm.schedule import Schedule, default_schedule
+from repro.machine.chips import GRAVITON2, KP920
+from repro.tuner.annealing import anneal
+from repro.tuner.prune import model_cost, prune
+from repro.tuner.space import SearchSpace
+from repro.tuner.tuner import AutoTuner
+
+
+class TestModelCost:
+    def test_positive_and_deterministic(self):
+        s = Schedule(16, 16, 16)
+        c1 = model_cost(s, 64, 64, 64, KP920)
+        assert c1 > 0
+        assert c1 == model_cost(s, 64, 64, 64, KP920)
+
+    def test_cache_overflow_penalised(self):
+        """Eqn 13 pruning must know about the L1/L2 cliff."""
+        fits = Schedule(32, 64, 64)
+        spills = Schedule(32, 4096, 512)
+        m, n, k = 4096, 4096, 512
+        assert model_cost(spills, m, n, k, KP920) > model_cost(fits, m, n, k, KP920)
+
+    def test_fusion_cheaper(self):
+        s_fuse = Schedule(32, 32, 32, fuse=True)
+        s_plain = Schedule(32, 32, 32, fuse=False)
+        assert model_cost(s_fuse, 64, 64, 64, KP920) < model_cost(
+            s_plain, 64, 64, 64, KP920
+        )
+
+
+class TestPrune:
+    def test_keeps_requested_count(self):
+        space = SearchSpace(m=64, n=64, k=64, chip=KP920)
+        cands = space.sample(40, seed=0)
+        kept = prune(cands, 64, 64, 64, KP920, keep=5)
+        assert len(kept) == 5
+
+    def test_keeps_fraction(self):
+        space = SearchSpace(m=64, n=64, k=64, chip=KP920)
+        cands = space.sample(40, seed=0)
+        kept = prune(cands, 64, 64, 64, KP920, keep=0.25)
+        assert len(kept) == 10
+
+    def test_best_first(self):
+        space = SearchSpace(m=64, n=64, k=64, chip=KP920)
+        cands = space.sample(30, seed=1)
+        kept = prune(cands, 64, 64, 64, KP920, keep=len(cands))
+        costs = [model_cost(s, 64, 64, 64, KP920) for s in kept]
+        assert costs == sorted(costs)
+
+    def test_empty(self):
+        assert prune([], 8, 8, 8, KP920) == []
+
+
+class TestAnneal:
+    def test_returns_batch_of_distinct_schedules(self):
+        space = SearchSpace(m=64, n=64, k=64, chip=KP920)
+        seeds = space.sample(2, seed=0)
+        out = anneal(space, lambda s: model_cost(s, 64, 64, 64, KP920), seeds, batch=6)
+        assert 1 <= len(out) <= 6
+        assert len(set(out)) == len(out)
+
+    def test_best_candidates_rank_low(self):
+        space = SearchSpace(m=64, n=64, k=64, chip=KP920)
+        seeds = space.sample(2, seed=0)
+        obj = lambda s: model_cost(s, 64, 64, 64, KP920)
+        out = anneal(space, obj, seeds, batch=4, steps=150, seed=1)
+        best_returned = min(obj(s) for s in out)
+        assert best_returned <= min(obj(s) for s in seeds)
+
+    def test_requires_seeds(self):
+        space = SearchSpace(m=8, n=8, k=8, chip=KP920)
+        with pytest.raises(ValueError):
+            anneal(space, lambda s: 0.0, [])
+
+
+class TestAutoTuner:
+    @pytest.fixture(scope="class")
+    def result(self):
+        tuner = AutoTuner(GRAVITON2)
+        return tuner, tuner.tune(48, 48, 48, budget=14, batch=4, seed=0)
+
+    def test_budget_respected(self, result):
+        _, res = result
+        assert res.num_trials <= 14
+
+    def test_best_is_minimum_of_trials(self, result):
+        _, res = result
+        assert res.cycles == min(t.cycles for t in res.trials)
+
+    def test_convergence_curve_monotone(self, result):
+        _, res = result
+        curve = res.best_by_round()
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+    def test_tuned_no_worse_than_default(self, result):
+        tuner, res = result
+        default_cost = tuner.measure(default_schedule(48, 48, 48, GRAVITON2), 48, 48, 48)
+        assert res.cycles <= default_cost * 1.05
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            AutoTuner(GRAVITON2).tune(8, 8, 8, budget=0)
+
+    def test_pruning_disabled_still_works(self):
+        tuner = AutoTuner(GRAVITON2, use_model_pruning=False, use_cost_model=False)
+        res = tuner.tune(16, 16, 16, budget=5, batch=2)
+        assert res.num_trials <= 5

@@ -1,0 +1,90 @@
+"""Workload definitions: Table V fidelity and generators."""
+
+import pytest
+
+from repro.workloads import (
+    FIG6_SHAPES,
+    FIG7_BLOCKS,
+    FIG8_SIZES,
+    LARGE_K_LAYERS,
+    RESNET50_LAYERS,
+    layer,
+    long_rectangle,
+    mixed_suite,
+    small_matrices,
+    tall_skinny,
+)
+
+
+class TestTableV:
+    def test_twenty_layers(self):
+        assert len(RESNET50_LAYERS) == 20
+        assert [s.name for s in RESNET50_LAYERS] == [f"L{i}" for i in range(1, 21)]
+
+    @pytest.mark.parametrize(
+        "name,m,n,k",
+        [
+            ("L1", 64, 12544, 147),
+            ("L4", 256, 3136, 64),
+            ("L8", 512, 784, 128),
+            ("L12", 256, 196, 2304),
+            ("L16", 512, 49, 1024),
+            ("L18", 2048, 49, 512),
+            ("L20", 512, 49, 2048),
+        ],
+    )
+    def test_shapes_verbatim(self, name, m, n, k):
+        s = layer(name)
+        assert (s.m, s.n, s.k) == (m, n, k)
+
+    def test_unknown_layer(self):
+        with pytest.raises(KeyError):
+            layer("L21")
+
+    def test_large_k_layers_flagged(self):
+        assert set(LARGE_K_LAYERS) == {"L7", "L12", "L17", "L20"}
+        for name in LARGE_K_LAYERS:
+            assert layer(name).k >= 1152
+
+    def test_kind_classification(self):
+        assert layer("L1").kind == "tall-skinny"  # N >> M
+        assert layer("L18").kind == "long-rectangle"  # M >> N
+
+    def test_flops(self):
+        s = layer("L2")
+        assert s.flops == 2 * 64 * 3136 * 64
+
+
+class TestSweeps:
+    def test_fig8_sizes_ordered_and_bounded(self):
+        assert FIG8_SIZES == sorted(FIG8_SIZES)
+        assert FIG8_SIZES[0] >= 1 and FIG8_SIZES[-1] == 128
+
+    def test_fig6_includes_k4_and_k256(self):
+        ks = [k for (_, _, k) in FIG6_SHAPES]
+        assert 4 in ks and 256 in ks
+
+    def test_fig7_includes_worked_examples(self):
+        assert (26, 36) in FIG7_BLOCKS
+        assert (80, 32) in FIG7_BLOCKS and (25, 64) in FIG7_BLOCKS
+
+
+class TestSyntheticGenerators:
+    def test_tall_skinny_shape_invariant(self):
+        for s in tall_skinny(10):
+            assert s.n >= 8 * s.m
+
+    def test_long_rectangle_shape_invariant(self):
+        for s in long_rectangle(10):
+            assert s.m >= 8 * s.n
+
+    def test_small_bounded(self):
+        for s in small_matrices(20):
+            assert max(s.m, s.n, s.k) <= 80
+
+    def test_deterministic(self):
+        assert tall_skinny(5, seed=9) == tall_skinny(5, seed=9)
+
+    def test_mixed_suite_covers_classes(self):
+        suite = mixed_suite()
+        assert len(suite) == 12

@@ -1,0 +1,50 @@
+"""BERT workload shapes."""
+
+import pytest
+
+from repro.workloads.bert import (
+    BERT_BASE,
+    BERT_LARGE,
+    attention_head_gemm,
+    encoder_layer_gemms,
+)
+
+
+def test_configs():
+    assert BERT_BASE.hidden == 768 and BERT_BASE.d_head == 64
+    assert BERT_LARGE.hidden == 1024 and BERT_LARGE.heads == 16
+
+
+def test_encoder_layer_gemms():
+    shapes = encoder_layer_gemms(BERT_BASE, seq_len=128)
+    assert len(shapes) == 6
+    by_name = {s.name.split(".")[-1]: s for s in shapes}
+    assert (by_name["q"].m, by_name["q"].n, by_name["q"].k) == (768, 128, 768)
+    assert (by_name["ffn_up"].m, by_name["ffn_up"].k) == (3072, 768)
+    assert (by_name["ffn_down"].m, by_name["ffn_down"].k) == (768, 3072)
+
+
+def test_shapes_are_irregular_classes():
+    shapes = encoder_layer_gemms(BERT_BASE, seq_len=64)
+    assert any(s.kind in ("long-rectangle", "rectangular") for s in shapes)
+
+
+def test_attention_head_gemm():
+    shape, count = attention_head_gemm(BERT_BASE, seq_len=128)
+    assert (shape.m, shape.n, shape.k) == (128, 128, 64)
+    assert count == 12
+
+
+def test_invalid_seq():
+    with pytest.raises(ValueError):
+        encoder_layer_gemms(BERT_BASE, seq_len=0)
+
+
+def test_estimator_runs_bert_shapes():
+    from repro.baselines import make_library
+    from repro.machine.chips import GRAVITON2
+
+    lib = make_library("autoGEMM", GRAVITON2)
+    for shape in encoder_layer_gemms(BERT_BASE, seq_len=32)[:2]:
+        est = lib.estimate(shape.m, shape.n, shape.k)
+        assert 0 < est.efficiency <= 1.0
