@@ -4,16 +4,25 @@ Usage examples::
 
     python -m repro chips
     python -m repro kernel 5 16 64 --chip KP920 --rotate
-    python -m repro gemm 26 36 17 --chip Graviton2
+    python -m repro gemm 26 36 17 --chip Graviton2 --json
     python -m repro estimate 256 3136 64 --chip KP920 --threads 8
     python -m repro tiles --lane 4
-    python -m repro dmt 26 36 --kc 64 --chip KP920
+    python -m repro dmt 26 36 --kc 64 --chip KP920 --metrics
     python -m repro calibrate --chip Graviton2
+    python -m repro profile 64 64 64 --chip KP920 --trace-out trace.json
+
+``gemm`` and ``estimate`` accept ``--json`` for machine-readable output;
+``gemm``/``estimate``/``dmt`` accept ``--metrics`` to print telemetry
+counters after the run.  ``profile`` runs a GEMM with full telemetry and
+writes a Chrome-trace JSON openable in Perfetto (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
 
 import numpy as np
@@ -25,9 +34,33 @@ from .gemm.autogemm import AutoGEMM
 from .gemm.reference import reference_gemm, relative_error
 from .machine.chips import ALL_CHIPS, EXTRA_CHIPS, get_chip
 from .model.perf_model import MicroKernelModel, ModelParams
+from .telemetry import (
+    collecting,
+    format_counters,
+    format_tree,
+    metrics_dict,
+    write_chrome_trace,
+)
 from .tiling.dmt import DynamicMicroTiler
 
 __all__ = ["main"]
+
+
+@contextlib.contextmanager
+def _metrics_scope(enabled: bool):
+    """Yields an active collector when ``--metrics`` was passed, else None."""
+    if not enabled:
+        yield None
+    else:
+        with collecting() as collector:
+            yield collector
+
+
+def _random_operands(args) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(args.seed)
+    a = rng.uniform(-1, 1, (args.m, args.k)).astype(np.float32)
+    b = rng.uniform(-1, 1, (args.k, args.n)).astype(np.float32)
+    return a, b
 
 
 def _cmd_chips(_args) -> int:
@@ -68,27 +101,111 @@ def _cmd_kernel(args) -> int:
 def _cmd_gemm(args) -> int:
     chip = get_chip(args.chip)
     lib = AutoGEMM(chip)
-    rng = np.random.default_rng(args.seed)
-    a = rng.uniform(-1, 1, (args.m, args.k)).astype(np.float32)
-    b = rng.uniform(-1, 1, (args.k, args.n)).astype(np.float32)
-    result = lib.gemm(a, b, threads=args.threads)
+    a, b = _random_operands(args)
+    with _metrics_scope(args.metrics) as collector:
+        result = lib.gemm(a, b, threads=args.threads)
     err = relative_error(result.c, reference_gemm(a, b))
+    if args.json:
+        payload = {
+            "command": "gemm",
+            "m": args.m,
+            "n": args.n,
+            "k": args.k,
+            "chip": chip.name,
+            "threads": args.threads,
+            "cycles": result.cycles,
+            "seconds": result.seconds,
+            "gflops": result.gflops,
+            "efficiency": result.efficiency,
+            "relative_error": float(err),
+            "kernel_calls": result.kernel_calls,
+            "instructions": result.instructions,
+            "phase_cycles": result.phase_cycles,
+        }
+        if collector is not None:
+            payload["metrics"] = metrics_dict(collector)["counters"]
+        print(json.dumps(payload, indent=2))
+        return 0
     print(f"{args.m}x{args.n}x{args.k} on {chip.name} ({args.threads} thread(s))")
     print(f"  relative error : {err:.2e}")
     print(f"  cycles         : {result.cycles:,.0f}")
     print(f"  GFLOP/s        : {result.gflops:.1f} ({result.efficiency:.1%} of peak)")
+    for phase, cycles in result.phase_cycles.items():
+        print(f"  {phase:<15}: {cycles:,.0f}")
+    if collector is not None:
+        print("counters:")
+        print(format_counters(collector))
     return 0
 
 
 def _cmd_estimate(args) -> int:
     chip = get_chip(args.chip)
     lib = AutoGEMM(chip)
-    est = lib.estimate(args.m, args.n, args.k, threads=args.threads)
+    with _metrics_scope(args.metrics) as collector:
+        est = lib.estimate(args.m, args.n, args.k, threads=args.threads)
+    if args.json:
+        payload = {
+            "command": "estimate",
+            "m": args.m,
+            "n": args.n,
+            "k": args.k,
+            "chip": chip.name,
+            "threads": args.threads,
+            "cycles": est.cycles,
+            "seconds": est.seconds,
+            "gflops": est.gflops,
+            "efficiency": est.efficiency,
+            "kernel_calls": est.kernel_calls,
+            "pack_cycles": est.pack_cycles,
+            "bandwidth_limited": est.bandwidth_limited,
+            "residency": {
+                "a": est.residency.a_level,
+                "b": est.residency.b_level,
+                "c": est.residency.c_level,
+            },
+        }
+        if collector is not None:
+            payload["metrics"] = metrics_dict(collector)["counters"]
+        print(json.dumps(payload, indent=2))
+        return 0
     print(f"{args.m}x{args.n}x{args.k} on {chip.name} ({args.threads} thread(s))")
     print(f"  cycles  : {est.cycles:,.0f}")
     print(f"  GFLOP/s : {est.gflops:.1f} ({est.efficiency:.1%} of peak)")
     print(f"  operand residency (A/B/C cache level): "
           f"{est.residency.a_level}/{est.residency.b_level}/{est.residency.c_level}")
+    if collector is not None:
+        print("counters:")
+        print(format_counters(collector))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    chip = get_chip(args.chip)
+    lib = AutoGEMM(chip)
+    a, b = _random_operands(args)
+    with collecting() as collector:
+        result = lib.gemm(a, b, threads=args.threads)
+    write_chrome_trace(collector, args.trace_out, process_name="repro-gemm")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            json.dump(metrics_dict(collector), fh, indent=2)
+    print(f"{args.m}x{args.n}x{args.k} on {chip.name} ({args.threads} thread(s))")
+    print(f"  cycles  : {result.cycles:,.0f}")
+    print(f"  GFLOP/s : {result.gflops:.1f} ({result.efficiency:.1%} of peak)")
+    print("phase breakdown (sums to cycles):")
+    for phase, cycles in result.phase_cycles.items():
+        share = cycles / result.cycles if result.cycles else 0.0
+        print(f"  {phase:<18}: {cycles:>14,.0f}  ({share:.1%})")
+    print()
+    print(format_tree(collector))
+    print()
+    print("counters:")
+    print(format_counters(collector))
+    print()
+    print(f"trace written to {args.trace_out} "
+          f"(open in https://ui.perfetto.dev or chrome://tracing)")
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -123,7 +240,8 @@ def _cmd_dmt(args) -> int:
     tiler = DynamicMicroTiler(
         MicroKernelModel(ModelParams.from_chip(chip)), lane=chip.sigma_lane
     )
-    result = tiler.tile(args.mc, args.nc, args.kc)
+    with _metrics_scope(args.metrics) as collector:
+        result = tiler.tile(args.mc, args.nc, args.kc)
     shapes: dict[tuple[int, int], int] = {}
     for t in result.plan:
         shapes[(t.kernel_mr, t.kernel_nr)] = shapes.get((t.kernel_mr, t.kernel_nr), 0) + 1
@@ -134,6 +252,9 @@ def _cmd_dmt(args) -> int:
           f"low-AI: {len(result.plan.low_ai_tiles(chip.sigma_ai))}")
     for (mr, nr), count in sorted(shapes.items()):
         print(f"    {count:3d} x {mr}x{nr}")
+    if collector is not None:
+        print("counters:")
+        print(format_counters(collector))
     return 0
 
 
@@ -157,6 +278,10 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--chip", default="Graviton2")
     g.add_argument("--threads", type=int, default=1)
     g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--json", action="store_true",
+                   help="machine-readable JSON output")
+    g.add_argument("--metrics", action="store_true",
+                   help="collect and report telemetry counters")
 
     e = sub.add_parser("estimate", help="project a GEMM without full simulation")
     e.add_argument("m", type=int)
@@ -164,6 +289,25 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("k", type=int)
     e.add_argument("--chip", default="Graviton2")
     e.add_argument("--threads", type=int, default=1)
+    e.add_argument("--json", action="store_true",
+                   help="machine-readable JSON output")
+    e.add_argument("--metrics", action="store_true",
+                   help="collect and report telemetry counters")
+
+    p = sub.add_parser(
+        "profile",
+        help="run a GEMM with full telemetry and export a Chrome trace",
+    )
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.add_argument("k", type=int)
+    p.add_argument("--chip", default="Graviton2")
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace-out", default="trace.json",
+                   help="Chrome-trace JSON output path (Perfetto-loadable)")
+    p.add_argument("--metrics-out", default=None,
+                   help="optional flat JSON metrics dump path")
 
     t = sub.add_parser("tiles", help="list feasible register tiles")
     t.add_argument("--lane", type=int, default=4)
@@ -179,6 +323,8 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("nc", type=int)
     d.add_argument("--kc", type=int, default=64)
     d.add_argument("--chip", default="KP920")
+    d.add_argument("--metrics", action="store_true",
+                   help="collect and report telemetry counters")
 
     return parser
 
@@ -189,6 +335,7 @@ _COMMANDS = {
     "kernel": _cmd_kernel,
     "gemm": _cmd_gemm,
     "estimate": _cmd_estimate,
+    "profile": _cmd_profile,
     "tiles": _cmd_tiles,
     "dmt": _cmd_dmt,
 }

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import telemetry
 from ..baselines.base import BaselineLibrary, UnsupportedProblem
 from ..baselines.registry import make_library
 from ..machine.chips import ChipSpec
@@ -75,12 +76,18 @@ class NetworkRunner:
         key = (m, n, k, threads)
         cached = self._gemm_seconds_cache.get(key)
         if cached is None:
+            telemetry.count("dnn.gemm_cache.misses")
             try:
                 cached = self.library.estimate(m, n, k, threads=threads).seconds
             except UnsupportedProblem:
                 cached = self._fallback.estimate(m, n, k, threads=threads).seconds
             self._gemm_seconds_cache[key] = cached
+        else:
+            telemetry.count("dnn.gemm_cache.hits")
         return cached
+
+    def _cycles(self, seconds: float) -> float:
+        return seconds * self.chip.freq_ghz * 1e9
 
     def run(self, network: Network, threads: int = 1) -> NetworkTiming:
         timing = NetworkTiming(
@@ -89,17 +96,30 @@ class NetworkRunner:
             chip=self.chip,
             threads=threads,
         )
-        for op in network.ops:
-            if isinstance(op, GemmOp):
-                seconds = self._gemm_seconds(
-                    op.shape.m, op.shape.n, op.shape.k, threads
-                )
-                timing.ops.append(OpTiming(op.shape.name, "gemm", seconds))
-            else:
-                assert isinstance(op, OtherOp)
-                timing.ops.append(
-                    OpTiming(op.name, op.kind, op.seconds(self.chip, threads))
-                )
+        with telemetry.span(
+            "network", network=network.name, backend=self.library.name,
+            chip=self.chip.name, threads=threads,
+        ) as sp_net:
+            for op in network.ops:
+                if isinstance(op, GemmOp):
+                    with telemetry.span(
+                        "layer", name=op.shape.name, kind="gemm",
+                        m=op.shape.m, n=op.shape.n, k=op.shape.k,
+                    ) as sp:
+                        seconds = self._gemm_seconds(
+                            op.shape.m, op.shape.n, op.shape.k, threads
+                        )
+                        sp.add_cycles(self._cycles(seconds))
+                    telemetry.count("dnn.gemm_ops")
+                    timing.ops.append(OpTiming(op.shape.name, "gemm", seconds))
+                else:
+                    assert isinstance(op, OtherOp)
+                    with telemetry.span("layer", name=op.name, kind=op.kind) as sp:
+                        seconds = op.seconds(self.chip, threads)
+                        sp.add_cycles(self._cycles(seconds))
+                    telemetry.count("dnn.other_ops")
+                    timing.ops.append(OpTiming(op.name, op.kind, seconds))
+            sp_net.add_cycles(self._cycles(timing.total))
         return timing
 
 

@@ -38,11 +38,13 @@ class AutoGEMM:
         chip: ChipSpec | str,
         schedule: Schedule | None = None,
         tuning_records: "str | None" = None,
+        log_trials: bool = False,
     ) -> None:
         """``tuning_records`` names a JSON-lines file of persisted tuning
         outcomes (see :class:`repro.tuner.records.RecordStore`): known-best
         schedules are replayed without re-searching, and new ``tune`` results
-        are appended."""
+        are appended.  ``log_trials`` additionally persists every evaluated
+        trial to the same file so tuning curves can be plotted later."""
         self.chip = get_chip(chip) if isinstance(chip, str) else chip
         self.schedule = schedule
         self._kernels = KernelCache()
@@ -53,7 +55,7 @@ class AutoGEMM:
         if tuning_records is not None:
             from ..tuner.records import RecordStore
 
-            self._records = RecordStore(tuning_records)
+            self._records = RecordStore(tuning_records, log_trials=log_trials)
             for rec in self._records.records():
                 if rec.chip == self.chip.name:
                     self._tuned[(rec.m, rec.n, rec.k)] = rec.schedule
@@ -105,7 +107,11 @@ class AutoGEMM:
         n = b.shape[1]
         sched = schedule if schedule is not None else self.schedule_for(m, n, k, threads)
         result = self.executor.run(a, b, c, schedule=sched, threads=threads, beta=beta)
-        result.cycles += transform_cycles
+        if transform_cycles:
+            result.cycles += transform_cycles
+            result.phase_cycles["transform"] = (
+                result.phase_cycles.get("transform", 0.0) + transform_cycles
+            )
         return result
 
     def estimate(

@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from .. import telemetry
 from ..machine.chips import ChipSpec
 from ..machine.multicore import parallel_time, partition_blocks
 from ..model.perf_model import DEFAULT_LAUNCH_CYCLES, MicroKernelModel, ModelParams
@@ -111,17 +112,21 @@ class GemmEstimator:
         key = (mc, nc, kc, schedule.use_dmt, schedule.main_tile, schedule.static_edges)
         plan = self._plan_cache.get(key)
         if plan is None:
-            if schedule.use_dmt:
-                plan = self._tiler.tile(mc, nc, kc).plan
-            else:
-                default_tile = tile_for_chip(self.chip.sigma_lane)
-                tile = schedule.main_tile or (default_tile.mr, default_tile.nr)
-                plan = (
-                    openblas_tiling(mc, nc, tile)
-                    if schedule.static_edges == "pad"
-                    else libxsmm_tiling(mc, nc, tile)
-                )
+            telemetry.count("plan_cache.misses")
+            with telemetry.span("plan_block", mc=mc, nc=nc, kc=kc):
+                if schedule.use_dmt:
+                    plan = self._tiler.tile(mc, nc, kc).plan
+                else:
+                    default_tile = tile_for_chip(self.chip.sigma_lane)
+                    tile = schedule.main_tile or (default_tile.mr, default_tile.nr)
+                    plan = (
+                        openblas_tiling(mc, nc, tile)
+                        if schedule.static_edges == "pad"
+                        else libxsmm_tiling(mc, nc, tile)
+                    )
             self._plan_cache[key] = plan
+        else:
+            telemetry.count("plan_cache.hits")
         return plan
 
     def residency_for(self, schedule: Schedule) -> Residency:
@@ -208,6 +213,21 @@ class GemmEstimator:
         threads: int = 1,
         beta: float = 0.0,
         split_k: bool = False,
+    ) -> GemmEstimate:
+        with telemetry.span("estimate", m=m, n=n, k=k, threads=threads) as sp:
+            est = self._estimate(m, n, k, schedule, threads, beta, split_k)
+            sp.add_cycles(est.cycles)
+        return est
+
+    def _estimate(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        schedule: Schedule | None,
+        threads: int,
+        beta: float,
+        split_k: bool,
     ) -> GemmEstimate:
         chip = self.chip
         schedule = (

@@ -23,6 +23,13 @@ genuinely executed and timed, which is exactly the Figure 5a penalty.
 ``warm=True`` (default) pre-loads the operands into each core's cache
 hierarchy before timing, the steady-state regime the paper's repeated-run
 benchmarks measure; ``warm=False`` measures a cold first call.
+
+Telemetry: when a :mod:`repro.telemetry` collector is active, the run emits
+nested spans (``gemm`` > ``core`` > ``c_block`` > ``pack_block`` /
+``tile`` / ``pipeline``) carrying simulated cycles, and counters for tiles
+executed, padded-FLOP waste, pack traffic, and plan-cache hits.  The result
+always carries ``phase_cycles``, a pack/kernel/parallel-overhead breakdown
+that sums to ``cycles`` exactly.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..codegen.fusion import fuse_traces
 from ..codegen.microkernel import ARG_REGS
 from ..isa.program import Trace
@@ -67,6 +75,13 @@ class GemmResult:
     offline_pack_cost: PackCost = field(default_factory=lambda: PackCost(0.0, 0))
     loads_by_level: dict[int, int] = field(default_factory=dict)
     per_core_cycles: list[float] = field(default_factory=list)
+    #: Critical-path decomposition of ``cycles``: ``pack`` (online packing on
+    #: the slowest core), ``kernel`` (that core's tile execution), and
+    #: ``parallel_overhead`` (barrier, cross-domain penalty, bandwidth floor
+    #: -- everything ``parallel_time`` adds on top of the slowest core).
+    #: Invariant: the values sum to ``cycles``.  Offline packing is excluded,
+    #: as it is from ``cycles`` itself (see ``offline_pack_cost``).
+    phase_cycles: dict[str, float] = field(default_factory=dict)
 
     @property
     def seconds(self) -> float:
@@ -115,16 +130,20 @@ class GemmExecutor:
         )
         plan = self._plan_cache.get(key)
         if plan is not None:
+            telemetry.count("plan_cache.hits")
             return plan
-        if schedule.use_dmt:
-            plan = self._tiler.tile(mc, nc, kc).plan
-        else:
-            default_tile = tile_for_chip(self.chip.sigma_lane)
-            tile = schedule.main_tile or (default_tile.mr, default_tile.nr)
-            if schedule.static_edges == "pad":
-                plan = openblas_tiling(mc, nc, tile)
+        telemetry.count("plan_cache.misses")
+        with telemetry.span("plan_block", mc=mc, nc=nc, kc=kc,
+                            strategy="dmt" if schedule.use_dmt else schedule.static_edges):
+            if schedule.use_dmt:
+                plan = self._tiler.tile(mc, nc, kc).plan
             else:
-                plan = libxsmm_tiling(mc, nc, tile)
+                default_tile = tile_for_chip(self.chip.sigma_lane)
+                tile = schedule.main_tile or (default_tile.mr, default_tile.nr)
+                if schedule.static_edges == "pad":
+                    plan = openblas_tiling(mc, nc, tile)
+                else:
+                    plan = libxsmm_tiling(mc, nc, tile)
         self._plan_cache[key] = plan
         return plan
 
@@ -165,29 +184,51 @@ class GemmExecutor:
             else default_schedule(m, n, k, self.chip, threads=threads)
         )
 
-        bytes_needed = 4 * (m * k + k * n + m * n) * 4 + (1 << 22)
-        memory = Memory(size_bytes=max(1 << 24, 1 << (bytes_needed - 1).bit_length()))
-        h_a = memory.alloc_matrix(m, k)
-        h_b = memory.alloc_matrix(k, n)
-        h_c = memory.alloc_matrix(m, n)
-        memory.write_matrix(h_a, a)
-        memory.write_matrix(h_b, b)
-        # The kernels accumulate onto C as stored; beta is folded into the
-        # staged C image (beta = 0 stages zeros and lets the first K block
-        # run its non-accumulating variant).
-        if beta == 0.0:
-            staged_c = np.zeros((m, n), np.float32)
-        elif beta == 1.0:
-            staged_c = c
-        else:
-            staged_c = (np.float32(beta) * c).astype(np.float32)
-        memory.write_matrix(h_c, staged_c)
+        with telemetry.span(
+            "gemm", m=m, n=n, k=k, threads=threads, chip=self.chip.name
+        ) as sp_run:
+            result = self._run_scheduled(a, b, c, schedule, threads, beta, warm, m, n, k)
+            sp_run.add_cycles(result.cycles)
+        return result
+
+    @staticmethod
+    def memory_bytes(m: int, n: int, k: int) -> int:
+        """Simulated-memory image size for one run: the three float32
+        operands counted once, plus 4 MiB of slack for scratch (pack panels
+        and padded-tile staging, which per-shape reuse keeps bounded),
+        rounded up to a power of two with a 16 MiB floor."""
+        bytes_needed = 4 * (m * k + k * n + m * n) + (1 << 22)
+        return max(1 << 24, 1 << (bytes_needed - 1).bit_length())
+
+    def _run_scheduled(self, a, b, c, schedule, threads, beta, warm, m, n, k):
+        memory = Memory(size_bytes=self.memory_bytes(m, n, k))
+        # Operand staging is the in-library packing path of a real BLAS front
+        # end (see ``AutoGEMM.gemm``), so it reports as a packing span.
+        with telemetry.span("pack_operands", bytes=4 * (m * k + k * n + m * n)):
+            h_a = memory.alloc_matrix(m, k)
+            h_b = memory.alloc_matrix(k, n)
+            h_c = memory.alloc_matrix(m, n)
+            memory.write_matrix(h_a, a)
+            memory.write_matrix(h_b, b)
+            # The kernels accumulate onto C as stored; beta is folded into the
+            # staged C image (beta = 0 stages zeros and lets the first K block
+            # run its non-accumulating variant).
+            if beta == 0.0:
+                staged_c = np.zeros((m, n), np.float32)
+            elif beta == 1.0:
+                staged_c = c
+            else:
+                staged_c = (np.float32(beta) * c).astype(np.float32)
+            memory.write_matrix(h_c, staged_c)
 
         # Offline packing rewrites B densely before the timed region.
         offline_pack = PackCost(0.0, 0)
         if schedule.packing is PackingMode.OFFLINE:
-            packed = pack_block(memory, h_b, 0, 0, k, n)
-            offline_pack = packing_cycles(k, n, self.chip)
+            with telemetry.span("offline_pack", rows=k, cols=n) as sp_pack:
+                packed = pack_block(memory, h_b, 0, 0, k, n)
+                offline_pack = packing_cycles(k, n, self.chip)
+                sp_pack.add_cycles(offline_pack.cycles)
+                telemetry.count("pack.bytes_moved", offline_pack.bytes_moved)
             h_b = packed
 
         sim = Simulator(memory, vector_lanes=self.chip.sigma_lane)
@@ -208,20 +249,26 @@ class GemmExecutor:
             i += cnt
 
         per_core_cycles: list[float] = []
+        per_core_pack: list[float] = []
         total_instr = 0
         kernel_calls = 0
         loads_by_level = {1: 0, 2: 0, 3: 0, 4: 0}
         online_pack = PackCost(0.0, 0)
+        pad_scratch: dict[tuple[int, int, int], tuple] = {}
 
-        for core_blocks in assignments:
+        for core_id, core_blocks in enumerate(assignments):
             caches = CacheHierarchy(self.chip)
             if warm:
                 for h in (h_a, h_b, h_c):
                     caches.warm_range(h.base, h.bytes_spanned, 1)
-            cycles, stats = self._run_core(
-                sim, caches, schedule, h_a, h_b, h_c, core_blocks, k_ranges, beta
-            )
+            with telemetry.span("core", core=core_id, blocks=len(core_blocks)) as sp:
+                cycles, stats = self._run_core(
+                    sim, caches, schedule, h_a, h_b, h_c, core_blocks, k_ranges,
+                    beta, pad_scratch,
+                )
+                sp.add_cycles(cycles)
             per_core_cycles.append(cycles)
+            per_core_pack.append(stats["pack"].cycles)
             total_instr += stats["instructions"]
             kernel_calls += stats["kernel_calls"]
             for lvl, cnt in stats["loads"].items():
@@ -236,6 +283,17 @@ class GemmExecutor:
             [max(cyc, 1.0) for cyc in per_core_cycles], self.chip, dram_bytes
         )
 
+        # Critical-path phase breakdown: the slowest core's pack/kernel split
+        # plus whatever the fork/join model added on top of that core.
+        crit = max(range(len(per_core_cycles)), key=lambda i: per_core_cycles[i])
+        crit_pack = per_core_pack[crit]
+        crit_kernel = per_core_cycles[crit] - crit_pack
+        phase_cycles = {
+            "pack": crit_pack,
+            "kernel": crit_kernel,
+            "parallel_overhead": timing.cycles - (crit_pack + crit_kernel),
+        }
+
         return GemmResult(
             c=memory.read_matrix(h_c),
             cycles=timing.cycles,
@@ -248,11 +306,13 @@ class GemmExecutor:
             offline_pack_cost=offline_pack,
             loads_by_level=loads_by_level,
             per_core_cycles=per_core_cycles,
+            phase_cycles=phase_cycles,
         )
 
     # ------------------------------------------------------------------
     def _run_core(
-        self, sim, caches, schedule, h_a, h_b, h_c, c_blocks, k_ranges, beta
+        self, sim, caches, schedule, h_a, h_b, h_c, c_blocks, k_ranges, beta,
+        pad_scratch,
     ):
         """Run one core's share of C blocks (full K loop per block)."""
         cycles = 0.0
@@ -268,43 +328,53 @@ class GemmExecutor:
         packed_block: MatrixHandle | None = None
 
         for (m0, mc), (n0, nc) in c_blocks:
-            for k0, kc in k_ranges:
-                b_block = h_b.sub(k0, n0, kc, nc)
-                if schedule.packing is PackingMode.ONLINE:
-                    if pack_scratch is None:
-                        pack_scratch = memory.alloc_matrix(schedule.kc, schedule.nc)
-                    if packed_key != (k0, n0, kc, nc):
-                        packed_block = pack_block(
-                            memory, h_b, k0, n0, kc, nc, pack_scratch
-                        )
-                        packed_key = (k0, n0, kc, nc)
-                        cost = packing_cycles(kc, nc, self.chip)
-                        cycles += cost.cycles
-                        stats["pack"] = PackCost(
-                            stats["pack"].cycles + cost.cycles,
-                            stats["pack"].bytes_moved + cost.bytes_moved,
-                        )
-                    assert packed_block is not None
-                    b_block = packed_block
-                cycles += self._run_block(
-                    sim,
-                    caches,
-                    schedule,
-                    h_a.sub(m0, k0, mc, kc),
-                    b_block,
-                    h_c.sub(m0, n0, mc, nc),
-                    accumulate=(k0 > 0) or (beta != 0.0),
-                    stats=stats,
-                )
+            with telemetry.span("c_block", m0=m0, n0=n0, mc=mc, nc=nc) as sp_blk:
+                block_cycles = 0.0
+                for k0, kc in k_ranges:
+                    b_block = h_b.sub(k0, n0, kc, nc)
+                    if schedule.packing is PackingMode.ONLINE:
+                        if pack_scratch is None:
+                            pack_scratch = memory.alloc_matrix(schedule.kc, schedule.nc)
+                        if packed_key != (k0, n0, kc, nc):
+                            with telemetry.span("pack_block", kc=kc, nc=nc) as sp_pack:
+                                packed_block = pack_block(
+                                    memory, h_b, k0, n0, kc, nc, pack_scratch
+                                )
+                                packed_key = (k0, n0, kc, nc)
+                                cost = packing_cycles(kc, nc, self.chip)
+                                sp_pack.add_cycles(cost.cycles)
+                            telemetry.count("pack.bytes_moved", cost.bytes_moved)
+                            block_cycles += cost.cycles
+                            stats["pack"] = PackCost(
+                                stats["pack"].cycles + cost.cycles,
+                                stats["pack"].bytes_moved + cost.bytes_moved,
+                            )
+                        assert packed_block is not None
+                        b_block = packed_block
+                    block_cycles += self._run_block(
+                        sim,
+                        caches,
+                        schedule,
+                        h_a.sub(m0, k0, mc, kc),
+                        b_block,
+                        h_c.sub(m0, n0, mc, nc),
+                        accumulate=(k0 > 0) or (beta != 0.0),
+                        stats=stats,
+                        pad_scratch=pad_scratch,
+                    )
+                sp_blk.add_cycles(block_cycles)
+                cycles += block_cycles
         return cycles, stats
 
-    def _run_block(self, sim, caches, schedule, blk_a, blk_b, blk_c, accumulate, stats):
+    def _run_block(self, sim, caches, schedule, blk_a, blk_b, blk_c, accumulate,
+                   stats, pad_scratch):
         """Execute one cache block's tile plan; returns its cycles."""
         chip = self.chip
         plan = self.plan_block(blk_c.rows, blk_c.cols, blk_a.cols, schedule)
         tiles = list(plan)
         if not schedule.tile_row_major:
             tiles.sort(key=lambda t: (t.col, t.row))
+        telemetry.count("executor.tiles_executed", len(tiles))
 
         traces: list[Trace] = []
         for tile in tiles:
@@ -320,31 +390,47 @@ class GemmExecutor:
                 use_pairs=schedule.use_pairs,
             )
             kernel = self.kernels.get(key)
-            if tile.padded:
-                trace = self._run_padded_tile(sim, kernel, tile, blk_a, blk_b, blk_c)
-            else:
-                trace = self._run_tile(sim, kernel, tile, blk_a, blk_b, blk_c)
+            with telemetry.span(
+                "tile", mr=tile.kernel_mr, nr=tile.kernel_nr, padded=tile.padded
+            ):
+                if tile.padded:
+                    telemetry.count("executor.padded_tiles")
+                    telemetry.count(
+                        "executor.padded_flop_waste",
+                        2 * blk_a.cols * tile.padding_flops,
+                    )
+                    trace = self._run_padded_tile(
+                        sim, kernel, tile, blk_a, blk_b, blk_c, pad_scratch
+                    )
+                else:
+                    trace = self._run_tile(sim, kernel, tile, blk_a, blk_b, blk_c)
             stats["kernel_calls"] += 1
             stats["instructions"] += len(trace)
             traces.append(trace)
 
         block_cycles = 0.0
-        if schedule.fuse:
-            fused = fuse_traces(traces)
-            pipeline = PipelineModel(chip, caches=caches, launch_cycles=self.launch_cycles)
-            timing = pipeline.time_trace(fused)
-            block_cycles += timing.cycles
-            for lvl, cnt in timing.loads_by_level.items():
-                stats["loads"][lvl] += cnt
-        else:
-            for trace in traces:
+        with telemetry.span(
+            "pipeline", fused=schedule.fuse, traces=len(traces)
+        ) as sp_pipe:
+            if schedule.fuse:
+                fused = fuse_traces(traces)
                 pipeline = PipelineModel(
                     chip, caches=caches, launch_cycles=self.launch_cycles
                 )
-                timing = pipeline.time_trace(trace)
+                timing = pipeline.time_trace(fused)
                 block_cycles += timing.cycles
                 for lvl, cnt in timing.loads_by_level.items():
                     stats["loads"][lvl] += cnt
+            else:
+                for trace in traces:
+                    pipeline = PipelineModel(
+                        chip, caches=caches, launch_cycles=self.launch_cycles
+                    )
+                    timing = pipeline.time_trace(trace)
+                    block_cycles += timing.cycles
+                    for lvl, cnt in timing.loads_by_level.items():
+                        stats["loads"][lvl] += cnt
+            sp_pipe.add_cycles(block_cycles)
         return block_cycles
 
     def _tile_args(self, tile, blk_a, blk_b, blk_c):
@@ -361,17 +447,28 @@ class GemmExecutor:
         result = sim.run(kernel.program, args=self._tile_args(tile, blk_a, blk_b, blk_c))
         return result.trace
 
-    def _run_padded_tile(self, sim, kernel, tile, blk_a, blk_b, blk_c) -> Trace:
+    def _run_padded_tile(self, sim, kernel, tile, blk_a, blk_b, blk_c,
+                         pad_scratch) -> Trace:
         """OpenBLAS-style padded edge: run the full kernel on zero-padded
         scratch operands, then copy the valid region back.  The pad copies
         are bookkeeping (hidden in packing on the real library) -- only the
-        kernel's own trace is timed, including its redundant FMAs."""
+        kernel's own trace is timed, including its redundant FMAs.  Scratch
+        buffers are reused across tiles of the same kernel shape (they are
+        fully rewritten each call), so scratch stays bounded by the handful
+        of distinct shapes a plan uses rather than growing per tile."""
         memory = sim.memory
         cfg = kernel.config
         kc = blk_a.cols
-        pad_a = memory.alloc_matrix(cfg.mr, kc)
-        pad_b = memory.alloc_matrix(kc, cfg.nr)
-        pad_c = memory.alloc_matrix(cfg.mr, cfg.nr)
+        scratch_key = (cfg.mr, cfg.nr, kc)
+        buffers = pad_scratch.get(scratch_key)
+        if buffers is None:
+            buffers = (
+                memory.alloc_matrix(cfg.mr, kc),
+                memory.alloc_matrix(kc, cfg.nr),
+                memory.alloc_matrix(cfg.mr, cfg.nr),
+            )
+            pad_scratch[scratch_key] = buffers
+        pad_a, pad_b, pad_c = buffers
         a_cell = np.zeros((cfg.mr, kc), np.float32)
         b_cell = np.zeros((kc, cfg.nr), np.float32)
         c_cell = np.zeros((cfg.mr, cfg.nr), np.float32)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry
 from ..codegen.microkernel import ARG_REGS, MicroKernel, generate_microkernel
 from ..machine.cache import CacheHierarchy
 from ..machine.chips import ChipSpec
@@ -58,18 +59,23 @@ class KernelCache:
     def get(self, key: KernelKey) -> MicroKernel:
         kernel = self._kernels.get(key)
         if kernel is None:
-            kernel = generate_microkernel(
-                key.mr,
-                key.nr,
-                key.kc,
-                lane=key.lane,
-                accumulate=key.accumulate,
-                rotate=key.rotate,
-                sigma_ai=key.sigma_ai,
-                lookahead=key.lookahead,
-                use_pairs=key.use_pairs,
-            )
+            telemetry.count("kernel_cache.misses")
+            telemetry.count("kernel_cache.generated")
+            with telemetry.span("generate_kernel", mr=key.mr, nr=key.nr, kc=key.kc):
+                kernel = generate_microkernel(
+                    key.mr,
+                    key.nr,
+                    key.kc,
+                    lane=key.lane,
+                    accumulate=key.accumulate,
+                    rotate=key.rotate,
+                    sigma_ai=key.sigma_ai,
+                    lookahead=key.lookahead,
+                    use_pairs=key.use_pairs,
+                )
             self._kernels[key] = kernel
+        else:
+            telemetry.count("kernel_cache.hits")
         return kernel
 
     def __len__(self) -> int:
@@ -100,7 +106,9 @@ class TimedKernelCache:
         memo_key = (key, residency)
         cached = self._cycles.get(memo_key)
         if cached is not None:
+            telemetry.count("timed_cache.hits")
             return cached + launch
+        telemetry.count("timed_cache.misses")
 
         memory = Memory(size_bytes=1 << 24)
         rng = np.random.default_rng(1234)
@@ -126,8 +134,10 @@ class TimedKernelCache:
             ARG_REGS["ldc"]: h_c.ld,
         }
         kernel = self.kernels.get(key)
-        result = sim.run_timed(kernel.program, self.chip, args=args, caches=caches)
-        assert result.timing is not None
-        measured = result.timing.cycles
+        with telemetry.span("time_kernel", mr=key.mr, nr=key.nr, kc=key.kc) as sp:
+            result = sim.run_timed(kernel.program, self.chip, args=args, caches=caches)
+            assert result.timing is not None
+            measured = result.timing.cycles
+            sp.add_cycles(measured)
         self._cycles[memo_key] = measured
         return measured + launch

@@ -1,0 +1,60 @@
+"""Observability for the simulated stack: spans, counters, trace export.
+
+The library is instrumented at its hot paths -- ``GemmExecutor`` blocks and
+phases, kernel/plan caches, the DMT tiler, the auto-tuner's trials, and the
+DNN runner's layers -- but records nothing unless a collector is installed:
+
+>>> from repro import telemetry
+>>> from repro.telemetry import collecting, chrome_trace, format_tree
+>>> with collecting() as col:
+...     lib.gemm(a, b)
+>>> print(format_tree(col))                    # nested span summary
+>>> json.dump(chrome_trace(col), open("trace.json", "w"))  # Perfetto
+
+Spans carry both host wall time and *simulated* cycles; counters track
+cache hits/misses, tiles executed, padded-FLOP waste, pack traffic, and
+tuner trial economics.  ``python -m repro profile M N K`` wraps this into a
+one-command workflow (see ``docs/observability.md``).
+"""
+
+from .collector import (
+    ActiveSpan,
+    Collector,
+    NULL_SPAN,
+    NullSpan,
+    SpanRecord,
+    active_collector,
+    collecting,
+    count,
+    counter_value,
+    disable,
+    enable,
+    span,
+)
+from .export import (
+    chrome_trace,
+    format_counters,
+    format_tree,
+    metrics_dict,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "ActiveSpan",
+    "Collector",
+    "NULL_SPAN",
+    "NullSpan",
+    "SpanRecord",
+    "active_collector",
+    "collecting",
+    "count",
+    "counter_value",
+    "disable",
+    "enable",
+    "span",
+    "chrome_trace",
+    "format_counters",
+    "format_tree",
+    "metrics_dict",
+    "write_chrome_trace",
+]

@@ -1,0 +1,273 @@
+"""In-process span/counter collection -- the core of the telemetry layer.
+
+Design constraints (the reason this module looks the way it does):
+
+* **Off by default, near-zero overhead.**  Every instrumentation point in
+  the library calls the module-level :func:`span` / :func:`count` helpers;
+  when no collector is installed they return a shared stateless no-op
+  object, so a disabled run costs one global read and one function call per
+  site.  No timestamps are taken, nothing is allocated besides the keyword
+  dict at the call site.
+* **Hierarchical spans.**  A span nests inside whatever span is open on the
+  same host thread, tracked with a ``threading.local`` stack; simulated
+  cores therefore appear as sibling subtrees under the ``gemm`` root even
+  though the simulator runs them sequentially.
+* **Two clocks.**  Spans always record host wall time (microseconds); the
+  instrumented code additionally reports *simulated* cycles via
+  :meth:`ActiveSpan.add_cycles`, because on this substrate the interesting
+  timeline is the modelled one, not the Python interpreter's.
+* **Thread safety.**  Finished spans and counter bumps go through one lock;
+  span stacks are per-thread.  The collector is purely in-process -- the
+  exporters (:mod:`repro.telemetry.export`) turn it into Chrome-trace JSON,
+  a flat metrics dump, or a printable tree.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SpanRecord",
+    "ActiveSpan",
+    "Collector",
+    "NullSpan",
+    "NULL_SPAN",
+    "span",
+    "count",
+    "counter_value",
+    "enable",
+    "disable",
+    "active_collector",
+    "collecting",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, as stored by the collector."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    ts_us: float  # wall-clock start, microseconds since the collector epoch
+    dur_us: float  # wall-clock duration, microseconds
+    track: int  # host thread ident (Chrome-trace tid)
+    depth: int  # nesting depth on its track (root = 0)
+    cycles: float | None = None  # simulated cycles, when the site reported any
+    args: dict = field(default_factory=dict)
+
+
+class ActiveSpan:
+    """A span that is currently open; what ``with span(...)`` yields."""
+
+    __slots__ = ("_collector", "span_id", "parent_id", "name", "depth", "_t0",
+                 "cycles", "args")
+
+    def __init__(self, collector: "Collector", span_id: int,
+                 parent_id: int | None, name: str, depth: int, args: dict) -> None:
+        self._collector = collector
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.depth = depth
+        self.cycles: float | None = None
+        self.args = args
+        self._t0 = time.perf_counter()
+
+    def add_cycles(self, cycles: float) -> None:
+        """Accumulate simulated cycles onto this span."""
+        self.cycles = cycles if self.cycles is None else self.cycles + cycles
+
+    def set(self, **attrs) -> None:
+        """Attach or update span attributes after entry."""
+        self.args.update(attrs)
+
+    # -- context manager -----------------------------------------------------
+    def __enter__(self) -> "ActiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._collector._finish(self, time.perf_counter())
+        return False
+
+
+class NullSpan:
+    """Stateless stand-in used when telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def add_cycles(self, cycles: float) -> None:
+        pass
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+#: Shared no-op span; safe to nest because it carries no state.
+NULL_SPAN = NullSpan()
+
+
+class Collector:
+    """Thread-safe accumulator of spans and named counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._epoch = time.perf_counter()
+        self.spans: list[SpanRecord] = []
+        self.counters: dict[str, float] = {}
+
+    # -- spans ---------------------------------------------------------------
+    def _stack(self) -> list[ActiveSpan]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, /, **args) -> ActiveSpan:
+        """Open a span nested under the current one on this thread; ``name``
+        is positional-only so ``name=...`` can be a span attribute."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = next(self._ids)
+        sp = ActiveSpan(
+            self,
+            span_id=span_id,
+            parent_id=parent.span_id if parent else None,
+            name=name,
+            depth=parent.depth + 1 if parent else 0,
+            args=args,
+        )
+        stack.append(sp)
+        return sp
+
+    def _finish(self, sp: ActiveSpan, t_end: float) -> None:
+        stack = self._stack()
+        # Tolerate exits out of order (an exception unwinding several spans).
+        while stack and stack[-1] is not sp:
+            stack.pop()
+        if stack:
+            stack.pop()
+        record = SpanRecord(
+            span_id=sp.span_id,
+            parent_id=sp.parent_id,
+            name=sp.name,
+            ts_us=(sp._t0 - self._epoch) * 1e6,
+            dur_us=(t_end - sp._t0) * 1e6,
+            track=threading.get_ident(),
+            depth=sp.depth,
+            cycles=sp.cycles,
+            args=sp.args,
+        )
+        with self._lock:
+            self.spans.append(record)
+
+    # -- counters ------------------------------------------------------------
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to the named counter (thread-safe)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    # -- views ---------------------------------------------------------------
+    def roots(self) -> list[SpanRecord]:
+        """Finished spans with no parent, in start order."""
+        return sorted(
+            (s for s in self.spans if s.parent_id is None), key=lambda s: s.ts_us
+        )
+
+    def children_of(self, span_id: int) -> list[SpanRecord]:
+        return sorted(
+            (s for s in self.spans if s.parent_id == span_id), key=lambda s: s.ts_us
+        )
+
+    def spans_named(self, name: str) -> list[SpanRecord]:
+        return [s for s in self.spans if s.name == name]
+
+
+# ---------------------------------------------------------------------------
+# Module-level switchboard: the instrumented library calls these.
+# ---------------------------------------------------------------------------
+
+_active: Collector | None = None
+
+
+def enable(collector: Collector | None = None) -> Collector:
+    """Install (and return) the process-wide collector."""
+    global _active
+    _active = collector if collector is not None else Collector()
+    return _active
+
+
+def disable() -> Collector | None:
+    """Remove the active collector; returns it for inspection."""
+    global _active
+    collector, _active = _active, None
+    return collector
+
+
+def active_collector() -> Collector | None:
+    """The installed collector, or None when telemetry is off."""
+    return _active
+
+
+def span(name: str, /, **args):
+    """Open a span on the active collector, or a no-op when disabled."""
+    collector = _active
+    if collector is None:
+        return NULL_SPAN
+    return collector.span(name, **args)
+
+
+def count(name: str, value: float = 1.0) -> None:
+    """Bump a counter on the active collector; no-op when disabled."""
+    collector = _active
+    if collector is not None:
+        collector.count(name, value)
+
+
+def counter_value(name: str) -> float:
+    """Current value of a counter (0.0 when disabled or never bumped)."""
+    collector = _active
+    return collector.counter(name) if collector is not None else 0.0
+
+
+class collecting:
+    """Context manager enabling telemetry for a scoped region::
+
+        with telemetry.collecting() as col:
+            lib.gemm(a, b)
+        print(format_tree(col))
+
+    The previous collector (usually None) is restored on exit, so scoped
+    profiling composes with an application-wide collector.
+    """
+
+    def __init__(self, collector: Collector | None = None) -> None:
+        self.collector = collector if collector is not None else Collector()
+        self._prev: Collector | None = None
+
+    def __enter__(self) -> Collector:
+        global _active
+        self._prev = _active
+        _active = self.collector
+        return self.collector
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _active
+        _active = self._prev
+        return False

@@ -1,0 +1,164 @@
+"""Exporters: Chrome-trace JSON, flat metrics dump, printable span tree.
+
+``chrome_trace`` emits the ``trace_events`` format (the JSON Object Format
+variant with a top-level ``traceEvents`` array) that chrome://tracing and
+Perfetto load directly: complete events (``ph: "X"``) carry the wall-clock
+timeline in microseconds, simulated cycles ride along in ``args`` so the
+modelled cost of every span is one click away, and counters are emitted as
+counter events (``ph: "C"``) plus a ``repro.metrics`` summary blob.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from .collector import Collector, SpanRecord
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "metrics_dict",
+    "format_tree",
+    "format_counters",
+]
+
+
+def chrome_trace(collector: Collector, process_name: str = "repro") -> dict:
+    """The collector's contents in Chrome ``trace_events`` JSON form."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    tracks = sorted({s.track for s in collector.spans})
+    track_index = {ident: i for i, ident in enumerate(tracks)}
+    for ident, idx in track_index.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": idx,
+                "args": {"name": f"thread-{idx}"},
+            }
+        )
+    for s in sorted(collector.spans, key=lambda s: s.ts_us):
+        args = dict(s.args)
+        if s.cycles is not None:
+            args["sim_cycles"] = round(s.cycles, 3)
+        events.append(
+            {
+                "name": s.name,
+                "ph": "X",
+                "ts": round(s.ts_us, 3),
+                "dur": round(s.dur_us, 3),
+                "pid": 0,
+                "tid": track_index.get(s.track, 0),
+                "args": args,
+            }
+        )
+    end_ts = max((s.ts_us + s.dur_us for s in collector.spans), default=0.0)
+    for name, value in sorted(collector.counters.items()):
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": round(end_ts, 3),
+                "pid": 0,
+                "tid": 0,
+                "args": {"value": value},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"counters": dict(sorted(collector.counters.items()))},
+    }
+
+
+def write_chrome_trace(
+    collector: Collector, dest: "str | IO[str]", process_name: str = "repro"
+) -> None:
+    """Serialise :func:`chrome_trace` to a path or open text file."""
+    payload = chrome_trace(collector, process_name=process_name)
+    if hasattr(dest, "write"):
+        json.dump(payload, dest)
+    else:
+        with open(dest, "w") as fh:
+            json.dump(payload, fh)
+
+
+def metrics_dict(collector: Collector) -> dict:
+    """Flat machine-readable summary: counters plus per-name span rollups."""
+    by_name: dict[str, dict] = {}
+    for s in collector.spans:
+        agg = by_name.setdefault(
+            s.name, {"count": 0, "wall_ms": 0.0, "sim_cycles": 0.0}
+        )
+        agg["count"] += 1
+        agg["wall_ms"] += s.dur_us / 1000.0
+        if s.cycles is not None:
+            agg["sim_cycles"] += s.cycles
+    for agg in by_name.values():
+        agg["wall_ms"] = round(agg["wall_ms"], 3)
+        agg["sim_cycles"] = round(agg["sim_cycles"], 3)
+    return {
+        "counters": dict(sorted(collector.counters.items())),
+        "spans": dict(sorted(by_name.items())),
+    }
+
+
+def _format_node(
+    collector: Collector,
+    span_list: list[SpanRecord],
+    indent: int,
+    lines: list[str],
+) -> None:
+    # Aggregate sibling spans by name so a 200-tile block prints one line.
+    groups: dict[str, list[SpanRecord]] = {}
+    for s in span_list:
+        groups.setdefault(s.name, []).append(s)
+    for name, group in groups.items():
+        wall_ms = sum(s.dur_us for s in group) / 1000.0
+        cycles = sum(s.cycles for s in group if s.cycles is not None)
+        has_cycles = any(s.cycles is not None for s in group)
+        label = f"{'  ' * indent}{name}"
+        if len(group) > 1:
+            label += f" x{len(group)}"
+        cyc = f"{cycles:>14,.0f} cyc" if has_cycles else " " * 18
+        lines.append(f"{label:<44}{cyc}  {wall_ms:>9.2f} ms")
+        children: list[SpanRecord] = []
+        for s in group:
+            children.extend(collector.children_of(s.span_id))
+        if children:
+            _format_node(collector, sorted(children, key=lambda s: s.ts_us),
+                         indent + 1, lines)
+
+
+def format_tree(collector: Collector) -> str:
+    """Human-readable nested span summary (siblings aggregated by name)."""
+    lines: list[str] = []
+    roots = collector.roots()
+    if roots:
+        header = f"{'span':<44}{'sim cycles':>18}  {'wall':>9}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        _format_node(collector, roots, 0, lines)
+    return "\n".join(lines)
+
+
+def format_counters(collector: Collector) -> str:
+    """Counters, one per line, aligned."""
+    if not collector.counters:
+        return "(no counters recorded)"
+    width = max(len(name) for name in collector.counters)
+    return "\n".join(
+        f"{name:<{width}}  {value:,.0f}" if float(value).is_integer()
+        else f"{name:<{width}}  {value:,.2f}"
+        for name, value in sorted(collector.counters.items())
+    )

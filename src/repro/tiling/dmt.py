@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+from .. import telemetry
 from ..codegen.tiles import TileShape, enumerate_tiles
 from ..model.perf_model import MicroKernelModel
 from .plans import PlacedTile, TilePlan
@@ -162,9 +163,16 @@ class DynamicMicroTiler:
         (see class attribute note)."""
         if mc < 1 or nc < 1 or kc < 1:
             raise ValueError("block dimensions must be positive")
+        telemetry.count("dmt.tile_calls")
 
         if nc > self.N_CAP or mc > self.M_CAP:
-            return self._tile_large(mc, nc, kc)
+            with telemetry.span("dmt_tile_large", mc=mc, nc=nc, kc=kc):
+                return self._tile_large(mc, nc, kc)
+        with telemetry.span("dmt_tile", mc=mc, nc=nc, kc=kc):
+            return self._tile_exact(mc, nc, kc)
+
+    def _tile_exact(self, mc: int, nc: int, kc: int) -> DMTResult:
+        """The exact DP on one block within the caps."""
 
         # S(n) = min_m T(m, n) + T(mc - m, n); symmetric in m, so m <= mc/2.
         def best_m_split(n: int) -> tuple[float, int]:

@@ -5,6 +5,13 @@ this module serialises :class:`~repro.tuner.tuner.TuneResult` trials to a
 JSON-lines file keyed by (chip, M, N, K) and loads them back, so repeated
 sessions skip the search.  The format is append-only and
 forward-compatible: unknown keys are ignored on load.
+
+Two line kinds share the file: winner records (no ``kind`` key, the
+original format) and, when the store is opened with ``log_trials=True``,
+one ``{"kind": "trial", ...}`` line per evaluated candidate -- schedule,
+round, the analytic model's predicted cycles, and the measured cycles --
+so tuning convergence curves can be plotted after the fact.  Readers that
+predate trial logging ignore the unknown kind lines.
 """
 
 from __future__ import annotations
@@ -16,9 +23,15 @@ from typing import Iterable
 
 from ..gemm.packing import PackingMode
 from ..gemm.schedule import Schedule
-from .tuner import TuneResult
+from .tuner import Trial, TuneResult
 
-__all__ = ["TuningRecord", "schedule_to_dict", "schedule_from_dict", "RecordStore"]
+__all__ = [
+    "TuningRecord",
+    "TrialRecord",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "RecordStore",
+]
 
 
 def schedule_to_dict(schedule: Schedule) -> dict:
@@ -95,12 +108,82 @@ class TuningRecord:
         )
 
 
-class RecordStore:
-    """Append-only JSON-lines store of best-known schedules."""
+@dataclass(frozen=True)
+class TrialRecord:
+    """One persisted tuning trial (an evaluated candidate, not a winner)."""
 
-    def __init__(self, path: str | pathlib.Path) -> None:
+    chip: str
+    m: int
+    n: int
+    k: int
+    round: int
+    cycles: float
+    schedule: Schedule
+    predicted: float | None = None
+
+    @property
+    def key(self) -> tuple[str, int, int, int]:
+        return (self.chip, self.m, self.n, self.k)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "kind": "trial",
+                "chip": self.chip,
+                "m": self.m,
+                "n": self.n,
+                "k": self.k,
+                "round": self.round,
+                "cycles": self.cycles,
+                "predicted": self.predicted,
+                "schedule": schedule_to_dict(self.schedule),
+            }
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TrialRecord":
+        data = json.loads(line)
+        predicted = data.get("predicted")
+        return cls(
+            chip=data["chip"],
+            m=int(data["m"]),
+            n=int(data["n"]),
+            k=int(data["k"]),
+            round=int(data.get("round", 0)),
+            cycles=float(data["cycles"]),
+            predicted=float(predicted) if predicted is not None else None,
+            schedule=schedule_from_dict(data["schedule"]),
+        )
+
+    @classmethod
+    def from_trial(
+        cls, chip: str, m: int, n: int, k: int, trial: Trial
+    ) -> "TrialRecord":
+        return cls(
+            chip=chip,
+            m=m,
+            n=n,
+            k=k,
+            round=trial.round,
+            cycles=trial.cycles,
+            predicted=trial.predicted,
+            schedule=trial.schedule,
+        )
+
+
+class RecordStore:
+    """Append-only JSON-lines store of best-known schedules.
+
+    With ``log_trials=True``, ``add_result`` additionally appends every
+    evaluated trial of the :class:`TuneResult`; the full history is
+    available through :meth:`trial_history` after a reload.
+    """
+
+    def __init__(self, path: str | pathlib.Path, log_trials: bool = False) -> None:
         self.path = pathlib.Path(path)
+        self.log_trials = log_trials
         self._best: dict[tuple[str, int, int, int], TuningRecord] = {}
+        self._trials: dict[tuple[str, int, int, int], list[TrialRecord]] = {}
         if self.path.exists():
             self._load()
 
@@ -109,8 +192,13 @@ class RecordStore:
             line = line.strip()
             if not line:
                 continue
-            record = TuningRecord.from_json(line)
-            self._keep_best(record)
+            kind = json.loads(line).get("kind")
+            if kind == "trial":
+                trial = TrialRecord.from_json(line)
+                self._trials.setdefault(trial.key, []).append(trial)
+            elif kind is None:  # winner record, the original line format
+                self._keep_best(TuningRecord.from_json(line))
+            # Unknown kinds: skipped (forward compatibility).
 
     def _keep_best(self, record: TuningRecord) -> None:
         current = self._best.get(record.key)
@@ -133,16 +221,35 @@ class RecordStore:
     def add_result(
         self, chip: str, m: int, n: int, k: int, result: TuneResult
     ) -> TuningRecord:
+        if self.log_trials and result.trials:
+            self.add_trials(chip, m, n, k, result.trials)
         record = TuningRecord(
             chip=chip, m=m, n=n, k=k, cycles=result.cycles, schedule=result.schedule
         )
         self.add(record)
         return record
 
+    def add_trials(
+        self, chip: str, m: int, n: int, k: int, trials: Iterable[Trial]
+    ) -> list[TrialRecord]:
+        """Append every trial as a history line (regardless of winner)."""
+        records = [TrialRecord.from_trial(chip, m, n, k, t) for t in trials]
+        with self.path.open("a") as fh:
+            for rec in records:
+                self._trials.setdefault(rec.key, []).append(rec)
+                fh.write(rec.to_json() + "\n")
+        return records
+
+    def trial_history(self, chip: str, m: int, n: int, k: int) -> list[TrialRecord]:
+        """All logged trials for a problem, in append (measurement) order."""
+        return list(self._trials.get((chip, m, n, k), []))
+
     def records(self) -> Iterable[TuningRecord]:
         return list(self._best.values())
 
     def compact(self) -> None:
-        """Rewrite the file keeping only the best record per key."""
+        """Rewrite the file keeping only the best record per key (trial
+        history is dropped -- compaction trades curves for file size)."""
         lines = [r.to_json() for r in self._best.values()]
         self.path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        self._trials.clear()

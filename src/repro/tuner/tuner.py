@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..gemm.estimator import GemmEstimator
 from ..gemm.schedule import Schedule
 from ..machine.chips import ChipSpec
@@ -39,6 +40,9 @@ class Trial:
     schedule: Schedule
     cycles: float
     round: int
+    #: Analytic Eqn 13 cost of the schedule (the pruning model's prediction),
+    #: recorded so tuning curves can contrast model vs measurement.
+    predicted: float | None = None
 
 
 @dataclass
@@ -95,6 +99,14 @@ class AutoTuner:
         """Search for the best schedule within ``budget`` measurements."""
         if budget < 1:
             raise ValueError("budget must be >= 1")
+        with telemetry.span(
+            "tune", m=m, n=n, k=k, budget=budget, chip=self.chip.name
+        ) as sp_tune:
+            result = self._tune(m, n, k, budget, batch, seed)
+            sp_tune.add_cycles(result.cycles)
+        return result
+
+    def _tune(self, m, n, k, budget, batch, seed) -> TuneResult:
         space = SearchSpace(m=m, n=n, k=k, chip=self.chip)
 
         # Seeding: sample broadly, prune with the analytic Eqn 13 model.
@@ -104,6 +116,8 @@ class AutoTuner:
             seeds = prune(candidates, m, n, k, self.chip, keep=max(batch, budget // 4))
         else:
             seeds = candidates[: max(batch, budget // 4)]
+        telemetry.count("tuner.candidates_sampled", len(candidates))
+        telemetry.count("tuner.candidates_pruned", len(candidates) - len(seeds))
 
         trials: list[Trial] = []
         measured: dict[Schedule, float] = {}
@@ -117,9 +131,18 @@ class AutoTuner:
                     return
                 if sched in measured:
                     continue
-                cycles = self.measure(sched, m, n, k)
+                predicted = model_cost(sched, m, n, k, self.chip)
+                with telemetry.span(
+                    "trial", round=rnd, mc=sched.mc, nc=sched.nc, kc=sched.kc,
+                    predicted_cycles=round(predicted, 1),
+                ) as sp:
+                    cycles = self.measure(sched, m, n, k)
+                    sp.add_cycles(cycles)
+                telemetry.count("tuner.trials_measured")
                 measured[sched] = cycles
-                trials.append(Trial(schedule=sched, cycles=cycles, round=rnd))
+                trials.append(
+                    Trial(schedule=sched, cycles=cycles, round=rnd, predicted=predicted)
+                )
             rnd += 1
 
         run_batch(seeds[:batch])

@@ -4,7 +4,15 @@ from __future__ import annotations
 
 import pytest
 
+from repro import telemetry
 from repro.machine.chips import ALL_CHIPS, GRAVITON2, KP920
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_disabled():
+    """Telemetry is off by default and must never leak across tests."""
+    yield
+    telemetry.disable()
 
 
 @pytest.fixture

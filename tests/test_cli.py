@@ -1,0 +1,120 @@
+"""CLI surface: --json output, --metrics counters, and the profile command."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestGemmJson:
+    def test_json_output_parses(self, capsys):
+        code, out = run_cli(capsys, "gemm", "16", "16", "16", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["command"] == "gemm"
+        assert (payload["m"], payload["n"], payload["k"]) == (16, 16, 16)
+        assert payload["chip"] == "Graviton2"
+        assert payload["cycles"] > 0
+        assert payload["gflops"] > 0
+        assert payload["relative_error"] < 1e-4
+        assert sum(payload["phase_cycles"].values()) == pytest.approx(
+            payload["cycles"]
+        )
+
+    def test_json_with_metrics_embeds_counters(self, capsys):
+        code, out = run_cli(
+            capsys, "gemm", "16", "16", "16", "--json", "--metrics"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["metrics"]["executor.tiles_executed"] == payload[
+            "kernel_calls"
+        ]
+
+    def test_human_output_without_json(self, capsys):
+        code, out = run_cli(capsys, "gemm", "16", "16", "16")
+        assert code == 0
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)
+        assert "GFLOP/s" in out
+
+
+class TestEstimateJson:
+    def test_json_output_parses(self, capsys):
+        code, out = run_cli(
+            capsys, "estimate", "64", "64", "64", "--chip", "KP920", "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["command"] == "estimate"
+        assert payload["chip"] == "KP920"
+        assert payload["cycles"] > 0
+        assert set(payload["residency"]) == {"a", "b", "c"}
+
+    def test_metrics_flag_prints_counters(self, capsys):
+        code, out = run_cli(
+            capsys, "estimate", "64", "64", "64", "--metrics"
+        )
+        assert code == 0
+        assert "counters:" in out
+        assert "plan_cache." in out
+
+
+class TestProfile:
+    def test_writes_valid_chrome_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        code, out = run_cli(
+            capsys,
+            "profile", "26", "36", "17",
+            "--trace-out", str(trace),
+        )
+        assert code == 0
+        payload = json.loads(trace.read_text())
+        events = payload["traceEvents"]
+        assert events
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "gemm" in names and "tile" in names
+        counters = {e["name"] for e in events if e["ph"] == "C"}
+        assert any(c.startswith("kernel_cache.") for c in counters)
+        assert "phase breakdown" in out
+
+    def test_metrics_out_dump(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        code, _ = run_cli(
+            capsys,
+            "profile", "16", "16", "16",
+            "--trace-out", str(trace),
+            "--metrics-out", str(metrics),
+        )
+        assert code == 0
+        data = json.loads(metrics.read_text())
+        assert data["counters"]["executor.tiles_executed"] > 0
+        assert "gemm" in data["spans"]
+
+
+class TestDmtMetrics:
+    def test_dmt_metrics_flag(self, capsys):
+        code, out = run_cli(capsys, "dmt", "26", "36", "--kc", "32", "--metrics")
+        assert code == 0
+        assert "dmt.tile_calls" in out
+
+
+class TestParser:
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "8", "8", "8"])
+        assert args.trace_out == "trace.json"
+        assert args.metrics_out is None
+        assert args.threads == 1
+
+    def test_gemm_flags_default_off(self):
+        args = build_parser().parse_args(["gemm", "8", "8", "8"])
+        assert args.json is False
+        assert args.metrics is False

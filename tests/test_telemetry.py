@@ -1,0 +1,238 @@
+"""Telemetry core: spans, counters, exporters, and the disabled fast path."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    Collector,
+    NULL_SPAN,
+    chrome_trace,
+    collecting,
+    format_counters,
+    format_tree,
+    metrics_dict,
+    write_chrome_trace,
+)
+
+
+class TestSpans:
+    def test_nesting_and_ordering(self):
+        col = Collector()
+        with col.span("outer"):
+            with col.span("first"):
+                pass
+            with col.span("second"):
+                with col.span("inner"):
+                    pass
+        outer = col.spans_named("outer")[0]
+        first = col.spans_named("first")[0]
+        second = col.spans_named("second")[0]
+        inner = col.spans_named("inner")[0]
+        assert outer.parent_id is None and outer.depth == 0
+        assert first.parent_id == outer.span_id and first.depth == 1
+        assert second.parent_id == outer.span_id
+        assert inner.parent_id == second.span_id and inner.depth == 2
+        # Start order respects program order.
+        assert first.ts_us <= second.ts_us <= inner.ts_us
+        # Children are contained in the parent's wall interval.
+        assert inner.ts_us >= second.ts_us
+        assert inner.ts_us + inner.dur_us <= second.ts_us + second.dur_us + 1.0
+
+    def test_roots_and_children(self):
+        col = Collector()
+        with col.span("a"):
+            with col.span("b"):
+                pass
+        with col.span("c"):
+            pass
+        roots = col.roots()
+        assert [r.name for r in roots] == ["a", "c"]
+        kids = col.children_of(roots[0].span_id)
+        assert [s.name for s in kids] == ["b"]
+
+    def test_cycles_and_args(self):
+        col = Collector()
+        with col.span("work", m=4, n=8) as sp:
+            sp.add_cycles(100.0)
+            sp.add_cycles(23.5)
+            sp.set(extra="yes")
+        rec = col.spans_named("work")[0]
+        assert rec.cycles == pytest.approx(123.5)
+        assert rec.args == {"m": 4, "n": 8, "extra": "yes"}
+
+    def test_exception_unwinds_stack(self):
+        col = Collector()
+        with pytest.raises(RuntimeError):
+            with col.span("outer"):
+                with col.span("inner"):
+                    raise RuntimeError("boom")
+        # Both spans recorded despite the exception, and a new root works.
+        assert len(col.spans) == 2
+        with col.span("after"):
+            pass
+        assert col.spans_named("after")[0].parent_id is None
+
+    def test_name_attribute_allowed(self):
+        col = Collector()
+        with col.span("layer", name="conv1", kind="gemm"):
+            pass
+        assert col.spans_named("layer")[0].args["name"] == "conv1"
+
+
+class TestCounters:
+    def test_aggregation(self):
+        col = Collector()
+        col.count("hits")
+        col.count("hits", 2)
+        col.count("bytes", 512.0)
+        assert col.counter("hits") == 3.0
+        assert col.counter("bytes") == 512.0
+        assert col.counter("missing") == 0.0
+
+    def test_thread_safety(self):
+        col = Collector()
+        barrier = threading.Barrier(4)
+
+        def worker(core):
+            barrier.wait()  # overlap all threads so idents stay distinct
+            for _ in range(500):
+                col.count("tiles")
+            with col.span("core", core=core):
+                col.count("cores_seen")
+            barrier.wait()
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert col.counter("tiles") == 2000.0
+        assert col.counter("cores_seen") == 4.0
+        # Each thread's span is a root on its own track.
+        cores = col.spans_named("core")
+        assert len(cores) == 4
+        assert all(s.parent_id is None for s in cores)
+        assert len({s.track for s in cores}) == 4
+
+
+class TestModuleSwitchboard:
+    def test_disabled_is_noop(self):
+        telemetry.disable()
+        sp = telemetry.span("anything", x=1)
+        assert sp is NULL_SPAN
+        with sp as inner:
+            inner.add_cycles(5)
+            inner.set(y=2)
+        telemetry.count("nothing")
+        assert telemetry.counter_value("nothing") == 0.0
+        assert telemetry.active_collector() is None
+
+    def test_enable_disable_cycle(self):
+        col = telemetry.enable()
+        try:
+            with telemetry.span("s"):
+                telemetry.count("c")
+            assert telemetry.active_collector() is col
+            assert col.counter("c") == 1.0
+            assert len(col.spans_named("s")) == 1
+        finally:
+            assert telemetry.disable() is col
+        assert telemetry.active_collector() is None
+
+    def test_collecting_restores_previous(self):
+        outer = telemetry.enable()
+        try:
+            with collecting() as inner:
+                telemetry.count("x")
+            assert telemetry.active_collector() is outer
+            assert inner.counter("x") == 1.0
+            assert outer.counter("x") == 0.0
+        finally:
+            telemetry.disable()
+
+    def test_disabled_span_overhead_is_tiny(self):
+        """The no-op path must stay cheap: 100k disabled span entries in
+        well under a second (they are one global read + one shared object)."""
+        telemetry.disable()
+        t0 = time.perf_counter()
+        for _ in range(100_000):
+            with telemetry.span("hot", a=1):
+                pass
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 1.0
+
+
+class TestExporters:
+    def _populated(self):
+        col = Collector()
+        with col.span("gemm", m=8, n=8, k=8) as sp:
+            sp.add_cycles(1000.0)
+            with col.span("tile", mr=4, nr=8):
+                pass
+        col.count("kernel_cache.hits", 3)
+        col.count("kernel_cache.misses", 1)
+        return col
+
+    def test_chrome_trace_schema(self):
+        col = self._populated()
+        payload = chrome_trace(col)
+        # Loadable JSON with the trace_events envelope.
+        encoded = json.loads(json.dumps(payload))
+        assert isinstance(encoded["traceEvents"], list)
+        phases = {"M", "X", "C"}
+        for ev in encoded["traceEvents"]:
+            assert ev["ph"] in phases
+            assert isinstance(ev["name"], str)
+            assert isinstance(ev["pid"], int)
+            assert isinstance(ev["tid"], int)
+            if ev["ph"] == "X":
+                assert isinstance(ev["ts"], (int, float))
+                assert isinstance(ev["dur"], (int, float))
+                assert ev["dur"] >= 0
+            if ev["ph"] == "C":
+                assert "value" in ev["args"]
+        names = {e["name"] for e in encoded["traceEvents"]}
+        assert {"gemm", "tile", "kernel_cache.hits", "kernel_cache.misses"} <= names
+        gemm_ev = next(e for e in encoded["traceEvents"] if e["name"] == "gemm")
+        assert gemm_ev["args"]["sim_cycles"] == 1000.0
+
+    def test_write_chrome_trace_path_and_file(self, tmp_path):
+        col = self._populated()
+        out = tmp_path / "trace.json"
+        write_chrome_trace(col, str(out))
+        assert json.loads(out.read_text())["traceEvents"]
+        with open(tmp_path / "trace2.json", "w") as fh:
+            write_chrome_trace(col, fh)
+        assert json.loads((tmp_path / "trace2.json").read_text())["traceEvents"]
+
+    def test_metrics_dict(self):
+        col = self._populated()
+        metrics = metrics_dict(col)
+        assert metrics["counters"]["kernel_cache.hits"] == 3
+        assert metrics["spans"]["gemm"]["count"] == 1
+        assert metrics["spans"]["gemm"]["sim_cycles"] == pytest.approx(1000.0)
+        json.dumps(metrics)  # JSON-safe
+
+    def test_format_tree_and_counters(self):
+        col = self._populated()
+        tree = format_tree(col)
+        assert "gemm" in tree and "tile" in tree
+        # Child indented under parent.
+        gemm_line = next(l for l in tree.splitlines() if l.startswith("gemm"))
+        tile_line = next(l for l in tree.splitlines() if "tile" in l)
+        assert tile_line.startswith("  ")
+        assert "1,000" in gemm_line
+        counters = format_counters(col)
+        assert "kernel_cache.hits" in counters
+        assert format_counters(Collector()) == "(no counters recorded)"
+
+    def test_empty_collector_exports(self):
+        col = Collector()
+        payload = chrome_trace(col)
+        json.dumps(payload)
+        assert format_tree(col) == ""
+        assert metrics_dict(col) == {"counters": {}, "spans": {}}

@@ -1,0 +1,180 @@
+"""Telemetry wired through the stack: executor, caches, tuner, DNN runner.
+
+Also holds the behavioural guarantees the layer must not break: identical
+numerics and cycles with telemetry on or off, a phase breakdown that sums
+to the reported cycles, and a bounded overhead for the disabled path.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AutoGEMM
+from repro.dnn.models import resnet50
+from repro.gemm.executor import GemmExecutor
+from repro.gemm.packing import PackingMode
+from repro.machine.memory import Memory
+from repro.gemm.reference import random_gemm_operands, reference_gemm
+from repro.gemm.schedule import Schedule
+from repro.machine.chips import GRAVITON2, KP920
+from repro.telemetry import collecting
+from repro.tuner.tuner import AutoTuner
+
+
+class TestPhaseCycles:
+    def test_sums_to_cycles_multiblock_multithread(self):
+        """Acceptance: multi-block, multi-thread run; phases sum to cycles."""
+        a, b, _ = random_gemm_operands(96, 80, 48)
+        lib = AutoGEMM(KP920)
+        result = lib.gemm(a, b, threads=4)
+        assert len(result.per_core_cycles) == 4
+        assert result.kernel_calls > 4  # genuinely multi-block
+        assert sum(result.phase_cycles.values()) == pytest.approx(
+            result.cycles, rel=1e-9
+        )
+        assert result.phase_cycles["kernel"] > 0
+        assert result.phase_cycles["parallel_overhead"] >= 0
+
+    def test_single_thread_phases(self):
+        a, b, _ = random_gemm_operands(40, 40, 40)
+        result = GemmExecutor(GRAVITON2).run(a, b)
+        assert sum(result.phase_cycles.values()) == pytest.approx(result.cycles)
+
+    def test_online_packing_phase(self):
+        a, b, _ = random_gemm_operands(48, 48, 48)
+        sched = Schedule(mc=24, nc=24, kc=24, packing=PackingMode.ONLINE)
+        result = GemmExecutor(KP920).run(a, b, schedule=sched)
+        assert result.phase_cycles["pack"] > 0
+        assert result.phase_cycles["pack"] == pytest.approx(result.pack_cost.cycles)
+        assert sum(result.phase_cycles.values()) == pytest.approx(result.cycles)
+
+    def test_transform_phase_keeps_invariant(self):
+        a, b, _ = random_gemm_operands(24, 20, 16)
+        lib = AutoGEMM(GRAVITON2)
+        result = lib.gemm(np.ascontiguousarray(a.T), b, trans_a=True)
+        assert result.phase_cycles["transform"] > 0
+        assert sum(result.phase_cycles.values()) == pytest.approx(result.cycles)
+
+
+class TestDisabledIsInvisible:
+    def test_gemm_identical_with_and_without_telemetry(self):
+        """Acceptance: telemetry must not perturb numerics or timing."""
+        rng = np.random.default_rng(7)
+        a = rng.uniform(-1, 1, (64, 64)).astype(np.float32)
+        b = rng.uniform(-1, 1, (64, 64)).astype(np.float32)
+        lib = AutoGEMM(GRAVITON2)
+        baseline = lib.gemm(a, b)
+        with collecting():
+            instrumented = lib.gemm(a, b)
+        again = lib.gemm(a, b)
+        assert np.array_equal(baseline.c, instrumented.c)
+        assert baseline.cycles == instrumented.cycles
+        assert np.array_equal(baseline.c, again.c)
+        assert baseline.cycles == again.cycles
+        np.testing.assert_allclose(
+            baseline.c, reference_gemm(a, b), rtol=1e-5, atol=1e-5
+        )
+
+
+class TestCountersThroughTheStack:
+    def test_executor_counters(self):
+        a, b, _ = random_gemm_operands(40, 40, 40)
+        executor = GemmExecutor(GRAVITON2)
+        with collecting() as col:
+            result = executor.run(a, b)
+        assert col.counter("executor.tiles_executed") == result.kernel_calls
+        hits = col.counter("kernel_cache.hits")
+        misses = col.counter("kernel_cache.misses")
+        assert hits + misses == result.kernel_calls
+        assert col.counter("kernel_cache.generated") == misses
+        assert (
+            col.counter("plan_cache.hits") + col.counter("plan_cache.misses") > 0
+        )
+
+    def test_counters_aggregate_across_simulated_cores(self):
+        a, b, _ = random_gemm_operands(96, 80, 32)
+        executor = GemmExecutor(KP920)
+        with collecting() as col:
+            result = executor.run(a, b, threads=4)
+        # Every core's tiles land in the same counter.
+        assert col.counter("executor.tiles_executed") == result.kernel_calls
+        core_spans = col.spans_named("core")
+        assert len(core_spans) == 4
+        assert sum(
+            s.cycles for s in core_spans
+        ) == pytest.approx(sum(result.per_core_cycles))
+
+    def test_padded_flop_waste_counter(self):
+        a, b, _ = random_gemm_operands(26, 36, 32)
+        executor = GemmExecutor(GRAVITON2)
+        sched = Schedule(26, 36, 32, use_dmt=False, static_edges="pad")
+        with collecting() as col:
+            executor.run(a, b, schedule=sched)
+        assert col.counter("executor.padded_tiles") > 0
+        assert col.counter("executor.padded_flop_waste") > 0
+
+    def test_tuner_spans_and_counters(self):
+        tuner = AutoTuner(KP920)
+        with collecting() as col:
+            res = tuner.tune(12, 12, 12, budget=4, batch=2)
+        assert col.counter("tuner.trials_measured") == res.num_trials
+        trials = col.spans_named("trial")
+        assert len(trials) == res.num_trials
+        for sp in trials:
+            assert sp.cycles is not None and sp.cycles > 0
+            assert sp.args["predicted_cycles"] > 0
+        assert all(t.predicted is not None for t in res.trials)
+        tune_span = col.spans_named("tune")[0]
+        assert tune_span.cycles == pytest.approx(res.cycles)
+
+    def test_dnn_layer_spans(self):
+        network = resnet50()
+        with collecting() as col:
+            from repro.dnn.runner import run_network
+
+            timing = run_network(network, KP920, backend="OpenBLAS")
+        layers = col.spans_named("layer")
+        assert len(layers) == len(timing.ops)
+        net_span = col.spans_named("network")[0]
+        freq_hz = KP920.freq_ghz * 1e9
+        assert net_span.cycles == pytest.approx(timing.total * freq_hz, rel=1e-6)
+        assert col.counter("dnn.gemm_ops") == sum(
+            1 for op in timing.ops if op.kind == "gemm"
+        )
+
+
+class TestMemorySizing:
+    """Regression for the 4x-overcounted ``bytes_needed`` factor
+    (``4 * (...) * 4`` double-counted the element size)."""
+
+    def test_factor_counts_element_size_once(self):
+        # 1024^3: operands are exactly 12 MiB; with the 4 MiB slack the image
+        # is exactly the 16 MiB floor.  The old double-counting formula
+        # demanded 48 MiB + slack -> a 64 MiB image.
+        assert GemmExecutor.memory_bytes(1024, 1024, 1024) == 1 << 24
+
+    def test_near_boundary_shape_still_allocates_enough(self):
+        """Just past the rounding boundary, the image must still hold the
+        staged operands plus at least the 4 MiB scratch slack."""
+        m = n = k = 1056  # bytes_needed lands just over 16 MiB
+        operand_bytes = 4 * (m * k + k * n + m * n)
+        assert (1 << 24) < operand_bytes + (1 << 22) < (1 << 25)
+        memory = Memory(size_bytes=GemmExecutor.memory_bytes(m, n, k))
+        memory.alloc_matrix(m, k)
+        memory.alloc_matrix(k, n)
+        memory.alloc_matrix(m, n)
+        # Scratch headroom survives staging (pack panels, padded tiles).
+        assert memory.alloc(1 << 22) > 0
+
+    def test_padded_run_fits_and_is_correct(self):
+        """End-to-end: a pad-heavy schedule (every tile padded, many K
+        blocks) stays within the fixed slack because padded-tile scratch is
+        reused per kernel shape, and the numerics are unaffected."""
+        a, b, _ = random_gemm_operands(40, 40, 40)
+        sched = Schedule(mc=13, nc=13, kc=8, use_dmt=False, static_edges="pad",
+                         fuse=False)
+        with collecting() as col:
+            result = GemmExecutor(GRAVITON2).run(a, b, schedule=sched)
+        assert col.counter("executor.padded_tiles") > 50
+        np.testing.assert_allclose(
+            result.c, reference_gemm(a, b), rtol=1e-4, atol=1e-4
+        )

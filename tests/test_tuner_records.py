@@ -97,3 +97,84 @@ class TestRecordStore:
         rec = TuningRecord("KP920", 8, 8, 8, 1.0, make_schedule(mc=8, nc=8, kc=8))
         path.write_text("\n" + rec.to_json() + "\n\n")
         assert len(RecordStore(path)) == 1
+
+
+class TestTrialHistory:
+    def _trials(self):
+        from repro.tuner.tuner import Trial
+
+        return [
+            Trial(make_schedule(mc=8), 120.0, round=0, predicted=110.0),
+            Trial(make_schedule(mc=16), 80.0, round=0, predicted=95.0),
+            Trial(make_schedule(mc=32), 60.0, round=1, predicted=70.0),
+        ]
+
+    def test_round_trip_across_instances(self, tmp_path):
+        from repro.tuner.tuner import TuneResult
+
+        path = tmp_path / "tune.jsonl"
+        trials = self._trials()
+        store = RecordStore(path, log_trials=True)
+        result = TuneResult(
+            schedule=trials[-1].schedule, cycles=60.0, trials=trials
+        )
+        store.add_result("KP920", 16, 32, 64, result)
+
+        reloaded = RecordStore(path)
+        history = reloaded.trial_history("KP920", 16, 32, 64)
+        assert len(history) == 3
+        # Append order, schedules, rounds, and both clock readings survive.
+        assert [t.cycles for t in history] == [120.0, 80.0, 60.0]
+        assert [t.predicted for t in history] == [110.0, 95.0, 70.0]
+        assert [t.round for t in history] == [0, 0, 1]
+        assert [t.schedule.mc for t in history] == [8, 16, 32]
+        # The winner line is still a plain record old readers understand.
+        assert reloaded.lookup("KP920", 16, 32, 64).cycles == 60.0
+
+    def test_trials_not_logged_by_default(self, tmp_path):
+        from repro.tuner.tuner import TuneResult
+
+        path = tmp_path / "tune.jsonl"
+        store = RecordStore(path)  # log_trials defaults to False
+        result = TuneResult(
+            schedule=make_schedule(), cycles=42.0, trials=self._trials()
+        )
+        store.add_result("KP920", 8, 8, 8, result)
+        assert len(path.read_text().splitlines()) == 1
+        assert RecordStore(path).trial_history("KP920", 8, 8, 8) == []
+
+    def test_compact_drops_trials_keeps_winner(self, tmp_path):
+        from repro.tuner.tuner import TuneResult
+
+        path = tmp_path / "tune.jsonl"
+        store = RecordStore(path, log_trials=True)
+        result = TuneResult(
+            schedule=make_schedule(), cycles=42.0, trials=self._trials()
+        )
+        store.add_result("KP920", 16, 32, 64, result)
+        assert len(path.read_text().splitlines()) == 4
+        store.compact()
+        assert len(path.read_text().splitlines()) == 1
+        reloaded = RecordStore(path)
+        assert reloaded.lookup("KP920", 16, 32, 64).cycles == 42.0
+        assert reloaded.trial_history("KP920", 16, 32, 64) == []
+
+    def test_predicted_none_round_trips(self, tmp_path):
+        from repro.tuner.records import TrialRecord
+        from repro.tuner.tuner import Trial
+
+        rec = TrialRecord.from_trial(
+            "M2", 4, 4, 4, Trial(make_schedule(), 10.0, round=2)
+        )
+        back = TrialRecord.from_json(rec.to_json())
+        assert back == rec
+        assert back.predicted is None
+
+    def test_unknown_kind_lines_skipped(self, tmp_path):
+        path = tmp_path / "tune.jsonl"
+        rec = TuningRecord("KP920", 8, 8, 8, 1.0, make_schedule(mc=8, nc=8, kc=8))
+        path.write_text(
+            '{"kind": "future-format", "whatever": 1}\n' + rec.to_json() + "\n"
+        )
+        store = RecordStore(path)
+        assert len(store) == 1
