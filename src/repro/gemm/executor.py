@@ -192,16 +192,30 @@ class GemmExecutor:
         return result
 
     @staticmethod
-    def memory_bytes(m: int, n: int, k: int) -> int:
-        """Simulated-memory image size for one run: the three float32
-        operands counted once, plus 4 MiB of slack for scratch (pack panels
-        and padded-tile staging, which per-shape reuse keeps bounded),
-        rounded up to a power of two with a 16 MiB floor."""
-        bytes_needed = 4 * (m * k + k * n + m * n) + (1 << 22)
+    def memory_bytes(
+        m: int, n: int, k: int, schedule: Schedule | None = None, threads: int = 1
+    ) -> int:
+        """Simulated-memory image size for one run.
+
+        Counts the three float32 operands once, plus the scratch the chosen
+        schedule allocates: the dense packed-B copy (OFFLINE packing) or one
+        ``kc x nc`` pack panel per core (ONLINE packing).  A 4 MiB slack
+        absorbs padded-tile staging (bounded by per-shape reuse) and
+        per-allocation alignment, so power-of-two operand shapes keep
+        headroom.  Rounded up to a power of two with a 16 MiB floor; with no
+        schedule the static operands-plus-slack size is returned.
+        """
+        bytes_needed = 4 * (m * k + k * n + m * n)
+        if schedule is not None:
+            if schedule.packing is PackingMode.OFFLINE:
+                bytes_needed += 4 * k * n
+            elif schedule.packing is PackingMode.ONLINE:
+                bytes_needed += 4 * threads * schedule.kc * schedule.nc
+        bytes_needed += 1 << 22
         return max(1 << 24, 1 << (bytes_needed - 1).bit_length())
 
     def _run_scheduled(self, a, b, c, schedule, threads, beta, warm, m, n, k):
-        memory = Memory(size_bytes=self.memory_bytes(m, n, k))
+        memory = Memory(size_bytes=self.memory_bytes(m, n, k, schedule, threads))
         # Operand staging is the in-library packing path of a real BLAS front
         # end (see ``AutoGEMM.gemm``), so it reports as a packing span.
         with telemetry.span("pack_operands", bytes=4 * (m * k + k * n + m * n)):
@@ -455,7 +469,16 @@ class GemmExecutor:
         kernel's own trace is timed, including its redundant FMAs.  Scratch
         buffers are reused across tiles of the same kernel shape (they are
         fully rewritten each call), so scratch stays bounded by the handful
-        of distinct shapes a plan uses rather than growing per tile."""
+        of distinct shapes a plan uses rather than growing per tile.
+
+        Timing note: because the scratch addresses repeat, they stay warm in
+        the per-core cache model, so later padded tiles hit where per-tile
+        fresh buffers would miss -- modeling a real library's resident
+        packing buffers.  This deliberately lowers ``static_edges='pad'``
+        cycles relative to naive fresh-scratch staging; the remaining Fig. 5a
+        padding penalty is the redundant FMAs plus the first-touch misses.
+        Pinned by ``TestPaddedTimingModel`` in the telemetry integration
+        tests."""
         memory = sim.memory
         cfg = kernel.config
         kc = blk_a.cols

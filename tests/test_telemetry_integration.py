@@ -14,7 +14,7 @@ from repro.gemm.executor import GemmExecutor
 from repro.gemm.packing import PackingMode
 from repro.machine.memory import Memory
 from repro.gemm.reference import random_gemm_operands, reference_gemm
-from repro.gemm.schedule import Schedule
+from repro.gemm.schedule import Schedule, default_schedule
 from repro.machine.chips import GRAVITON2, KP920
 from repro.telemetry import collecting
 from repro.tuner.tuner import AutoTuner
@@ -142,6 +142,25 @@ class TestCountersThroughTheStack:
         )
 
 
+class TestPaddedTimingModel:
+    """Pin the padded-schedule timing model (see
+    ``GemmExecutor._run_padded_tile`` and docs/simulator.md): scratch
+    buffers are reused per kernel shape, so their addresses stay warm in
+    the cache model and later padded tiles hit where per-tile fresh
+    buffers would miss."""
+
+    def test_pad_schedule_cycles_pinned(self):
+        """Timing is address-dependent, not data-dependent, so the cycle
+        count is an exact constant; a deliberate change to the padded-edge
+        model must update this value."""
+        a, b, _ = random_gemm_operands(26, 36, 32)
+        sched = Schedule(26, 36, 32, use_dmt=False, static_edges="pad")
+        first = GemmExecutor(GRAVITON2).run(a, b, schedule=sched)
+        again = GemmExecutor(GRAVITON2).run(a, b, schedule=sched)
+        assert first.cycles == again.cycles
+        assert first.cycles == 6564.5
+
+
 class TestMemorySizing:
     """Regression for the 4x-overcounted ``bytes_needed`` factor
     (``4 * (...) * 4`` double-counted the element size)."""
@@ -164,6 +183,43 @@ class TestMemorySizing:
         memory.alloc_matrix(m, n)
         # Scratch headroom survives staging (pack panels, padded tiles).
         assert memory.alloc(1 << 22) > 0
+
+    def test_offline_packing_fits_at_power_of_two_boundary(self):
+        """Regression: 1024^3 operands are exactly 12 MiB, so the 16 MiB
+        floor left no room for the 4 MiB offline packed-B copy; the image
+        must grow when the schedule packs offline."""
+        m = n = k = 1024
+        sched = Schedule(mc=128, nc=512, kc=256, packing=PackingMode.OFFLINE)
+        memory = Memory(size_bytes=GemmExecutor.memory_bytes(m, n, k, sched))
+        memory.alloc_matrix(m, k)
+        memory.alloc_matrix(k, n)
+        memory.alloc_matrix(m, n)
+        memory.alloc_matrix(k, n)  # dense packed-B copy (_run_scheduled)
+        assert memory.alloc(1 << 20) > 0  # pad/alignment headroom remains
+
+    def test_online_packing_fits_multithreaded_boundary(self):
+        """Regression: the default 8-thread ONLINE schedule for 1024^3 on
+        KP920 needs one kc x nc pack panel per core (4 MiB total here) on
+        top of the 12 MiB operands."""
+        m = n = k = 1024
+        threads = 8
+        sched = default_schedule(m, n, k, KP920, threads=threads).clipped(m, n, k)
+        assert sched.packing is PackingMode.ONLINE
+        memory = Memory(
+            size_bytes=GemmExecutor.memory_bytes(m, n, k, sched, threads)
+        )
+        memory.alloc_matrix(m, k)
+        memory.alloc_matrix(k, n)
+        memory.alloc_matrix(m, n)
+        for _ in range(threads):  # per-core pack scratch (_run_core)
+            memory.alloc_matrix(sched.kc, sched.nc)
+        assert memory.alloc(1 << 20) > 0  # pad/alignment headroom remains
+
+    def test_no_schedule_default_unchanged(self):
+        """The static no-schedule size stays the operands-plus-slack figure
+        (NONE packing adds no scratch terms)."""
+        sched = Schedule(mc=128, nc=512, kc=256, packing=PackingMode.NONE)
+        assert GemmExecutor.memory_bytes(1024, 1024, 1024, sched, 8) == 1 << 24
 
     def test_padded_run_fits_and_is_correct(self):
         """End-to-end: a pad-heavy schedule (every tile padded, many K
