@@ -1,0 +1,128 @@
+"""Wall-clock benchmark: tile-replay fast path vs. full interpretation.
+
+Runs the same GEMM through the executor twice -- once with the replay
+engine enabled (the default) and once with ``use_replay=False`` (the
+``--no-replay`` interpreter path) -- and reports host wall-clock seconds,
+the speedup, and the replay counters.  The two runs must agree bit-exactly
+on ``C`` and on every simulated metric; any divergence is a hard failure
+(nonzero exit), which CI uses as a regression gate.
+
+Results land in ``BENCH_executor.json`` at the repository root:
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py            # 512^3
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_wallclock.py 384 384 256
+
+The full-size run (multi-block 512^3 DMT schedule) is the configuration the
+replay engine's >=5x speedup claim is measured on; ``--smoke`` keeps the
+exactness gate cheap enough for CI and skips the speedup threshold (the
+interpreted baseline is too short to amortise template capture).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import telemetry  # noqa: E402
+from repro.gemm import AutoGEMM  # noqa: E402
+from repro.machine.chips import get_chip  # noqa: E402
+
+
+def run_once(chip, a, b, use_replay: bool):
+    lib = AutoGEMM(chip, use_replay=use_replay)
+    with telemetry.collecting() as col:
+        t0 = time.perf_counter()
+        result = lib.gemm(a, b)
+        seconds = time.perf_counter() - t0
+    counters = {
+        name: value
+        for name, value in sorted(col.counters.items())
+        if name.startswith("replay.")
+    }
+    return result, seconds, counters
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("shape", nargs="*", type=int, default=[512, 512, 512],
+                        metavar="M N K", help="problem shape (default 512 512 512)")
+    parser.add_argument("--chip", default="graviton2")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small shape for CI; exactness gate only")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="required replay speedup on full-size runs")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_executor.json")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        m, n, k = 96, 96, 96
+    elif len(args.shape) == 3:
+        m, n, k = args.shape
+    else:
+        parser.error("shape must be three integers: M N K")
+
+    chip = get_chip(args.chip)
+    rng = np.random.default_rng(2024)
+    a = rng.standard_normal((m, k)).astype(np.float32)
+    b = rng.standard_normal((k, n)).astype(np.float32)
+
+    print(f"[bench_wallclock] {chip.name} {m}x{n}x{k}: replay on ...", flush=True)
+    fast, fast_s, counters = run_once(chip, a, b, use_replay=True)
+    print(f"[bench_wallclock]   {fast_s:.2f}s   now --no-replay ...", flush=True)
+    slow, slow_s, _ = run_once(chip, a, b, use_replay=False)
+
+    mismatches = [
+        name
+        for name, lhs, rhs in [
+            ("c_bytes", fast.c.tobytes(), slow.c.tobytes()),
+            ("cycles", fast.cycles, slow.cycles),
+            ("instructions", fast.instructions, slow.instructions),
+            ("loads_by_level", fast.loads_by_level, slow.loads_by_level),
+            ("phase_cycles", fast.phase_cycles, slow.phase_cycles),
+        ]
+        if lhs != rhs
+    ]
+    speedup = slow_s / fast_s if fast_s else float("inf")
+
+    payload = {
+        "benchmark": "tile_replay_wallclock",
+        "chip": chip.name,
+        "shape": {"m": m, "n": n, "k": k},
+        "smoke": args.smoke,
+        "replay_seconds": round(fast_s, 3),
+        "interpret_seconds": round(slow_s, 3),
+        "speedup": round(speedup, 2),
+        "exact": not mismatches,
+        "mismatched_fields": mismatches,
+        "simulated_cycles": fast.cycles,
+        "instructions": fast.instructions,
+        "replay_counters": counters,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_wallclock] replay {fast_s:.2f}s  interpret {slow_s:.2f}s  "
+          f"speedup {speedup:.2f}x  exact={not mismatches}  -> {args.output}")
+
+    if mismatches:
+        print(f"[bench_wallclock] DIVERGENCE in: {', '.join(mismatches)}",
+              file=sys.stderr)
+        return 1
+    if not args.smoke and speedup < args.min_speedup:
+        print(f"[bench_wallclock] speedup {speedup:.2f}x below required "
+              f"{args.min_speedup:.1f}x", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -86,7 +86,7 @@ def analyze_trace(
     n_instr = 0
     stalls = {"raw": 0.0, "waw": 0.0, "unit": 0.0, "window": 0.0}
     busy: dict[str, float] = {}
-    loads_by_level = {1: 0, 2: 0, 3: 0, 4: 0}
+    loads_by_level = {lvl: 0 for lvl in caches.level_ids}
 
     for entry in trace:
         instr = entry.instr

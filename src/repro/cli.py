@@ -100,7 +100,7 @@ def _cmd_kernel(args) -> int:
 
 def _cmd_gemm(args) -> int:
     chip = get_chip(args.chip)
-    lib = AutoGEMM(chip)
+    lib = AutoGEMM(chip, use_replay=not args.no_replay)
     a, b = _random_operands(args)
     with _metrics_scope(args.metrics) as collector:
         result = lib.gemm(a, b, threads=args.threads)
@@ -181,7 +181,7 @@ def _cmd_estimate(args) -> int:
 
 def _cmd_profile(args) -> int:
     chip = get_chip(args.chip)
-    lib = AutoGEMM(chip)
+    lib = AutoGEMM(chip, use_replay=not args.no_replay)
     a, b = _random_operands(args)
     with collecting() as collector:
         result = lib.gemm(a, b, threads=args.threads)
@@ -282,6 +282,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine-readable JSON output")
     g.add_argument("--metrics", action="store_true",
                    help="collect and report telemetry counters")
+    g.add_argument("--no-replay", action="store_true",
+                   help="disable the tile-replay fast path (interpret "
+                        "every tile instruction by instruction)")
 
     e = sub.add_parser("estimate", help="project a GEMM without full simulation")
     e.add_argument("m", type=int)
@@ -308,6 +311,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Chrome-trace JSON output path (Perfetto-loadable)")
     p.add_argument("--metrics-out", default=None,
                    help="optional flat JSON metrics dump path")
+    p.add_argument("--no-replay", action="store_true",
+                   help="disable the tile-replay fast path (interpret "
+                        "every tile instruction by instruction)")
 
     t = sub.add_parser("tiles", help="list feasible register tiles")
     t.add_argument("--lane", type=int, default=4)

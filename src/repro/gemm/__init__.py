@@ -8,6 +8,7 @@ from .kernel_cache import (
     GLOBAL_KERNEL_CACHE,
     KernelCache,
     KernelKey,
+    ReplayCache,
     Residency,
     TimedKernelCache,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "GLOBAL_KERNEL_CACHE",
     "KernelCache",
     "KernelKey",
+    "ReplayCache",
     "Residency",
     "TimedKernelCache",
     "PackCost",

@@ -23,7 +23,7 @@ from ..codegen.microkernel import generate_microkernel
 from ..machine.chips import ChipSpec, get_chip
 from .estimator import GemmEstimate, GemmEstimator
 from .executor import GemmExecutor, GemmResult
-from .kernel_cache import KernelCache
+from .kernel_cache import KernelCache, ReplayCache
 from .packing import packing_cycles
 from .schedule import Schedule, default_schedule
 
@@ -39,17 +39,30 @@ class AutoGEMM:
         schedule: Schedule | None = None,
         tuning_records: "str | None" = None,
         log_trials: bool = False,
+        use_replay: bool = True,
     ) -> None:
         """``tuning_records`` names a JSON-lines file of persisted tuning
         outcomes (see :class:`repro.tuner.records.RecordStore`): known-best
         schedules are replayed without re-searching, and new ``tune`` results
         are appended.  ``log_trials`` additionally persists every evaluated
-        trial to the same file so tuning curves can be plotted later."""
+        trial to the same file so tuning curves can be plotted later.
+        ``use_replay=False`` disables the executor's tile-replay fast path
+        and re-interprets every tile (the ``--no-replay`` CLI opt-out)."""
         self.chip = get_chip(chip) if isinstance(chip, str) else chip
         self.schedule = schedule
         self._kernels = KernelCache()
-        self.executor = GemmExecutor(self.chip, kernels=self._kernels)
-        self.estimator = GemmEstimator(self.chip, kernels=self._kernels)
+        # One replay cache feeds both sides: micro-kernels the estimator
+        # times become executor fast-path templates and vice versa.
+        self._replay = ReplayCache(self.chip, self._kernels)
+        self.executor = GemmExecutor(
+            self.chip,
+            kernels=self._kernels,
+            use_replay=use_replay,
+            replay_cache=self._replay,
+        )
+        self.estimator = GemmEstimator(
+            self.chip, kernels=self._kernels, replay_cache=self._replay
+        )
         self._tuned: dict[tuple[int, int, int], Schedule] = {}
         self._records = None
         if tuning_records is not None:

@@ -29,7 +29,7 @@ from ..model.perf_model import DEFAULT_LAUNCH_CYCLES, MicroKernelModel, ModelPar
 from ..tiling.dmt import DynamicMicroTiler
 from ..tiling.plans import TilePlan
 from ..tiling.static_tiling import libxsmm_tiling, openblas_tiling, tile_for_chip
-from .kernel_cache import GLOBAL_KERNEL_CACHE, KernelCache, KernelKey, Residency, TimedKernelCache
+from .kernel_cache import GLOBAL_KERNEL_CACHE, KernelCache, KernelKey, ReplayCache, Residency
 from .packing import PackingMode, packing_cycles
 from .schedule import Schedule, default_schedule
 
@@ -98,10 +98,16 @@ class GemmEstimator:
         chip: ChipSpec,
         kernels: KernelCache | None = None,
         launch_cycles: float = DEFAULT_LAUNCH_CYCLES,
+        replay_cache: ReplayCache | None = None,
     ) -> None:
+        """``replay_cache`` shares trace templates and timed-kernel memos
+        with other components (the executor); by default a private one is
+        created."""
         self.chip = chip
         self.kernels = kernels if kernels is not None else GLOBAL_KERNEL_CACHE
-        self.timed = TimedKernelCache(chip, self.kernels)
+        self.timed = (
+            replay_cache if replay_cache is not None else ReplayCache(chip, self.kernels)
+        )
         self.launch_cycles = launch_cycles
         self.model = MicroKernelModel(ModelParams.from_chip(chip, launch=launch_cycles))
         self._tiler = DynamicMicroTiler(self.model, lane=chip.sigma_lane)

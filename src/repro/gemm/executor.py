@@ -42,17 +42,17 @@ from .. import telemetry
 from ..codegen.fusion import fuse_traces
 from ..codegen.microkernel import ARG_REGS
 from ..isa.program import Trace
-from ..machine.cache import CacheHierarchy
+from ..machine.cache import CacheHierarchy, cache_level_ids
 from ..machine.chips import ChipSpec
 from ..machine.memory import MatrixHandle, Memory
 from ..machine.multicore import parallel_time, partition_blocks
 from ..machine.pipeline import PipelineModel
-from ..machine.simulator import Simulator
+from ..machine.simulator import Simulator, TraceTemplate, template_to_trace
 from ..model.perf_model import DEFAULT_LAUNCH_CYCLES, MicroKernelModel, ModelParams
 from ..tiling.dmt import DynamicMicroTiler
 from ..tiling.plans import TilePlan
 from ..tiling.static_tiling import libxsmm_tiling, openblas_tiling, tile_for_chip
-from .kernel_cache import GLOBAL_KERNEL_CACHE, KernelCache, KernelKey
+from .kernel_cache import GLOBAL_KERNEL_CACHE, KernelCache, KernelKey, ReplayCache
 from .packing import PackCost, PackingMode, pack_block, packing_cycles
 from .reference import reference_gemm
 from .schedule import Schedule, default_schedule
@@ -109,10 +109,22 @@ class GemmExecutor:
         chip: ChipSpec,
         kernels: KernelCache | None = None,
         launch_cycles: float = DEFAULT_LAUNCH_CYCLES,
+        use_replay: bool = True,
+        replay_cache: ReplayCache | None = None,
     ) -> None:
+        """``use_replay`` enables the tile-replay fast path: each distinct
+        (kernel, leading-dimension) combination is interpreted once and every
+        further tile is applied as a vectorized functional update plus an
+        address-rebased timing replay -- bit-exact with the interpreter by
+        construction, and pinned by the equivalence tests.  ``replay_cache``
+        shares captured templates with other components (the estimator)."""
         self.chip = chip
         self.kernels = kernels if kernels is not None else GLOBAL_KERNEL_CACHE
         self.launch_cycles = launch_cycles
+        self.use_replay = use_replay
+        self.replay = (
+            replay_cache if replay_cache is not None else ReplayCache(chip, self.kernels)
+        )
         self.model = MicroKernelModel(ModelParams.from_chip(chip, launch=launch_cycles))
         self._tiler = DynamicMicroTiler(self.model, lane=chip.sigma_lane)
         self._plan_cache: dict[tuple, TilePlan] = {}
@@ -266,7 +278,7 @@ class GemmExecutor:
         per_core_pack: list[float] = []
         total_instr = 0
         kernel_calls = 0
-        loads_by_level = {1: 0, 2: 0, 3: 0, 4: 0}
+        loads_by_level = {lvl: 0 for lvl in cache_level_ids(self.chip)}
         online_pack = PackCost(0.0, 0)
         pad_scratch: dict[tuple[int, int, int], tuple] = {}
 
@@ -333,7 +345,7 @@ class GemmExecutor:
         stats = {
             "instructions": 0,
             "kernel_calls": 0,
-            "loads": {1: 0, 2: 0, 3: 0, 4: 0},
+            "loads": {lvl: 0 for lvl in cache_level_ids(self.chip)},
             "pack": PackCost(0.0, 0),
         }
         memory = sim.memory
@@ -382,7 +394,16 @@ class GemmExecutor:
 
     def _run_block(self, sim, caches, schedule, blk_a, blk_b, blk_c, accumulate,
                    stats, pad_scratch):
-        """Execute one cache block's tile plan; returns its cycles."""
+        """Execute one cache block's tile plan; returns its cycles.
+
+        With replay enabled, a tile whose ``(KernelKey, leading-dimensions)``
+        template was captured earlier skips the interpreter: its numerical
+        effect lands through a vectorized fp32 update in the kernel's exact
+        accumulation order, and its timing comes from rebasing the template's
+        addresses through this core's cache hierarchy.  Tiles without a
+        template are interpreted (capturing one), so within a block the first
+        tile of each distinct shape pays interpretation and the rest replay.
+        """
         chip = self.chip
         plan = self.plan_block(blk_c.rows, blk_c.cols, blk_a.cols, schedule)
         tiles = list(plan)
@@ -390,12 +411,18 @@ class GemmExecutor:
             tiles.sort(key=lambda t: (t.col, t.row))
         telemetry.count("executor.tiles_executed", len(tiles))
 
-        traces: list[Trace] = []
-        for tile in tiles:
+        kc = blk_a.cols
+        replay = self.replay if self.use_replay else None
+
+        # Functional pass, in tile order: interpret-and-capture or replay.
+        traces: dict[int, Trace] = {}  # interpreted tiles only
+        bindings: list[tuple[TraceTemplate | None, tuple[int, int, int]]] = []
+        replayed: list[int] = []
+        for idx, tile in enumerate(tiles):
             key = KernelKey(
                 mr=tile.kernel_mr,
                 nr=tile.kernel_nr,
-                kc=blk_a.cols,
+                kc=kc,
                 lane=chip.sigma_lane,
                 accumulate=accumulate,
                 rotate=schedule.rotate,
@@ -404,48 +431,200 @@ class GemmExecutor:
                 use_pairs=schedule.use_pairs,
             )
             kernel = self.kernels.get(key)
+            if tile.padded:
+                telemetry.count("executor.padded_tiles")
+                telemetry.count(
+                    "executor.padded_flop_waste", 2 * kc * tile.padding_flops
+                )
+                strides, bases, regions = self._padded_binding(
+                    sim.memory, kernel, kc, pad_scratch
+                )
+            else:
+                strides, bases, regions = self._tile_binding(
+                    tile, blk_a, blk_b, blk_c
+                )
+            tpl = replay.template(key, strides) if replay is not None else None
             with telemetry.span(
-                "tile", mr=tile.kernel_mr, nr=tile.kernel_nr, padded=tile.padded
+                "tile",
+                mr=tile.kernel_mr,
+                nr=tile.kernel_nr,
+                padded=tile.padded,
+                replay=tpl is not None,
             ):
-                if tile.padded:
-                    telemetry.count("executor.padded_tiles")
-                    telemetry.count(
-                        "executor.padded_flop_waste",
-                        2 * blk_a.cols * tile.padding_flops,
-                    )
-                    trace = self._run_padded_tile(
-                        sim, kernel, tile, blk_a, blk_b, blk_c, pad_scratch
-                    )
+                if tpl is None:
+                    if tile.padded:
+                        trace = self._run_padded_tile(
+                            sim, kernel, tile, blk_a, blk_b, blk_c, pad_scratch
+                        )
+                    else:
+                        trace = self._run_tile(sim, kernel, tile, blk_a, blk_b, blk_c)
+                    if replay is not None:
+                        telemetry.count("replay.misses")
+                        tpl = replay.capture(key, strides, trace, regions)
+                    traces[idx] = trace
+                    stats["instructions"] += len(trace)
                 else:
-                    trace = self._run_tile(sim, kernel, tile, blk_a, blk_b, blk_c)
+                    telemetry.count("replay.hits")
+                    replayed.append(idx)
+                    stats["instructions"] += tpl.n_instr
+            bindings.append((tpl, bases))
             stats["kernel_calls"] += 1
-            stats["instructions"] += len(trace)
-            traces.append(trace)
 
+        if replayed:
+            with telemetry.span("replay_update", tiles=len(replayed)) :
+                self._apply_replay_updates(
+                    sim.memory,
+                    [tiles[i] for i in replayed],
+                    blk_a,
+                    blk_b,
+                    blk_c,
+                    kc,
+                    accumulate,
+                )
+
+        # Timing pass, in tile order so the per-core cache state evolves
+        # exactly as the interpreter path's trace order would drive it.
         block_cycles = 0.0
         with telemetry.span(
-            "pipeline", fused=schedule.fuse, traces=len(traces)
+            "pipeline", fused=schedule.fuse, traces=len(tiles)
         ) as sp_pipe:
             if schedule.fuse:
-                fused = fuse_traces(traces)
-                pipeline = PipelineModel(
-                    chip, caches=caches, launch_cycles=self.launch_cycles
+                block_cycles += self._time_fused_block(
+                    caches, bindings, traces, replayed, stats
                 )
-                timing = pipeline.time_trace(fused)
-                block_cycles += timing.cycles
-                for lvl, cnt in timing.loads_by_level.items():
-                    stats["loads"][lvl] += cnt
             else:
-                for trace in traces:
+                for idx in range(len(tiles)):
                     pipeline = PipelineModel(
                         chip, caches=caches, launch_cycles=self.launch_cycles
                     )
-                    timing = pipeline.time_trace(trace)
+                    tpl, bases = bindings[idx]
+                    if idx in traces:
+                        timing = pipeline.time_trace(traces[idx])
+                    else:
+                        timing = pipeline.replay_template(tpl, bases)
                     block_cycles += timing.cycles
                     for lvl, cnt in timing.loads_by_level.items():
                         stats["loads"][lvl] += cnt
             sp_pipe.add_cycles(block_cycles)
         return block_cycles
+
+    def _time_fused_block(self, caches, bindings, traces, replayed, stats):
+        """Time a fused block: template fusion when every tile has one,
+        trace fusion otherwise (materialising replayed tiles' traces so the
+        boundary interleave is identical either way)."""
+        pipeline = PipelineModel(
+            self.chip, caches=caches, launch_cycles=self.launch_cycles
+        )
+        if all(tpl is not None for tpl, _ in bindings):
+            fused_tpl = self.replay.fused([tpl for tpl, _ in bindings])
+            all_bases = tuple(b for _, bases in bindings for b in bases)
+            timing = pipeline.replay_template(fused_tpl, all_bases)
+        else:
+            # A capture failed somewhere: fall back to trace-level fusion.
+            # Tiles that were functionally replayed still time exactly -- the
+            # materialised trace is the interpreted trace by construction.
+            # (With replay disabled this branch is simply the normal path,
+            # not a fallback -- keep the counter quiet then.)
+            if self.use_replay:
+                telemetry.count("replay.fallbacks", max(1, len(replayed)))
+            ordered: list[Trace] = []
+            for idx, (tpl, bases) in enumerate(bindings):
+                if idx in traces:
+                    ordered.append(traces[idx])
+                else:
+                    ordered.append(template_to_trace(tpl, bases))
+            timing = pipeline.time_trace(fuse_traces(ordered))
+        for lvl, cnt in timing.loads_by_level.items():
+            stats["loads"][lvl] += cnt
+        return timing.cycles
+
+    def _tile_binding(self, tile, blk_a, blk_b, blk_c):
+        """(strides, arg bases, capture regions) for an in-place tile.
+
+        Regions are the parent blocks' full byte intervals: the three blocks
+        live in disjoint allocations, so containment uniquely attributes
+        every traced address to one operand.
+        """
+        bases = (
+            blk_a.addr(tile.row, 0),
+            blk_b.addr(0, tile.col),
+            blk_c.addr(tile.row, tile.col),
+        )
+        strides = (blk_a.ld, blk_b.ld, blk_c.ld)
+        regions = [
+            (bases[0], blk_a.base, blk_a.base + blk_a.bytes_spanned),
+            (bases[1], blk_b.base, blk_b.base + blk_b.bytes_spanned),
+            (bases[2], blk_c.base, blk_c.base + blk_c.bytes_spanned),
+        ]
+        return strides, bases, regions
+
+    def _padded_binding(self, memory, kernel, kc, pad_scratch):
+        """(strides, arg bases, capture regions) for a padded tile.
+
+        Allocates the shared pad-scratch buffers if this kernel shape has
+        not staged yet -- the replay path must keep the allocation sequence
+        identical to the interpreter's, since later allocation addresses
+        (and therefore cache behaviour) depend on it.
+        """
+        pad_a, pad_b, pad_c = self._pad_buffers(memory, kernel.config, kc, pad_scratch)
+        bases = (pad_a.base, pad_b.base, pad_c.base)
+        strides = (pad_a.ld, pad_b.ld, pad_c.ld)
+        regions = [
+            (pad_a.base, pad_a.base, pad_a.base + pad_a.bytes_spanned),
+            (pad_b.base, pad_b.base, pad_b.base + pad_b.bytes_spanned),
+            (pad_c.base, pad_c.base, pad_c.base + pad_c.bytes_spanned),
+        ]
+        return strides, bases, regions
+
+    @staticmethod
+    def _pad_buffers(memory, cfg, kc, pad_scratch):
+        scratch_key = (cfg.mr, cfg.nr, kc)
+        buffers = pad_scratch.get(scratch_key)
+        if buffers is None:
+            buffers = (
+                memory.alloc_matrix(cfg.mr, kc),
+                memory.alloc_matrix(kc, cfg.nr),
+                memory.alloc_matrix(cfg.mr, cfg.nr),
+            )
+            pad_scratch[scratch_key] = buffers
+        return buffers
+
+    def _apply_replay_updates(
+        self, memory, tiles, blk_a, blk_b, blk_c, kc, accumulate
+    ):
+        """Vectorized functional effect of replayed tiles, bit-exact with the
+        generated kernels.
+
+        Every C element accumulates strictly sequentially over k with
+        mul-then-add double rounding (``FmlaElem`` is not fused), and that
+        order is independent of the tile decomposition, so stacking tiles of
+        equal valid-region shape and looping k once reproduces the kernel's
+        float32 result exactly -- including padded tiles, whose padded lanes
+        never reach C.  ``accumulate=False`` kernels start from EOR-zeroed
+        registers, matching the zero-initialised accumulator here.
+        """
+        a_view = memory.view_matrix(blk_a)
+        b_view = memory.view_matrix(blk_b)
+        c_view = memory.view_matrix(blk_c)
+        groups: dict[tuple[int, int], list] = {}
+        for t in tiles:
+            groups.setdefault((t.rows, t.cols), []).append(t)
+        for (rows, cols), group in groups.items():
+            count = len(group)
+            a_s = np.empty((count, rows, kc), np.float32)
+            b_s = np.empty((count, kc, cols), np.float32)
+            acc = np.zeros((count, rows, cols), np.float32)
+            for i, t in enumerate(group):
+                a_s[i] = a_view[t.row : t.row + rows, :]
+                b_s[i] = b_view[:, t.col : t.col + cols]
+                if accumulate:
+                    acc[i] = c_view[t.row : t.row + rows, t.col : t.col + cols]
+            tmp = np.empty((count, rows, cols), np.float32)
+            for p in range(kc):
+                np.multiply(a_s[:, :, p, None], b_s[:, p, None, :], out=tmp)
+                np.add(acc, tmp, out=acc)
+            for i, t in enumerate(group):
+                c_view[t.row : t.row + rows, t.col : t.col + cols] = acc[i]
 
     def _tile_args(self, tile, blk_a, blk_b, blk_c):
         return {
@@ -482,16 +661,7 @@ class GemmExecutor:
         memory = sim.memory
         cfg = kernel.config
         kc = blk_a.cols
-        scratch_key = (cfg.mr, cfg.nr, kc)
-        buffers = pad_scratch.get(scratch_key)
-        if buffers is None:
-            buffers = (
-                memory.alloc_matrix(cfg.mr, kc),
-                memory.alloc_matrix(kc, cfg.nr),
-                memory.alloc_matrix(cfg.mr, cfg.nr),
-            )
-            pad_scratch[scratch_key] = buffers
-        pad_a, pad_b, pad_c = buffers
+        pad_a, pad_b, pad_c = self._pad_buffers(memory, cfg, kc, pad_scratch)
         a_cell = np.zeros((cfg.mr, kc), np.float32)
         b_cell = np.zeros((kc, cfg.nr), np.float32)
         c_cell = np.zeros((cfg.mr, cfg.nr), np.float32)

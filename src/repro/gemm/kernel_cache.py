@@ -1,11 +1,23 @@
-"""Generated-kernel cache and per-shape cycle memoisation.
+"""Generated-kernel cache, trace-template store, and cycle memoisation.
 
 Generating a micro-kernel is deterministic in its configuration, so kernels
-are memoised process-wide.  ``TimedKernelCache`` additionally memoises the
-*simulated* cycles of one invocation under a given operand-residency
-profile: the large-problem estimator simulates each distinct micro-kernel
-shape once and multiplies by tile counts, which is what makes ResNet-scale
-benchmarks tractable on an instruction-level simulator.
+are memoised process-wide.  :class:`ReplayCache` additionally memoises two
+things per chip:
+
+* **trace templates** -- the dynamic trace of one kernel invocation with
+  operand-relative addresses (see
+  :class:`~repro.machine.simulator.TraceTemplate`), keyed by
+  ``(KernelKey, (lda, ldb, ldc))`` since access deltas depend on the leading
+  dimensions.  The executor's replay fast path rebases these for every
+  subsequent tile instead of re-interpreting instructions.
+* **single-invocation cycles** under a given operand-residency profile: the
+  large-problem estimator simulates each distinct micro-kernel shape once
+  and multiplies by tile counts, which is what makes ResNet-scale benchmarks
+  tractable on an instruction-level simulator.  When a template already
+  exists for the shape, new residencies are re-timed by replay rather than
+  re-interpretation.
+
+``TimedKernelCache`` remains as a backwards-compatible alias.
 """
 
 from __future__ import annotations
@@ -19,9 +31,16 @@ from ..codegen.microkernel import ARG_REGS, MicroKernel, generate_microkernel
 from ..machine.cache import CacheHierarchy
 from ..machine.chips import ChipSpec
 from ..machine.memory import Memory
-from ..machine.simulator import Simulator
+from ..machine.pipeline import PipelineModel
+from ..machine.simulator import Simulator, TraceTemplate, build_template
 
-__all__ = ["KernelKey", "KernelCache", "TimedKernelCache", "Residency"]
+__all__ = [
+    "KernelKey",
+    "KernelCache",
+    "ReplayCache",
+    "TimedKernelCache",
+    "Residency",
+]
 
 
 @dataclass(frozen=True)
@@ -86,14 +105,72 @@ class KernelCache:
 GLOBAL_KERNEL_CACHE = KernelCache()
 
 
-class TimedKernelCache:
-    """Memoised single-invocation cycle measurements per chip + residency."""
+def _align64(addr: int) -> int:
+    return (addr + 63) // 64 * 64
+
+
+class ReplayCache:
+    """Shared store of trace templates + memoised cycle measurements.
+
+    One instance serves both the executor (template capture/lookup for the
+    tile-replay fast path) and the estimator (``cycles``), so a kernel shape
+    simulated by either side accelerates the other.
+    """
 
     def __init__(self, chip: ChipSpec, kernels: KernelCache | None = None) -> None:
         self.chip = chip
         self.kernels = kernels if kernels is not None else GLOBAL_KERNEL_CACHE
         self._cycles: dict[tuple[KernelKey, Residency], float] = {}
+        self._templates: dict[
+            tuple[KernelKey, tuple[int, int, int]], TraceTemplate
+        ] = {}
+        self._fused: dict[tuple[int, ...], TraceTemplate] = {}
+        self._next_uid = 0
 
+    # -- trace templates ----------------------------------------------------
+    def template(
+        self, key: KernelKey, strides: tuple[int, int, int]
+    ) -> TraceTemplate | None:
+        """The captured template for a kernel at given (lda, ldb, ldc)."""
+        return self._templates.get((key, strides))
+
+    def capture(
+        self,
+        key: KernelKey,
+        strides: tuple[int, int, int],
+        trace,
+        regions: list[tuple[int, int, int]],
+    ) -> TraceTemplate | None:
+        """Build and store a template from a freshly interpreted trace.
+
+        Returns ``None`` (and stores nothing) if any traced address falls
+        outside the supplied operand regions -- the corresponding tiles then
+        stay on the interpreted path.
+        """
+        cache_key = (key, strides)
+        existing = self._templates.get(cache_key)
+        if existing is not None:
+            return existing
+        tpl = build_template(trace, regions)
+        if tpl is not None:
+            tpl.uid = self._next_uid
+            self._next_uid += 1
+            self._templates[cache_key] = tpl
+            telemetry.count("replay.captures")
+        return tpl
+
+    def fused(self, templates: list[TraceTemplate]) -> TraceTemplate:
+        """The fused-block template for a tile sequence (memoised by uid)."""
+        from ..codegen.fusion import fuse_templates
+
+        uids = tuple(t.uid for t in templates)
+        tpl = self._fused.get(uids)
+        if tpl is None:
+            tpl = fuse_templates(templates)
+            self._fused[uids] = tpl
+        return tpl
+
+    # -- cycle memoisation (estimator path) ---------------------------------
     def cycles(
         self, key: KernelKey, residency: Residency, launch: float = 0.0
     ) -> float:
@@ -102,6 +179,10 @@ class TimedKernelCache:
         The kernel runs against synthetic operands pre-warmed into the
         residency's cache levels; the measurement excludes ``launch`` so the
         caller can amortise it per fusion policy (it is simply added here).
+        The first measurement of a shape interprets (and captures a
+        template); further residencies of the same shape re-time by replay,
+        which is bit-identical because the synthetic allocation layout is
+        deterministic.
         """
         memo_key = (key, residency)
         cached = self._cycles.get(memo_key)
@@ -109,6 +190,34 @@ class TimedKernelCache:
             telemetry.count("timed_cache.hits")
             return cached + launch
         telemetry.count("timed_cache.misses")
+
+        # Synthetic operands are dense, so strides are (kc, nr, nr) -- the
+        # same stride key the executor's padded-tile scratch produces.
+        strides = (key.kc, key.nr, key.nr)
+        tpl = self._templates.get((key, strides))
+        if tpl is not None:
+            # Reproduce the bump-allocator layout of the interpreted branch
+            # below analytically: first alloc lands at 64, the rest follow
+            # 64-byte aligned.  Identical bases + identical warm state mean
+            # the replay consults the cache at the interpreter's exact
+            # address sequence.
+            base_a = 64
+            base_b = _align64(base_a + 4 * key.mr * key.kc)
+            base_c = _align64(base_b + 4 * key.kc * key.nr)
+            caches = CacheHierarchy(self.chip)
+            caches.warm_range(base_a, 4 * key.mr * key.kc, residency.a_level)
+            caches.warm_range(base_b, 4 * key.kc * key.nr, residency.b_level)
+            caches.warm_range(base_c, 4 * key.mr * key.nr, residency.c_level)
+            pipeline = PipelineModel(self.chip, caches=caches)
+            with telemetry.span(
+                "time_kernel", mr=key.mr, nr=key.nr, kc=key.kc, replay=True
+            ) as sp:
+                timing = pipeline.replay_template(tpl, (base_a, base_b, base_c))
+                measured = timing.cycles
+                sp.add_cycles(measured)
+            telemetry.count("replay.hits")
+            self._cycles[memo_key] = measured
+            return measured + launch
 
         memory = Memory(size_bytes=1 << 24)
         rng = np.random.default_rng(1234)
@@ -134,10 +243,27 @@ class TimedKernelCache:
             ARG_REGS["ldc"]: h_c.ld,
         }
         kernel = self.kernels.get(key)
-        with telemetry.span("time_kernel", mr=key.mr, nr=key.nr, kc=key.kc) as sp:
+        with telemetry.span(
+            "time_kernel", mr=key.mr, nr=key.nr, kc=key.kc, replay=False
+        ) as sp:
             result = sim.run_timed(kernel.program, self.chip, args=args, caches=caches)
             assert result.timing is not None
             measured = result.timing.cycles
             sp.add_cycles(measured)
+        self.capture(
+            key,
+            strides,
+            result.trace,
+            [
+                (h_a.base, h_a.base, h_a.base + h_a.bytes_spanned),
+                (h_b.base, h_b.base, h_b.base + h_b.bytes_spanned),
+                (h_c.base, h_c.base, h_c.base + h_c.bytes_spanned),
+            ],
+        )
         self._cycles[memo_key] = measured
         return measured + launch
+
+
+#: Backwards-compatible name: the estimator's timed cache is now the shared
+#: replay cache.
+TimedKernelCache = ReplayCache

@@ -13,7 +13,26 @@ from dataclasses import dataclass, field
 
 from .chips import ChipSpec
 
-__all__ = ["CacheLevel", "CacheHierarchy", "CacheStats"]
+__all__ = ["CacheLevel", "CacheHierarchy", "CacheStats", "cache_level_ids"]
+
+#: The level id a DRAM access reports (always present, never a cache).
+DRAM_LEVEL = 4
+
+
+def cache_level_ids(chip: ChipSpec) -> tuple[int, ...]:
+    """The load-service level ids a chip's hierarchy can report.
+
+    Always starts at L1 and ends at DRAM (level 4); levels 2 and 3 appear
+    only when the chip actually has an L2/L3, so chips with a shallower
+    hierarchy neither drop nor invent levels in ``loads_by_level`` maps.
+    """
+    ids = [1]
+    if chip.l2_bytes:
+        ids.append(2)
+    if chip.l3_bytes:
+        ids.append(3)
+    ids.append(DRAM_LEVEL)
+    return tuple(ids)
 
 
 @dataclass
@@ -106,6 +125,11 @@ class CacheHierarchy:
                 (3, CacheLevel(chip.l3_bytes, max(chip.cache_ways, 16), chip.cache_line))
             )
         self.stats = CacheStats()
+
+    @property
+    def level_ids(self) -> tuple[int, ...]:
+        """Load-service level ids this hierarchy can report (incl. DRAM)."""
+        return tuple(level for level, _ in self.levels) + (DRAM_LEVEL,)
 
     def access(self, addr: int, is_write: bool = False) -> int:
         """Service a demand access; returns the hit level (4 = DRAM)."""

@@ -115,3 +115,20 @@ class Memory:
         for r in range(handle.rows):
             out[r] = self.load_f32(handle.addr(r, 0), handle.cols)
         return out
+
+    def view_matrix(self, handle: MatrixHandle) -> np.ndarray:
+        """A writable strided view of the simulated matrix (no copy).
+
+        Mutating the view mutates simulated memory directly, so vectorized
+        functional updates (the replay fast path) see and produce exactly the
+        bytes an instruction-level run would.
+        """
+        if handle.base % 4:
+            raise ValueError(f"unaligned matrix base {handle.base:#x}")
+        idx = self._index(handle.base, handle.bytes_spanned // 4)
+        return np.lib.stride_tricks.as_strided(
+            self._buf[idx:],
+            shape=(handle.rows, handle.cols),
+            strides=(4 * handle.ld, 4),
+            writeable=True,
+        )

@@ -85,7 +85,7 @@ class PipelineModel:
         window_size = max(1, chip.ooo_window)
         completion = launch
         dep_stall = 0.0
-        loads_by_level = {1: 0, 2: 0, 3: 0, 4: 0}
+        loads_by_level = {lvl: 0 for lvl in caches.level_ids}
         n_instr = 0
         t_fetch = launch
         fetch_step = 1.0 / chip.decode_width
@@ -178,3 +178,142 @@ class PipelineModel:
             loads_by_level=loads_by_level,
             stall_cycles=dep_stall,
         )
+
+    # -- replay fast path ---------------------------------------------------
+    def replay_template(self, template, bases: tuple[int, ...]) -> TimingResult:
+        """Re-time a captured trace template at new operand base addresses.
+
+        Walks only the template's memory ops (``base[operand] + delta``)
+        through the cache hierarchy -- the sole part of the timing model that
+        depends on concrete addresses -- then schedules through the identical
+        scoreboard arithmetic as :meth:`time_trace`.  Because the scheduler is
+        a pure function of (instruction stream, per-load service levels), the
+        schedule is memoised on the level signature: replays whose loads hit
+        the same levels in the same order are cycle-identical and skip the
+        Python scheduling loop entirely.
+        """
+        caches = self.caches
+        access = caches.access
+        prefetch = caches.prefetch
+        levels = bytearray(template.n_loads)
+        i = 0
+        # Cache consults happen in program order, exactly as time_trace
+        # interleaves them with scheduling; scheduling never mutates cache
+        # state, so consulting first then scheduling is behaviour-preserving.
+        # Fused templates store several chunks, each rebasing its operand
+        # slots at ``off`` (tile index * 3) into the concatenated base list.
+        for off, ops in template.mem_chunks:
+            for kind, op_idx, delta, plevel in ops:
+                addr = bases[off + op_idx] + delta
+                if kind == 1:  # load
+                    levels[i] = access(addr)
+                    i += 1
+                elif kind == 2:  # store
+                    access(addr, is_write=True)
+                else:  # prefetch
+                    prefetch(addr, plevel)
+
+        signature = bytes(levels)
+        key = (self.chip.name, self.launch_cycles, signature)
+        memo = template.timing_memo.get(key)
+        if memo is None:
+            memo = self._schedule_template(template, signature)
+            template.timing_memo[key] = memo
+        cycles, stall, by_level = memo
+        return TimingResult(
+            cycles=cycles,
+            instructions=template.n_instr,
+            flops=template.flops,
+            loads_by_level=dict(by_level),
+            stall_cycles=stall,
+        )
+
+    def _schedule_template(
+        self, template, signature: bytes
+    ) -> tuple[float, float, dict[int, int]]:
+        """Scoreboard pass over a template given its load-level signature.
+
+        This is ``time_trace``'s scheduling loop with identical float
+        operations in identical order (cycle counts are bit-identical); the
+        cache model is replaced by the pre-computed ``signature`` and the
+        dict-of-register / dict-of-unit scoreboard state by flat lists
+        indexed with the template's interned integer ids -- hashing enum and
+        register objects dominates the dict version at millions of entries.
+        """
+        chip = self.chip
+        launch = self.launch_cycles
+        units = template.units
+        # Same float values as time_trace's per-unit tables: identical
+        # expressions evaluated per unit, only the lookup structure changes.
+        rt = [1.0 / chip.ipc(u.value) for u in units]
+        lat = [float(chip.latency(u.value)) for u in units]
+        load_lat = [0.0] + [float(chip.load_latency(lvl)) for lvl in (1, 2, 3, 4)]
+        store_lat = float(chip.lat_store)
+        reg_ready = [0.0] * template.n_regs
+        write_hist: list = [None] * template.n_regs
+        rename_limit = max(1, chip.rename_limit)
+        unit_free = [launch] * len(units)
+        window: deque[float] = deque()
+        window_size = max(1, chip.ooo_window)
+        completion = launch
+        dep_stall = 0.0
+        level_count = [0] * 5
+        t_fetch = launch
+        fetch_step = 1.0 / chip.decode_width
+        load_i = 0
+        make_hist = deque
+
+        for ui, reads, writes, kind in template.sched:
+            ready = t_fetch
+            for reg in reads:
+                t = reg_ready[reg]
+                if t > ready:
+                    ready = t
+            for reg in writes:
+                hist = write_hist[reg]
+                if hist is not None and len(hist) >= rename_limit:
+                    t = hist[0]
+                    if t > ready:
+                        ready = t
+
+            uf = unit_free[ui]
+            start = ready if ready > uf else uf
+            if len(window) >= window_size and window[0] > start:
+                start = window[0]
+            if ready > t_fetch:
+                dep_stall += ready - t_fetch
+
+            if kind == 1:  # load
+                level = signature[load_i]
+                load_i += 1
+                level_count[level] += 1
+                latency = load_lat[level]
+            elif kind == 3:  # prefetch
+                latency = 1.0
+            elif kind == 2:  # store
+                latency = store_lat
+            else:
+                latency = lat[ui]
+
+            finish = start + latency
+            unit_free[ui] = start + rt[ui]
+            for reg in writes:
+                reg_ready[reg] = finish
+                hist = write_hist[reg]
+                if hist is None:
+                    hist = make_hist()
+                    write_hist[reg] = hist
+                hist.append(finish)
+                if len(hist) > rename_limit:
+                    hist.popleft()
+            if finish > completion:
+                completion = finish
+
+            window.append(finish)
+            if len(window) > window_size:
+                window.popleft()
+
+            t_fetch += fetch_step
+
+        loads_by_level = {lvl: level_count[lvl] for lvl in self.caches.level_ids}
+        return completion, dep_stall, loads_by_level

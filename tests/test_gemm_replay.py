@@ -1,0 +1,149 @@
+"""Tile-replay fast path: bit-exact equivalence with the interpreter.
+
+The replay engine's contract is *exactness*, not approximation: for any
+problem, the executor with ``use_replay=True`` must produce byte-identical
+``C``, and identical ``cycles``, ``instructions``, ``loads_by_level`` and
+``phase_cycles`` to the tile-by-tile interpreted path.  These tests pin that
+contract across kernel ISAs (NEON / SVE), fusion on and off, padded edge
+tiles, beta values, and multi-threaded cold-cache runs.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.cli import main as cli_main
+from repro.gemm import AutoGEMM, GemmExecutor, KernelKey, ReplayCache, Residency
+from repro.gemm.schedule import Schedule
+from repro.machine.chips import A64FX, GRAVITON2, KP920
+
+
+def result_fields(r):
+    return (
+        r.c.tobytes(),
+        r.cycles,
+        r.instructions,
+        r.loads_by_level,
+        r.phase_cycles,
+    )
+
+
+def assert_equivalent(chip, m, n, k, schedule=None, beta=1.0, threads=1, warm=True):
+    rng = np.random.default_rng(m * 1_000_003 + n * 1_009 + k)
+    a = rng.standard_normal((m, k)).astype(np.float32)
+    b = rng.standard_normal((k, n)).astype(np.float32)
+    c = rng.standard_normal((m, n)).astype(np.float32) if beta != 0.0 else None
+    fast = GemmExecutor(chip, use_replay=True).run(
+        a, b, c, schedule=schedule, beta=beta, threads=threads, warm=warm
+    )
+    slow = GemmExecutor(chip, use_replay=False).run(
+        a, b, c, schedule=schedule, beta=beta, threads=threads, warm=warm
+    )
+    assert result_fields(fast) == result_fields(slow)
+    return fast
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("chip", [GRAVITON2, KP920, A64FX], ids=lambda c: c.name)
+    @pytest.mark.parametrize("m,n,k", [(48, 40, 56), (33, 47, 29)])
+    def test_chips_and_shapes(self, chip, m, n, k):
+        assert_equivalent(chip, m, n, k)
+
+    @pytest.mark.parametrize("fuse", [True, False])
+    def test_fusion_modes(self, fuse):
+        sched = Schedule(mc=32, nc=32, kc=32, fuse=fuse)
+        assert_equivalent(GRAVITON2, 64, 64, 64, schedule=sched)
+
+    @pytest.mark.parametrize("beta", [0.0, 1.0, 0.5])
+    def test_beta(self, beta):
+        assert_equivalent(GRAVITON2, 48, 36, 40, beta=beta)
+
+    @pytest.mark.parametrize("kc", [64, 8], ids=["compute-bound", "memory-bound"])
+    def test_fusion_boundary_modes(self, kc):
+        # Large kc makes the tiles compute-bound (c_to_c boundaries), small
+        # kc memory-bound (m_to_m); the irregular n mixes main and edge tile
+        # shapes inside each fused block, so the mixed c_to_m / m_to_c
+        # boundaries of Figure 4 appear too.
+        sched = Schedule(mc=32, nc=48, kc=kc, fuse=True)
+        assert_equivalent(GRAVITON2, 64, 44, 64, schedule=sched)
+
+    def test_padded_edge_tiles(self):
+        # Irregular shape with static_edges="pad": edge tiles run through
+        # padded scratch; their templates key on the padded operand shape.
+        sched = Schedule(mc=32, nc=32, kc=32, static_edges="pad")
+        assert_equivalent(GRAVITON2, 60, 52, 44, schedule=sched)
+
+    def test_multi_k_blocks_accumulate_key(self):
+        # k-blocking flips the kernels' accumulate flag between blocks;
+        # replay must keep the per-key templates apart.
+        sched = Schedule(mc=32, nc=32, kc=16)
+        assert_equivalent(GRAVITON2, 64, 48, 64, schedule=sched)
+
+    def test_threads_cold_cache(self):
+        assert_equivalent(GRAVITON2, 96, 96, 96, threads=4, warm=False)
+
+    def test_rotate_and_lookahead_off(self):
+        sched = Schedule(mc=32, nc=32, kc=32, rotate=False, lookahead=False)
+        assert_equivalent(GRAVITON2, 64, 64, 64, schedule=sched)
+
+
+class TestReplayEngine:
+    def test_second_run_is_pure_replay(self):
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((64, 64)).astype(np.float32)
+        b = rng.standard_normal((64, 64)).astype(np.float32)
+        lib = AutoGEMM(GRAVITON2)
+        first = lib.gemm(a, b)
+        with telemetry.collecting() as col:
+            second = lib.gemm(a, b)
+        assert col.counters.get("replay.misses", 0) == 0
+        assert col.counters.get("replay.hits", 0) > 0
+        assert result_fields(first) == result_fields(second)
+
+    def test_first_run_captures_then_replays(self):
+        rng = np.random.default_rng(8)
+        a = rng.standard_normal((64, 64)).astype(np.float32)
+        b = rng.standard_normal((64, 64)).astype(np.float32)
+        with telemetry.collecting() as col:
+            AutoGEMM(GRAVITON2).gemm(a, b)
+        # One interpretation per distinct (key, strides); everything else
+        # replays.
+        assert col.counters.get("replay.captures", 0) >= 1
+        assert col.counters.get("replay.hits", 0) > col.counters.get(
+            "replay.misses", 0
+        )
+
+    def test_replay_cache_cycles_bit_identical(self):
+        # A fresh cache interprets each residency; a warmed cache replays
+        # every residency after the first capture.  Cycle counts must agree.
+        key = KernelKey(mr=4, nr=16, kc=32, lane=GRAVITON2.sigma_lane)
+        residencies = [
+            Residency(1, 1, 1),
+            Residency(2, 2, 2),
+            Residency(1, 2, 3),
+        ]
+        warmed = ReplayCache(GRAVITON2)
+        warmed.cycles(key, residencies[0])  # interprets and captures
+        for res in residencies:
+            fresh = ReplayCache(GRAVITON2)
+            assert warmed.cycles(key, res) == fresh.cycles(key, res)
+
+    def test_shared_cache_between_executor_and_estimator(self):
+        # AutoGEMM wires one ReplayCache into both; a template captured by
+        # the executor serves the estimator's kernel timing.
+        lib = AutoGEMM(GRAVITON2)
+        assert lib.executor.replay is lib.estimator.timed
+
+
+class TestCliOptOut:
+    def test_no_replay_matches_default(self, capsys):
+        code = cli_main(["gemm", "24", "24", "24", "--json"])
+        fast = json.loads(capsys.readouterr().out)
+        assert code == 0
+        code = cli_main(["gemm", "24", "24", "24", "--json", "--no-replay"])
+        slow = json.loads(capsys.readouterr().out)
+        assert code == 0
+        for field in ("cycles", "instructions", "relative_error", "phase_cycles"):
+            assert fast[field] == slow[field]
