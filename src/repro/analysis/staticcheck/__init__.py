@@ -1,0 +1,65 @@
+"""Static kernel verifier: machine-checkable invariants for generated code.
+
+Every micro-kernel the generator emits -- 58 Table II shapes per ISA,
+rotation on/off, four fusion boundary modes -- is provable well-formed
+*before* a single cycle is simulated: CFG structure, definite assignment,
+liveness and register pressure, statically-determined loop trip counts,
+tile-footprint memory bounds, and exact C-value correctness by symbolic
+execution.  See ``docs/static-analysis.md`` for the analysis catalogue and
+severity contract, and :mod:`repro.analysis.staticcheck.mutation` for the
+self-test that keeps the verifier honest.
+"""
+
+from .cfg import CFG, BasicBlock, build_cfg, loop_soundness_findings
+from .dataflow import DataflowResult, analyze_dataflow
+from .findings import MAX_FINDINGS_PER_CODE, Finding, Report, Severity
+from .fusion_check import check_fused_template, check_fused_trace
+from .mutation import (
+    MUTATION_CLASSES,
+    MutationReport,
+    default_mutation_kernels,
+    enumerate_mutants,
+    run_mutation_suite,
+)
+from .pipeline_lint import pipeline_lints
+from .symexec import Lin, SymExecResult, symexec_program
+from .verifier import (
+    SWEEP_KC,
+    SVE_SWEEP_LANE,
+    StaticCheckError,
+    sweep_kernels,
+    verify_fused_sequence,
+    verify_kernel,
+    verify_program,
+)
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "Report",
+    "MAX_FINDINGS_PER_CODE",
+    "BasicBlock",
+    "CFG",
+    "build_cfg",
+    "loop_soundness_findings",
+    "DataflowResult",
+    "analyze_dataflow",
+    "Lin",
+    "SymExecResult",
+    "symexec_program",
+    "check_fused_trace",
+    "check_fused_template",
+    "pipeline_lints",
+    "StaticCheckError",
+    "verify_program",
+    "verify_kernel",
+    "verify_fused_sequence",
+    "sweep_kernels",
+    "SWEEP_KC",
+    "SVE_SWEEP_LANE",
+    "MUTATION_CLASSES",
+    "MutationReport",
+    "enumerate_mutants",
+    "default_mutation_kernels",
+    "run_mutation_suite",
+]

@@ -1,0 +1,206 @@
+"""Control-flow graph construction over :class:`~repro.isa.program.Program`.
+
+Generated micro-kernels are almost straight-line -- at most a counted
+mainloop back-edge -- but the verifier cannot *assume* that: a codegen bug
+is precisely a violation of the expected shape.  The CFG is built from the
+instruction stream alone (labels + branches), yielding:
+
+* basic blocks with successor edges;
+* ``unresolved-branch-target`` errors for branches to undefined labels;
+* ``unreachable-code`` warnings for blocks no path from entry reaches;
+* the loop-structure facts (back edges and their governing flag-setters)
+  the loop-soundness checks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...isa.instructions import Branch, Label, SubsImm
+from ...isa.program import Program
+from .findings import Finding, Severity
+
+__all__ = ["BasicBlock", "CFG", "build_cfg", "loop_soundness_findings"]
+
+
+@dataclass
+class BasicBlock:
+    """Half-open instruction range ``[start, end)`` with successor block ids."""
+
+    bid: int
+    start: int
+    end: int
+    succs: list[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    program: Program
+    blocks: list[BasicBlock]
+    #: instruction index -> owning block id
+    block_of: list[int]
+    #: block ids reachable from entry (block 0), in discovery order
+    reachable: list[int]
+
+    @property
+    def entry(self) -> BasicBlock | None:
+        return self.blocks[0] if self.blocks else None
+
+
+def build_cfg(program: Program) -> tuple[CFG, list[Finding]]:
+    """Construct the CFG; returns it plus structural findings."""
+    findings: list[Finding] = []
+    instrs = program.instructions
+    n = len(instrs)
+    if n == 0:
+        return CFG(program, [], [], []), findings
+
+    leaders = {0}
+    for i, instr in enumerate(instrs):
+        if isinstance(instr, Label):
+            leaders.add(i)
+        elif isinstance(instr, Branch):
+            if i + 1 < n:
+                leaders.add(i + 1)
+            target = program.labels.get(instr.target)
+            if target is None:
+                findings.append(
+                    Finding(
+                        "unresolved-branch-target",
+                        Severity.ERROR,
+                        f"branch to undefined label {instr.target!r}",
+                        index=i,
+                    )
+                )
+            else:
+                leaders.add(target)
+
+    starts = sorted(leaders)
+    blocks: list[BasicBlock] = []
+    block_of = [0] * n
+    for bid, start in enumerate(starts):
+        end = starts[bid + 1] if bid + 1 < len(starts) else n
+        blocks.append(BasicBlock(bid, start, end))
+        for i in range(start, end):
+            block_of[i] = bid
+
+    label_block = {
+        name: block_of[idx] for name, idx in program.labels.items()
+    }
+    for blk in blocks:
+        last = instrs[blk.end - 1]
+        if isinstance(last, Branch):
+            target_bid = label_block.get(last.target)
+            if target_bid is not None:
+                blk.succs.append(target_bid)
+            if last.cond != "al" and blk.end < n:
+                blk.succs.append(block_of[blk.end])
+        elif blk.end < n:
+            blk.succs.append(block_of[blk.end])
+
+    # Reachability from entry.
+    seen = [False] * len(blocks)
+    order: list[int] = []
+    stack = [0]
+    while stack:
+        bid = stack.pop()
+        if seen[bid]:
+            continue
+        seen[bid] = True
+        order.append(bid)
+        stack.extend(s for s in blocks[bid].succs if not seen[s])
+
+    for blk in blocks:
+        if not seen[blk.bid]:
+            # Skip pure-label blocks: an unreferenced label is harmless.
+            body = [
+                i for i in range(blk.start, blk.end)
+                if not isinstance(instrs[i], Label)
+            ]
+            if body:
+                findings.append(
+                    Finding(
+                        "unreachable-code",
+                        Severity.WARNING,
+                        f"{len(body)} instruction(s) unreachable from entry "
+                        f"(indices {body[0]}..{body[-1]})",
+                        index=body[0],
+                    )
+                )
+
+    return CFG(program, blocks, block_of, order), findings
+
+
+def loop_soundness_findings(program: Program) -> list[Finding]:
+    """Static shape checks on every backward conditional branch.
+
+    The generated mainloop is ``subs xc, xc, #1`` immediately feeding
+    ``b.ne``: the loop must be governed by a monotone self-decrement of one
+    counter register, with no other flag-setter between the decrement and
+    the branch.  Violations are errors -- a loop whose exit test reads a
+    different register (or whose counter is rewritten elsewhere in the
+    body) has no statically known trip count.
+    """
+    findings: list[Finding] = []
+    instrs = program.instructions
+    for i, instr in enumerate(instrs):
+        if not isinstance(instr, Branch) or instr.cond == "al":
+            continue
+        target = program.labels.get(instr.target)
+        if target is None or target > i:
+            continue  # forward branch / unresolved (flagged by the CFG)
+        # Nearest flag-setter before the branch.
+        setter_idx = None
+        for j in range(i - 1, -1, -1):
+            if isinstance(instrs[j], SubsImm):
+                setter_idx = j
+                break
+        if setter_idx is None or setter_idx < target:
+            findings.append(
+                Finding(
+                    "loop-no-flag-setter",
+                    Severity.ERROR,
+                    "conditional back-edge is not governed by a flag-setting "
+                    "instruction inside the loop body",
+                    index=i,
+                )
+            )
+            continue
+        subs = instrs[setter_idx]
+        if subs.dst != subs.src:
+            findings.append(
+                Finding(
+                    "loop-counter-aliased",
+                    Severity.ERROR,
+                    f"loop flag-setter decrements {subs.src} into {subs.dst}: "
+                    "the tested counter is not the decremented register",
+                    index=setter_idx,
+                )
+            )
+        if subs.imm < 1:
+            findings.append(
+                Finding(
+                    "loop-non-monotone",
+                    Severity.ERROR,
+                    f"loop counter decrement is #{subs.imm} (must be >= 1 "
+                    "for a monotone countdown)",
+                    index=setter_idx,
+                )
+            )
+        # The counter must not be redefined elsewhere in the loop body --
+        # a second writer makes the trip count path-dependent.
+        counter = subs.dst
+        for j in range(target, i):
+            if j == setter_idx:
+                continue
+            if counter in instrs[j].writes():
+                findings.append(
+                    Finding(
+                        "loop-counter-clobbered",
+                        Severity.ERROR,
+                        f"loop counter {counter} is also written at index {j} "
+                        "inside the loop body",
+                        index=j,
+                    )
+                )
+    return findings

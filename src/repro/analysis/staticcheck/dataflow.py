@@ -1,0 +1,218 @@
+"""Classic dataflow over the CFG: liveness, definite assignment, pressure.
+
+All three analyses run on the register dataflow every instruction already
+declares through ``Instr.reads()`` / ``Instr.writes()`` -- the same facts
+the timing scoreboard uses, so the verifier and the simulator cannot drift
+apart on what an instruction touches.
+
+* **Definite assignment** (forward, intersection over predecessors) yields
+  ``use-before-def`` errors: a read that some path reaches without a prior
+  write.  Entry-defined registers (the inline-asm operand bindings
+  ``x0..x5``) are the only values live into a kernel.
+* **Backward liveness** yields dead-store findings: a write whose value no
+  path consumes.  Dead *vector* writes are warnings -- that is the static
+  signature of a clobbered accumulator or a wasted load.  Dead *scalar*
+  writes are advice: the generator's trailing pointer bumps (the last
+  ``add xB, xB, ldb`` of an epilogue) are dead by construction and
+  harmless.
+* **Max-live** is the exact maximum number of simultaneously live vector
+  registers over all program points -- the measured counterpart of the
+  analytical register accounting in :mod:`repro.codegen.tiles`.
+
+Register sets are interned bitmasks (one ``int`` per program point), which
+keeps the fixpoint cheap even on fully unrolled rotating kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...isa.instructions import Instr, Label, Unit
+from ...isa.registers import Register, VReg, XReg, ZReg
+from .cfg import CFG
+from .findings import Finding, Severity
+
+__all__ = ["DataflowResult", "analyze_dataflow"]
+
+
+@dataclass
+class DataflowResult:
+    findings: list[Finding] = field(default_factory=list)
+    #: Exact maximum simultaneously-live vector registers over all points.
+    max_live_vregs: int = 0
+    #: Distinct vector registers referenced anywhere (occupancy).
+    vregs_referenced: int = 0
+    #: instruction index -> how many of its written registers are dead
+    #: there.  The mutation harness uses this to exclude semantically inert
+    #: drop sites (an instruction whose every write is dead).
+    dead_writes: dict[int, int] = field(default_factory=dict)
+
+
+def analyze_dataflow(
+    cfg: CFG, entry_defined: tuple[Register, ...] = ()
+) -> DataflowResult:
+    program = cfg.program
+    instrs = program.instructions
+    n = len(instrs)
+    result = DataflowResult()
+    if n == 0:
+        return result
+
+    # ---- intern registers to bits --------------------------------------
+    bit_of: dict[Register, int] = {}
+    regs: list[Register] = []
+
+    def bit(reg: Register) -> int:
+        b = bit_of.get(reg)
+        if b is None:
+            b = len(regs)
+            bit_of[reg] = b
+            regs.append(reg)
+        return b
+
+    use_mask = [0] * n
+    def_mask = [0] * n
+    for i, instr in enumerate(instrs):
+        if isinstance(instr, Label):
+            continue
+        u = d = 0
+        for r in instr.reads():
+            u |= 1 << bit(r)
+        for r in instr.writes():
+            d |= 1 << bit(r)
+        use_mask[i] = u
+        def_mask[i] = d
+
+    vec_mask = 0
+    for r, b in bit_of.items():
+        if isinstance(r, (VReg, ZReg)):
+            vec_mask |= 1 << b
+    result.vregs_referenced = bin(vec_mask).count("1")
+
+    entry_mask = 0
+    for r in entry_defined:
+        entry_mask |= 1 << bit(r)
+
+    blocks = cfg.blocks
+    nb = len(blocks)
+    preds: list[list[int]] = [[] for _ in range(nb)]
+    for blk in blocks:
+        for s in blk.succs:
+            preds[s].append(blk.bid)
+    reachable = set(cfg.reachable)
+
+    # ---- definite assignment (forward, may-uninitialized) --------------
+    universe = (1 << len(regs)) - 1
+    block_def = [0] * nb
+    for blk in blocks:
+        d = 0
+        for i in range(blk.start, blk.end):
+            d |= def_mask[i]
+        block_def[blk.bid] = d
+
+    avail_out = [universe] * nb
+    avail_in = [universe] * nb
+    avail_in[0] = entry_mask
+    avail_out[0] = entry_mask | block_def[0]
+    changed = True
+    while changed:
+        changed = False
+        for bid in cfg.reachable:
+            if bid == 0:
+                continue
+            inn = universe
+            for p in preds[bid]:
+                if p in reachable:
+                    inn &= avail_out[p]
+            if not preds[bid]:
+                inn = entry_mask
+            out = inn | block_def[bid]
+            if inn != avail_in[bid] or out != avail_out[bid]:
+                avail_in[bid] = inn
+                avail_out[bid] = out
+                changed = True
+
+    for bid in cfg.reachable:
+        blk = blocks[bid]
+        avail = avail_in[bid]
+        for i in range(blk.start, blk.end):
+            missing = use_mask[i] & ~avail
+            if missing:
+                for b in _bits(missing):
+                    result.findings.append(
+                        Finding(
+                            "use-before-def",
+                            Severity.ERROR,
+                            f"{regs[b]} may be read before any definition "
+                            f"by '{instrs[i].asm()}'",
+                            index=i,
+                        )
+                    )
+            avail |= def_mask[i]
+
+    # ---- backward liveness --------------------------------------------
+    live_in = [0] * nb
+    live_out = [0] * nb
+    changed = True
+    while changed:
+        changed = False
+        for bid in range(nb - 1, -1, -1):
+            blk = blocks[bid]
+            out = 0
+            for s in blk.succs:
+                out |= live_in[s]
+            live = out
+            for i in range(blk.end - 1, blk.start - 1, -1):
+                live = use_mask[i] | (live & ~def_mask[i])
+            if out != live_out[bid] or live != live_in[bid]:
+                live_out[bid] = out
+                live_in[bid] = live
+                changed = True
+
+    # ---- dead stores + max-live ----------------------------------------
+    max_live = 0
+    for bid in cfg.reachable:
+        blk = blocks[bid]
+        live = live_out[bid]
+        max_live = max(max_live, bin(live & vec_mask).count("1"))
+        for i in range(blk.end - 1, blk.start - 1, -1):
+            dead = def_mask[i] & ~live
+            if dead:
+                instr = instrs[i]
+                for b in _bits(dead):
+                    reg = regs[b]
+                    result.dead_writes[i] = result.dead_writes.get(i, 0) + 1
+                    if isinstance(reg, (VReg, ZReg)):
+                        result.findings.append(
+                            Finding(
+                                "dead-vector-write",
+                                Severity.WARNING,
+                                f"value written to {reg} by "
+                                f"'{instr.asm()}' is never read "
+                                "(clobbered or wasted)",
+                                index=i,
+                            )
+                        )
+                    else:
+                        result.findings.append(
+                            Finding(
+                                "dead-scalar-write",
+                                Severity.ADVICE,
+                                f"{reg} written by '{instr.asm()}' is never "
+                                "read (trailing pointer bump)",
+                                index=i,
+                            )
+                        )
+            live = use_mask[i] | (live & ~def_mask[i])
+            max_live = max(max_live, bin(live & vec_mask).count("1"))
+    result.max_live_vregs = max_live
+    return result
+
+
+def _bits(mask: int):
+    b = 0
+    while mask:
+        if mask & 1:
+            yield b
+        mask >>= 1
+        b += 1

@@ -1,0 +1,167 @@
+"""Finding/report model shared by every static-kernel analysis.
+
+A :class:`Finding` is one diagnosed fact about a program; a :class:`Report`
+collects the findings of all analyses run over one program (or one fused
+block) plus the measured register-pressure numbers the budget cross-checks
+use.  Severities:
+
+* ``ERROR`` -- the program is malformed: executing it would compute the
+  wrong result, touch memory outside its tile footprint, or not terminate.
+  The lint gate (``repro lint-kernels``, CI) fails on any error.
+* ``WARNING`` -- well-formed but suspicious: a value is computed and then
+  overwritten or never consumed (the clobbered-accumulator signature).
+* ``ADVICE`` -- performance facts, not correctness: RAW distances shorter
+  than the chip's latencies, dead trailing pointer bumps.  Generated
+  kernels legitimately produce these (a naive-pipeline kernel *is* the
+  short-RAW case the paper analyses), so they never gate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Finding", "Report", "MAX_FINDINGS_PER_CODE"]
+
+#: Per-code cap: a single defect (e.g. a broken loop bound) can violate an
+#: invariant at thousands of program points; keep the first few and a
+#: summary line so reports stay readable and JSON artifacts stay bounded.
+MAX_FINDINGS_PER_CODE = 8
+
+
+class Severity(enum.IntEnum):
+    ADVICE = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed fact about a program.
+
+    ``code`` is a stable kebab-case identifier (``use-before-def``,
+    ``out-of-tile-access``, ...); ``index`` is the instruction index in
+    ``program.instructions`` when the finding is anchored to one.
+    ``count`` > 1 marks an aggregated finding (advisory lints and the
+    per-code overflow summaries).
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    index: int | None = None
+    count: int = 1
+
+    def to_dict(self) -> dict:
+        d = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        if self.index is not None:
+            d["index"] = self.index
+        if self.count != 1:
+            d["count"] = self.count
+        return d
+
+
+@dataclass
+class Report:
+    """All findings for one verified program, plus measured pressure.
+
+    ``max_live_vregs`` is the exact maximum number of simultaneously live
+    vector registers over all program points (from the liveness analysis);
+    ``analytical_vregs`` is what ``codegen.tiles`` claims the kernel's
+    configuration occupies.  The verifier emits a ``register-accounting``
+    error when measurement exceeds the claim.
+    """
+
+    name: str
+    findings: list[Finding] = field(default_factory=list)
+    max_live_vregs: int | None = None
+    #: Distinct vector registers the program references (measured occupancy).
+    occupied_vregs: int | None = None
+    analytical_vregs: int | None = None
+    _overflow: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def add(
+        self,
+        code: str,
+        severity: Severity,
+        message: str,
+        index: int | None = None,
+        count: int = 1,
+    ) -> None:
+        kept = sum(1 for f in self.findings if f.code == code)
+        if kept >= MAX_FINDINGS_PER_CODE:
+            self._overflow[code] = self._overflow.get(code, 0) + count
+            return
+        self.findings.append(Finding(code, severity, message, index, count))
+
+    def finalize(self) -> "Report":
+        """Fold per-code overflow into summary findings (idempotent)."""
+        for code, extra in self._overflow.items():
+            sev = max(
+                (f.severity for f in self.findings if f.code == code),
+                default=Severity.ERROR,
+            )
+            self.findings.append(
+                Finding(code, sev, f"... and {extra} more {code} finding(s)",
+                        None, extra)
+            )
+        self._overflow.clear()
+        return self
+
+    def extend(self, findings: list[Finding]) -> None:
+        for f in self.findings_room(findings):
+            self.findings.append(f)
+
+    def findings_room(self, findings: list[Finding]) -> list[Finding]:
+        out = []
+        for f in findings:
+            kept = sum(1 for g in self.findings + out if g.code == f.code)
+            if kept >= MAX_FINDINGS_PER_CODE:
+                self._overflow[f.code] = self._overflow.get(f.code, 0) + f.count
+            else:
+                out.append(f)
+        return out
+
+    # -- queries ---------------------------------------------------------
+    def by_severity(self, severity: Severity) -> list[Finding]:
+        return [f for f in self.findings if f.severity is severity]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def advice(self) -> list[Finding]:
+        return self.by_severity(Severity.ADVICE)
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings/advice allowed)."""
+        return not self.errors
+
+    def to_dict(self) -> dict:
+        self.finalize()
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "max_live_vregs": self.max_live_vregs,
+            "occupied_vregs": self.occupied_vregs,
+            "analytical_vregs": self.analytical_vregs,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def summary(self) -> str:
+        self.finalize()
+        n_e, n_w, n_a = len(self.errors), len(self.warnings), len(self.advice)
+        return f"{self.name}: {n_e} error(s), {n_w} warning(s), {n_a} advice"

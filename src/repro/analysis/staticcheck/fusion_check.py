@@ -1,0 +1,274 @@
+"""Fusion-boundary verification (paper §III-C2, Figure 4).
+
+Epilogue/prologue fusion is an instruction-*scheduling* transformation: a
+fused block must contain exactly the instructions of its tiles, preserve
+each tile's internal order, and -- the invariant a scheduling bug would
+break -- never let one tile's boundary instructions overwrite a vector
+register an adjacent tile's pending C store still has to read.  (Scalar
+pointer registers are legitimately recycled across the boundary: the
+timing model's rename tracking orders those accesses, exactly as hardware
+renaming would.)
+
+Both fusion representations are covered:
+
+* :func:`check_fused_trace` validates the dynamic-trace fusion
+  (``fuse_traces``) by identity -- fused traces reuse the per-tile
+  ``TraceEntry`` objects, so conservation and ordering are exact object
+  facts, and the accumulator-clobber check walks the fused order with a
+  last-writer-tile map per vector register.
+* :func:`check_fused_template` validates the template fusion
+  (``fuse_templates``) against an independent reference merge: the
+  per-tile scheduling streams are translated back into (unit, register)
+  *objects*, split and round-robined by a deliberately naive
+  re-implementation of the boundary interleave, and compared entry by
+  entry -- including the operand-slot-shifted memory-op stream, which the
+  production code assembles through shared offset chunks.
+"""
+
+from __future__ import annotations
+
+from ...isa.instructions import Unit
+from ...isa.program import Trace, TraceEntry
+from ...isa.registers import VReg, ZReg
+from ...machine.simulator import KIND_PLAIN, KIND_STORE, TraceTemplate
+from .findings import Finding, Severity
+
+__all__ = ["check_fused_trace", "check_fused_template"]
+
+
+def check_fused_trace(
+    tile_traces: list[Trace], fused: Trace
+) -> list[Finding]:
+    """Verify a ``fuse_traces`` result against its per-tile inputs."""
+    findings: list[Finding] = []
+
+    tile_of: dict[int, int] = {}
+    for t, trace in enumerate(tile_traces):
+        for e in trace.entries:
+            tile_of[id(e)] = t
+
+    # -- conservation: same entries, nothing else -------------------------
+    expected = sum(len(t.entries) for t in tile_traces)
+    foreign = [e for e in fused.entries if id(e) not in tile_of]
+    if foreign or len(fused.entries) != expected:
+        findings.append(
+            Finding(
+                "fusion-conservation",
+                Severity.ERROR,
+                f"fused trace has {len(fused.entries)} entries "
+                f"({len(foreign)} foreign) where the tiles supply {expected}",
+            )
+        )
+        return findings  # ordering/clobber checks need a conserved stream
+
+    # -- per-tile order preservation --------------------------------------
+    # The subsequence of fused entries belonging to each tile must be that
+    # tile's trace verbatim (by identity): same entries, same order, no
+    # duplication.
+    seen: dict[int, list[int]] = {t: [] for t in range(len(tile_traces))}
+    for e in fused.entries:
+        seen[tile_of[id(e)]].append(id(e))
+    for t, trace in enumerate(tile_traces):
+        if seen[t] != [id(e) for e in trace.entries]:
+            findings.append(
+                Finding(
+                    "fusion-reorder",
+                    Severity.ERROR,
+                    f"tile {t}'s instructions are reordered or duplicated in "
+                    "the fused trace",
+                )
+            )
+            return findings
+
+    findings.extend(_clobber_scan(
+        [(tile_of[id(e)], e.instr) for e in fused.entries]
+    ))
+    return findings
+
+
+def _clobber_scan(stream: list[tuple[int, object]]) -> list[Finding]:
+    """Walk ``(tile, instr)`` in fused order; every vector register a store
+    reads must have been last written by the store's own tile."""
+    findings: list[Finding] = []
+    last_writer: dict[object, tuple[int, object]] = {}
+    for pos, (tile, instr) in enumerate(stream):
+        if instr.unit is Unit.STORE:
+            for r in instr.reads():
+                if not isinstance(r, (VReg, ZReg)):
+                    continue
+                prev = last_writer.get(r)
+                if prev is not None and prev[0] != tile:
+                    findings.append(
+                        Finding(
+                            "fusion-clobber",
+                            Severity.ERROR,
+                            f"tile {tile}'s pending store of {r} reads a "
+                            f"value overwritten by tile {prev[0]}'s "
+                            f"'{prev[1].asm()}' at the fusion boundary",
+                            index=pos,
+                        )
+                    )
+        for r in instr.writes():
+            if isinstance(r, (VReg, ZReg)):
+                last_writer[r] = (tile, instr)
+    return findings
+
+
+# -- template-level ------------------------------------------------------
+
+
+def _object_stream(tpl: TraceTemplate) -> list[tuple]:
+    """A template's sched stream lifted back to architectural objects:
+    ``(unit_obj, reads_objs, writes_objs, kind)`` tuples."""
+    units, regs = tpl.units, tpl.regs
+    return [
+        (
+            units[ui],
+            tuple(regs[r] for r in reads),
+            tuple(regs[r] for r in writes),
+            kind,
+        )
+        for ui, reads, writes, kind in tpl.sched
+    ]
+
+
+def _flat_mem(tpl: TraceTemplate) -> list[tuple]:
+    """Absolute memory-op stream ``(kind, operand_slot, delta, plevel)``
+    flattened from the template's offset chunks."""
+    out = []
+    for off, ops in tpl.mem_chunks:
+        for kind, op_idx, delta, plevel in ops:
+            out.append((kind, op_idx + off, delta, plevel))
+    return out
+
+
+def _split_object_stream(sched: list[tuple]) -> tuple[list, list, list]:
+    """``split_boundary`` on an object-space sched stream."""
+    n = len(sched)
+    first_fma = next(
+        (i for i, e in enumerate(sched) if e[0] is Unit.FMA), n
+    )
+    last = n
+    while last > first_fma and sched[last - 1][0] is Unit.STORE:
+        last -= 1
+    return sched[:first_fma], sched[first_fma:last], sched[last:]
+
+
+def check_fused_template(
+    tile_templates: list[TraceTemplate], fused: TraceTemplate
+) -> list[Finding]:
+    """Verify a ``fuse_templates`` result against its per-tile inputs."""
+    findings: list[Finding] = []
+
+    # Reference merge, in object space, with tile labels.  Each sched entry
+    # is paired with its memory op (or None) so the merged mem stream falls
+    # out of the same single interleave.
+    def annotate(tpl: TraceTemplate, tile: int) -> list[tuple]:
+        sched = _object_stream(tpl)
+        mems = iter(tpl.mem_ops)
+        out = []
+        for e in sched:
+            mem = None
+            if e[3] != KIND_PLAIN:
+                kind, op_idx, delta, plevel = next(mems)
+                mem = (kind, op_idx + 3 * tile, delta, plevel)
+            out.append((tile, e, mem))
+        return out
+
+    merged: list[tuple] = []
+    pending: list[tuple] = []
+    for tile, tpl in enumerate(tile_templates):
+        stream = annotate(tpl, tile)
+        sched = [e for _, e, _ in stream]
+        pro, body, sto = _split_object_stream(sched)
+        n_pro, n_body = len(pro), len(body)
+        prologue = stream[:n_pro]
+        ia = ib = 0
+        while ia < len(pending) or ib < n_pro:
+            if ia < len(pending):
+                merged.append(pending[ia])
+                ia += 1
+            if ib < n_pro:
+                merged.append(prologue[ib])
+                ib += 1
+        merged.extend(stream[n_pro:n_pro + n_body])
+        pending = stream[n_pro + n_body:]
+    merged.extend(pending)
+
+    # -- entry-by-entry sched comparison ----------------------------------
+    fused_sched = _object_stream(fused)
+    ref_sched = [e for _, e, _ in merged]
+    if fused_sched != ref_sched:
+        diverge = next(
+            (
+                i
+                for i, (a, b) in enumerate(zip(fused_sched, ref_sched))
+                if a != b
+            ),
+            min(len(fused_sched), len(ref_sched)),
+        )
+        findings.append(
+            Finding(
+                "template-fusion-mismatch",
+                Severity.ERROR,
+                f"fused template sched diverges from the reference "
+                f"boundary interleave at entry {diverge} "
+                f"({len(fused_sched)} vs {len(ref_sched)} entries)",
+                index=diverge,
+            )
+        )
+        return findings
+
+    # -- memory-op stream comparison --------------------------------------
+    fused_mem = _flat_mem(fused)
+    ref_mem = [m for _, _, m in merged if m is not None]
+    if fused_mem != ref_mem:
+        findings.append(
+            Finding(
+                "template-fusion-mismatch",
+                Severity.ERROR,
+                f"fused template memory-op stream ({len(fused_mem)} ops) "
+                f"diverges from the reference ({len(ref_mem)} ops)",
+            )
+        )
+        return findings
+
+    # -- totals ------------------------------------------------------------
+    if fused.flops != sum(t.flops for t in tile_templates) or (
+        fused.n_loads != sum(t.n_loads for t in tile_templates)
+    ):
+        findings.append(
+            Finding(
+                "template-fusion-mismatch",
+                Severity.ERROR,
+                "fused template flop/load totals disagree with the tiles",
+            )
+        )
+
+    # -- accumulator clobber on the (verified-identical) merged stream ----
+    findings.extend(_clobber_scan([
+        (tile, _InstrView(e)) for tile, e, _ in merged
+    ]))
+    return findings
+
+
+class _InstrView:
+    """Adapter giving an object-space sched entry the tiny instruction
+    surface :func:`_clobber_scan` needs."""
+
+    __slots__ = ("unit", "_reads", "_writes")
+
+    def __init__(self, entry: tuple):
+        unit, reads, writes, kind = entry
+        self.unit = unit if kind != KIND_STORE else Unit.STORE
+        self._reads = reads
+        self._writes = writes
+
+    def reads(self):
+        return self._reads
+
+    def writes(self):
+        return self._writes
+
+    def asm(self) -> str:
+        return f"<{self.unit.name.lower()} sched entry>"

@@ -1,0 +1,291 @@
+"""Mutation self-test: does the verifier actually catch injected defects?
+
+A verifier that reports zero findings on every kernel is indistinguishable
+from one that checks nothing.  This harness takes known-good generated
+kernels (verified clean first), applies every mutation from six defect
+classes -- the codegen bugs the ISSUE names plus the ones the analyses are
+specifically built for -- and asserts the verifier flags each mutant with
+at least one WARNING-or-worse finding:
+
+* ``drop``            -- delete one instruction (a lost load/FMA/store/bump);
+* ``swap-register``   -- replace one vector-register operand with another;
+* ``offset-bump``     -- off-by-one-element address or post-increment stride;
+* ``clobber-acc``     -- zero an accumulator right before its C store;
+* ``branch-target``   -- retarget a branch at an undefined label;
+* ``counter-bump``    -- off-by-one loop trip count (both directions).
+
+Semantically inert sites are excluded rather than counted as misses:
+prefetches (architecturally effect-free by definition), labels, and
+post-increment bumps on a pointer never read again.  Everything else must
+be caught -- the acceptance bar is >= 95% across all classes, and the
+suite reports per-class rates so a regression names the analysis that
+lost its teeth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ...codegen.microkernel import ARG_REGS, MicroKernel, generate_microkernel
+from ...isa.instructions import (
+    Branch,
+    Eor,
+    Label,
+    LoadScalarLane,
+    LoadVec,
+    LoadVecPair,
+    MovImm,
+    Prfm,
+    StoreVec,
+    StoreVecPair,
+    Unit,
+)
+from ...isa.program import Program
+from ...isa.registers import NUM_VREGS, VReg, ZReg
+from .cfg import build_cfg
+from .dataflow import analyze_dataflow
+from .findings import Severity
+from .verifier import verify_program
+
+__all__ = ["Mutant", "MutationOutcome", "MutationReport", "run_mutation_suite",
+           "default_mutation_kernels", "MUTATION_CLASSES"]
+
+MUTATION_CLASSES = (
+    "drop",
+    "swap-register",
+    "offset-bump",
+    "clobber-acc",
+    "branch-target",
+    "counter-bump",
+)
+
+#: Symbolic-execution fuel per mutant: enough for any small sweep kernel,
+#: small enough that a mutated non-terminating loop fails fast.
+MUTANT_FUEL = 30_000
+
+_MEM_INSTRS = (LoadVec, LoadScalarLane, LoadVecPair, StoreVec, StoreVecPair)
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One injected defect: the mutated program plus provenance."""
+
+    cls: str
+    description: str
+    program: Program
+
+
+@dataclass
+class MutationOutcome:
+    mutant: Mutant
+    detected: bool
+    codes: tuple[str, ...]
+
+
+@dataclass
+class MutationReport:
+    outcomes: list[MutationOutcome] = field(default_factory=list)
+
+    def by_class(self) -> dict[str, tuple[int, int]]:
+        """``class -> (detected, total)``."""
+        out: dict[str, tuple[int, int]] = {}
+        for o in self.outcomes:
+            d, t = out.get(o.mutant.cls, (0, 0))
+            out[o.mutant.cls] = (d + (1 if o.detected else 0), t + 1)
+        return out
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for o in self.outcomes if o.detected)
+
+    @property
+    def detection_rate(self) -> float:
+        return self.detected / self.total if self.total else 1.0
+
+    def missed(self) -> list[MutationOutcome]:
+        return [o for o in self.outcomes if not o.detected]
+
+    def summary(self) -> str:
+        lines = [
+            f"mutation self-test: {self.detected}/{self.total} detected "
+            f"({100 * self.detection_rate:.1f}%)"
+        ]
+        for cls, (d, t) in sorted(self.by_class().items()):
+            lines.append(f"  {cls}: {d}/{t}")
+        for o in self.missed():
+            lines.append(f"  MISSED [{o.mutant.cls}] {o.mutant.description}")
+        return "\n".join(lines)
+
+
+def _vector_fields(instr) -> list:
+    return [
+        f.name
+        for f in dataclasses.fields(instr)
+        if isinstance(getattr(instr, f.name), (VReg, ZReg))
+    ]
+
+
+def _base_read_later(instrs: list, idx: int) -> bool:
+    """True when the mutated instruction's base pointer is read again --
+    the condition for a post-increment bump to be semantically live."""
+    base = instrs[idx].base
+    for later in instrs[idx + 1:]:
+        if base in later.reads():
+            return True
+    return False
+
+
+def enumerate_mutants(program: Program) -> list[Mutant]:
+    """Every mutant of ``program`` across all defect classes."""
+    instrs = program.instructions
+    mutants: list[Mutant] = []
+
+    # Pure-ALU instructions whose every write is dead in the baseline (the
+    # generator's trailing pointer bumps): dropping one is an equivalent
+    # mutant, not a defect, so it is not a drop site.
+    cfg, _ = build_cfg(program)
+    df = analyze_dataflow(cfg, tuple(ARG_REGS.values()))
+    inert = {
+        i
+        for i, n_dead in df.dead_writes.items()
+        if instrs[i].unit is Unit.ALU and n_dead == len(instrs[i].writes())
+    }
+
+    def rebuilt(new_instrs: list, cls: str, desc: str) -> None:
+        mutants.append(
+            Mutant(cls, desc, Program(new_instrs, name=f"{program.name}:{desc}"))
+        )
+
+    for i, instr in enumerate(instrs):
+        # drop: losing a prefetch or a label's *pseudo*-instruction is not
+        # a semantic defect, so those are not sites.
+        if not isinstance(instr, (Label, Prfm)) and i not in inert:
+            rebuilt(
+                instrs[:i] + instrs[i + 1:],
+                "drop",
+                f"drop @{i} '{instr.asm()}'",
+            )
+
+        vfields = _vector_fields(instr)
+        if vfields and not isinstance(instr, Prfm):
+            fname = vfields[i % len(vfields)]
+            reg = getattr(instr, fname)
+            repl = type(reg)((reg.index + 1) % NUM_VREGS)
+            if repl == reg:  # pragma: no cover - single-register ISA only
+                repl = type(reg)((reg.index + 2) % NUM_VREGS)
+            rebuilt(
+                instrs[:i] + [dataclasses.replace(instr, **{fname: repl})]
+                + instrs[i + 1:],
+                "swap-register",
+                f"swap {fname} {reg}->{repl} @{i} '{instr.asm()}'",
+            )
+
+        if isinstance(instr, _MEM_INSTRS):
+            post = getattr(instr, "post_increment", 0)
+            if post:
+                if _base_read_later(instrs, i):
+                    rebuilt(
+                        instrs[:i]
+                        + [dataclasses.replace(
+                            instr, post_increment=post + 4)]
+                        + instrs[i + 1:],
+                        "offset-bump",
+                        f"post-increment +4 @{i} '{instr.asm()}'",
+                    )
+            else:
+                rebuilt(
+                    instrs[:i]
+                    + [dataclasses.replace(instr, offset=instr.offset + 4)]
+                    + instrs[i + 1:],
+                    "offset-bump",
+                    f"offset +4 @{i} '{instr.asm()}'",
+                )
+
+        if isinstance(instr, (StoreVec, StoreVecPair)):
+            src = instr.src1 if isinstance(instr, StoreVecPair) else instr.src
+            rebuilt(
+                instrs[:i] + [Eor(src)] + instrs[i:],
+                "clobber-acc",
+                f"zero {src} before @{i} '{instr.asm()}'",
+            )
+
+        if isinstance(instr, Branch):
+            rebuilt(
+                instrs[:i]
+                + [dataclasses.replace(instr, target="__nowhere__")]
+                + instrs[i + 1:],
+                "branch-target",
+                f"retarget @{i} '{instr.asm()}' at undefined label",
+            )
+
+        if isinstance(instr, MovImm):
+            for delta in (1, -1):
+                rebuilt(
+                    instrs[:i]
+                    + [dataclasses.replace(instr, imm=instr.imm + delta)]
+                    + instrs[i + 1:],
+                    "counter-bump",
+                    f"imm {delta:+d} @{i} '{instr.asm()}'",
+                )
+
+    return mutants
+
+
+def default_mutation_kernels() -> list[MicroKernel]:
+    """A small, structurally diverse set of known-good kernels: looped and
+    unrolled mainloops, beta=0 and beta=1, LDP/STP pairs, and SVE.
+
+    ``kc`` values give every counted mainloop at least two trips, so the
+    back-edge is always semantically load-bearing (dropping it in a
+    single-trip loop would be an equivalent mutant)."""
+    return [
+        generate_microkernel(4, 8, 14, lane=4, accumulate=True),
+        generate_microkernel(2, 8, 13, lane=4, accumulate=True, rotate=True),
+        generate_microkernel(4, 4, 13, lane=4, accumulate=False),
+        generate_microkernel(4, 8, 14, lane=4, accumulate=True,
+                             use_pairs=True),
+        generate_microkernel(2, 32, 52, lane=16, accumulate=True),
+    ]
+
+
+def run_mutation_suite(
+    kernels: list[MicroKernel] | None = None,
+    fuel: int = MUTANT_FUEL,
+) -> MutationReport:
+    """Inject every mutant into every kernel and score detection.
+
+    Detection means at least one WARNING-or-worse finding; the baselines
+    are asserted clean at that bar first, so advisory churn can neither
+    mask nor fake a detection.
+    """
+    if kernels is None:
+        kernels = default_mutation_kernels()
+    report = MutationReport()
+    for kernel in kernels:
+        baseline = verify_program(
+            kernel.program, config=kernel.config, fuel=fuel
+        )
+        gating = baseline.errors + baseline.warnings
+        if gating:
+            raise RuntimeError(
+                f"baseline kernel {kernel.config.name} is not clean: "
+                + "; ".join(f.message for f in gating[:3])
+            )
+        for mutant in enumerate_mutants(kernel.program):
+            rep = verify_program(
+                mutant.program, config=kernel.config, fuel=fuel
+            )
+            flagged = tuple(
+                f.code
+                for f in rep.findings
+                if f.severity >= Severity.WARNING
+            )
+            report.outcomes.append(
+                MutationOutcome(mutant, bool(flagged), flagged)
+            )
+    return report

@@ -1,0 +1,97 @@
+"""Advisory pipeline lints: RAW distances vs. the chip's latencies.
+
+The paper's whole pipelining story (§III-C1) is about *distance*: a value
+loaded ``d`` instructions before its consuming FMA hides ``d`` issue slots
+of the load's latency, and an accumulator re-used ``d`` instructions after
+the FMA that produced it hides ``d`` slots of ``L_fma``.  These lints
+measure exactly that on the static instruction stream:
+
+* ``short-load-use`` -- a vector LOAD whose result feeds an FMA fewer than
+  ``chip.lat_load_l1`` instructions later (the naive-pipeline signature);
+* ``short-fma-chain`` -- an accumulator written by an FMA and read by
+  another FMA fewer than ``chip.lat_fma`` instructions later (the
+  rotation-failed signature: too few spare registers to break the chain).
+
+Both are ADVICE, never gate: a ``lookahead=False`` kernel *is* the
+short-RAW case the paper analyses, and even well-pipelined kernels keep a
+short accumulator chain when ``mr*nv`` is small.  The aggregated counts
+give the tuner-facing signal ("rotation left N short chains at distance
+>= d_min") without drowning reports in per-site noise.
+"""
+
+from __future__ import annotations
+
+from ...isa.instructions import Label, Unit
+from ...isa.program import Program
+from ...isa.registers import VReg, ZReg
+from ...machine.chips import ChipSpec
+from .findings import Finding, Severity
+
+__all__ = ["pipeline_lints"]
+
+
+def pipeline_lints(program: Program, chip: ChipSpec) -> list[Finding]:
+    """Aggregated short-RAW advisories for ``program`` on ``chip``.
+
+    The scan is linear over the static stream (loop bodies are unrolled or
+    short, so static distance is the in-loop dynamic distance); positions
+    count issued instructions, labels excluded.
+    """
+    last_write: dict = {}  # vector reg -> (position, unit)
+    n_load = n_fma = 0
+    min_load = min_fma = None
+    pos = 0
+    for instr in program.instructions:
+        if isinstance(instr, Label):
+            continue
+        unit = instr.unit
+        if unit is Unit.FMA:
+            writes = set(instr.writes())
+            for r in instr.reads():
+                if not isinstance(r, (VReg, ZReg)):
+                    continue
+                prev = last_write.get(r)
+                if prev is None:
+                    continue
+                dist = pos - prev[0]
+                if prev[1] is Unit.LOAD and dist < chip.lat_load_l1:
+                    n_load += 1
+                    if min_load is None or dist < min_load:
+                        min_load = dist
+                elif (
+                    prev[1] is Unit.FMA
+                    and r in writes  # the accumulator chain, not operands
+                    and dist < chip.lat_fma
+                ):
+                    n_fma += 1
+                    if min_fma is None or dist < min_fma:
+                        min_fma = dist
+        for r in instr.writes():
+            if isinstance(r, (VReg, ZReg)):
+                last_write[r] = (pos, unit)
+        pos += 1
+
+    findings: list[Finding] = []
+    if n_load:
+        findings.append(
+            Finding(
+                "short-load-use",
+                Severity.ADVICE,
+                f"{n_load} FMA operand(s) consumed < {chip.lat_load_l1} "
+                f"instructions after their load (min distance {min_load}): "
+                f"load latency is exposed on {chip.name}",
+                count=n_load,
+            )
+        )
+    if n_fma:
+        findings.append(
+            Finding(
+                "short-fma-chain",
+                Severity.ADVICE,
+                f"{n_fma} accumulator re-use(s) < {chip.lat_fma} "
+                f"instructions after the producing FMA (min distance "
+                f"{min_fma}): FMA latency is exposed on {chip.name}",
+                count=n_fma,
+            )
+        )
+    return findings

@@ -1,0 +1,651 @@
+"""Symbolic execution of micro-kernel programs: addresses and values.
+
+The generated kernels are *data-oblivious counted loops*: control flow
+depends only on an immediate-initialised counter, and every address is an
+affine function of the six inline-asm operands (``A``, ``B``, ``C`` bases
+and ``lda/ldb/ldc`` element strides).  That property -- the same one that
+makes the tile-replay fast path sound -- lets a symbolic interpreter
+execute the program *exactly* without knowing any concrete address or any
+matrix value:
+
+* scalar registers hold linear expressions over the six operand symbols
+  (``Lin``), so every memory access resolves to ``operand + row*stride +
+  constant`` and is bounds-checked against the tile footprint the
+  :class:`~repro.codegen.microkernel.KernelConfig` declares -- out-of-tile
+  accesses on padded edges are caught with no simulation;
+* vector registers hold per-lane **symbolic values**: matrix elements
+  (``A[r,p]``, ``B[p,j]``, ``C[r,j]``) and accumulators (an initial value
+  plus a multiset of products).  Every store to ``C[r,j]`` is checked
+  against the one value a correct kernel may store there:
+  ``C0[r,j] (iff accumulate) + sum_p A[r,p]*B[p,j]`` -- which catches
+  swapped registers, wrong FMA lanes, dropped or duplicated work, and
+  clobbered accumulators as *value* errors, not just shape errors;
+* loop back-edges are checked for statically-determined trip counts and
+  iteration-invariant pointer strides.
+
+Because the interpreter is concrete in the control dimension, it fully
+unrolls the mainloop; a fuel bound converts runaway loops (a mutated
+counter that never reaches zero) into a finding rather than a hang.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...isa.instructions import (
+    AddImm,
+    AddReg,
+    Branch,
+    Eor,
+    FmlaElem,
+    FmlaVec,
+    FmulElem,
+    Label,
+    LoadScalarLane,
+    LoadVec,
+    LoadVecPair,
+    Lsl,
+    MovImm,
+    MovReg,
+    Prfm,
+    StoreVec,
+    StoreVecPair,
+    SubImm,
+    SubsImm,
+)
+from ...isa.program import Program
+from ...isa.registers import NUM_VREGS, NUM_XREGS, XReg
+from .findings import Finding, Severity
+
+__all__ = ["Lin", "SymExecResult", "symexec_program", "DEFAULT_SYM_FUEL"]
+
+#: Dynamic-instruction budget; generated kernels execute far fewer, so
+#: exceeding it means a broken back-edge (e.g. a counter that skips zero).
+DEFAULT_SYM_FUEL = 250_000
+
+_ZERO = ("zero",)
+_UNK = ("unk",)
+
+_OPERANDS = ("A", "B", "C")
+_STRIDE_OF = {"A": "lda", "B": "ldb", "C": "ldc"}
+
+
+class Lin:
+    """Integer-coefficient linear expression over the operand symbols."""
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs: dict[str, int] | None = None, const: int = 0):
+        self.coeffs = coeffs or {}
+        self.const = const
+
+    @classmethod
+    def sym(cls, name: str) -> "Lin":
+        return cls({name: 1}, 0)
+
+    @classmethod
+    def k(cls, const: int) -> "Lin":
+        return cls({}, const)
+
+    def add(self, other: "Lin") -> "Lin":
+        coeffs = dict(self.coeffs)
+        for s, c in other.coeffs.items():
+            coeffs[s] = coeffs.get(s, 0) + c
+            if coeffs[s] == 0:
+                del coeffs[s]
+        return Lin(coeffs, self.const + other.const)
+
+    def addk(self, const: int) -> "Lin":
+        return Lin(dict(self.coeffs), self.const + const)
+
+    def sub(self, other: "Lin") -> "Lin":
+        coeffs = dict(self.coeffs)
+        for s, c in other.coeffs.items():
+            coeffs[s] = coeffs.get(s, 0) - c
+            if coeffs[s] == 0:
+                del coeffs[s]
+        return Lin(coeffs, self.const - other.const)
+
+    def shl(self, shift: int) -> "Lin":
+        f = 1 << shift
+        return Lin({s: c * f for s, c in self.coeffs.items()}, self.const * f)
+
+    def coeff(self, sym: str) -> int:
+        return self.coeffs.get(sym, 0)
+
+    @property
+    def is_const(self) -> bool:
+        return not self.coeffs
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Lin)
+            and self.coeffs == other.coeffs
+            and self.const == other.const
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        parts = [f"{c}*{s}" for s, c in sorted(self.coeffs.items())]
+        parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+@dataclass
+class SymExecResult:
+    findings: list[Finding] = field(default_factory=list)
+    #: Dynamic instructions executed before completion or abort.
+    executed: int = 0
+    #: True when execution reached the end of the program.
+    completed: bool = False
+    #: (row, col) -> number of times the C cell was stored.
+    c_store_counts: dict[tuple[int, int], int] = field(default_factory=dict)
+
+
+def _canon(x: tuple, y: tuple) -> tuple:
+    return (x, y) if x <= y else (y, x)
+
+
+class _SymExec:
+    def __init__(self, program: Program, cfgk, fuel: int):
+        self.program = program
+        self.cfgk = cfgk  # KernelConfig
+        self.fuel = fuel
+        self.result = SymExecResult()
+        self.lanes = cfgk.lane
+        # Scalar state: Lin | None (None = unknown).
+        self.x: list[Lin | None] = [None] * NUM_XREGS
+        from ...codegen.microkernel import ARG_REGS
+
+        self.x[ARG_REGS["A"].index] = Lin.sym("A")
+        self.x[ARG_REGS["B"].index] = Lin.sym("B")
+        self.x[ARG_REGS["C"].index] = Lin.sym("C")
+        self.x[ARG_REGS["lda"].index] = Lin.sym("lda")
+        self.x[ARG_REGS["ldb"].index] = Lin.sym("ldb")
+        self.x[ARG_REGS["ldc"].index] = Lin.sym("ldc")
+        # Vector state: per register, per lane (init_atom, products|None).
+        self.v: list[list[tuple]] = [
+            [(_UNK, None)] * self.lanes for _ in range(NUM_VREGS)
+        ]
+        self.zero_flag: bool | None = None
+        # Loop-head snapshots for stride-consistency checking.
+        self.head_states: dict[str, list[list[Lin | None]]] = {}
+        self.aborted = False
+
+    # -- helpers ---------------------------------------------------------
+    def err(self, code: str, msg: str, idx: int,
+            severity: Severity = Severity.ERROR) -> None:
+        self.result.findings.append(Finding(code, severity, msg, index=idx))
+
+    def _classify(self, expr: Lin | None, idx: int, what: str):
+        """Resolve a linear address to ``(operand, row, byte_offset)``.
+
+        Returns ``None`` (after recording a finding) when the address is
+        not of the form ``OP + row*(4*ld_OP) + const``.
+        """
+        if expr is None:
+            self.err("unresolved-address", f"{what} address is not statically "
+                     "resolvable", idx)
+            return None
+        ops = [s for s in _OPERANDS if expr.coeff(s)]
+        if len(ops) != 1 or expr.coeff(ops[0]) != 1:
+            self.err(
+                "untracked-address",
+                f"{what} address {expr!r} is not based on exactly one "
+                "operand pointer",
+                idx,
+            )
+            return None
+        op = ops[0]
+        stride = _STRIDE_OF[op]
+        for s in ("lda", "ldb", "ldc"):
+            c = expr.coeff(s)
+            if s != stride and c != 0:
+                self.err(
+                    "untracked-address",
+                    f"{what} address {expr!r} mixes the {s} stride into an "
+                    f"{op}-operand access",
+                    idx,
+                )
+                return None
+        row4 = expr.coeff(stride)
+        if row4 % 4 != 0:
+            self.err(
+                "untracked-address",
+                f"{what} address {expr!r}: {stride} coefficient {row4} is "
+                "not a whole element stride (missing lsl #2?)",
+                idx,
+            )
+            return None
+        return op, row4 // 4, expr.const
+
+    def _check_bounds(self, op: str, row: int, off: int, width: int,
+                      idx: int, what: str, prefetch: bool = False) -> bool:
+        cfgk = self.cfgk
+        if op == "A":
+            rows, row_bytes = cfgk.mr, 4 * cfgk.kc
+        elif op == "B":
+            rows, row_bytes = cfgk.kc, 4 * cfgk.nr
+        else:
+            rows, row_bytes = cfgk.mr, 4 * cfgk.nr
+        in_bounds = 0 <= row < rows and 0 <= off and off + width <= row_bytes
+        if not in_bounds:
+            sev = Severity.ADVICE if prefetch else Severity.ERROR
+            self.err(
+                "out-of-tile-access",
+                f"{what} touches {op}[row {row}, bytes {off}:{off + width}] "
+                f"outside the {rows}-row x {row_bytes}-byte tile footprint",
+                idx,
+                severity=sev,
+            )
+            return False
+        if off % 4 != 0:
+            self.err(
+                "misaligned-access",
+                f"{what} at {op}[row {row}] byte offset {off} is not "
+                "float32-aligned",
+                idx,
+            )
+            return False
+        return True
+
+    def _atom(self, op: str, row: int, elem: int) -> tuple:
+        return (op, row, elem)
+
+    def _lane_atom(self, val: tuple) -> tuple:
+        """The atom a lane contributes when read as a multiplicand."""
+        init, prods = val
+        if prods is None:
+            return init
+        return _UNK  # reading an accumulator as a multiplicand
+
+    # -- memory ----------------------------------------------------------
+    def _resolve_access(self, base_reg: XReg, offset: int, post: int,
+                        idx: int, what: str):
+        base = self.x[base_reg.index]
+        if post:
+            addr = base
+            self.x[base_reg.index] = None if base is None else base.addk(post)
+        else:
+            addr = None if base is None else base.addk(offset)
+        return self._classify(addr, idx, what)
+
+    def _load_lanes(self, op: str, row: int, off: int, active: int) -> list:
+        elem0 = off // 4
+        lanes = []
+        for i in range(self.lanes):
+            if i < active:
+                lanes.append((self._atom(op, row, elem0 + i), None))
+            else:
+                lanes.append((_ZERO, None))
+        return lanes
+
+    def _store_check(self, src_lanes: list, op: str, row: int, off: int,
+                     active: int, idx: int, instr) -> None:
+        cfgk = self.cfgk
+        if op != "C":
+            self.err(
+                "store-outside-c",
+                f"store '{instr.asm()}' writes the read-only {op} operand",
+                idx,
+            )
+            return
+        elem0 = off // 4
+        for i in range(active):
+            j = elem0 + i
+            self.result.c_store_counts[(row, j)] = (
+                self.result.c_store_counts.get((row, j), 0) + 1
+            )
+            init, prods = src_lanes[i]
+            expect_init = ("C", row, j) if cfgk.accumulate else _ZERO
+            expect_prods = {
+                _canon(("A", row, p), ("B", p, j)): 1 for p in range(cfgk.kc)
+            }
+            if init == _UNK:
+                self.err(
+                    "unknown-value-stored",
+                    f"store '{instr.asm()}' writes an undefined value to "
+                    f"C[{row},{j}]",
+                    idx,
+                )
+                continue
+            if prods is None:
+                self.err(
+                    "wrong-c-value",
+                    f"store '{instr.asm()}' writes a raw loaded value "
+                    f"({init}) to C[{row},{j}] instead of an accumulated one",
+                    idx,
+                )
+                continue
+            if init != expect_init:
+                self.err(
+                    "wrong-c-value",
+                    f"C[{row},{j}] accumulator starts from {init}, expected "
+                    f"{expect_init}",
+                    idx,
+                )
+                continue
+            if prods != expect_prods:
+                missing = sum(
+                    n for pair, n in expect_prods.items()
+                    if prods.get(pair, 0) < n
+                )
+                extra = sum(
+                    max(0, n - expect_prods.get(pair, 0))
+                    for pair, n in prods.items()
+                )
+                self.err(
+                    "wrong-c-value",
+                    f"C[{row},{j}] accumulates the wrong product set "
+                    f"({missing} missing, {extra} unexpected of "
+                    f"{cfgk.kc} expected)",
+                    idx,
+                )
+
+    # -- vector arithmetic ----------------------------------------------
+    def _fma(self, instr, idx: int, accumulate_into_dst: bool) -> None:
+        # Accumulator product multisets are mutated in place: vector
+        # registers are only ever written whole (there is no vector-to-
+        # vector move in the ISA), so a lane's dict has exactly one owner
+        # and the O(kc) copy-per-FMA is unnecessary.
+        active = (
+            instr.active_lanes
+            if instr.active_lanes is not None
+            else self.lanes
+        )
+        dst = self.v[instr.dst.index]
+        vn = self.v[instr.vn.index]
+        vm = self.v[instr.vm.index]
+        by_elem = isinstance(instr, (FmlaElem, FmulElem))
+        if by_elem:
+            m_fixed = self._lane_atom(vm[instr.lane])
+        for i in range(active):
+            m_atom = m_fixed if by_elem else self._lane_atom(vm[i])
+            n_atom = self._lane_atom(vn[i])
+            if accumulate_into_dst:
+                init, prods = dst[i]
+                if prods is None:
+                    prods = {}
+                    dst[i] = (init, prods)
+            else:
+                init, prods = _ZERO, {}
+                dst[i] = (init, prods)
+            if n_atom == _UNK or m_atom == _UNK:
+                dst[i] = (_UNK, prods)
+            elif n_atom != _ZERO and m_atom != _ZERO:
+                pair = _canon(n_atom, m_atom)
+                prods[pair] = prods.get(pair, 0) + 1
+
+    # -- main loop -------------------------------------------------------
+    def run(self) -> SymExecResult:
+        program = self.program
+        instrs = program.instructions
+        labels = program.labels
+        n = len(instrs)
+        pc = 0
+        executed = 0
+        cfgk = self.cfgk
+        lane_bytes = 4 * self.lanes
+
+        while pc < n:
+            instr = instrs[pc]
+            idx = pc
+            executed += 1
+            if executed > self.fuel:
+                self.err(
+                    "runaway-execution",
+                    f"exceeded {self.fuel} dynamic instructions: loop does "
+                    "not terminate statically",
+                    idx,
+                )
+                self.aborted = True
+                break
+
+            if isinstance(instr, Label):
+                self._note_loop_head(instr.name, idx)
+                pc += 1
+                continue
+
+            if isinstance(instr, Prfm):
+                res = self._resolve_access(instr.base, instr.offset, 0,
+                                           idx, "prefetch")
+                if res is not None:
+                    op, row, off = res
+                    self._check_bounds(op, row, off, 1, idx, "prefetch",
+                                       prefetch=True)
+            elif isinstance(instr, Lsl):
+                src = self.x[instr.src.index]
+                self.x[instr.dst.index] = (
+                    None if src is None else src.shl(instr.shift)
+                )
+            elif isinstance(instr, MovImm):
+                self.x[instr.dst.index] = Lin.k(instr.imm)
+            elif isinstance(instr, MovReg):
+                self.x[instr.dst.index] = self.x[instr.src.index]
+            elif isinstance(instr, AddReg):
+                a, b = self.x[instr.a.index], self.x[instr.b.index]
+                self.x[instr.dst.index] = (
+                    None if a is None or b is None else a.add(b)
+                )
+            elif isinstance(instr, AddImm):
+                src = self.x[instr.src.index]
+                self.x[instr.dst.index] = (
+                    None if src is None else src.addk(instr.imm)
+                )
+            elif isinstance(instr, (SubImm, SubsImm)):
+                src = self.x[instr.src.index]
+                value = None if src is None else src.addk(-instr.imm)
+                self.x[instr.dst.index] = value
+                if isinstance(instr, SubsImm):
+                    if value is not None and value.is_const:
+                        self.zero_flag = value.const == 0
+                    else:
+                        self.zero_flag = None
+            elif isinstance(instr, LoadVec):
+                active = (
+                    instr.active_lanes
+                    if instr.active_lanes is not None
+                    else self.lanes
+                )
+                res = self._resolve_access(
+                    instr.base, instr.offset, instr.post_increment, idx,
+                    f"load '{instr.asm()}'"
+                )
+                if res is None:
+                    self.v[instr.dst.index] = [(_UNK, None)] * self.lanes
+                else:
+                    op, row, off = res
+                    if self._check_bounds(op, row, off, 4 * active, idx,
+                                          f"load '{instr.asm()}'"):
+                        self.v[instr.dst.index] = self._load_lanes(
+                            op, row, off, active
+                        )
+                    else:
+                        self.v[instr.dst.index] = [(_UNK, None)] * self.lanes
+            elif isinstance(instr, LoadScalarLane):
+                res = self._resolve_access(
+                    instr.base, instr.offset, instr.post_increment, idx,
+                    f"load '{instr.asm()}'"
+                )
+                lanes = [(_ZERO, None)] * self.lanes
+                if res is not None:
+                    op, row, off = res
+                    if self._check_bounds(op, row, off, 4, idx,
+                                          f"load '{instr.asm()}'"):
+                        lanes[0] = (self._atom(op, row, off // 4), None)
+                    else:
+                        lanes[0] = (_UNK, None)
+                else:
+                    lanes[0] = (_UNK, None)
+                self.v[instr.dst.index] = lanes
+            elif isinstance(instr, LoadVecPair):
+                res = self._resolve_access(instr.base, instr.offset, 0, idx,
+                                           f"load '{instr.asm()}'")
+                if res is None:
+                    self.v[instr.dst1.index] = [(_UNK, None)] * self.lanes
+                    self.v[instr.dst2.index] = [(_UNK, None)] * self.lanes
+                else:
+                    op, row, off = res
+                    if self._check_bounds(op, row, off, 2 * lane_bytes, idx,
+                                          f"load '{instr.asm()}'"):
+                        self.v[instr.dst1.index] = self._load_lanes(
+                            op, row, off, self.lanes
+                        )
+                        self.v[instr.dst2.index] = self._load_lanes(
+                            op, row, off + lane_bytes, self.lanes
+                        )
+                    else:
+                        self.v[instr.dst1.index] = [(_UNK, None)] * self.lanes
+                        self.v[instr.dst2.index] = [(_UNK, None)] * self.lanes
+            elif isinstance(instr, StoreVec):
+                active = (
+                    instr.active_lanes
+                    if instr.active_lanes is not None
+                    else self.lanes
+                )
+                res = self._resolve_access(
+                    instr.base, instr.offset, instr.post_increment, idx,
+                    f"store '{instr.asm()}'"
+                )
+                if res is not None:
+                    op, row, off = res
+                    if self._check_bounds(op, row, off, 4 * active, idx,
+                                          f"store '{instr.asm()}'"):
+                        self._store_check(
+                            self.v[instr.src.index], op, row, off, active,
+                            idx, instr,
+                        )
+            elif isinstance(instr, StoreVecPair):
+                res = self._resolve_access(instr.base, instr.offset, 0, idx,
+                                           f"store '{instr.asm()}'")
+                if res is not None:
+                    op, row, off = res
+                    if self._check_bounds(op, row, off, 2 * lane_bytes, idx,
+                                          f"store '{instr.asm()}'"):
+                        self._store_check(
+                            self.v[instr.src1.index], op, row, off,
+                            self.lanes, idx, instr,
+                        )
+                        self._store_check(
+                            self.v[instr.src2.index], op, row,
+                            off + lane_bytes, self.lanes, idx, instr,
+                        )
+            elif isinstance(instr, (FmlaElem, FmlaVec)):
+                self._fma(instr, idx, accumulate_into_dst=True)
+            elif isinstance(instr, FmulElem):
+                self._fma(instr, idx, accumulate_into_dst=False)
+            elif isinstance(instr, Eor):
+                # Per-lane dicts: lanes must not share one mutable multiset.
+                self.v[instr.dst.index] = [
+                    (_ZERO, {}) for _ in range(self.lanes)
+                ]
+            elif isinstance(instr, Branch):
+                take: bool | None
+                if instr.cond == "al":
+                    take = True
+                elif self.zero_flag is None:
+                    take = None
+                elif instr.cond == "ne":
+                    take = not self.zero_flag
+                elif instr.cond == "eq":
+                    take = self.zero_flag
+                else:
+                    take = None
+                if take is None:
+                    self.err(
+                        "indeterminate-branch",
+                        f"branch '{instr.asm()}' depends on a flag that is "
+                        "not statically determined (loop trip count unknown)",
+                        idx,
+                    )
+                    self.aborted = True
+                    break
+                if take:
+                    target = labels.get(instr.target)
+                    if target is None:
+                        self.aborted = True
+                        break  # already an unresolved-target CFG error
+                    pc = target
+                    continue
+            # Unknown instruction kinds fall through as no-ops: the
+            # dataflow analyses still cover their declared reads/writes.
+            pc += 1
+        if pc >= n and not self.aborted:
+            self.result.completed = True
+
+        self.result.executed = executed
+        if self.result.completed and not self.aborted:
+            self._check_coverage()
+        return self.result
+
+    def _note_loop_head(self, name: str, idx: int) -> None:
+        snaps = self.head_states.setdefault(name, [])
+        if len(snaps) >= 3:
+            return
+        snaps.append(list(self.x))
+        if len(snaps) == 3:
+            d1 = _state_delta(snaps[0], snaps[1])
+            d2 = _state_delta(snaps[1], snaps[2])
+            if d1 != d2:
+                bad = [
+                    f"x{i}" for i in range(NUM_XREGS)
+                    if d1.get(i) != d2.get(i)
+                ]
+                self.err(
+                    "inconsistent-loop-stride",
+                    f"pointer stride changes between loop iterations at "
+                    f"label {name!r} (registers {', '.join(bad)})",
+                    idx,
+                )
+
+    def _check_coverage(self) -> None:
+        cfgk = self.cfgk
+        counts = self.result.c_store_counts
+        missing = [
+            (r, j)
+            for r in range(cfgk.mr)
+            for j in range(cfgk.nr)
+            if counts.get((r, j), 0) == 0
+        ]
+        for r, j in missing[:8]:
+            self.err("c-not-stored", f"C[{r},{j}] is never stored back", None)
+        if len(missing) > 8:
+            self.result.findings.append(
+                Finding(
+                    "c-not-stored",
+                    Severity.ERROR,
+                    f"... and {len(missing) - 8} more C cells never stored",
+                    count=len(missing) - 8,
+                )
+            )
+        dup = [(cell, c) for cell, c in counts.items() if c > 1]
+        for (r, j), c in dup[:8]:
+            self.err(
+                "c-multiply-stored",
+                f"C[{r},{j}] is stored {c} times",
+                None,
+                severity=Severity.WARNING,
+            )
+
+
+def _state_delta(a: list, b: list) -> dict:
+    out = {}
+    for i in range(len(a)):
+        if a[i] is None or b[i] is None:
+            if a[i] is not b[i]:
+                out[i] = "undef"
+            continue
+        d = b[i].sub(a[i])
+        if d.coeffs or d.const:
+            out[i] = (tuple(sorted(d.coeffs.items())), d.const)
+    return out
+
+
+def symexec_program(program: Program, config,
+                    fuel: int = DEFAULT_SYM_FUEL) -> SymExecResult:
+    """Symbolically execute ``program`` against its ``KernelConfig``.
+
+    Returns bounds/value/loop findings; exact for data-oblivious kernels
+    (see module docstring).  ``config`` supplies the tile footprint
+    (``mr``/``nr``/``kc``/``lane``) and the ``accumulate`` contract.
+    """
+    return _SymExec(program, config, fuel).run()

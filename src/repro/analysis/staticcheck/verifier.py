@@ -1,0 +1,318 @@
+"""Verifier entry points: one program, one kernel, fused blocks, full sweep.
+
+``verify_program`` composes every analysis in the package over a single
+:class:`~repro.isa.program.Program`:
+
+1. CFG construction + structural checks (``cfg``);
+2. loop-soundness shape checks on every back-edge (``cfg``);
+3. definite assignment, liveness, dead stores, exact register pressure
+   (``dataflow``), cross-checked against the analytical accounting in
+   :mod:`repro.codegen.tiles` and the 32-register budget;
+4. symbolic execution for tile-footprint bounds, statically-determined
+   trip counts, iteration-invariant strides, and exact C-value
+   verification (``symexec``) -- when a :class:`KernelConfig` supplies the
+   tile contract;
+5. advisory pipeline lints against a chip's latencies (``pipeline_lint``)
+   -- when a chip is supplied.
+
+``sweep_kernels`` runs the verifier over the entire Table II kernel family
+(NEON and SVE, rotation on/off) plus one fused pair per Figure 4 boundary
+mode; it is the engine behind ``repro lint-kernels`` and the CI gate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ...codegen.microkernel import ARG_REGS, KernelConfig, MicroKernel, generate_microkernel
+from ...codegen.tiles import (
+    GENERATOR_MAX_MR,
+    REGISTER_BUDGET,
+    enumerate_tiles,
+    registers_occupied,
+)
+from ...isa.program import Program
+from ...machine.chips import ChipSpec
+from .cfg import build_cfg, loop_soundness_findings
+from .dataflow import analyze_dataflow
+from .findings import Report, Severity
+from .fusion_check import check_fused_template, check_fused_trace
+from .pipeline_lint import pipeline_lints
+from .symexec import DEFAULT_SYM_FUEL, symexec_program
+
+__all__ = [
+    "StaticCheckError",
+    "verify_program",
+    "verify_kernel",
+    "verify_fused_sequence",
+    "sweep_kernels",
+    "SWEEP_KC",
+    "SVE_SWEEP_LANE",
+]
+
+#: Sweep k_c per ISA: a multiple-of-lane part plus a remainder, so both the
+#: vectorised mainloop and the scalar epilogue paths are exercised.
+SWEEP_KC = {"neon": 14, "sve": 36}
+
+#: SVE sweep vector length: 512-bit (A64FX), 16 fp32 lanes.
+SVE_SWEEP_LANE = 16
+
+
+class StaticCheckError(RuntimeError):
+    """A verified program has error-severity findings."""
+
+    def __init__(self, report: Report):
+        self.report = report
+        errs = "; ".join(f.message for f in report.errors[:3])
+        super().__init__(f"static check failed for {report.name}: {errs}")
+
+
+def verify_program(
+    program: Program,
+    config: KernelConfig | None = None,
+    chip: ChipSpec | None = None,
+    name: str | None = None,
+    entry_defined: tuple | None = None,
+    fuel: int = DEFAULT_SYM_FUEL,
+) -> Report:
+    """Run every applicable analysis over ``program``; returns the report.
+
+    ``config`` enables the symbolic (bounds + value) checks and the
+    register-accounting cross-check; ``chip`` enables the advisory
+    pipeline lints.  ``entry_defined`` defaults to the inline-asm operand
+    bindings (``x0..x5``) -- the only values live into a generated kernel.
+    """
+    report = Report(name or program.name or "program")
+    cfg, structural = build_cfg(program)
+    report.extend(structural)
+    report.extend(loop_soundness_findings(program))
+
+    if entry_defined is None:
+        entry_defined = tuple(ARG_REGS.values())
+    df = analyze_dataflow(cfg, entry_defined)
+    report.extend(df.findings)
+    report.max_live_vregs = df.max_live_vregs
+    report.occupied_vregs = df.vregs_referenced
+
+    if df.max_live_vregs > REGISTER_BUDGET:
+        report.add(
+            "register-budget",
+            Severity.ERROR,
+            f"{df.max_live_vregs} vector registers simultaneously live "
+            f"(budget {REGISTER_BUDGET})",
+        )
+
+    if config is not None:
+        analytical = registers_occupied(
+            config.mr, config.nr, config.lane, config.rotate
+        )
+        report.analytical_vregs = analytical
+        if analytical > REGISTER_BUDGET:
+            report.add(
+                "register-budget",
+                Severity.ERROR,
+                f"analytical accounting claims {analytical} vector "
+                f"registers (budget {REGISTER_BUDGET})",
+            )
+        if df.vregs_referenced > analytical:
+            report.add(
+                "register-accounting",
+                Severity.ERROR,
+                f"program references {df.vregs_referenced} vector registers "
+                f"but codegen.tiles accounts for {analytical}",
+            )
+        # Structural errors (broken CFG) make symbolic findings cascade
+        # noise; the structural diagnosis is the actionable one.
+        if report.ok:
+            sym = symexec_program(program, config, fuel=fuel)
+            report.extend(sym.findings)
+
+    if chip is not None:
+        report.extend(pipeline_lints(program, chip))
+    return report.finalize()
+
+
+def verify_kernel(
+    kernel: MicroKernel,
+    chip: ChipSpec | None = None,
+    name: str | None = None,
+    fuel: int = DEFAULT_SYM_FUEL,
+) -> Report:
+    """Verify one generated micro-kernel against its own configuration."""
+    return verify_program(
+        kernel.program,
+        config=kernel.config,
+        chip=chip,
+        name=name or kernel.config.name,
+        fuel=fuel,
+    )
+
+
+# -- fused sequences -----------------------------------------------------
+
+
+def _simulate_kernel(kernel: MicroKernel):
+    """Interpret ``kernel`` once on synthetic operands; returns the dynamic
+    trace and its replay template (same layout discipline as
+    ``ReplayCache.cycles``)."""
+    import numpy as np
+
+    from ...machine.memory import Memory
+    from ...machine.simulator import Simulator, build_template
+
+    cfg = kernel.config
+    memory = Memory(size_bytes=1 << 24)
+    rng = np.random.default_rng(7)
+    h_a = memory.alloc_matrix(cfg.mr, cfg.kc)
+    h_b = memory.alloc_matrix(cfg.kc, cfg.nr)
+    h_c = memory.alloc_matrix(cfg.mr, cfg.nr)
+    memory.write_matrix(
+        h_a, rng.uniform(-1, 1, (cfg.mr, cfg.kc)).astype(np.float32)
+    )
+    memory.write_matrix(
+        h_b, rng.uniform(-1, 1, (cfg.kc, cfg.nr)).astype(np.float32)
+    )
+    memory.write_matrix(h_c, np.zeros((cfg.mr, cfg.nr), np.float32))
+    sim = Simulator(memory, vector_lanes=cfg.lane)
+    args = {
+        ARG_REGS["A"]: h_a.base,
+        ARG_REGS["B"]: h_b.base,
+        ARG_REGS["C"]: h_c.base,
+        ARG_REGS["lda"]: h_a.ld,
+        ARG_REGS["ldb"]: h_b.ld,
+        ARG_REGS["ldc"]: h_c.ld,
+    }
+    result = sim.run(kernel.program, args=args)
+    regions = [
+        (h.base, h.base, h.base + h.bytes_spanned) for h in (h_a, h_b, h_c)
+    ]
+    return result.trace, build_template(result.trace, regions)
+
+
+def verify_fused_sequence(
+    kernels: list[MicroKernel], name: str = "fused"
+) -> Report:
+    """Verify trace- and template-level fusion over a kernel sequence.
+
+    Each kernel is interpreted once on synthetic operands; the resulting
+    traces/templates are fused by the production code paths
+    (``fuse_traces`` / ``fuse_templates``) and checked for conservation,
+    order preservation, accumulator clobbers, and template/trace
+    agreement.
+    """
+    from ...codegen.fusion import fuse_traces, fuse_templates
+
+    report = Report(name)
+    traces = []
+    templates = []
+    for k in kernels:
+        trace, tpl = _simulate_kernel(k)
+        if tpl is None:
+            report.add(
+                "template-capture-failed",
+                Severity.ERROR,
+                f"kernel {k.config.name}: trace addresses could not be "
+                "classified against the operand regions",
+            )
+            return report.finalize()
+        traces.append(trace)
+        templates.append(tpl)
+
+    fused_trace = fuse_traces(traces)
+    report.extend(check_fused_trace(traces, fused_trace))
+    fused_tpl = fuse_templates(templates)
+    report.extend(check_fused_template(templates, fused_tpl))
+    return report.finalize()
+
+
+# -- the full-family sweep -----------------------------------------------
+
+
+def _fusion_pair_shapes(isa: str) -> tuple[tuple[int, int], tuple[int, int]]:
+    """A (compute-bound, memory-bound) tile pair per ISA, used to realise
+    all four Figure 4 boundary modes."""
+    if isa == "neon":
+        return (8, 8), (1, 4)
+    return (4, 5 * SVE_SWEEP_LANE), (1, SVE_SWEEP_LANE)
+
+
+def sweep_kernels(
+    isas: Iterable[str] = ("neon", "sve"),
+    chip: ChipSpec | None = None,
+    kc: int | None = None,
+    rotations: Iterable[bool] = (False, True),
+    fusion: bool = True,
+    progress=None,
+) -> list[Report]:
+    """Verify the whole kernel family; returns one report per combination.
+
+    Covers every Table II shape per ISA (58 at four lanes): generatable
+    shapes (``mr <= GENERATOR_MAX_MR``) are generated and fully verified
+    for each rotation variant; the remainder get analytical-only reports
+    (their register accounting is still budget-checked, which is all a
+    never-generated shape can violate).  With ``fusion=True`` one fused
+    pair per boundary mode (``c_to_c``/``m_to_m``/``c_to_m``/``m_to_c``)
+    is simulated and checked per ISA.
+    """
+    from ...model.perf_model import fusion_kind
+
+    reports: list[Report] = []
+    for isa in isas:
+        lane = 4 if isa == "neon" else SVE_SWEEP_LANE
+        kc_isa = kc if kc is not None else SWEEP_KC[isa]
+        for tile in enumerate_tiles(lane, generatable_only=False):
+            if tile.mr > GENERATOR_MAX_MR:
+                rep = Report(f"{isa}:{tile.mr}x{tile.nr}:analytical")
+                rep.analytical_vregs = registers_occupied(
+                    tile.mr, tile.nr, lane
+                )
+                if rep.analytical_vregs > REGISTER_BUDGET:
+                    rep.add(
+                        "register-budget",
+                        Severity.ERROR,
+                        f"analytical accounting claims "
+                        f"{rep.analytical_vregs} vector registers",
+                    )
+                reports.append(rep.finalize())
+                if progress:
+                    progress(rep)
+                continue
+            for rotate in rotations:
+                kernel = generate_microkernel(
+                    tile.mr,
+                    tile.nr,
+                    kc_isa,
+                    lane=lane,
+                    accumulate=True,
+                    rotate=rotate,
+                )
+                rep = verify_kernel(
+                    kernel,
+                    chip=chip,
+                    name=f"{isa}:{tile.mr}x{tile.nr}:"
+                    f"{'rotate' if rotate else 'plain'}",
+                )
+                reports.append(rep)
+                if progress:
+                    progress(rep)
+
+        if fusion:
+            cb, mb = _fusion_pair_shapes(isa)
+            kern = {
+                shape: generate_microkernel(
+                    shape[0], shape[1], kc_isa, lane=lane, accumulate=True
+                )
+                for shape in (cb, mb)
+            }
+            for first, second in ((cb, cb), (mb, mb), (cb, mb), (mb, cb)):
+                a, b = kern[first], kern[second]
+                mode = fusion_kind(
+                    a.config.compute_bound, b.config.compute_bound
+                )
+                rep = verify_fused_sequence(
+                    [a, b], name=f"{isa}:fusion:{mode}"
+                )
+                reports.append(rep)
+                if progress:
+                    progress(rep)
+    return reports

@@ -10,12 +10,17 @@ Usage examples::
     python -m repro dmt 26 36 --kc 64 --chip KP920 --metrics
     python -m repro calibrate --chip Graviton2
     python -m repro profile 64 64 64 --chip KP920 --trace-out trace.json
+    python -m repro lint-kernels --isa both --json --out findings.json
 
 ``gemm`` and ``estimate`` accept ``--json`` for machine-readable output;
 ``gemm``/``estimate``/``dmt`` accept ``--metrics`` to print telemetry
 counters after the run.  ``profile`` runs a GEMM with full telemetry and
 writes a Chrome-trace JSON openable in Perfetto (see
-``docs/observability.md``).
+``docs/observability.md``).  ``lint-kernels`` runs the static kernel
+verifier over the whole generated family (see ``docs/static-analysis.md``).
+
+Every subcommand returns a distinct non-zero exit code on failure (see
+``FAIL_CODES``); argparse usage errors exit with the conventional 2.
 """
 
 from __future__ import annotations
@@ -258,6 +263,70 @@ def _cmd_dmt(args) -> int:
     return 0
 
 
+def _cmd_lint_kernels(args) -> int:
+    from .analysis.staticcheck import run_mutation_suite, sweep_kernels
+
+    isas = ("neon", "sve") if args.isa == "both" else (args.isa,)
+    chip = get_chip(args.chip) if args.chip else None
+    reports = sweep_kernels(
+        isas=isas, chip=chip, kc=args.kc, fusion=not args.no_fusion
+    )
+    n_errors = sum(len(r.errors) for r in reports)
+    n_warnings = sum(len(r.warnings) for r in reports)
+    n_advice = sum(len(r.advice) for r in reports)
+    failed = n_errors > 0
+
+    payload = {
+        "command": "lint-kernels",
+        "isas": list(isas),
+        "reports": [r.to_dict() for r in reports],
+        "total_reports": len(reports),
+        "errors": n_errors,
+        "warnings": n_warnings,
+        "advice": n_advice,
+    }
+    if args.mutation:
+        mrep = run_mutation_suite()
+        payload["mutation"] = {
+            "detected": mrep.detected,
+            "total": mrep.total,
+            "detection_rate": mrep.detection_rate,
+            "by_class": {
+                cls: {"detected": d, "total": t}
+                for cls, (d, t) in mrep.by_class().items()
+            },
+            "missed": [
+                {"class": o.mutant.cls, "description": o.mutant.description}
+                for o in mrep.missed()
+            ],
+        }
+        if mrep.detection_rate < args.mutation_threshold:
+            failed = True
+    payload["ok"] = not failed
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for r in reports:
+            if r.errors or r.warnings:
+                print(r.summary())
+                for f in r.errors + r.warnings:
+                    print(f"    {f.severity}: [{f.code}] {f.message}")
+        print(
+            f"lint-kernels: {len(reports)} report(s) over {'/'.join(isas)}: "
+            f"{n_errors} error(s), {n_warnings} warning(s), "
+            f"{n_advice} advice"
+        )
+        if args.mutation:
+            print(mrep.summary())
+        if args.out:
+            print(f"findings written to {args.out}")
+    return FAIL_CODES["lint-kernels"] if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -332,6 +401,27 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--metrics", action="store_true",
                    help="collect and report telemetry counters")
 
+    lk = sub.add_parser(
+        "lint-kernels",
+        help="statically verify the whole generated kernel family",
+    )
+    lk.add_argument("--isa", choices=["neon", "sve", "both"], default="both")
+    lk.add_argument("--kc", type=int, default=None,
+                    help="override the per-ISA sweep k_c")
+    lk.add_argument("--chip", default=None,
+                    help="enable advisory pipeline lints against this "
+                         "chip's latencies")
+    lk.add_argument("--json", action="store_true",
+                    help="machine-readable JSON output")
+    lk.add_argument("--out", default=None,
+                    help="write the JSON findings artifact to this path")
+    lk.add_argument("--no-fusion", action="store_true",
+                    help="skip the fused-pair boundary checks")
+    lk.add_argument("--mutation", action="store_true",
+                    help="also run the mutation self-test harness")
+    lk.add_argument("--mutation-threshold", type=float, default=0.95,
+                    help="minimum mutation detection rate (default 0.95)")
+
     return parser
 
 
@@ -344,12 +434,33 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "tiles": _cmd_tiles,
     "dmt": _cmd_dmt,
+    "lint-kernels": _cmd_lint_kernels,
 }
+
+#: Per-subcommand failure exit codes: distinct, non-zero, and disjoint from
+#: argparse's usage-error 2, so scripts and CI can tell *which* stage of a
+#: multi-command pipeline failed from the status alone.
+FAIL_CODES = {
+    "chips": 10,
+    "kernel": 11,
+    "gemm": 12,
+    "estimate": 13,
+    "profile": 14,
+    "tiles": 15,
+    "calibrate": 16,
+    "dmt": 17,
+    "lint-kernels": 18,
+}
+assert set(FAIL_CODES) == set(_COMMANDS)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except Exception as exc:
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return FAIL_CODES[args.command]
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,6 +24,7 @@ __all__ = [
     "ai_max",
     "ai",
     "registers_used",
+    "registers_occupied",
     "is_feasible",
     "enumerate_tiles",
     "first_choice_tiles",
@@ -89,6 +90,24 @@ def registers_used(mr: int, nr: int, lane: int = 4) -> int:
     """Vector registers a basic (non-rotating) micro-kernel occupies."""
     nv = math.ceil(nr / lane)
     return mr * nv + mr + nv
+
+
+def registers_occupied(mr: int, nr: int, lane: int = 4, rotate: bool = False) -> int:
+    """Vector registers a generated micro-kernel actually touches.
+
+    The non-rotating kernel occupies exactly :func:`registers_used`.  With
+    rotating allocation (§III-C1) the register plan deepens each of the
+    ``mr`` A pools and ``nv`` B pools by at most one spare register, in
+    preference order, until the budget is exhausted -- so rotation adds
+    ``min(spares, mr + nv)`` to the occupancy.  The static verifier
+    cross-checks this closed form against the measured per-program count
+    for every Table II shape.
+    """
+    base = registers_used(mr, nr, lane)
+    if not rotate:
+        return base
+    nv = math.ceil(nr / lane)
+    return base + min(max(REGISTER_BUDGET - base, 0), mr + nv)
 
 
 def is_feasible(mr: int, nr: int, lane: int = 4) -> bool:

@@ -30,10 +30,18 @@ nested spans (``gemm`` > ``core`` > ``c_block`` > ``pack_block`` /
 executed, padded-FLOP waste, pack traffic, and plan-cache hits.  The result
 always carries ``phase_cycles``, a pack/kernel/parallel-overhead breakdown
 that sums to ``cycles`` exactly.
+
+Static checking: with ``REPRO_STATICCHECK=1`` in the environment (read at
+construction; off by default, on in CI) every distinct ``KernelKey`` is run
+through the static verifier (:mod:`repro.analysis.staticcheck`) at its
+first use, before any tile executes it.  Error findings raise
+:class:`~repro.analysis.staticcheck.StaticCheckError`; the pass emits
+``staticcheck.verified`` / ``staticcheck.findings`` telemetry counters.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -128,6 +136,8 @@ class GemmExecutor:
         self.model = MicroKernelModel(ModelParams.from_chip(chip, launch=launch_cycles))
         self._tiler = DynamicMicroTiler(self.model, lane=chip.sigma_lane)
         self._plan_cache: dict[tuple, TilePlan] = {}
+        self.staticcheck = os.environ.get("REPRO_STATICCHECK") == "1"
+        self._verified_keys: set[KernelKey] = set()
 
     # ------------------------------------------------------------------
     def plan_block(self, mc: int, nc: int, kc: int, schedule: Schedule) -> TilePlan:
@@ -158,6 +168,34 @@ class GemmExecutor:
                     plan = libxsmm_tiling(mc, nc, tile)
         self._plan_cache[key] = plan
         return plan
+
+    # ------------------------------------------------------------------
+    def _verify_kernel(self, key: KernelKey, kernel) -> None:
+        """Static-check ``kernel`` once per distinct :class:`KernelKey`.
+
+        Runs the full verifier (CFG, dataflow, symbolic execution, register
+        accounting) plus this chip's advisory pipeline lints before the
+        kernel's first tile executes.  Error findings abort the run with
+        :class:`~repro.analysis.staticcheck.StaticCheckError` -- a kernel
+        the verifier rejects must never touch simulated memory.
+        """
+        from ..analysis.staticcheck import StaticCheckError, verify_program
+
+        self._verified_keys.add(key)
+        with telemetry.span(
+            "staticcheck", mr=key.mr, nr=key.nr, kc=key.kc
+        ):
+            report = verify_program(
+                kernel.program,
+                config=kernel.config,
+                chip=self.chip,
+                name=kernel.config.name,
+            )
+        telemetry.count("staticcheck.verified")
+        if report.findings:
+            telemetry.count("staticcheck.findings", len(report.findings))
+        if report.errors:
+            raise StaticCheckError(report)
 
     # ------------------------------------------------------------------
     def run(
@@ -431,6 +469,8 @@ class GemmExecutor:
                 use_pairs=schedule.use_pairs,
             )
             kernel = self.kernels.get(key)
+            if self.staticcheck and key not in self._verified_keys:
+                self._verify_kernel(key, kernel)
             if tile.padded:
                 telemetry.count("executor.padded_tiles")
                 telemetry.count(

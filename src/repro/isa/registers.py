@@ -11,6 +11,7 @@ alike, so they can key scoreboard and register-file dictionaries.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import ClassVar
 
@@ -116,25 +117,76 @@ for _cls in (XReg, VReg, ZReg):
 
 _REG_CLASSES = {"x": XReg, "v": VReg, "z": ZReg}
 
+#: Full spelling grammar: class letter, index, optional arrangement
+#: (``.4s`` / ``.s``), optional element index (``[2]``).
+_REG_RE = re.compile(
+    r"^(?P<cls>[xvz])(?P<idx>\d{1,2})"
+    r"(?:\.(?P<count>\d{1,2})?(?P<elem>[bhsdq]))?"
+    r"(?:\[(?P<lane>\d+)\])?$"
+)
+
+#: Legal NEON/SVE arrangement element counts per element size (an empty
+#: count is the scalar-element form ``v0.s[2]`` / the SVE form ``z3.s``).
+_ARRANGEMENTS = {
+    "b": {"", "8", "16"},
+    "h": {"", "4", "8"},
+    "s": {"", "2", "4"},
+    "d": {"", "1", "2"},
+    "q": {""},
+}
+
+_SPELLING_HELP = "expected forms: x5, v12, v12.4s, v0.s[2], z3.s"
+
 
 def parse_register(text: str) -> Register:
     """Parse an assembly register spelling (``x5``, ``v12``, ``v12.4s``,
-    ``z3.s``) into a :class:`Register`.
+    ``v0.s[2]``, ``z3.s``) into a :class:`Register`.
 
-    Lane-arrangement suffixes (``.4s``, ``.s``, ``.s[2]``) are accepted and
-    ignored -- the instruction, not the operand, carries element semantics in
-    this ISA subset.
+    Lane-arrangement suffixes are validated but not represented -- the
+    instruction, not the operand, carries element semantics in this ISA
+    subset.  Malformed spellings (wrong class letter, missing index, an
+    arrangement on a scalar register, an illegal element count, an
+    out-of-range index) raise :class:`ValueError` naming the offending
+    part of the spelling.
     """
-    body = text.strip().lower()
-    body = body.split(".", 1)[0]
-    if not body or body[0] not in _REG_CLASSES:
-        raise ValueError(f"unrecognised register {text!r}")
-    cls = _REG_CLASSES[body[0]]
+    m = _REG_RE.match(text.strip().lower())
+    if m is None:
+        raise ValueError(
+            f"malformed register spelling {text!r} ({_SPELLING_HELP})"
+        )
+    cls = _REG_CLASSES[m["cls"]]
+    elem, count, lane = m["elem"], m["count"], m["lane"]
+    if cls is XReg and (elem or lane):
+        raise ValueError(
+            f"malformed register spelling {text!r}: scalar x-registers "
+            "take no lane arrangement"
+        )
+    if elem:
+        if count and cls is ZReg:
+            raise ValueError(
+                f"malformed register spelling {text!r}: SVE element "
+                "suffixes carry no lane count (z3.s, not z3.4s)"
+            )
+        if (count or "") not in _ARRANGEMENTS[elem]:
+            raise ValueError(
+                f"malformed register spelling {text!r}: "
+                f"'.{count}{elem}' is not a legal arrangement"
+            )
+    if lane is not None:
+        if not elem:
+            raise ValueError(
+                f"malformed register spelling {text!r}: an element index "
+                "requires an element suffix (v0.s[2])"
+            )
+        if count:
+            raise ValueError(
+                f"malformed register spelling {text!r}: element indexing "
+                "uses the scalar-element form (v0.s[2], not v0.4s[2])"
+            )
     try:
-        index = int(body[1:])
+        return cls(int(m["idx"]))
     except ValueError as exc:
-        raise ValueError(f"unrecognised register {text!r}") from exc
-    return cls(index)
+        raise ValueError(f"register spelling {text!r}: {exc}") from exc
 
 
 class RegisterFile:

@@ -118,3 +118,79 @@ class TestParser:
         args = build_parser().parse_args(["gemm", "8", "8", "8"])
         assert args.json is False
         assert args.metrics is False
+
+
+class TestExitCodes:
+    """Every subcommand owns a distinct non-zero failure exit code."""
+
+    def test_codes_distinct_and_nonzero(self):
+        from repro.cli import FAIL_CODES, build_parser
+
+        assert all(code > 2 for code in FAIL_CODES.values())
+        assert len(set(FAIL_CODES.values())) == len(FAIL_CODES)
+        sub = build_parser()._subparsers._group_actions[0]
+        assert set(FAIL_CODES) == set(sub.choices)
+
+    def test_kernel_failure_returns_its_code(self, capsys):
+        from repro.cli import FAIL_CODES
+
+        # mr above the generator's pointer-register ceiling raises.
+        code = main(["kernel", "40", "8", "16"])
+        err = capsys.readouterr().err
+        assert code == FAIL_CODES["kernel"]
+        assert "repro kernel: error:" in err
+
+    def test_gemm_failure_returns_its_code(self, capsys):
+        from repro.cli import FAIL_CODES
+
+        code = main(["gemm", "16", "16", "16", "--threads", "0"])
+        err = capsys.readouterr().err
+        assert code == FAIL_CODES["gemm"]
+        assert "repro gemm: error:" in err
+
+    def test_usage_error_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["gemm", "not-a-number", "16", "16"])
+        assert exc_info.value.code == 2
+
+
+class TestLintKernels:
+    def test_json_sweep_is_clean(self, capsys):
+        code, out = run_cli(
+            capsys, "lint-kernels", "--isa", "neon", "--kc", "6", "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["command"] == "lint-kernels"
+        assert payload["ok"] is True
+        assert payload["errors"] == 0
+        assert payload["total_reports"] == len(payload["reports"])
+        names = [r["name"] for r in payload["reports"]]
+        assert "neon:4x8:rotate" in names
+        assert any(n.startswith("neon:fusion:") for n in names)
+
+    def test_human_output_and_artifact(self, capsys, tmp_path):
+        artifact = tmp_path / "lint.json"
+        code, out = run_cli(
+            capsys,
+            "lint-kernels", "--isa", "neon", "--kc", "6", "--no-fusion",
+            "--out", str(artifact),
+        )
+        assert code == 0
+        assert "lint-kernels:" in out and "0 error(s)" in out
+        payload = json.loads(artifact.read_text())
+        assert payload["ok"] is True
+        assert all(
+            not n.startswith("neon:fusion")
+            for n in (r["name"] for r in payload["reports"])
+        )
+
+    def test_chip_enables_advisory_lints(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "lint-kernels", "--isa", "neon", "--kc", "6", "--no-fusion",
+            "--chip", "Graviton2", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["advice"] > 0

@@ -124,3 +124,43 @@ class TestRegisterFile:
         rf = RegisterFile()
         rf.write_x(XReg(9), value)
         assert rf.read_x(XReg(9)) == value
+
+
+class TestParseRegisterGrammar:
+    """Round-trip property and malformed-spelling rejection for the full
+    spelling grammar (arrangements, SVE element suffixes, lane indexing)."""
+
+    @given(st.integers(0, NUM_VREGS - 1))
+    def test_roundtrip_zreg_with_element_suffix(self, i):
+        assert parse_register(ZReg(i).name) == ZReg(i)
+        assert parse_register(f"z{i}.s") == ZReg(i)
+
+    @given(
+        st.integers(0, NUM_VREGS - 1),
+        st.sampled_from(["4s", "2s", "8h", "16b", "2d"]),
+    )
+    def test_roundtrip_vreg_arrangements(self, i, arr):
+        assert parse_register(f"v{i}.{arr}") == VReg(i)
+
+    @given(st.integers(0, NUM_VREGS - 1), st.integers(0, 3))
+    def test_roundtrip_vreg_lane_indexing(self, i, lane):
+        assert parse_register(f"v{i}.s[{lane}]") == VReg(i)
+
+    @pytest.mark.parametrize(
+        "text,needle",
+        [
+            ("x5.4s", "no lane arrangement"),
+            ("x0[1]", "no lane arrangement"),
+            ("v12.3s", "not a legal arrangement"),
+            ("v0.4s[2]", "scalar-element form"),
+            ("v0[2]", "requires an element suffix"),
+            ("z3.4s", "no lane count"),
+            ("x99", "out of range"),
+            ("v32", "out of range"),
+            ("z40.s", "out of range"),
+            ("v12.4s extra", "malformed"),
+        ],
+    )
+    def test_malformed_spellings_name_the_defect(self, text, needle):
+        with pytest.raises(ValueError, match=needle):
+            parse_register(text)

@@ -1,0 +1,617 @@
+"""Static kernel verifier: unit tests for every analysis layer.
+
+Each analysis is exercised on hand-built programs whose defect (or
+cleanliness) is known by construction, then the composed verifier is run
+against generated kernels with surgically injected bugs.  The register
+accounting cross-check and the mutation self-test live here too -- they
+are the acceptance bars the ISSUE names.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.staticcheck import (
+    MAX_FINDINGS_PER_CODE,
+    Report,
+    Severity,
+    StaticCheckError,
+    analyze_dataflow,
+    build_cfg,
+    check_fused_trace,
+    loop_soundness_findings,
+    pipeline_lints,
+    run_mutation_suite,
+    verify_fused_sequence,
+    verify_kernel,
+    verify_program,
+)
+from repro.analysis.staticcheck.verifier import SWEEP_KC, _simulate_kernel
+from repro.codegen.fusion import fuse_traces
+from repro.codegen.microkernel import (
+    ARG_REGS,
+    KernelConfig,
+    MicroKernel,
+    generate_microkernel,
+)
+from repro.codegen.tiles import (
+    REGISTER_BUDGET,
+    enumerate_tiles,
+    registers_occupied,
+    registers_used,
+)
+from repro.isa.instructions import (
+    AddImm,
+    Branch,
+    Eor,
+    FmlaVec,
+    Label,
+    LoadVec,
+    MovImm,
+    StoreVec,
+    SubsImm,
+)
+from repro.isa.program import Program, Trace, TraceEntry
+from repro.isa.registers import VReg, XReg
+
+ENTRY = tuple(ARG_REGS.values())
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+def x(i):
+    return XReg(i)
+
+
+def v(i):
+    return VReg(i)
+
+
+# ---------------------------------------------------------------------------
+# CFG structure
+# ---------------------------------------------------------------------------
+
+
+class TestCfg:
+    def test_straight_line_is_clean(self):
+        prog = Program([MovImm(x(6), 1), AddImm(x(6), x(6), 4)])
+        cfg, findings = build_cfg(prog)
+        assert findings == []
+        assert len(cfg.blocks) == 1
+        assert cfg.reachable == [0]
+
+    def test_unresolved_branch_target(self):
+        prog = Program([Branch("nowhere")])
+        _, findings = build_cfg(prog)
+        assert codes(findings) == {"unresolved-branch-target"}
+        assert findings[0].severity is Severity.ERROR
+
+    def test_unreachable_code_warned(self):
+        prog = Program(
+            [Branch("end", cond="al"), MovImm(x(6), 3), Label("end")]
+        )
+        _, findings = build_cfg(prog)
+        assert codes(findings) == {"unreachable-code"}
+        assert findings[0].severity is Severity.WARNING
+        assert findings[0].index == 1
+
+    def test_unreferenced_label_is_harmless(self):
+        prog = Program(
+            [Branch("end", cond="al"), Label("skip"), Label("end")]
+        )
+        _, findings = build_cfg(prog)
+        assert findings == []
+
+    def test_loop_back_edge_structure(self):
+        prog = Program(
+            [
+                MovImm(x(6), 3),
+                Label("loop"),
+                SubsImm(x(6), x(6), 1),
+                Branch("loop", cond="ne"),
+            ]
+        )
+        cfg, findings = build_cfg(prog)
+        assert findings == []
+        loop_block = cfg.blocks[cfg.block_of[3]]
+        assert cfg.block_of[1] in loop_block.succs  # back edge to the label
+
+
+class TestLoopSoundness:
+    def _loop(self, *body):
+        return Program(
+            [MovImm(x(6), 3), Label("loop"), *body, Branch("loop", cond="ne")]
+        )
+
+    def test_counted_loop_is_clean(self):
+        prog = self._loop(AddImm(x(0), x(0), 4), SubsImm(x(6), x(6), 1))
+        assert loop_soundness_findings(prog) == []
+
+    def test_missing_flag_setter(self):
+        prog = self._loop(AddImm(x(0), x(0), 4))
+        assert codes(loop_soundness_findings(prog)) == {"loop-no-flag-setter"}
+
+    def test_flag_setter_outside_loop_body(self):
+        prog = Program(
+            [
+                SubsImm(x(6), x(6), 1),  # pre-header, not in the body
+                Label("loop"),
+                AddImm(x(0), x(0), 4),
+                Branch("loop", cond="ne"),
+            ]
+        )
+        assert codes(loop_soundness_findings(prog)) == {"loop-no-flag-setter"}
+
+    def test_aliased_counter(self):
+        prog = self._loop(SubsImm(x(7), x(6), 1))
+        assert codes(loop_soundness_findings(prog)) == {"loop-counter-aliased"}
+
+    def test_non_monotone_decrement(self):
+        prog = self._loop(SubsImm(x(6), x(6), 0))
+        assert codes(loop_soundness_findings(prog)) == {"loop-non-monotone"}
+
+    def test_clobbered_counter(self):
+        prog = self._loop(MovImm(x(6), 5), SubsImm(x(6), x(6), 1))
+        assert codes(loop_soundness_findings(prog)) == {
+            "loop-counter-clobbered"
+        }
+
+    def test_forward_branch_not_a_loop(self):
+        prog = Program([Branch("end", cond="ne"), Label("end")])
+        assert loop_soundness_findings(prog) == []
+
+
+# ---------------------------------------------------------------------------
+# Dataflow: definite assignment, dead stores, max-live
+# ---------------------------------------------------------------------------
+
+
+def _dataflow(instrs, entry=ENTRY):
+    cfg, structural = build_cfg(Program(instrs))
+    assert structural == []
+    return analyze_dataflow(cfg, entry)
+
+
+class TestDataflow:
+    def test_use_before_def_per_register(self):
+        df = _dataflow([FmlaVec(v(0), v(1), v(2))])
+        ubd = [f for f in df.findings if f.code == "use-before-def"]
+        # dst is read (accumulator) as well as both operands.
+        assert len(ubd) == 3
+        assert all(f.severity is Severity.ERROR for f in ubd)
+
+    def test_entry_defined_arguments_are_available(self):
+        df = _dataflow([Eor(v(0)), StoreVec(v(0), ARG_REGS["C"])])
+        assert codes(df.findings) == set()
+        assert df.max_live_vregs == 1
+
+    def test_one_armed_definition_flagged(self):
+        # v0 is defined only on the fall-through arm; the join reads it.
+        df = _dataflow(
+            [
+                MovImm(x(6), 1),
+                SubsImm(x(6), x(6), 1),
+                Branch("skip", cond="ne"),
+                Eor(v(0)),
+                Label("skip"),
+                StoreVec(v(0), ARG_REGS["C"]),
+            ]
+        )
+        assert "use-before-def" in codes(df.findings)
+
+    def test_dead_vector_write_is_warning(self):
+        df = _dataflow(
+            [Eor(v(0)), Eor(v(0)), StoreVec(v(0), ARG_REGS["C"])]
+        )
+        dead = [f for f in df.findings if f.code == "dead-vector-write"]
+        assert len(dead) == 1
+        assert dead[0].severity is Severity.WARNING
+        assert dead[0].index == 0
+
+    def test_dead_scalar_write_is_advice(self):
+        df = _dataflow([AddImm(x(6), ARG_REGS["A"], 4)])
+        dead = [f for f in df.findings if f.code == "dead-scalar-write"]
+        assert len(dead) == 1
+        assert dead[0].severity is Severity.ADVICE
+        assert df.dead_writes == {0: 1}
+
+    def test_max_live_is_exact(self):
+        instrs = [Eor(v(i)) for i in range(4)]
+        instrs += [StoreVec(v(i), ARG_REGS["C"], offset=4 * i) for i in range(4)]
+        df = _dataflow(instrs)
+        assert df.max_live_vregs == 4
+        assert df.vregs_referenced == 4
+
+
+# ---------------------------------------------------------------------------
+# The composed verifier on generated kernels + injected defects
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def small_kernel():
+    return generate_microkernel(2, 8, 6, lane=4, accumulate=True)
+
+
+@pytest.fixture(scope="module")
+def looped_kernel():
+    # kc = 14 gives the counted mainloop >= 2 trips, so the MovImm counter
+    # and the back-edge branch exist (a single-trip loop is unrolled away).
+    return generate_microkernel(2, 8, 14, lane=4, accumulate=True)
+
+
+def _mutated(kernel, mutate):
+    """``kernel`` with its instruction list rewritten by ``mutate``."""
+    instrs = list(kernel.program.instructions)
+    return Program(mutate(instrs), name="mutated")
+
+
+class TestVerifyProgram:
+    def test_generated_kernel_is_clean(self, small_kernel):
+        rep = verify_kernel(small_kernel)
+        assert rep.ok
+        assert rep.warnings == []
+        assert rep.max_live_vregs <= rep.occupied_vregs <= REGISTER_BUDGET
+        assert rep.occupied_vregs == rep.analytical_vregs
+
+    def test_clobbered_accumulator_breaks_c_value(self, small_kernel):
+        def clobber(instrs):
+            i = max(
+                j for j, ins in enumerate(instrs) if isinstance(ins, StoreVec)
+            )
+            return instrs[:i] + [Eor(instrs[i].src)] + instrs[i:]
+
+        rep = verify_program(
+            _mutated(small_kernel, clobber), config=small_kernel.config
+        )
+        assert not rep.ok
+        assert "wrong-c-value" in codes(rep.errors)
+
+    def test_dropped_store_leaves_c_uncovered(self, small_kernel):
+        def drop(instrs):
+            i = max(
+                j for j, ins in enumerate(instrs) if isinstance(ins, StoreVec)
+            )
+            return instrs[:i] + instrs[i + 1:]
+
+        rep = verify_program(
+            _mutated(small_kernel, drop), config=small_kernel.config
+        )
+        assert not rep.ok
+        assert "c-not-stored" in codes(rep.errors)
+
+    def test_out_of_tile_store_caught(self, small_kernel):
+        def bump(instrs):
+            i = max(
+                j for j, ins in enumerate(instrs) if isinstance(ins, StoreVec)
+            )
+            bumped = dataclasses.replace(instrs[i], offset=instrs[i].offset + 400)
+            return instrs[:i] + [bumped] + instrs[i + 1:]
+
+        rep = verify_program(
+            _mutated(small_kernel, bump), config=small_kernel.config
+        )
+        assert not rep.ok
+        assert codes(rep.errors) & {"out-of-tile-access", "store-outside-c"}
+
+    def test_off_by_one_trip_count_caught(self, looped_kernel):
+        def bump(instrs):
+            i = next(
+                j for j, ins in enumerate(instrs) if isinstance(ins, MovImm)
+            )
+            bumped = dataclasses.replace(instrs[i], imm=instrs[i].imm + 1)
+            return instrs[:i] + [bumped] + instrs[i + 1:]
+
+        rep = verify_program(
+            _mutated(looped_kernel, bump), config=looped_kernel.config
+        )
+        assert not rep.ok
+
+    def test_runaway_loop_exhausts_fuel(self):
+        prog = Program([Label("spin"), Branch("spin", cond="al")])
+        rep = verify_program(
+            prog, config=KernelConfig(1, 4, 1, lane=4), fuel=500
+        )
+        assert "runaway-execution" in codes(rep.errors)
+
+    def test_structural_errors_suppress_symbolic_cascade(self, looped_kernel):
+        # A broken branch target must not drown the report in downstream
+        # symbolic noise: the structural finding is the diagnosis.
+        def retarget(instrs):
+            i = next(
+                j for j, ins in enumerate(instrs) if isinstance(ins, Branch)
+            )
+            bad = dataclasses.replace(instrs[i], target="__nowhere__")
+            return instrs[:i] + [bad] + instrs[i + 1:]
+
+        rep = verify_program(
+            _mutated(looped_kernel, retarget), config=looped_kernel.config
+        )
+        assert "unresolved-branch-target" in codes(rep.errors)
+        assert "c-not-stored" not in codes(rep.findings)
+
+    def test_analytical_accounting_can_exceed_budget(self):
+        # mr=16 at lane 4 claims 16*2+16+2 = 50 registers -- the sweep's
+        # analytical-only reports budget-check exactly this quantity.
+        assert registers_occupied(16, 8, 4) > REGISTER_BUDGET
+
+    def test_register_accounting_mismatch_is_an_error(self):
+        # A 1x4 configuration claims 3 vector registers; a program touching
+        # six contradicts the analytical accounting.
+        instrs = [Eor(v(i)) for i in range(6)]
+        instrs += [FmlaVec(v(5), v(1), v(2)), FmlaVec(v(5), v(3), v(4))]
+        instrs.append(StoreVec(v(5), ARG_REGS["C"]))
+        rep = verify_program(
+            Program(instrs), config=KernelConfig(1, 4, 1, lane=4)
+        )
+        assert "register-accounting" in codes(rep.errors)
+
+
+class TestPipelineLints:
+    def test_short_load_use_flagged(self, graviton2):
+        prog = Program(
+            [
+                LoadVec(v(0), ARG_REGS["A"]),
+                LoadVec(v(1), ARG_REGS["B"]),
+                FmlaVec(v(2), v(0), v(1)),
+            ]
+        )
+        findings = pipeline_lints(prog, graviton2)
+        by_code = {f.code: f for f in findings}
+        assert by_code["short-load-use"].count == 2
+        assert by_code["short-load-use"].severity is Severity.ADVICE
+
+    def test_short_fma_chain_flagged(self, graviton2):
+        prog = Program(
+            [FmlaVec(v(2), v(0), v(1)), FmlaVec(v(2), v(0), v(1))]
+        )
+        findings = pipeline_lints(prog, graviton2)
+        assert "short-fma-chain" in codes(findings)
+
+    def test_well_spaced_stream_is_quiet(self, graviton2):
+        pad = [MovImm(x(6 + i), 0) for i in range(graviton2.lat_load_l1)]
+        prog = Program(
+            [LoadVec(v(0), ARG_REGS["A"]), LoadVec(v(1), ARG_REGS["B"])]
+            + pad
+            + [FmlaVec(v(2), v(0), v(1))]
+        )
+        assert pipeline_lints(prog, graviton2) == []
+
+    def test_operand_reuse_is_not_a_chain(self, graviton2):
+        # Reading v0/v1 as *operands* of a later FMA is fine; only the
+        # accumulator RAW chain counts.
+        prog = Program(
+            [FmlaVec(v(2), v(0), v(1)), FmlaVec(v(3), v(0), v(1))]
+        )
+        assert pipeline_lints(prog, graviton2) == []
+
+
+# ---------------------------------------------------------------------------
+# Fusion-boundary verification
+# ---------------------------------------------------------------------------
+
+
+class TestFusionChecks:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        return [
+            generate_microkernel(4, 8, 6, lane=4, accumulate=True),
+            generate_microkernel(1, 4, 6, lane=4, accumulate=True),
+        ]
+
+    def test_production_fusion_verifies_clean(self, pair):
+        rep = verify_fused_sequence(pair, name="pair")
+        assert rep.ok
+        assert rep.findings == []
+
+    def test_dropped_entry_breaks_conservation(self, pair):
+        traces = [_simulate_kernel(k)[0] for k in pair]
+        fused = fuse_traces(traces)
+        broken = Trace()
+        broken.entries = fused.entries[:-1]
+        assert codes(check_fused_trace(traces, broken)) == {
+            "fusion-conservation"
+        }
+
+    def test_swapped_entries_break_order(self, pair):
+        traces = [_simulate_kernel(k)[0] for k in pair]
+        fused = fuse_traces(traces)
+        broken = Trace()
+        broken.entries = list(fused.entries)
+        # The first two entries belong to tile 0's prologue: swapping them
+        # reorders that tile's internal stream.
+        broken.entries[0], broken.entries[1] = (
+            broken.entries[1],
+            broken.entries[0],
+        )
+        assert codes(check_fused_trace(traces, broken)) == {"fusion-reorder"}
+
+    def test_cross_tile_clobber_detected(self):
+        t0 = Trace()
+        t0.entries = [
+            TraceEntry(Eor(v(0))),
+            TraceEntry(StoreVec(v(0), ARG_REGS["C"]), address=0, size=16),
+        ]
+        t1 = Trace()
+        t1.entries = [TraceEntry(Eor(v(0)))]
+        fused = Trace()
+        # Tile 1's Eor lands between tile 0's write and pending store.
+        fused.entries = [t0.entries[0], t1.entries[0], t0.entries[1]]
+        findings = check_fused_trace([t0, t1], fused)
+        assert codes(findings) == {"fusion-clobber"}
+        assert findings[0].severity is Severity.ERROR
+
+
+# ---------------------------------------------------------------------------
+# Report mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestReport:
+    def test_per_code_cap_folds_into_summary(self):
+        rep = Report("capped")
+        for i in range(MAX_FINDINGS_PER_CODE + 4):
+            rep.add("use-before-def", Severity.ERROR, f"finding {i}", index=i)
+        rep.finalize()
+        kept = [f for f in rep.findings if f.code == "use-before-def"]
+        assert len(kept) == MAX_FINDINGS_PER_CODE + 1
+        assert kept[-1].count == 4
+        assert "more" in kept[-1].message
+
+    def test_severity_queries(self):
+        rep = Report("r")
+        rep.add("a", Severity.ERROR, "e")
+        rep.add("b", Severity.WARNING, "w")
+        rep.add("c", Severity.ADVICE, "adv")
+        assert not rep.ok
+        assert [f.code for f in rep.errors] == ["a"]
+        assert [f.code for f in rep.warnings] == ["b"]
+        assert [f.code for f in rep.advice] == ["c"]
+        assert "1 error(s), 1 warning(s), 1 advice" in rep.summary()
+
+    def test_to_dict_shape(self):
+        rep = Report("r")
+        rep.max_live_vregs = 3
+        rep.occupied_vregs = 4
+        rep.analytical_vregs = 5
+        d = rep.to_dict()
+        assert d["ok"] and d["name"] == "r"
+        assert (
+            d["max_live_vregs"],
+            d["occupied_vregs"],
+            d["analytical_vregs"],
+        ) == (3, 4, 5)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: tiles.py register accounting vs. measured occupancy
+# ---------------------------------------------------------------------------
+
+_ACCOUNTING_CASES = [
+    pytest.param(isa, lane, tile.mr, tile.nr, rotate,
+                 id=f"{isa}-{tile.mr}x{tile.nr}-{'rot' if rotate else 'plain'}")
+    for isa, lane in (("neon", 4), ("sve", 16))
+    for tile in enumerate_tiles(lane, generatable_only=True)
+    for rotate in (False, True)
+]
+
+
+class TestRegisterAccounting:
+    @pytest.mark.parametrize("isa,lane,mr,nr,rotate", _ACCOUNTING_CASES)
+    def test_measured_occupancy_matches_analytical(
+        self, isa, lane, mr, nr, rotate
+    ):
+        kernel = generate_microkernel(
+            mr, nr, SWEEP_KC[isa], lane=lane, accumulate=True, rotate=rotate
+        )
+        cfg, structural = build_cfg(kernel.program)
+        assert structural == []
+        df = analyze_dataflow(cfg, ENTRY)
+        claimed = registers_occupied(mr, nr, lane, rotate)
+        assert df.vregs_referenced == claimed
+        assert df.max_live_vregs <= claimed <= REGISTER_BUDGET
+
+    def test_rotation_disabled_equals_base_accounting(self):
+        for lane in (4, 16):
+            for tile in enumerate_tiles(lane, generatable_only=True):
+                assert registers_occupied(
+                    tile.mr, tile.nr, lane, rotate=False
+                ) == registers_used(tile.mr, tile.nr, lane)
+
+    def test_rotation_never_exceeds_budget(self):
+        for lane in (4, 16):
+            for tile in enumerate_tiles(lane, generatable_only=True):
+                assert (
+                    registers_occupied(tile.mr, tile.nr, lane, rotate=True)
+                    <= REGISTER_BUDGET
+                )
+
+
+# ---------------------------------------------------------------------------
+# Mutation self-test (the >= 95% acceptance bar)
+# ---------------------------------------------------------------------------
+
+
+class TestMutationSuite:
+    def test_detection_rate_meets_bar(self):
+        report = run_mutation_suite()
+        assert report.total > 1000
+        assert report.detection_rate >= 0.95, report.summary()
+        for cls, (detected, total) in report.by_class().items():
+            assert detected / total >= 0.95, (cls, report.summary())
+
+    def test_dirty_baseline_rejected(self, small_kernel):
+        instrs = list(small_kernel.program.instructions)
+        i = max(j for j, ins in enumerate(instrs) if isinstance(ins, StoreVec))
+        broken = MicroKernel(
+            program=Program(instrs[:i] + instrs[i + 1:], name="dirty"),
+            config=small_kernel.config,
+        )
+        with pytest.raises(RuntimeError, match="not clean"):
+            run_mutation_suite([broken])
+
+
+# ---------------------------------------------------------------------------
+# Satellite: the executor's REPRO_STATICCHECK capture-path gate
+# ---------------------------------------------------------------------------
+
+
+class TestExecutorStaticcheck:
+    @pytest.fixture
+    def operands(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        return (
+            rng.uniform(-1, 1, (12, 10)).astype(np.float32),
+            rng.uniform(-1, 1, (10, 9)).astype(np.float32),
+        )
+
+    def test_off_by_default(self, monkeypatch, graviton2):
+        from repro.gemm.executor import GemmExecutor
+
+        monkeypatch.delenv("REPRO_STATICCHECK", raising=False)
+        assert not GemmExecutor(graviton2).staticcheck
+
+    def test_verifies_each_key_once_and_counts(
+        self, monkeypatch, graviton2, operands
+    ):
+        from repro import telemetry
+        from repro.gemm.executor import GemmExecutor
+
+        monkeypatch.setenv("REPRO_STATICCHECK", "1")
+        ex = GemmExecutor(graviton2)
+        assert ex.staticcheck
+        a, b = operands
+        with telemetry.collecting() as col:
+            result = ex.run(a, b)
+        assert ex.verify(result, a, b) < 1e-4
+        verified = col.counter("staticcheck.verified")
+        assert verified == len(ex._verified_keys) >= 1
+
+    def test_error_findings_abort_the_run(
+        self, monkeypatch, graviton2, operands
+    ):
+        from repro.gemm.executor import GemmExecutor
+        from repro.gemm.kernel_cache import KernelCache
+
+        class BrokenCache(KernelCache):
+            """Serves kernels with their final stores amputated."""
+
+            def get(self, key):
+                kernel = super().get(key)
+                return MicroKernel(
+                    program=Program(
+                        kernel.program.instructions[:-2], name="broken"
+                    ),
+                    config=kernel.config,
+                )
+
+        monkeypatch.setenv("REPRO_STATICCHECK", "1")
+        ex = GemmExecutor(graviton2, kernels=BrokenCache())
+        a, b = operands
+        with pytest.raises(StaticCheckError) as exc_info:
+            ex.run(a, b)
+        assert not exc_info.value.report.ok

@@ -1,0 +1,64 @@
+"""Full-family lint sweep: every kernel the generator can emit is clean.
+
+One sweep run (module-scoped) covers every Table II tile shape on NEON and
+SVE, both rotation variants, and all four fusion boundary modes; each
+combination is then asserted clean as its own parametrized case, so a
+regression names the exact kernel that broke.
+"""
+
+import pytest
+
+from repro.analysis.staticcheck import sweep_kernels
+from repro.codegen.tiles import GENERATOR_MAX_MR, enumerate_tiles
+
+FUSION_MODES = ("c_to_c", "m_to_m", "c_to_m", "m_to_c")
+
+
+def _expected_names() -> list[str]:
+    names = []
+    for isa, lane in (("neon", 4), ("sve", 16)):
+        for tile in enumerate_tiles(lane, generatable_only=False):
+            if tile.mr > GENERATOR_MAX_MR:
+                names.append(f"{isa}:{tile.mr}x{tile.nr}:analytical")
+            else:
+                for rot in ("plain", "rotate"):
+                    names.append(f"{isa}:{tile.mr}x{tile.nr}:{rot}")
+        for mode in FUSION_MODES:
+            names.append(f"{isa}:fusion:{mode}")
+    return names
+
+
+EXPECTED = _expected_names()
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    reports = sweep_kernels()
+    return {r.name: r for r in reports}
+
+
+def test_sweep_covers_the_whole_family(sweep):
+    assert len(EXPECTED) == len(set(EXPECTED))
+    assert sorted(sweep) == sorted(EXPECTED)
+
+
+@pytest.mark.parametrize("name", EXPECTED)
+def test_report_is_clean(sweep, name):
+    rep = sweep[name]
+    assert rep.errors == [], rep.summary()
+    # Generated kernels and fused pairs must be warning-free too; the
+    # analytical-only reports carry no measured stream to warn about.
+    assert rep.warnings == [], rep.summary()
+
+
+@pytest.mark.parametrize(
+    "isa", ["neon", "sve"], ids=["neon", "sve"]
+)
+def test_measured_pressure_recorded(sweep, isa):
+    lane = 4 if isa == "neon" else 16
+    for tile in enumerate_tiles(lane, generatable_only=True):
+        for rot in ("plain", "rotate"):
+            rep = sweep[f"{isa}:{tile.mr}x{tile.nr}:{rot}"]
+            assert rep.max_live_vregs is not None
+            assert rep.occupied_vregs == rep.analytical_vregs
+            assert rep.max_live_vregs <= rep.occupied_vregs <= 32
