@@ -17,6 +17,14 @@ The full-size run (multi-block 512^3 DMT schedule) is the configuration the
 replay engine's >=5x speedup claim is measured on; ``--smoke`` keeps the
 exactness gate cheap enough for CI and skips the speedup threshold (the
 interpreted baseline is too short to amortise template capture).
+
+``--chaos`` switches to the robustness variant (results in
+``BENCH_chaos.json``): a clean run that must not engage the
+graceful-degradation fallback chain (its no-fault overhead is two
+attribute loads per site -- the clean wall-clock doubles as the
+regression gate for that), the same problem under transient fault noise
+(must stay bit-exact while degrading), and the timed ``repro chaos``
+site sweep.  See docs/robustness.md.
 """
 
 from __future__ import annotations
@@ -51,30 +59,116 @@ def run_once(chip, a, b, use_replay: bool):
     return result, seconds, counters
 
 
+def run_chaos_bench(args, chip, m, n, k, a, b) -> int:
+    """The --chaos variant: no-fault overhead, faulted bit-exactness, and
+    the timed fault-site sweep."""
+    from repro.faults import plan as faults
+    from repro.faults.chaos import run_chaos
+
+    print(f"[bench_wallclock] {chip.name} {m}x{n}x{k}: clean run ...", flush=True)
+    clean, clean_s, _ = run_once(chip, a, b, use_replay=True)
+
+    # Same problem under transient noise on the replay-path sites: the
+    # fallback chain must absorb every fault without touching C.
+    plan = faults.FaultPlan(
+        [
+            faults.FaultSpec("replay.apply", probability=0.05),
+            faults.FaultSpec("trace.capture", probability=0.25),
+        ],
+        seed=11,
+    )
+    print(f"[bench_wallclock]   {clean_s:.2f}s   now under faults ...", flush=True)
+    with faults.injecting(plan):
+        lib = AutoGEMM(chip)
+        t0 = time.perf_counter()
+        faulted = lib.gemm(a, b)
+        faulted_s = time.perf_counter() - t0
+
+    budget = 10 if args.smoke else 40
+    print(f"[bench_wallclock]   {faulted_s:.2f}s   chaos sweep "
+          f"(budget {budget}) ...", flush=True)
+    t0 = time.perf_counter()
+    report = run_chaos(chip=chip.name, budget=budget)
+    sweep_s = time.perf_counter() - t0
+
+    exact = faulted.c.tobytes() == clean.c.tobytes()
+    payload = {
+        "benchmark": "chaos_wallclock",
+        "chip": chip.name,
+        "shape": {"m": m, "n": n, "k": k},
+        "smoke": args.smoke,
+        "clean_seconds": round(clean_s, 3),
+        "clean_degraded": clean.degraded,
+        "faulted_seconds": round(faulted_s, 3),
+        "faulted_exact": exact,
+        "faulted_injected": plan.total_injected(),
+        "faulted_degradations": dict(faulted.degradations),
+        "sweep_seconds": round(sweep_s, 3),
+        "sweep_ok": report.ok,
+        "sweep_sites": {s.site: s.ok for s in report.sites},
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_wallclock] clean {clean_s:.2f}s  faulted {faulted_s:.2f}s "
+          f"(injected {plan.total_injected()}, exact={exact})  "
+          f"sweep {sweep_s:.2f}s ok={report.ok}  -> {args.output}")
+
+    if clean.degraded:
+        print("[bench_wallclock] fallback chain engaged on a fault-free run: "
+              f"{clean.degradations}", file=sys.stderr)
+        return 1
+    if not exact or plan.total_injected() == 0:
+        print("[bench_wallclock] faulted run diverged or no faults fired",
+              file=sys.stderr)
+        return 1
+    if not report.ok:
+        bad = [s.site for s in report.sites if not s.ok]
+        print(f"[bench_wallclock] chaos sweep failed at: {', '.join(bad)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("shape", nargs="*", type=int, default=[512, 512, 512],
-                        metavar="M N K", help="problem shape (default 512 512 512)")
+    parser.add_argument("shape", nargs="*", type=int, default=[],
+                        metavar="M N K",
+                        help="problem shape (default 512 512 512; 96^3 "
+                             "under --smoke/--chaos)")
     parser.add_argument("--chip", default="graviton2")
     parser.add_argument("--smoke", action="store_true",
                         help="small shape for CI; exactness gate only")
     parser.add_argument("--min-speedup", type=float, default=5.0,
                         help="required replay speedup on full-size runs")
-    parser.add_argument("--output", type=Path,
-                        default=REPO_ROOT / "BENCH_executor.json")
+    parser.add_argument("--chaos", action="store_true",
+                        help="robustness variant: no-fault overhead, faulted "
+                             "bit-exactness, and the timed chaos sweep")
+    parser.add_argument("--output", type=Path, default=None)
     args = parser.parse_args(argv)
+
+    if args.output is None:
+        args.output = REPO_ROOT / (
+            "BENCH_chaos.json" if args.chaos else "BENCH_executor.json"
+        )
 
     if args.smoke:
         m, n, k = 96, 96, 96
     elif len(args.shape) == 3:
         m, n, k = args.shape
-    else:
+    elif args.shape:
         parser.error("shape must be three integers: M N K")
+    elif args.chaos:
+        m, n, k = 96, 96, 96
+    else:
+        m, n, k = 512, 512, 512
 
     chip = get_chip(args.chip)
     rng = np.random.default_rng(2024)
     a = rng.standard_normal((m, k)).astype(np.float32)
     b = rng.standard_normal((k, n)).astype(np.float32)
+
+    if args.chaos:
+        return run_chaos_bench(args, chip, m, n, k, a, b)
 
     print(f"[bench_wallclock] {chip.name} {m}x{n}x{k}: replay on ...", flush=True)
     fast, fast_s, counters = run_once(chip, a, b, use_replay=True)

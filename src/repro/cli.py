@@ -11,6 +11,7 @@ Usage examples::
     python -m repro calibrate --chip Graviton2
     python -m repro profile 64 64 64 --chip KP920 --trace-out trace.json
     python -m repro lint-kernels --isa both --json --out findings.json
+    python -m repro chaos --chip KP920 --json --out chaos.json
 
 ``gemm`` and ``estimate`` accept ``--json`` for machine-readable output;
 ``gemm``/``estimate``/``dmt`` accept ``--metrics`` to print telemetry
@@ -18,6 +19,8 @@ counters after the run.  ``profile`` runs a GEMM with full telemetry and
 writes a Chrome-trace JSON openable in Perfetto (see
 ``docs/observability.md``).  ``lint-kernels`` runs the static kernel
 verifier over the whole generated family (see ``docs/static-analysis.md``).
+``chaos`` sweeps the fault-injection sites and proves each degrades
+gracefully (see ``docs/robustness.md``).
 
 Every subcommand returns a distinct non-zero exit code on failure (see
 ``FAIL_CODES``); argparse usage errors exit with the conventional 2.
@@ -327,6 +330,55 @@ def _cmd_lint_kernels(args) -> int:
     return FAIL_CODES["lint-kernels"] if failed else 0
 
 
+def _cmd_chaos(args) -> int:
+    from .faults.chaos import run_chaos
+
+    sites = args.sites.split(",") if args.sites else None
+    report = run_chaos(
+        chip=args.chip,
+        seed=args.seed,
+        m=args.m,
+        n=args.n,
+        k=args.k,
+        budget=args.budget,
+        sites=sites,
+    )
+    payload = report.to_dict()
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        rows = [
+            [
+                s.site,
+                "ok" if s.ok else "FAIL",
+                s.injected,
+                "yes" if s.gemm_bitexact else "NO",
+                "yes" if s.gemm_degraded else "no",
+                s.tune_failed_trials,
+                s.error or "",
+            ]
+            for s in report.sites
+        ]
+        print(
+            format_table(
+                ["site", "status", "fired", "bit-exact", "degraded",
+                 "failed trials", "error"],
+                rows,
+            )
+        )
+        print(
+            f"chaos: {len(report.sites)} site(s) on {report.chip}, "
+            f"{report.m}x{report.n}x{report.k}, budget {report.budget}: "
+            + ("all degraded gracefully" if report.ok else "FAILURES above")
+        )
+        if args.out:
+            print(f"report written to {args.out}")
+    return 0 if report.ok else FAIL_CODES["chaos"]
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -422,6 +474,26 @@ def build_parser() -> argparse.ArgumentParser:
     lk.add_argument("--mutation-threshold", type=float, default=0.95,
                     help="minimum mutation detection rate (default 0.95)")
 
+    ch = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep over every registered site "
+             "(see docs/robustness.md)",
+    )
+    ch.add_argument("--chip", default="KP920")
+    ch.add_argument("--seed", type=int, default=7)
+    ch.add_argument("--m", type=int, default=64)
+    ch.add_argument("--n", type=int, default=48)
+    ch.add_argument("--k", type=int, default=96)
+    ch.add_argument("--budget", type=int, default=40,
+                    help="tuning trials per site in the tune leg")
+    ch.add_argument("--sites", default=None,
+                    help="comma-separated subset of fault sites "
+                         "(default: all registered sites)")
+    ch.add_argument("--json", action="store_true",
+                    help="machine-readable JSON output")
+    ch.add_argument("--out", default=None,
+                    help="write the JSON report artifact to this path")
+
     return parser
 
 
@@ -435,6 +507,7 @@ _COMMANDS = {
     "tiles": _cmd_tiles,
     "dmt": _cmd_dmt,
     "lint-kernels": _cmd_lint_kernels,
+    "chaos": _cmd_chaos,
 }
 
 #: Per-subcommand failure exit codes: distinct, non-zero, and disjoint from
@@ -450,6 +523,7 @@ FAIL_CODES = {
     "calibrate": 16,
     "dmt": 17,
     "lint-kernels": 18,
+    "chaos": 19,
 }
 assert set(FAIL_CODES) == set(_COMMANDS)
 

@@ -1,0 +1,48 @@
+"""Deterministic fault injection and the chaos-sweep harness.
+
+See :mod:`repro.faults.plan` for the injection machinery (sites, typed
+faults, seeded plans, the ``REPRO_FAULTS`` environment hook) and
+:mod:`repro.faults.chaos` for the ``repro chaos`` sweep that proves every
+registered site degrades gracefully.  ``docs/robustness.md`` documents the
+fallback chain, quarantine policy, and resume semantics end to end.
+"""
+
+from .plan import (
+    MODES,
+    RECOVERABLE_FAULTS,
+    SITES,
+    FaultPlan,
+    FaultSpec,
+    HangFault,
+    InjectedFault,
+    KillFault,
+    PermanentFault,
+    TransientFault,
+    active_plan,
+    check,
+    corrupt,
+    injecting,
+    install,
+    retrying,
+    uninstall,
+)
+
+__all__ = [
+    "MODES",
+    "RECOVERABLE_FAULTS",
+    "SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "HangFault",
+    "InjectedFault",
+    "KillFault",
+    "PermanentFault",
+    "TransientFault",
+    "active_plan",
+    "check",
+    "corrupt",
+    "injecting",
+    "install",
+    "retrying",
+    "uninstall",
+]

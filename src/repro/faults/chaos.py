@@ -1,0 +1,200 @@
+"""Chaos sweep: prove every registered fault site degrades, not crashes.
+
+For each site in :data:`repro.faults.SITES`, the sweep installs a plan that
+fires a one-shot permanent fault on the site's first poll plus a trickle of
+per-call transient faults, then drives the two user-facing entry points
+through it:
+
+* a **GEMM leg** -- ``AutoGEMM.gemm`` on a fixed seeded problem, whose
+  result must stay bit-exact against :func:`repro.gemm.reference.sgemm`
+  (the graceful-degradation fallback chain may engage, but never the
+  numerics);
+* a **tune leg** -- an ``AutoTuner`` search with a throwaway
+  checkpoint/resume store (so record-store I/O is exercised), which must
+  finish with a finite, positive best.
+
+A site that never fires is itself a failure: the sweep's contract is that
+every registered instrumentation point is reachable, so dead sites cannot
+silently rot.  ``repro chaos`` exposes the sweep on the CLI and CI runs it
+on every push (see ``docs/robustness.md``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..machine.chips import get_chip
+from . import plan as faults
+
+__all__ = ["SiteReport", "ChaosReport", "run_chaos"]
+
+
+@dataclass
+class SiteReport:
+    """Outcome of sweeping one fault site."""
+
+    site: str
+    injected: int = 0
+    gemm_bitexact: bool = False
+    gemm_degraded: bool = False
+    degradations: dict[str, int] = field(default_factory=dict)
+    tune_completed: bool = False
+    tune_best_cycles: float = 0.0
+    tune_failed_trials: int = 0
+    tune_quarantined: int = 0
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.error is None
+            and self.injected > 0
+            and self.gemm_bitexact
+            and self.tune_completed
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "ok": self.ok,
+            "injected": self.injected,
+            "gemm_bitexact": self.gemm_bitexact,
+            "gemm_degraded": self.gemm_degraded,
+            "degradations": dict(self.degradations),
+            "tune_completed": self.tune_completed,
+            "tune_best_cycles": self.tune_best_cycles,
+            "tune_failed_trials": self.tune_failed_trials,
+            "tune_quarantined": self.tune_quarantined,
+            "error": self.error,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of a full sweep."""
+
+    chip: str
+    seed: int
+    m: int
+    n: int
+    k: int
+    budget: int
+    sites: list[SiteReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.sites) and all(s.ok for s in self.sites)
+
+    def to_dict(self) -> dict:
+        return {
+            "command": "chaos",
+            "chip": self.chip,
+            "seed": self.seed,
+            "m": self.m,
+            "n": self.n,
+            "k": self.k,
+            "budget": self.budget,
+            "ok": self.ok,
+            "sites": [s.to_dict() for s in self.sites],
+        }
+
+
+#: Transient-noise rate per site, scaled to how hot the site is: a flat 2%
+#: on a site polled tens of thousands of times per measurement would fail
+#: every candidate outright instead of exercising the retry path.
+_TRANSIENT_P = {
+    "cache.access": 1e-5,
+    "pipeline.timing": 0.005,
+    "memory.alloc": 0.005,
+}
+
+
+def _site_plan(site: str, seed: int) -> faults.FaultPlan:
+    """One guaranteed permanent fault on the first poll, plus transient
+    noise -- exercises both the degrade-and-continue and retry paths."""
+    return faults.FaultPlan(
+        [
+            faults.FaultSpec(site, nth=1, mode="permanent"),
+            faults.FaultSpec(
+                site, probability=_TRANSIENT_P.get(site, 0.02), mode="transient"
+            ),
+        ],
+        seed=seed,
+    )
+
+
+def run_chaos(
+    chip: str = "KP920",
+    seed: int = 7,
+    m: int = 64,
+    n: int = 48,
+    k: int = 96,
+    budget: int = 40,
+    sites: list[str] | None = None,
+) -> ChaosReport:
+    """Sweep every (or the named) fault sites; see the module docstring."""
+    from ..gemm.autogemm import AutoGEMM
+    from ..gemm.reference import sgemm
+    from ..tuner.records import RecordStore
+    from ..tuner.tuner import AutoTuner
+
+    chipspec = get_chip(chip)
+    targets = list(sites) if sites else list(faults.SITES)
+    for site in targets:
+        if site not in faults.SITES:
+            raise ValueError(
+                f"unknown fault site {site!r}; registered sites: "
+                f"{', '.join(sorted(faults.SITES))}"
+            )
+
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1, 1, (m, k)).astype(np.float32)
+    b = rng.uniform(-1, 1, (k, n)).astype(np.float32)
+    want = sgemm(a, b)
+
+    report = ChaosReport(
+        chip=chipspec.name, seed=seed, m=m, n=n, k=k, budget=budget
+    )
+    for site in targets:
+        sr = SiteReport(site=site)
+        plan = _site_plan(site, seed)
+        try:
+            with faults.injecting(plan):
+                # GEMM leg: fresh caches so first-use sites (kernel
+                # generation, template capture) actually poll, and static
+                # checking on so its site is reachable.
+                lib = AutoGEMM(chipspec)
+                lib.executor.staticcheck = True
+                result = lib.gemm(a, b)
+                sr.gemm_bitexact = bool((result.c == want).all())
+                sr.gemm_degraded = result.degraded
+                sr.degradations = dict(result.degradations)
+
+                # Tune leg: a throwaway checkpoint store keeps records.io
+                # in the loop (per-trial appends + the winner line).
+                with tempfile.TemporaryDirectory() as tmp:
+                    store = RecordStore(
+                        pathlib.Path(tmp) / "chaos-records.jsonl",
+                        log_trials=True,
+                    )
+                    tuner = AutoTuner(chipspec, estimator=lib.estimator)
+                    best = tuner.tune(
+                        m, n, k, budget=budget, seed=seed, resume=store
+                    )
+                    sr.tune_completed = (
+                        np.isfinite(best.cycles) and best.cycles > 0.0
+                    )
+                    sr.tune_best_cycles = float(best.cycles)
+                    sr.tune_failed_trials = best.failed
+                    sr.tune_quarantined = best.quarantined
+        except Exception as exc:  # noqa: BLE001 -- any escape is a finding
+            sr.error = f"{type(exc).__name__}: {exc}"
+        sr.injected = plan.total_injected()
+        if sr.injected == 0 and sr.error is None:
+            sr.error = "site never fired (instrumentation unreachable?)"
+        report.sites.append(sr)
+    return report

@@ -1,0 +1,387 @@
+"""Deterministic fault injection: seeded plans fired at named sites.
+
+The stack is instrumented at the seams where real tuning/serving
+deployments see failures -- kernel generation, static verification, trace
+capture, template replay, pipeline timing, simulated-memory allocation,
+cache access, tuner measurement, and record-store I/O (:data:`SITES`).
+Each site calls :func:`check` (or :func:`corrupt` for value-returning
+sites); with no plan installed that is a single global read, so the
+production path pays nothing.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` triggers evaluated
+against a site's *call index*: ``nth`` fires exactly once on the nth poll
+of the site, ``probability`` draws from a per-``(seed, site)`` RNG stream.
+Both are reproducible: two plans built from the same ``(seed, specs)`` fire
+at identical call indices (pinned by the determinism tests), which is what
+makes chaos runs and kill-and-resume tests repeatable.
+
+Fault taxonomy (all subclass :class:`InjectedFault`):
+
+* :class:`TransientFault` -- retry-able; sandboxes back off and retry.
+* :class:`PermanentFault` -- retrying is futile; degrade or quarantine.
+* :class:`HangFault`      -- stands in for a wedged candidate; sandboxes
+  record it as a timeout rather than an error.
+* :class:`KillFault`      -- stands in for ``kill -9``: **no** sandbox may
+  catch it (it is deliberately excluded from :data:`RECOVERABLE_FAULTS`),
+  so it unwinds the whole search the way a dead process would.  The
+  checkpoint/resume tests use it to truncate a tuning run mid-flight.
+
+``mode="corrupt"`` perturbs the return value at :func:`corrupt` sites
+(NaN by default) instead of raising; at :func:`check`-only sites, where
+there is no value to damage, it degrades to a :class:`TransientFault`.
+
+Every injection bumps the ``faults.injected`` / ``faults.injected.<site>``
+telemetry counters and the plan's own ``injected`` tally (available without
+a collector, which is how the chaos sweep proves a site actually fired).
+
+A process-wide plan can be installed from the environment::
+
+    REPRO_FAULTS="seed=1;p=0.01;mode=transient;sites=trace.capture,replay.apply"
+
+Clauses separated by ``|`` build multi-spec plans; ``sites=*`` targets
+every registered site.  CI uses this to run the tier-1 suite under a
+low-probability plan and prove the stack degrades instead of crashing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import telemetry
+
+__all__ = [
+    "SITES",
+    "InjectedFault",
+    "TransientFault",
+    "PermanentFault",
+    "HangFault",
+    "KillFault",
+    "RECOVERABLE_FAULTS",
+    "FaultSpec",
+    "FaultPlan",
+    "install",
+    "uninstall",
+    "active_plan",
+    "injecting",
+    "check",
+    "corrupt",
+    "retrying",
+]
+
+#: Registered fault sites: name -> what failing there stands in for.  The
+#: ``repro chaos`` sweep iterates this registry, so a new instrumentation
+#: point is only "real" once it is listed here.
+SITES: dict[str, str] = {
+    "kernel.generate": "micro-kernel code generation (a codegen crash)",
+    "staticcheck.verify": "static kernel verification (verifier infrastructure down)",
+    "trace.capture": "replay-template capture from a fresh trace",
+    "replay.apply": "replay-template application to a new tile",
+    "pipeline.timing": "scoreboard pipeline timing of a trace/template",
+    "memory.alloc": "simulated-memory allocation (allocator exhaustion)",
+    "cache.access": "cache-hierarchy demand access during timing",
+    "tuner.measure": "one auto-tuner candidate measurement",
+    "records.io": "tuning-record store read/write",
+}
+
+#: Spec/plan modes understood by :meth:`FaultPlan.poll`.
+MODES = ("transient", "permanent", "hang", "kill", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """Base class of all injected faults."""
+
+    def __init__(self, site: str, message: str | None = None) -> None:
+        super().__init__(message or f"injected fault at {site}")
+        self.site = site
+
+
+class TransientFault(InjectedFault):
+    """A fault that a retry may clear (flaky I/O, spurious codegen error)."""
+
+
+class PermanentFault(InjectedFault):
+    """A fault retrying cannot clear (the candidate itself is broken)."""
+
+
+class HangFault(InjectedFault):
+    """Stands in for a wedged candidate; sandboxes record a timeout."""
+
+
+class KillFault(InjectedFault):
+    """Stands in for ``kill -9``: never caught by any sandbox."""
+
+
+#: What sandboxes are allowed to swallow.  ``KillFault`` is deliberately
+#: absent: it must unwind everything, like the process death it models.
+RECOVERABLE_FAULTS = (TransientFault, PermanentFault, HangFault)
+
+_FAULT_CLASSES = {
+    "transient": TransientFault,
+    "permanent": PermanentFault,
+    "hang": HangFault,
+    "kill": KillFault,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One trigger: fire ``mode`` at ``site`` on the nth call and/or with a
+    per-call probability.  ``site="*"`` matches every registered site."""
+
+    site: str
+    probability: float = 0.0
+    nth: int | None = None  # 1-based call index; fires exactly once
+    mode: str = "transient"
+    payload: float = float("nan")  # corruption value for mode="corrupt"
+
+    def __post_init__(self) -> None:
+        if self.site != "*" and self.site not in SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; registered sites: "
+                f"{', '.join(sorted(SITES))}"
+            )
+        if self.mode not in MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}; one of {MODES}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.nth is not None and self.nth < 1:
+            raise ValueError("nth is a 1-based call index")
+
+    def matches(self, site: str) -> bool:
+        return self.site == "*" or self.site == site
+
+
+def _site_seed(seed: int, site: str) -> int:
+    """Stable 64-bit stream seed for ``(seed, site)`` (hash() is salted per
+    process, so it cannot anchor reproducibility)."""
+    digest = hashlib.sha256(f"{seed}:{site}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class FaultPlan:
+    """A seeded set of fault triggers with per-site deterministic state.
+
+    Call :meth:`poll` (usually via the module-level :func:`check` /
+    :func:`corrupt`) at an instrumented site; it advances that site's call
+    counter and RNG stream and returns the spec that fired, if any.
+    :meth:`reset` rewinds all per-site state so the same plan replays the
+    same firing sequence.
+    """
+
+    def __init__(self, specs: list[FaultSpec] | FaultSpec, seed: int = 0) -> None:
+        self.specs = [specs] if isinstance(specs, FaultSpec) else list(specs)
+        self.seed = seed
+        self._calls: dict[str, int] = {}
+        self._rngs: dict[str, np.random.Generator] = {}
+        self._spent: set[tuple[int, str]] = set()  # (spec index, site) nth fired
+        #: Injection tally per site, independent of telemetry.
+        self.injected: dict[str, int] = {}
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_string(cls, text: str) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` syntax (see module docstring)."""
+        seed = 0
+        specs: list[FaultSpec] = []
+        for clause in text.split("|"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            fields: dict[str, str] = {}
+            for token in clause.split(";"):
+                token = token.strip()
+                if not token:
+                    continue
+                if "=" not in token:
+                    raise ValueError(f"malformed REPRO_FAULTS token {token!r}")
+                key, value = token.split("=", 1)
+                fields[key.strip()] = value.strip()
+            if "seed" in fields:
+                seed = int(fields.pop("seed"))
+            sites = fields.pop("sites", fields.pop("site", "*"))
+            probability = float(fields.pop("p", fields.pop("probability", "0")))
+            nth = fields.pop("nth", None)
+            mode = fields.pop("mode", "transient")
+            if fields:
+                raise ValueError(f"unknown REPRO_FAULTS keys: {sorted(fields)}")
+            for site in sites.split(","):
+                specs.append(
+                    FaultSpec(
+                        site=site.strip(),
+                        probability=probability,
+                        nth=int(nth) if nth is not None else None,
+                        mode=mode,
+                    )
+                )
+        if not specs:
+            raise ValueError(f"REPRO_FAULTS={text!r} defines no fault specs")
+        return cls(specs, seed=seed)
+
+    # -- deterministic state -------------------------------------------------
+    def reset(self) -> None:
+        """Rewind all per-site counters/streams (for replaying a sequence)."""
+        self._calls.clear()
+        self._rngs.clear()
+        self._spent.clear()
+        self.injected.clear()
+
+    def _rng(self, site: str) -> np.random.Generator:
+        rng = self._rngs.get(site)
+        if rng is None:
+            rng = np.random.default_rng(_site_seed(self.seed, site))
+            self._rngs[site] = rng
+        return rng
+
+    def poll(self, site: str) -> FaultSpec | None:
+        """Advance ``site``'s state by one call; the spec that fired, or None.
+
+        Exactly one RNG draw is made per (matching spec with probability)
+        per call, so the firing sequence is a pure function of
+        ``(seed, site, call index)`` regardless of what other sites do.
+        """
+        index = self._calls.get(site, 0) + 1
+        self._calls[site] = index
+        fired: FaultSpec | None = None
+        for spec_idx, spec in enumerate(self.specs):
+            if not spec.matches(site):
+                continue
+            if spec.nth is not None and index == spec.nth:
+                if (spec_idx, site) not in self._spent:
+                    self._spent.add((spec_idx, site))
+                    fired = fired or spec
+            if spec.probability > 0.0:
+                draw = float(self._rng(site).random())
+                if draw < spec.probability:
+                    fired = fired or spec
+        if fired is not None:
+            self.injected[site] = self.injected.get(site, 0) + 1
+            telemetry.count("faults.injected")
+            telemetry.count(f"faults.injected.{site}")
+        return fired
+
+    def calls(self, site: str) -> int:
+        return self._calls.get(site, 0)
+
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def describe(self) -> str:
+        parts = []
+        for spec in self.specs:
+            bits = [spec.site, spec.mode]
+            if spec.nth is not None:
+                bits.append(f"nth={spec.nth}")
+            if spec.probability:
+                bits.append(f"p={spec.probability}")
+            parts.append(":".join(bits))
+        return f"FaultPlan(seed={self.seed}, {', '.join(parts)})"
+
+
+# ---------------------------------------------------------------------------
+# Process-wide switchboard: instrumented sites call these.
+# ---------------------------------------------------------------------------
+
+_PLAN: FaultPlan | None = None
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Install (and return) the process-wide fault plan."""
+    global _PLAN
+    _PLAN = plan
+    return plan
+
+
+def uninstall() -> FaultPlan | None:
+    """Remove the active plan; returns it for inspection."""
+    global _PLAN
+    plan, _PLAN = _PLAN, None
+    return plan
+
+
+def active_plan() -> FaultPlan | None:
+    return _PLAN
+
+
+class injecting:
+    """Scoped installation: ``with faults.injecting(plan): ...`` restores
+    the previous plan (usually None) on exit."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._prev: FaultPlan | None = None
+
+    def __enter__(self) -> FaultPlan:
+        global _PLAN
+        self._prev = _PLAN
+        _PLAN = self.plan
+        return self.plan
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _PLAN
+        _PLAN = self._prev
+        return False
+
+
+def _raise(spec: FaultSpec, site: str) -> None:
+    mode = "transient" if spec.mode == "corrupt" else spec.mode
+    raise _FAULT_CLASSES[mode](site)
+
+
+def check(site: str) -> None:
+    """Poll ``site`` against the active plan; raises the typed fault if one
+    fired.  ``mode="corrupt"`` degrades to a transient raise here (there is
+    no return value to damage at a check-only site)."""
+    plan = _PLAN
+    if plan is None:
+        return
+    spec = plan.poll(site)
+    if spec is not None:
+        _raise(spec, site)
+
+
+def corrupt(site: str, value: float) -> float:
+    """Poll ``site``; return ``value``, possibly corrupted.
+
+    Raise-modes raise exactly as :func:`check` does; ``mode="corrupt"``
+    returns the spec's payload (NaN by default) so callers exercise their
+    garbage-value validation instead of their exception handling.
+    """
+    plan = _PLAN
+    if plan is None:
+        return value
+    spec = plan.poll(site)
+    if spec is None:
+        return value
+    if spec.mode == "corrupt":
+        return spec.payload
+    _raise(spec, site)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def retrying(fn, retries: int = 2):
+    """Run ``fn()``, absorbing up to ``retries`` transient faults.
+
+    The cheap self-healing used inside the executor's fallback chain for
+    sites whose retry is free (kernel generation, template capture); the
+    tuner's sandbox implements its own retry *with backoff* on top of
+    :class:`TransientFault` instead.
+    """
+    for _ in range(retries):
+        try:
+            return fn()
+        except TransientFault:
+            telemetry.count("faults.retried")
+    return fn()
+
+
+def _install_from_env() -> None:
+    text = os.environ.get("REPRO_FAULTS")
+    if text:
+        install(FaultPlan.from_string(text))
+
+
+_install_from_env()

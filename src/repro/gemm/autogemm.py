@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import telemetry
 from ..codegen.microkernel import generate_microkernel
+from ..faults import plan as _faults
 from ..machine.chips import ChipSpec, get_chip
 from .estimator import GemmEstimate, GemmEstimator
 from .executor import GemmExecutor, GemmResult
@@ -103,8 +105,34 @@ class AutoGEMM:
         BLAS front end), with the transform's streaming cost added to the
         result's cycle count.
         """
-        a = np.asarray(a, dtype=np.float32)
-        b = np.asarray(b, dtype=np.float32)
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.ndim != 2 or b.ndim != 2:
+            raise ValueError(
+                f"operands must be 2-D matrices: A has shape {a.shape}, "
+                f"B has shape {b.shape}"
+            )
+        for name, arr in (("A", a), ("B", b)):
+            if not (
+                np.issubdtype(arr.dtype, np.floating)
+                or np.issubdtype(arr.dtype, np.integer)
+            ):
+                raise ValueError(
+                    f"{name} has unsupported dtype {arr.dtype}; expected a real "
+                    "float or integer dtype convertible to float32"
+                )
+        if not np.isfinite(alpha):
+            raise ValueError(f"alpha must be finite, got {alpha}")
+        ka = a.shape[0] if trans_a else a.shape[1]
+        kb = b.shape[1] if trans_b else b.shape[0]
+        if ka != kb:
+            raise ValueError(
+                f"inner dimensions differ: op(A) is "
+                f"{(a.shape[1] if trans_a else a.shape[0])}x{ka}, op(B) is "
+                f"{kb}x{(b.shape[0] if trans_b else b.shape[1])}"
+            )
+        a = a.astype(np.float32, copy=False)
+        b = b.astype(np.float32, copy=False)
         transform_cycles = 0.0
         if trans_a:
             a = np.ascontiguousarray(a.T)
@@ -139,16 +167,42 @@ class AutoGEMM:
         sched = schedule if schedule is not None else self.schedule_for(m, n, k, threads)
         return self.estimator.estimate(m, n, k, schedule=sched, threads=threads)
 
-    def tune(self, m: int, n: int, k: int, budget: int = 64, seed: int = 0) -> Schedule:
+    def tune(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        budget: int = 64,
+        seed: int = 0,
+        resume: bool = False,
+    ) -> Schedule:
         """Auto-tune the schedule for a shape (TVM-style search, §IV-C);
-        the result is remembered for subsequent ``gemm``/``estimate`` calls."""
+        the result is remembered for subsequent ``gemm``/``estimate`` calls.
+
+        With ``resume=True`` (requires ``tuning_records``) the search
+        checkpoints every trial to the record store and replays trials a
+        previous interrupted run already measured.
+        """
         from ..tuner.tuner import AutoTuner
 
         tuner = AutoTuner(self.chip, estimator=self.estimator)
-        best = tuner.tune(m, n, k, budget=budget, seed=seed)
+        store = self._records if resume else None
+        if resume and store is None:
+            raise ValueError("resume=True requires tuning_records")
+        best = tuner.tune(m, n, k, budget=budget, seed=seed, resume=store)
         self._tuned[(m, n, k)] = best.schedule
         if self._records is not None:
-            self._records.add_result(self.chip.name, m, n, k, best)
+            try:
+                _faults.retrying(
+                    lambda: self._records.add_result(
+                        self.chip.name, m, n, k, best,
+                        include_trials=False if resume else None,
+                    )
+                )
+            except _faults.RECOVERABLE_FAULTS:
+                # The in-memory schedule is already updated; losing the
+                # persisted line only costs a future session a re-tune.
+                telemetry.count("records.write_failed")
         return best.schedule
 
     def kernel_source(self, mr: int, nr: int, kc: int, rotate: bool = True) -> str:

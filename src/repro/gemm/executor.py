@@ -49,20 +49,21 @@ import numpy as np
 from .. import telemetry
 from ..codegen.fusion import fuse_traces
 from ..codegen.microkernel import ARG_REGS
+from ..faults import plan as _faults
 from ..isa.program import Trace
 from ..machine.cache import CacheHierarchy, cache_level_ids
 from ..machine.chips import ChipSpec
 from ..machine.memory import MatrixHandle, Memory
 from ..machine.multicore import parallel_time, partition_blocks
 from ..machine.pipeline import PipelineModel
-from ..machine.simulator import Simulator, TraceTemplate, template_to_trace
+from ..machine.simulator import SimulationError, Simulator, TraceTemplate, template_to_trace
 from ..model.perf_model import DEFAULT_LAUNCH_CYCLES, MicroKernelModel, ModelParams
 from ..tiling.dmt import DynamicMicroTiler
 from ..tiling.plans import TilePlan
 from ..tiling.static_tiling import libxsmm_tiling, openblas_tiling, tile_for_chip
 from .kernel_cache import GLOBAL_KERNEL_CACHE, KernelCache, KernelKey, ReplayCache
 from .packing import PackCost, PackingMode, pack_block, packing_cycles
-from .reference import reference_gemm
+from .reference import reference_gemm, sgemm
 from .schedule import Schedule, default_schedule
 
 __all__ = ["GemmResult", "GemmExecutor"]
@@ -90,6 +91,14 @@ class GemmResult:
     #: Invariant: the values sum to ``cycles``.  Offline packing is excluded,
     #: as it is from ``cycles`` itself (see ``offline_pack_cost``).
     phase_cycles: dict[str, float] = field(default_factory=dict)
+    #: True when any stage of the graceful-degradation fallback chain
+    #: engaged during the run (see ``docs/robustness.md``).  The numerical
+    #: result stays bit-exact against ``reference.sgemm`` either way; the
+    #: cycle count may come from a coarser model for degraded fragments.
+    degraded: bool = False
+    #: Per-fallback engagement counts (mirrors the ``degraded.*`` telemetry
+    #: counters, but recorded even when no collector is installed).
+    degradations: dict[str, int] = field(default_factory=dict)
 
     @property
     def seconds(self) -> float:
@@ -181,6 +190,8 @@ class GemmExecutor:
         """
         from ..analysis.staticcheck import StaticCheckError, verify_program
 
+        if _faults._PLAN is not None:
+            _faults.check("staticcheck.verify")
         self._verified_keys.add(key)
         with telemetry.span(
             "staticcheck", mr=key.mr, nr=key.nr, kc=key.kc
@@ -213,18 +224,40 @@ class GemmExecutor:
         ``threads`` simulated cores split the C blocks; each core owns a
         private cache hierarchy over the shared memory image.
         """
-        a = np.ascontiguousarray(a, dtype=np.float32)
-        b = np.ascontiguousarray(b, dtype=np.float32)
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.ndim != 2 or b.ndim != 2:
+            raise ValueError(
+                f"operands must be 2-D matrices: A has shape {a.shape}, "
+                f"B has shape {b.shape}"
+            )
+        for name, arr in (("A", a), ("B", b)):
+            if not (
+                np.issubdtype(arr.dtype, np.floating)
+                or np.issubdtype(arr.dtype, np.integer)
+            ):
+                raise ValueError(
+                    f"{name} has unsupported dtype {arr.dtype}; expected a real "
+                    "float or integer dtype convertible to float32"
+                )
         m, k = a.shape
         k2, n = b.shape
+        if m < 1 or n < 1 or k < 1:
+            raise ValueError(f"problem sizes must be >= 1, got m={m} n={n} k={k}")
         if k2 != k:
-            raise ValueError(f"inner dimensions differ: {k} vs {k2}")
+            raise ValueError(f"inner dimensions differ: A is {m}x{k}, B is {k2}x{n}")
+        if not np.isfinite(beta):
+            raise ValueError(f"beta must be finite, got {beta}")
+        a = np.ascontiguousarray(a, dtype=np.float32)
+        b = np.ascontiguousarray(b, dtype=np.float32)
         if c is None:
             c = np.zeros((m, n), dtype=np.float32)
             beta = 0.0
+        else:
+            c = np.asarray(c)
+            if c.ndim != 2 or c.shape != (m, n):
+                raise ValueError(f"C shape mismatch: expected {(m, n)}, got {c.shape}")
         c = np.ascontiguousarray(c, dtype=np.float32)
-        if c.shape != (m, n):
-            raise ValueError("C shape mismatch")
         if threads < 1 or threads > self.chip.cores:
             raise ValueError(f"threads must be in [1, {self.chip.cores}]")
 
@@ -234,12 +267,66 @@ class GemmExecutor:
             else default_schedule(m, n, k, self.chip, threads=threads)
         )
 
+        # Run-level stage of the fallback chain: a recoverable fault (or
+        # simulator/memory failure) that escapes the per-tile handlers gets
+        # one full retry; if that also dies, the whole product comes from the
+        # bit-exact numpy reference with model-derived cycles.  KillFault is
+        # deliberately not recoverable -- it models the process dying.
+        recoverable = _faults.RECOVERABLE_FAULTS + (SimulationError, MemoryError)
         with telemetry.span(
             "gemm", m=m, n=n, k=k, threads=threads, chip=self.chip.name
         ) as sp_run:
-            result = self._run_scheduled(a, b, c, schedule, threads, beta, warm, m, n, k)
+            try:
+                result = self._run_scheduled(
+                    a, b, c, schedule, threads, beta, warm, m, n, k
+                )
+            except recoverable:
+                self_degraded = {}
+                self._degrade(self_degraded, "run_retry")
+                try:
+                    result = self._run_scheduled(
+                        a, b, c, schedule, threads, beta, warm, m, n, k
+                    )
+                except recoverable:
+                    self._degrade(self_degraded, "reference_gemm")
+                    result = self._reference_result(a, b, c, beta, m, n, k, threads)
+                for what, cnt in self_degraded.items():
+                    result.degradations[what] = (
+                        result.degradations.get(what, 0) + cnt
+                    )
+                result.degraded = True
             sp_run.add_cycles(result.cycles)
         return result
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _degrade(degraded: dict, what: str, n: int = 1) -> None:
+        """Record one engagement of a fallback stage (dict + telemetry)."""
+        degraded[what] = degraded.get(what, 0) + n
+        telemetry.count(f"degraded.{what}", n)
+
+    def _reference_result(
+        self, a, b, c, beta, m, n, k, threads
+    ) -> GemmResult:
+        """Last resort of the fallback chain: the full product from the
+        bit-exact numpy reference (:func:`reference.sgemm` -- same float32
+        accumulation order as the generated kernels), with cycles from the
+        analytic micro-kernel model at the chip's default tile shape."""
+        out = sgemm(a, b, c, beta=beta)
+        tile = tile_for_chip(self.chip.sigma_lane)
+        kc = min(k, 256)
+        n_tiles = (-(m // -tile.mr)) * (-(n // -tile.nr)) * (-(k // -kc))
+        cycles = self.model.total(tile.mr, tile.nr, kc, rotate=True) * n_tiles
+        cycles /= max(threads, 1)
+        return GemmResult(
+            c=out,
+            cycles=cycles,
+            flops=2 * m * n * k,
+            chip=self.chip,
+            threads=threads,
+            degraded=True,
+            phase_cycles={"kernel": cycles},
+        )
 
     @staticmethod
     def memory_bytes(
@@ -265,6 +352,7 @@ class GemmExecutor:
         return max(1 << 24, 1 << (bytes_needed - 1).bit_length())
 
     def _run_scheduled(self, a, b, c, schedule, threads, beta, warm, m, n, k):
+        degraded: dict[str, int] = {}
         memory = Memory(size_bytes=self.memory_bytes(m, n, k, schedule, threads))
         # Operand staging is the in-library packing path of a real BLAS front
         # end (see ``AutoGEMM.gemm``), so it reports as a packing span.
@@ -285,15 +373,21 @@ class GemmExecutor:
                 staged_c = (np.float32(beta) * c).astype(np.float32)
             memory.write_matrix(h_c, staged_c)
 
-        # Offline packing rewrites B densely before the timed region.
+        # Offline packing rewrites B densely before the timed region.  A
+        # fault while packing is survivable: the kernels read the same values
+        # from the unpacked image, only the access strides differ.
         offline_pack = PackCost(0.0, 0)
         if schedule.packing is PackingMode.OFFLINE:
-            with telemetry.span("offline_pack", rows=k, cols=n) as sp_pack:
-                packed = pack_block(memory, h_b, 0, 0, k, n)
-                offline_pack = packing_cycles(k, n, self.chip)
-                sp_pack.add_cycles(offline_pack.cycles)
-                telemetry.count("pack.bytes_moved", offline_pack.bytes_moved)
-            h_b = packed
+            try:
+                with telemetry.span("offline_pack", rows=k, cols=n) as sp_pack:
+                    packed = pack_block(memory, h_b, 0, 0, k, n)
+                    offline_pack = packing_cycles(k, n, self.chip)
+                    sp_pack.add_cycles(offline_pack.cycles)
+                    telemetry.count("pack.bytes_moved", offline_pack.bytes_moved)
+                h_b = packed
+            except _faults.RECOVERABLE_FAULTS:
+                self._degrade(degraded, "pack_skipped")
+                offline_pack = PackCost(0.0, 0)
 
         sim = Simulator(memory, vector_lanes=self.chip.sigma_lane)
 
@@ -328,7 +422,7 @@ class GemmExecutor:
             with telemetry.span("core", core=core_id, blocks=len(core_blocks)) as sp:
                 cycles, stats = self._run_core(
                     sim, caches, schedule, h_a, h_b, h_c, core_blocks, k_ranges,
-                    beta, pad_scratch,
+                    beta, pad_scratch, degraded,
                 )
                 sp.add_cycles(cycles)
             per_core_cycles.append(cycles)
@@ -371,12 +465,14 @@ class GemmExecutor:
             loads_by_level=loads_by_level,
             per_core_cycles=per_core_cycles,
             phase_cycles=phase_cycles,
+            degraded=bool(degraded),
+            degradations=degraded,
         )
 
     # ------------------------------------------------------------------
     def _run_core(
         self, sim, caches, schedule, h_a, h_b, h_c, c_blocks, k_ranges, beta,
-        pad_scratch,
+        pad_scratch, degraded,
     ):
         """Run one core's share of C blocks (full K loop per block)."""
         cycles = 0.0
@@ -397,24 +493,33 @@ class GemmExecutor:
                 for k0, kc in k_ranges:
                     b_block = h_b.sub(k0, n0, kc, nc)
                     if schedule.packing is PackingMode.ONLINE:
-                        if pack_scratch is None:
-                            pack_scratch = memory.alloc_matrix(schedule.kc, schedule.nc)
-                        if packed_key != (k0, n0, kc, nc):
-                            with telemetry.span("pack_block", kc=kc, nc=nc) as sp_pack:
-                                packed_block = pack_block(
-                                    memory, h_b, k0, n0, kc, nc, pack_scratch
+                        # A faulted pack panel degrades to the unpacked B
+                        # sub-block: same values, different strides.
+                        try:
+                            if pack_scratch is None:
+                                pack_scratch = memory.alloc_matrix(
+                                    schedule.kc, schedule.nc
                                 )
-                                packed_key = (k0, n0, kc, nc)
-                                cost = packing_cycles(kc, nc, self.chip)
-                                sp_pack.add_cycles(cost.cycles)
-                            telemetry.count("pack.bytes_moved", cost.bytes_moved)
-                            block_cycles += cost.cycles
-                            stats["pack"] = PackCost(
-                                stats["pack"].cycles + cost.cycles,
-                                stats["pack"].bytes_moved + cost.bytes_moved,
-                            )
-                        assert packed_block is not None
-                        b_block = packed_block
+                            if packed_key != (k0, n0, kc, nc):
+                                with telemetry.span(
+                                    "pack_block", kc=kc, nc=nc
+                                ) as sp_pack:
+                                    packed_block = pack_block(
+                                        memory, h_b, k0, n0, kc, nc, pack_scratch
+                                    )
+                                    packed_key = (k0, n0, kc, nc)
+                                    cost = packing_cycles(kc, nc, self.chip)
+                                    sp_pack.add_cycles(cost.cycles)
+                                telemetry.count("pack.bytes_moved", cost.bytes_moved)
+                                block_cycles += cost.cycles
+                                stats["pack"] = PackCost(
+                                    stats["pack"].cycles + cost.cycles,
+                                    stats["pack"].bytes_moved + cost.bytes_moved,
+                                )
+                            assert packed_block is not None
+                            b_block = packed_block
+                        except _faults.RECOVERABLE_FAULTS:
+                            self._degrade(degraded, "pack_skipped")
                     block_cycles += self._run_block(
                         sim,
                         caches,
@@ -425,13 +530,14 @@ class GemmExecutor:
                         accumulate=(k0 > 0) or (beta != 0.0),
                         stats=stats,
                         pad_scratch=pad_scratch,
+                        degraded=degraded,
                     )
                 sp_blk.add_cycles(block_cycles)
                 cycles += block_cycles
         return cycles, stats
 
     def _run_block(self, sim, caches, schedule, blk_a, blk_b, blk_c, accumulate,
-                   stats, pad_scratch):
+                   stats, pad_scratch, degraded):
         """Execute one cache block's tile plan; returns its cycles.
 
         With replay enabled, a tile whose ``(KernelKey, leading-dimensions)``
@@ -441,6 +547,14 @@ class GemmExecutor:
         addresses through this core's cache hierarchy.  Tiles without a
         template are interpreted (capturing one), so within a block the first
         tile of each distinct shape pays interpretation and the rest replay.
+
+        Per-tile fallback chain (``docs/robustness.md``): a recoverable fault
+        in template replay falls back to fresh interpretation; a fault in
+        kernel generation/interpretation falls back to the bit-exact numpy
+        reference for that tile (same vectorized update the replay path uses,
+        timed by the analytic model).  Degraded tiles count ``degraded.*``,
+        never ``replay.misses`` -- the replay counters stay an invariant of
+        the fault-free workload.
         """
         chip = self.chip
         plan = self.plan_block(blk_c.rows, blk_c.cols, blk_a.cols, schedule)
@@ -456,6 +570,7 @@ class GemmExecutor:
         traces: dict[int, Trace] = {}  # interpreted tiles only
         bindings: list[tuple[TraceTemplate | None, tuple[int, int, int]]] = []
         replayed: list[int] = []
+        reference: set[int] = set()  # tiles degraded to the numpy reference
         for idx, tile in enumerate(tiles):
             key = KernelKey(
                 mr=tile.kernel_mr,
@@ -468,22 +583,50 @@ class GemmExecutor:
                 lookahead=schedule.lookahead,
                 use_pairs=schedule.use_pairs,
             )
-            kernel = self.kernels.get(key)
+            try:
+                kernel = _faults.retrying(lambda: self.kernels.get(key))
+            except _faults.RECOVERABLE_FAULTS:
+                kernel = None
+            if kernel is None:
+                self._degrade(degraded, "reference_tile")
+                bindings.append((None, (0, 0, 0)))
+                reference.add(idx)
+                stats["kernel_calls"] += 1
+                continue
             if self.staticcheck and key not in self._verified_keys:
-                self._verify_kernel(key, kernel)
-            if tile.padded:
-                telemetry.count("executor.padded_tiles")
-                telemetry.count(
-                    "executor.padded_flop_waste", 2 * kc * tile.padding_flops
-                )
-                strides, bases, regions = self._padded_binding(
-                    sim.memory, kernel, kc, pad_scratch
-                )
-            else:
-                strides, bases, regions = self._tile_binding(
-                    tile, blk_a, blk_b, blk_c
-                )
+                try:
+                    self._verify_kernel(key, kernel)
+                except _faults.RECOVERABLE_FAULTS:
+                    # The kernel still runs -- unverified, this once.
+                    self._degrade(degraded, "staticcheck_skipped")
+            try:
+                if tile.padded:
+                    telemetry.count("executor.padded_tiles")
+                    telemetry.count(
+                        "executor.padded_flop_waste", 2 * kc * tile.padding_flops
+                    )
+                    strides, bases, regions = self._padded_binding(
+                        sim.memory, kernel, kc, pad_scratch
+                    )
+                else:
+                    strides, bases, regions = self._tile_binding(
+                        tile, blk_a, blk_b, blk_c
+                    )
+            except _faults.RECOVERABLE_FAULTS:
+                self._degrade(degraded, "reference_tile")
+                bindings.append((None, (0, 0, 0)))
+                reference.add(idx)
+                stats["kernel_calls"] += 1
+                continue
             tpl = replay.template(key, strides) if replay is not None else None
+            abandoned = False  # replay template dropped by an injected fault
+            if tpl is not None and _faults._PLAN is not None:
+                try:
+                    _faults.check("replay.apply")
+                except _faults.RECOVERABLE_FAULTS:
+                    tpl = None
+                    abandoned = True
+                    self._degrade(degraded, "interpret")
             with telemetry.span(
                 "tile",
                 mr=tile.kernel_mr,
@@ -492,15 +635,31 @@ class GemmExecutor:
                 replay=tpl is not None,
             ):
                 if tpl is None:
-                    if tile.padded:
-                        trace = self._run_padded_tile(
-                            sim, kernel, tile, blk_a, blk_b, blk_c, pad_scratch
-                        )
-                    else:
-                        trace = self._run_tile(sim, kernel, tile, blk_a, blk_b, blk_c)
+                    try:
+                        if tile.padded:
+                            trace = self._run_padded_tile(
+                                sim, kernel, tile, blk_a, blk_b, blk_c, pad_scratch
+                            )
+                        else:
+                            trace = self._run_tile(
+                                sim, kernel, tile, blk_a, blk_b, blk_c
+                            )
+                    except _faults.RECOVERABLE_FAULTS + (SimulationError,):
+                        self._degrade(degraded, "reference_tile")
+                        bindings.append((None, (0, 0, 0)))
+                        reference.add(idx)
+                        stats["kernel_calls"] += 1
+                        continue
                     if replay is not None:
-                        telemetry.count("replay.misses")
-                        tpl = replay.capture(key, strides, trace, regions)
+                        if not abandoned:
+                            telemetry.count("replay.misses")
+                        try:
+                            tpl = _faults.retrying(
+                                lambda: replay.capture(key, strides, trace, regions)
+                            )
+                        except _faults.RECOVERABLE_FAULTS:
+                            tpl = None
+                            self._degrade(degraded, "capture_skipped")
                     traces[idx] = trace
                     stats["instructions"] += len(trace)
                 else:
@@ -521,6 +680,20 @@ class GemmExecutor:
                     kc,
                     accumulate,
                 )
+        if reference:
+            # Reference tiles land through the same vectorized update the
+            # replay path uses -- bit-exact with the kernels by construction
+            # (padded tiles included: only the valid region reaches C).
+            with telemetry.span("reference_update", tiles=len(reference)):
+                self._apply_replay_updates(
+                    sim.memory,
+                    [tiles[i] for i in sorted(reference)],
+                    blk_a,
+                    blk_b,
+                    blk_c,
+                    kc,
+                    accumulate,
+                )
 
         # Timing pass, in tile order so the per-core cache state evolves
         # exactly as the interpreter path's trace order would drive it.
@@ -528,25 +701,62 @@ class GemmExecutor:
         with telemetry.span(
             "pipeline", fused=schedule.fuse, traces=len(tiles)
         ) as sp_pipe:
-            if schedule.fuse:
-                block_cycles += self._time_fused_block(
-                    caches, bindings, traces, replayed, stats
-                )
-            else:
-                for idx in range(len(tiles)):
-                    pipeline = PipelineModel(
-                        chip, caches=caches, launch_cycles=self.launch_cycles
+            fused = schedule.fuse and not reference
+            if fused:
+                try:
+                    block_cycles += self._time_fused_block(
+                        caches, bindings, traces, replayed, stats
                     )
-                    tpl, bases = bindings[idx]
-                    if idx in traces:
-                        timing = pipeline.time_trace(traces[idx])
-                    else:
-                        timing = pipeline.replay_template(tpl, bases)
-                    block_cycles += timing.cycles
-                    for lvl, cnt in timing.loads_by_level.items():
-                        stats["loads"][lvl] += cnt
+                except _faults.RECOVERABLE_FAULTS:
+                    self._degrade(degraded, "unfused")
+                    fused = False
+            elif schedule.fuse:
+                # Reference tiles have no trace to fuse; the block times
+                # per-tile with model costs filling the gaps.
+                self._degrade(degraded, "unfused")
+            if not fused:
+                block_cycles += self._time_tiles(
+                    caches, schedule, tiles, bindings, traces, reference, kc,
+                    stats, degraded,
+                )
             sp_pipe.add_cycles(block_cycles)
         return block_cycles
+
+    def _time_tiles(self, caches, schedule, tiles, bindings, traces, reference,
+                    kc, stats, degraded):
+        """Per-tile timing with model fallback for degraded tiles.
+
+        Reference tiles (and tiles whose scoreboard pass faults) are charged
+        the analytic model's full-kernel cost -- coarser than the simulator
+        but monotone in the tile shape, so degraded runs stay comparable.
+        """
+        cycles = 0.0
+        for idx in range(len(tiles)):
+            if idx in reference:
+                cycles += self._model_tile_cycles(tiles[idx], kc, schedule)
+                continue
+            tpl, bases = bindings[idx]
+            try:
+                pipeline = PipelineModel(
+                    self.chip, caches=caches, launch_cycles=self.launch_cycles
+                )
+                if idx in traces:
+                    timing = pipeline.time_trace(traces[idx])
+                else:
+                    timing = pipeline.replay_template(tpl, bases)
+            except _faults.RECOVERABLE_FAULTS:
+                self._degrade(degraded, "model_timing")
+                cycles += self._model_tile_cycles(tiles[idx], kc, schedule)
+                continue
+            cycles += timing.cycles
+            for lvl, cnt in timing.loads_by_level.items():
+                stats["loads"][lvl] += cnt
+        return cycles
+
+    def _model_tile_cycles(self, tile, kc, schedule) -> float:
+        return self.model.total(
+            tile.kernel_mr, tile.kernel_nr, kc, rotate=schedule.rotate
+        )
 
     def _time_fused_block(self, caches, bindings, traces, replayed, stats):
         """Time a fused block: template fusion when every tile has one,

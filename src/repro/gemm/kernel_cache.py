@@ -28,6 +28,7 @@ import numpy as np
 
 from .. import telemetry
 from ..codegen.microkernel import ARG_REGS, MicroKernel, generate_microkernel
+from ..faults import plan as _faults
 from ..machine.cache import CacheHierarchy
 from ..machine.chips import ChipSpec
 from ..machine.memory import Memory
@@ -78,6 +79,8 @@ class KernelCache:
     def get(self, key: KernelKey) -> MicroKernel:
         kernel = self._kernels.get(key)
         if kernel is None:
+            if _faults._PLAN is not None:
+                _faults.check("kernel.generate")
             telemetry.count("kernel_cache.misses")
             telemetry.count("kernel_cache.generated")
             with telemetry.span("generate_kernel", mr=key.mr, nr=key.nr, kc=key.kc):
@@ -151,6 +154,8 @@ class ReplayCache:
         existing = self._templates.get(cache_key)
         if existing is not None:
             return existing
+        if _faults._PLAN is not None:
+            _faults.check("trace.capture")
         tpl = build_template(trace, regions)
         if tpl is not None:
             tpl.uid = self._next_uid
@@ -242,7 +247,10 @@ class ReplayCache:
             ARG_REGS["ldb"]: h_b.ld,
             ARG_REGS["ldc"]: h_c.ld,
         }
-        kernel = self.kernels.get(key)
+        # Transient generation faults are absorbed by a free retry; anything
+        # sterner propagates to the caller's sandbox (the tuner's measure
+        # sandbox, or the executor's per-tile fallback chain).
+        kernel = _faults.retrying(lambda: self.kernels.get(key))
         with telemetry.span(
             "time_kernel", mr=key.mr, nr=key.nr, kc=key.kc, replay=False
         ) as sp:
@@ -250,16 +258,21 @@ class ReplayCache:
             assert result.timing is not None
             measured = result.timing.cycles
             sp.add_cycles(measured)
-        self.capture(
-            key,
-            strides,
-            result.trace,
-            [
-                (h_a.base, h_a.base, h_a.base + h_a.bytes_spanned),
-                (h_b.base, h_b.base, h_b.base + h_b.bytes_spanned),
-                (h_c.base, h_c.base, h_c.base + h_c.bytes_spanned),
-            ],
-        )
+        try:
+            self.capture(
+                key,
+                strides,
+                result.trace,
+                [
+                    (h_a.base, h_a.base, h_a.base + h_a.bytes_spanned),
+                    (h_b.base, h_b.base, h_b.base + h_b.bytes_spanned),
+                    (h_c.base, h_c.base, h_c.base + h_c.bytes_spanned),
+                ],
+            )
+        except _faults.RECOVERABLE_FAULTS:
+            # The measurement above is already the ground truth; a failed
+            # capture just means the next residency re-interprets.
+            telemetry.count("degraded.capture_skipped")
         self._cycles[memo_key] = measured
         return measured + launch
 

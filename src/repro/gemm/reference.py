@@ -10,7 +10,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["reference_gemm", "relative_error", "assert_close", "random_gemm_operands"]
+__all__ = [
+    "reference_gemm",
+    "sgemm",
+    "relative_error",
+    "assert_close",
+    "random_gemm_operands",
+]
 
 
 def reference_gemm(
@@ -25,6 +31,36 @@ def reference_gemm(
             np.float32
         )
     return out
+
+
+def sgemm(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None, beta: float = 1.0
+) -> np.ndarray:
+    """``beta * C + A @ B`` in the generated kernels' exact rounding order.
+
+    Every C element accumulates strictly sequentially over ``k`` with
+    float32 multiply-then-add double rounding (``FmlaElem`` is not fused),
+    and the blocked executor preserves that order across k-blocks and
+    tiles.  This function reproduces it, so a correct executor run --
+    including every stage of the graceful-degradation fallback chain -- is
+    **bit-exact** against ``sgemm``, not merely close.  ``reference_gemm``
+    (numpy's reassociated matmul) remains the tolerance-based oracle.
+    """
+    a = np.ascontiguousarray(a, dtype=np.float32)
+    b = np.ascontiguousarray(b, dtype=np.float32)
+    m, k = a.shape
+    n = b.shape[1]
+    if c is None or beta == 0.0:
+        acc = np.zeros((m, n), np.float32)
+    elif beta == 1.0:
+        acc = np.array(c, dtype=np.float32, copy=True)
+    else:
+        acc = (np.float32(beta) * np.asarray(c, dtype=np.float32)).astype(np.float32)
+    tmp = np.empty((m, n), np.float32)
+    for p in range(k):
+        np.multiply(a[:, p, None], b[p, None, :], out=tmp)
+        np.add(acc, tmp, out=acc)
+    return acc
 
 
 def relative_error(got: np.ndarray, want: np.ndarray) -> float:

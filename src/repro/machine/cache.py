@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..faults import plan as _faults
 from .chips import ChipSpec
 
 __all__ = ["CacheLevel", "CacheHierarchy", "CacheStats", "cache_level_ids"]
@@ -133,6 +134,8 @@ class CacheHierarchy:
 
     def access(self, addr: int, is_write: bool = False) -> int:
         """Service a demand access; returns the hit level (4 = DRAM)."""
+        if _faults._PLAN is not None:
+            _faults.check("cache.access")
         hit_level = 4
         for level, cache in self.levels:
             if cache.lookup(addr):

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..faults import plan as _faults
+
 __all__ = ["Memory", "MatrixHandle"]
 
 
@@ -82,6 +84,8 @@ class Memory:
     # -- allocation ---------------------------------------------------------
     def alloc(self, nbytes: int, align: int = 64) -> int:
         """Allocate ``nbytes`` and return the byte address (line-aligned)."""
+        if _faults._PLAN is not None:
+            _faults.check("memory.alloc")
         addr = (self._next + align - 1) // align * align
         if addr + nbytes > self.size_bytes:
             raise MemoryError(

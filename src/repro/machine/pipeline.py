@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..faults import plan as _faults
 from ..isa.instructions import Label, Unit
 from ..isa.program import Trace
 from .cache import CacheHierarchy
@@ -71,6 +72,8 @@ class PipelineModel:
         self.launch_cycles = launch_cycles
 
     def time_trace(self, trace: Trace) -> TimingResult:
+        if _faults._PLAN is not None:
+            _faults.check("pipeline.timing")
         chip = self.chip
         launch = self.launch_cycles
         caches = self.caches
@@ -192,6 +195,8 @@ class PipelineModel:
         the same levels in the same order are cycle-identical and skip the
         Python scheduling loop entirely.
         """
+        if _faults._PLAN is not None:
+            _faults.check("pipeline.timing")
         caches = self.caches
         access = caches.access
         prefetch = caches.prefetch

@@ -21,6 +21,8 @@ import pathlib
 from dataclasses import dataclass
 from typing import Iterable
 
+from .. import telemetry
+from ..faults import plan as _faults
 from ..gemm.packing import PackingMode
 from ..gemm.schedule import Schedule
 from .tuner import Trial, TuneResult
@@ -96,8 +98,7 @@ class TuningRecord:
         )
 
     @classmethod
-    def from_json(cls, line: str) -> "TuningRecord":
-        data = json.loads(line)
+    def from_dict(cls, data: dict) -> "TuningRecord":
         return cls(
             chip=data["chip"],
             m=int(data["m"]),
@@ -107,10 +108,19 @@ class TuningRecord:
             schedule=schedule_from_dict(data["schedule"]),
         )
 
+    @classmethod
+    def from_json(cls, line: str) -> "TuningRecord":
+        return cls.from_dict(json.loads(line))
+
 
 @dataclass(frozen=True)
 class TrialRecord:
-    """One persisted tuning trial (an evaluated candidate, not a winner)."""
+    """One persisted tuning trial (an evaluated candidate, not a winner).
+
+    Failed/hung attempts persist too (``status`` of ``"error"`` /
+    ``"timeout"``, ``cycles`` serialised as ``null`` and loaded back as
+    inf) so a resumed search replays them instead of re-measuring.
+    """
 
     chip: str
     m: int
@@ -120,6 +130,7 @@ class TrialRecord:
     cycles: float
     schedule: Schedule
     predicted: float | None = None
+    status: str = "ok"
 
     @property
     def key(self) -> tuple[str, int, int, int]:
@@ -134,26 +145,36 @@ class TrialRecord:
                 "n": self.n,
                 "k": self.k,
                 "round": self.round,
-                "cycles": self.cycles,
+                # JSON has no inf; failed trials round-trip through null.
+                "cycles": self.cycles if self.status == "ok" else None,
                 "predicted": self.predicted,
+                "status": self.status,
                 "schedule": schedule_to_dict(self.schedule),
             }
         )
 
     @classmethod
-    def from_json(cls, line: str) -> "TrialRecord":
-        data = json.loads(line)
+    def from_dict(cls, data: dict) -> "TrialRecord":
         predicted = data.get("predicted")
+        status = data.get("status", "ok")
+        cycles = data.get("cycles")
+        if status == "ok" and cycles is None:
+            raise ValueError("ok trial record missing cycles")
         return cls(
             chip=data["chip"],
             m=int(data["m"]),
             n=int(data["n"]),
             k=int(data["k"]),
             round=int(data.get("round", 0)),
-            cycles=float(data["cycles"]),
+            cycles=float(cycles) if cycles is not None else float("inf"),
             predicted=float(predicted) if predicted is not None else None,
             schedule=schedule_from_dict(data["schedule"]),
+            status=status,
         )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TrialRecord":
+        return cls.from_dict(json.loads(line))
 
     @classmethod
     def from_trial(
@@ -168,6 +189,7 @@ class TrialRecord:
             cycles=trial.cycles,
             predicted=trial.predicted,
             schedule=trial.schedule,
+            status=trial.status,
         )
 
 
@@ -177,6 +199,13 @@ class RecordStore:
     With ``log_trials=True``, ``add_result`` additionally appends every
     evaluated trial of the :class:`TuneResult`; the full history is
     available through :meth:`trial_history` after a reload.
+
+    Loading is crash-tolerant: a truncated or corrupt line (the tail a
+    ``kill -9`` mid-append leaves behind, or damage from a concurrent
+    writer) is skipped and counted in :attr:`skipped_lines` rather than
+    aborting the load -- every intact record before and after it survives.
+    :meth:`compact` rewrites the file from the surviving records, clearing
+    the damage.
     """
 
     def __init__(self, path: str | pathlib.Path, log_trials: bool = False) -> None:
@@ -184,21 +213,34 @@ class RecordStore:
         self.log_trials = log_trials
         self._best: dict[tuple[str, int, int, int], TuningRecord] = {}
         self._trials: dict[tuple[str, int, int, int], list[TrialRecord]] = {}
+        #: Malformed lines skipped by the last load (0 for a clean file).
+        self.skipped_lines = 0
         if self.path.exists():
             self._load()
 
     def _load(self) -> None:
+        if _faults._PLAN is not None:
+            _faults.check("records.io")
+        self.skipped_lines = 0
         for line in self.path.read_text().splitlines():
             line = line.strip()
             if not line:
                 continue
-            kind = json.loads(line).get("kind")
-            if kind == "trial":
-                trial = TrialRecord.from_json(line)
-                self._trials.setdefault(trial.key, []).append(trial)
-            elif kind is None:  # winner record, the original line format
-                self._keep_best(TuningRecord.from_json(line))
-            # Unknown kinds: skipped (forward compatibility).
+            try:
+                data = json.loads(line)
+                if not isinstance(data, dict):
+                    raise ValueError("record line is not a JSON object")
+                kind = data.get("kind")
+                if kind == "trial":
+                    trial = TrialRecord.from_dict(data)
+                    self._trials.setdefault(trial.key, []).append(trial)
+                elif kind is None:  # winner record, the original line format
+                    self._keep_best(TuningRecord.from_dict(data))
+                # Unknown kinds: skipped silently (forward compatibility).
+            except (ValueError, KeyError, TypeError):
+                # Corrupt/truncated line: count it and keep loading.
+                self.skipped_lines += 1
+                telemetry.count("records.skipped_lines")
 
     def _keep_best(self, record: TuningRecord) -> None:
         current = self._best.get(record.key)
@@ -214,14 +256,27 @@ class RecordStore:
 
     def add(self, record: TuningRecord) -> None:
         """Persist a record (appended; the in-memory view keeps the best)."""
+        if _faults._PLAN is not None:
+            _faults.check("records.io")
         self._keep_best(record)
         with self.path.open("a") as fh:
             fh.write(record.to_json() + "\n")
 
     def add_result(
-        self, chip: str, m: int, n: int, k: int, result: TuneResult
+        self,
+        chip: str,
+        m: int,
+        n: int,
+        k: int,
+        result: TuneResult,
+        include_trials: bool | None = None,
     ) -> TuningRecord:
-        if self.log_trials and result.trials:
+        """Persist a tuning outcome (winner line, plus trial lines when
+        trial logging is on).  ``include_trials=False`` suppresses the trial
+        lines regardless -- used after a resumed search, whose trials were
+        already checkpointed one by one."""
+        log = self.log_trials if include_trials is None else include_trials
+        if log and result.trials:
             self.add_trials(chip, m, n, k, result.trials)
         record = TuningRecord(
             chip=chip, m=m, n=n, k=k, cycles=result.cycles, schedule=result.schedule
@@ -234,11 +289,20 @@ class RecordStore:
     ) -> list[TrialRecord]:
         """Append every trial as a history line (regardless of winner)."""
         records = [TrialRecord.from_trial(chip, m, n, k, t) for t in trials]
+        self.add_trials_records(records)
+        return records
+
+    def add_trials_records(self, records: Iterable[TrialRecord]) -> None:
+        """Append already-built trial records (the tuner's per-trial
+        checkpoint path: one line per finished trial, flushed immediately,
+        so a killed search loses at most the in-flight trial)."""
+        if _faults._PLAN is not None:
+            _faults.check("records.io")
         with self.path.open("a") as fh:
             for rec in records:
                 self._trials.setdefault(rec.key, []).append(rec)
                 fh.write(rec.to_json() + "\n")
-        return records
+                fh.flush()
 
     def trial_history(self, chip: str, m: int, n: int, k: int) -> list[TrialRecord]:
         """All logged trials for a problem, in append (measurement) order."""
@@ -249,7 +313,14 @@ class RecordStore:
 
     def compact(self) -> None:
         """Rewrite the file keeping only the best record per key (trial
-        history is dropped -- compaction trades curves for file size)."""
+        history is dropped -- compaction trades curves for file size).
+        Corrupt lines counted by :attr:`skipped_lines` are shed in the
+        rewrite, so compaction doubles as crash recovery."""
+        if _faults._PLAN is not None:
+            _faults.check("records.io")
         lines = [r.to_json() for r in self._best.values()]
-        self.path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text("\n".join(lines) + ("\n" if lines else ""))
+        tmp.replace(self.path)
         self._trials.clear()
+        self.skipped_lines = 0

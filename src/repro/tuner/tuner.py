@@ -17,11 +17,14 @@ on the front:
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .. import telemetry
+from ..faults import plan as _faults
 from ..gemm.estimator import GemmEstimator
 from ..gemm.schedule import Schedule
 from ..machine.chips import ChipSpec
@@ -35,14 +38,22 @@ __all__ = ["Trial", "TuneResult", "AutoTuner"]
 
 @dataclass(frozen=True)
 class Trial:
-    """One measured schedule."""
+    """One measured schedule (or one failed measurement attempt)."""
 
     schedule: Schedule
-    cycles: float
+    cycles: float  # inf when status != "ok"
     round: int
     #: Analytic Eqn 13 cost of the schedule (the pruning model's prediction),
     #: recorded so tuning curves can contrast model vs measurement.
     predicted: float | None = None
+    #: ``"ok"`` | ``"error"`` | ``"timeout"`` -- failed and hung candidates
+    #: are recorded rather than dropped, so resumed searches replay them.
+    status: str = "ok"
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
 
 @dataclass
@@ -52,6 +63,14 @@ class TuneResult:
     schedule: Schedule
     cycles: float
     trials: list[Trial] = field(default_factory=list)
+    #: Sandbox accounting: candidates attempted (= ``len(trials)``), how
+    #: many ended error/timeout, how many schedules were quarantined as
+    #: repeat offenders, and how many trials were replayed from a resume
+    #: store instead of re-measured.
+    attempted: int = 0
+    failed: int = 0
+    quarantined: int = 0
+    resumed: int = 0
 
     @property
     def num_trials(self) -> int:
@@ -68,7 +87,17 @@ class TuneResult:
 
 
 class AutoTuner:
-    """Model-pruned, learning-guided schedule search for one chip."""
+    """Model-pruned, learning-guided schedule search for one chip.
+
+    Every measurement runs inside a sandbox (see :meth:`_measure_sandboxed`):
+    transient faults are retried with backoff, permanent faults and
+    simulator failures record a ``Trial(status="error")``, hangs and
+    budget-busting candidates record ``status="timeout"``, and schedules
+    that fail ``quarantine_after`` times are quarantined -- the search
+    proposes around them instead of crashing.  A tuning run only raises if
+    *every* attempted candidate failed (or a :class:`~repro.faults.KillFault`
+    models the process dying).
+    """
 
     def __init__(
         self,
@@ -76,15 +105,85 @@ class AutoTuner:
         estimator: GemmEstimator | None = None,
         use_model_pruning: bool = True,
         use_cost_model: bool = True,
+        trial_timeout_s: float | None = None,
+        trial_cycle_budget: float | None = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.0,
+        quarantine_after: int = 2,
     ) -> None:
         self.chip = chip
         self.estimator = estimator if estimator is not None else GemmEstimator(chip)
         self.use_model_pruning = use_model_pruning
         self.use_cost_model = use_cost_model
+        #: Wall-clock budget per trial (checked cooperatively after the
+        #: simulated measurement returns -- the simulator cannot be
+        #: preempted mid-candidate).
+        self.trial_timeout_s = trial_timeout_s
+        #: Reject candidates whose measured simulated cycles exceed this
+        #: (a runaway schedule on a simulator is the analogue of a hang).
+        self.trial_cycle_budget = trial_cycle_budget
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.quarantine_after = quarantine_after
 
     def measure(self, schedule: Schedule, m: int, n: int, k: int) -> float:
         """Measured cost of one candidate: simulated cycles."""
-        return self.estimator.estimate(m, n, k, schedule=schedule).cycles
+        cycles = self.estimator.estimate(m, n, k, schedule=schedule).cycles
+        if _faults._PLAN is not None:
+            cycles = _faults.corrupt("tuner.measure", cycles)
+        return cycles
+
+    def _measure_sandboxed(
+        self, schedule: Schedule, m: int, n: int, k: int
+    ) -> tuple[str, float, str | None]:
+        """``(status, cycles, error)`` for one candidate, never raising a
+        recoverable fault.  Transient faults retry with exponential backoff;
+        hangs and wall/cycle budget overruns report ``timeout``; everything
+        else recoverable reports ``error``.  :class:`KillFault` (and any
+        non-fault bug) propagates."""
+        from ..machine.simulator import SimulationError
+
+        start = time.monotonic()
+        attempt = 0
+        while True:
+            try:
+                cycles = self.measure(schedule, m, n, k)
+            except _faults.HangFault as exc:
+                telemetry.count("tuner.trial_timeouts")
+                return "timeout", float("inf"), str(exc)
+            except _faults.TransientFault as exc:
+                attempt += 1
+                if attempt > self.max_retries:
+                    telemetry.count("tuner.trial_errors")
+                    return "error", float("inf"), str(exc)
+                telemetry.count("tuner.trial_retries")
+                if self.retry_backoff_s:
+                    time.sleep(self.retry_backoff_s * (2 ** (attempt - 1)))
+                continue
+            except (_faults.PermanentFault, SimulationError, MemoryError) as exc:
+                telemetry.count("tuner.trial_errors")
+                return "error", float("inf"), str(exc)
+            if not math.isfinite(cycles) or cycles <= 0.0:
+                # Corrupted measurement (NaN/inf/non-positive): reject the
+                # value rather than let it poison the cost model.
+                telemetry.count("tuner.trial_errors")
+                return "error", float("inf"), f"invalid measurement {cycles!r}"
+            if (
+                self.trial_cycle_budget is not None
+                and cycles > self.trial_cycle_budget
+            ):
+                telemetry.count("tuner.trial_timeouts")
+                return "timeout", float("inf"), (
+                    f"cycle budget exceeded: {cycles:.0f} > "
+                    f"{self.trial_cycle_budget:.0f}"
+                )
+            if (
+                self.trial_timeout_s is not None
+                and time.monotonic() - start > self.trial_timeout_s
+            ):
+                telemetry.count("tuner.trial_timeouts")
+                return "timeout", float("inf"), "trial wall-clock budget exceeded"
+            return "ok", cycles, None
 
     def tune(
         self,
@@ -95,18 +194,32 @@ class AutoTuner:
         batch: int = 8,
         seed: int = 0,
         threads: int = 1,
+        resume: "RecordStore | None" = None,
     ) -> TuneResult:
-        """Search for the best schedule within ``budget`` measurements."""
+        """Search for the best schedule within ``budget`` measurements.
+
+        ``resume`` names a :class:`~repro.tuner.records.RecordStore` used as
+        a trial checkpoint: every finished trial is appended immediately
+        (so a killed search loses at most the in-flight trial), and trials
+        already in the store for this ``(chip, m, n, k)`` are replayed as
+        memoized measurements instead of re-measured.  Because the search
+        loop itself is deterministic in ``seed``, a resumed run converges to
+        the same best schedule and cycles as an uninterrupted one.
+        """
         if budget < 1:
             raise ValueError("budget must be >= 1")
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        if m < 1 or n < 1 or k < 1:
+            raise ValueError(f"problem sizes must be >= 1, got m={m} n={n} k={k}")
         with telemetry.span(
             "tune", m=m, n=n, k=k, budget=budget, chip=self.chip.name
         ) as sp_tune:
-            result = self._tune(m, n, k, budget, batch, seed)
+            result = self._tune(m, n, k, budget, batch, seed, resume)
             sp_tune.add_cycles(result.cycles)
         return result
 
-    def _tune(self, m, n, k, budget, batch, seed) -> TuneResult:
+    def _tune(self, m, n, k, budget, batch, seed, resume=None) -> TuneResult:
         space = SearchSpace(m=m, n=n, k=k, chip=self.chip)
 
         # Seeding: sample broadly, prune with the analytic Eqn 13 model.
@@ -119,43 +232,107 @@ class AutoTuner:
         telemetry.count("tuner.candidates_sampled", len(candidates))
         telemetry.count("tuner.candidates_pruned", len(candidates) - len(seeds))
 
+        # Resume: prior trial lines for this problem become memoized
+        # measurements -- the loop below re-runs deterministically, but any
+        # schedule the checkpoint already covers skips its measurement.
+        prior: dict[Schedule, Trial] = {}
+        if resume is not None:
+            for rec in resume.trial_history(self.chip.name, m, n, k):
+                prior.setdefault(
+                    rec.schedule,
+                    Trial(
+                        schedule=rec.schedule,
+                        cycles=rec.cycles,
+                        round=rec.round,
+                        predicted=rec.predicted,
+                        status=rec.status,
+                        error=None,
+                    ),
+                )
+
         trials: list[Trial] = []
         measured: dict[Schedule, float] = {}
+        failures: dict[Schedule, int] = {}
+        quarantined: set[Schedule] = set()
+        resumed = 0
         gbt = GradientBoostedTrees()
         rnd = 0
 
+        def checkpoint(trial: Trial) -> None:
+            if resume is None:
+                return
+            from .records import TrialRecord
+
+            rec = TrialRecord.from_trial(self.chip.name, m, n, k, trial)
+            try:
+                _faults.retrying(lambda: resume.add_trials_records([rec]))
+            except _faults.RECOVERABLE_FAULTS:
+                # A lost checkpoint write costs at most this one trial on
+                # resume -- never the search.
+                telemetry.count("tuner.checkpoint_failed")
+
+        def record(trial: Trial) -> None:
+            trials.append(trial)
+            if trial.ok:
+                measured[trial.schedule] = trial.cycles
+            else:
+                failures[trial.schedule] = failures.get(trial.schedule, 0) + 1
+                if failures[trial.schedule] >= self.quarantine_after:
+                    if trial.schedule not in quarantined:
+                        quarantined.add(trial.schedule)
+                        telemetry.count("tuner.quarantined")
+
         def run_batch(batch_schedules: list[Schedule]) -> None:
-            nonlocal rnd
+            nonlocal rnd, resumed
             for sched in batch_schedules:
                 if len(trials) >= budget:
                     return
-                if sched in measured:
+                if sched in measured or sched in quarantined:
+                    continue
+                replayed = prior.pop(sched, None)
+                if replayed is not None:
+                    resumed += 1
+                    telemetry.count("tuner.trials_resumed")
+                    record(replayed)
                     continue
                 predicted = model_cost(sched, m, n, k, self.chip)
                 with telemetry.span(
                     "trial", round=rnd, mc=sched.mc, nc=sched.nc, kc=sched.kc,
                     predicted_cycles=round(predicted, 1),
                 ) as sp:
-                    cycles = self.measure(sched, m, n, k)
-                    sp.add_cycles(cycles)
+                    status, cycles, error = self._measure_sandboxed(sched, m, n, k)
+                    if status == "ok":
+                        sp.add_cycles(cycles)
                 telemetry.count("tuner.trials_measured")
-                measured[sched] = cycles
-                trials.append(
-                    Trial(schedule=sched, cycles=cycles, round=rnd, predicted=predicted)
+                trial = Trial(
+                    schedule=sched,
+                    cycles=cycles,
+                    round=rnd,
+                    predicted=predicted,
+                    status=status,
+                    error=error,
                 )
+                record(trial)
+                checkpoint(trial)
             rnd += 1
 
         run_batch(seeds[:batch])
 
         while len(trials) < budget:
-            if self.use_cost_model and len(trials) >= 8:
+            ok_trials = [t for t in trials if t.ok]
+            if self.use_cost_model and len(ok_trials) >= 8:
                 x = np.array(
-                    [featurize_schedule(t.schedule, m, n, k, self.chip) for t in trials]
+                    [
+                        featurize_schedule(t.schedule, m, n, k, self.chip)
+                        for t in ok_trials
+                    ]
                 )
-                y = np.log(np.array([t.cycles for t in trials]))
+                y = np.log(np.array([t.cycles for t in ok_trials]))
                 gbt.fit(x, y)
 
                 def objective(s: Schedule) -> float:
+                    if s in quarantined:
+                        return float("inf")
                     if s in measured:
                         return float(np.log(measured[s]))
                     feats = featurize_schedule(s, m, n, k, self.chip)
@@ -164,11 +341,15 @@ class AutoTuner:
             else:
 
                 def objective(s: Schedule) -> float:
+                    if s in quarantined:
+                        return float("inf")
                     return model_cost(s, m, n, k, self.chip)
 
             chain_seeds = [
-                t.schedule for t in sorted(trials, key=lambda t: t.cycles)[:4]
+                t.schedule for t in sorted(ok_trials, key=lambda t: t.cycles)[:4]
             ]
+            if not chain_seeds:
+                chain_seeds = [t.schedule for t in trials[:4]]
             proposals = anneal(
                 space,
                 objective,
@@ -176,13 +357,33 @@ class AutoTuner:
                 batch=batch * 2,
                 seed=seed + rnd,
             )
-            fresh = [s for s in proposals if s not in measured]
+            fresh = [
+                s for s in proposals if s not in measured and s not in quarantined
+            ]
             if not fresh:
-                fresh = [s for s in space.sample(batch, seed=seed + 1000 + rnd)
-                         if s not in measured]
+                fresh = [
+                    s
+                    for s in space.sample(batch, seed=seed + 1000 + rnd)
+                    if s not in measured and s not in quarantined
+                ]
                 if not fresh:
                     break
             run_batch(fresh[:batch])
 
-        best = min(trials, key=lambda t: t.cycles)
-        return TuneResult(schedule=best.schedule, cycles=best.cycles, trials=trials)
+        ok_trials = [t for t in trials if t.ok]
+        failed = len(trials) - len(ok_trials)
+        if not ok_trials:
+            raise RuntimeError(
+                f"tuning failed: all {len(trials)} attempted candidates "
+                "errored or timed out"
+            )
+        best = min(ok_trials, key=lambda t: t.cycles)
+        return TuneResult(
+            schedule=best.schedule,
+            cycles=best.cycles,
+            trials=trials,
+            attempted=len(trials),
+            failed=failed,
+            quarantined=len(quarantined),
+            resumed=resumed,
+        )

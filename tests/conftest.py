@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import telemetry
+from repro.faults import plan as faults
 from repro.machine.chips import ALL_CHIPS, GRAVITON2, KP920
 
 
@@ -13,6 +14,23 @@ def _telemetry_disabled():
     """Telemetry is off by default and must never leak across tests."""
     yield
     telemetry.disable()
+
+
+@pytest.fixture(autouse=True)
+def _faults_uninstalled():
+    """A test that installs a fault plan must never leak it to the next.
+
+    The guard deliberately leaves a plan installed from ``REPRO_FAULTS``
+    alone at setup time, so CI's run-the-suite-under-faults job works; it
+    only clears plans a test itself installed and forgot.
+    """
+    prev = faults.active_plan()
+    yield
+    if faults.active_plan() is not prev:
+        if prev is None:
+            faults.uninstall()
+        else:
+            faults.install(prev)
 
 
 @pytest.fixture

@@ -194,3 +194,37 @@ class TestLintKernels:
         assert code == 0
         payload = json.loads(out)
         assert payload["advice"] > 0
+
+
+class TestChaos:
+    """The fault-injection sweep; a full sweep is exercised in CI, so the
+    tests here drive one cheap site end to end."""
+
+    def test_single_site_json_sweep(self, capsys, tmp_path):
+        artifact = tmp_path / "chaos.json"
+        code, out = run_cli(
+            capsys,
+            "chaos", "--sites", "records.io",
+            "--m", "24", "--n", "16", "--k", "32", "--budget", "6",
+            "--json", "--out", str(artifact),
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["command"] == "chaos"
+        assert payload["ok"] is True
+        assert len(payload["sites"]) == 1
+        site = payload["sites"][0]
+        assert site["site"] == "records.io"
+        assert site["injected"] > 0
+        assert site["gemm_bitexact"] is True
+        assert site["tune_completed"] is True
+        assert json.loads(artifact.read_text()) == payload
+
+    def test_unknown_site_fails_with_chaos_code(self, capsys):
+        from repro.cli import FAIL_CODES
+
+        code = main(["chaos", "--sites", "no.such.site"])
+        err = capsys.readouterr().err
+        assert code == FAIL_CODES["chaos"] == 19
+        assert "repro chaos: error:" in err
+        assert "unknown fault site" in err

@@ -1,0 +1,176 @@
+"""Graceful degradation: every executor fault site falls back bit-exactly.
+
+The contract under test (docs/robustness.md): whatever the fallback chain
+does -- reference tiles, re-interpretation, model-based timing, or the
+whole-run numpy fallback -- the numerical result is byte-identical to
+:func:`repro.gemm.reference.sgemm`, and the engaged fallbacks are visible
+in ``GemmResult.degradations``.
+"""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.faults import plan as faults
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.gemm.autogemm import AutoGEMM
+from repro.gemm.reference import sgemm
+
+
+def operands(m=48, n=32, k=64, seed=3):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1, 1, (m, k)).astype(np.float32)
+    b = rng.uniform(-1, 1, (k, n)).astype(np.float32)
+    return a, b
+
+
+#: Executor-reachable sites and the degradation counters their one-shot
+#: permanent fault may legitimately engage (the chain has some freedom in
+#: which rung absorbs a fault, but it must be one of these).
+SITE_FALLBACKS = {
+    "kernel.generate": {"reference_tile", "unfused"},
+    "trace.capture": {"capture_skipped"},
+    "replay.apply": {"interpret"},
+    "pipeline.timing": {"unfused", "model_timing"},
+    "memory.alloc": {"run_retry", "pack_skipped"},
+    "cache.access": {"unfused", "model_timing"},
+    "staticcheck.verify": {"staticcheck_skipped"},
+}
+
+
+class TestPerSiteFallbacks:
+    @pytest.mark.parametrize("site", sorted(SITE_FALLBACKS))
+    def test_faulted_gemm_is_bitexact_and_reports_degradation(self, site, kp920):
+        a, b = operands()
+        want = sgemm(a, b)
+        plan = FaultPlan([FaultSpec(site, nth=1, mode="permanent")], seed=11)
+        with faults.injecting(plan):
+            lib = AutoGEMM(kp920)
+            lib.executor.staticcheck = True  # make staticcheck.verify reachable
+            result = lib.gemm(a, b)
+        assert plan.total_injected() > 0, f"{site} never fired"
+        assert result.c.tobytes() == want.tobytes()
+        assert result.degraded
+        assert set(result.degradations) & SITE_FALLBACKS[site], (
+            site,
+            result.degradations,
+        )
+
+    def test_clean_run_reports_no_degradation(self, kp920):
+        faults.uninstall()  # CI may run the suite under REPRO_FAULTS
+        a, b = operands()
+        result = AutoGEMM(kp920).gemm(a, b)
+        assert not result.degraded
+        assert result.degradations == {}
+        assert result.c.tobytes() == sgemm(a, b).tobytes()
+
+    def test_whole_run_reference_fallback(self, kp920):
+        # Allocation permanently down: the scheduled run fails, the retry
+        # fails, and the executor lands on the numpy reference GEMM with
+        # model-projected timing.
+        a, b = operands()
+        plan = FaultPlan(
+            [FaultSpec("memory.alloc", probability=1.0, mode="permanent")], seed=0
+        )
+        with faults.injecting(plan):
+            result = AutoGEMM(kp920).gemm(a, b)
+        assert result.degraded
+        assert result.degradations.get("reference_gemm") == 1
+        assert result.degradations.get("run_retry") == 1
+        assert result.c.tobytes() == sgemm(a, b).tobytes()
+        assert result.cycles > 0 and np.isfinite(result.cycles)
+
+    def test_faulted_gemm_with_beta_and_c(self, kp920):
+        a, b = operands()
+        rng = np.random.default_rng(8)
+        c = rng.uniform(-1, 1, (a.shape[0], b.shape[1])).astype(np.float32)
+        want = sgemm(a, b, c.copy(), beta=0.25)
+        plan = FaultPlan([FaultSpec("replay.apply", nth=1, mode="permanent")], seed=2)
+        with faults.injecting(plan):
+            result = AutoGEMM(kp920).gemm(a, b, c.copy(), beta=0.25)
+        assert plan.total_injected() > 0
+        assert result.c.tobytes() == want.tobytes()
+
+    def test_kill_fault_is_not_absorbed(self, kp920):
+        a, b = operands()
+        plan = FaultPlan([FaultSpec("memory.alloc", nth=1, mode="kill")], seed=0)
+        with faults.injecting(plan):
+            with pytest.raises(faults.KillFault):
+                AutoGEMM(kp920).gemm(a, b)
+
+
+class TestExecutorValidation:
+    def test_rejects_non_2d(self, kp920):
+        lib = AutoGEMM(kp920)
+        with pytest.raises(ValueError, match="operands must be 2-D matrices"):
+            lib.executor.run(np.zeros(4, dtype=np.float32), np.zeros((4, 4)))
+
+    def test_rejects_complex_dtype(self, kp920):
+        lib = AutoGEMM(kp920)
+        with pytest.raises(ValueError, match="A has unsupported dtype complex64"):
+            lib.executor.run(
+                np.zeros((4, 4), dtype=np.complex64), np.zeros((4, 4))
+            )
+
+    def test_rejects_zero_dimension(self, kp920):
+        lib = AutoGEMM(kp920)
+        with pytest.raises(
+            ValueError, match=re.escape("problem sizes must be >= 1, got m=4 n=0 k=4")
+        ):
+            lib.executor.run(np.zeros((4, 4)), np.zeros((4, 0)))
+
+    def test_rejects_inner_mismatch(self, kp920):
+        lib = AutoGEMM(kp920)
+        with pytest.raises(
+            ValueError, match="inner dimensions differ: A is 4x5, B is 6x4"
+        ):
+            lib.executor.run(np.zeros((4, 5)), np.zeros((6, 4)))
+
+    def test_rejects_nonfinite_beta(self, kp920):
+        a, b = operands(8, 8, 8)
+        with pytest.raises(ValueError, match="beta must be finite"):
+            AutoGEMM(kp920).executor.run(a, b, beta=float("nan"))
+
+    def test_rejects_c_shape_mismatch(self, kp920):
+        a, b = operands(8, 8, 8)
+        with pytest.raises(ValueError, match="C shape mismatch"):
+            AutoGEMM(kp920).executor.run(a, b, np.zeros((8, 9), dtype=np.float32))
+
+    def test_rejects_bad_threads(self, kp920):
+        a, b = operands(8, 8, 8)
+        with pytest.raises(ValueError, match=re.escape("threads must be in [1,")):
+            AutoGEMM(kp920).executor.run(a, b, threads=0)
+
+
+class TestAutoGemmValidation:
+    def test_rejects_non_2d(self, kp920):
+        with pytest.raises(ValueError, match="operands must be 2-D matrices"):
+            AutoGEMM(kp920).gemm(np.zeros(4), np.zeros((4, 4)))
+
+    def test_rejects_bad_dtype(self, kp920):
+        with pytest.raises(ValueError, match="B has unsupported dtype"):
+            AutoGEMM(kp920).gemm(
+                np.zeros((4, 4)), np.array([["x"] * 4] * 4, dtype=object)
+            )
+
+    def test_rejects_nonfinite_alpha(self, kp920):
+        a, b = operands(8, 8, 8)
+        with pytest.raises(ValueError, match="alpha must be finite"):
+            AutoGEMM(kp920).gemm(a, b, alpha=float("inf"))
+
+    def test_rejects_inner_mismatch_with_transpose(self, kp920):
+        # op(A) = A.T is 5x4, op(B) = B is 6x4: the message reports the
+        # *transposed* shapes the kernels would actually see.
+        with pytest.raises(
+            ValueError, match=re.escape("inner dimensions differ: op(A) is 5x4")
+        ):
+            AutoGEMM(kp920).gemm(np.zeros((4, 5)), np.zeros((6, 4)), trans_a=True)
+
+    def test_integer_operands_accepted(self, kp920):
+        a = np.arange(16, dtype=np.int32).reshape(4, 4)
+        b = np.eye(4, dtype=np.int64)
+        result = AutoGEMM(kp920).gemm(a, b)
+        assert result.c.tobytes() == sgemm(
+            a.astype(np.float32), b.astype(np.float32)
+        ).tobytes()

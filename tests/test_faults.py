@@ -1,0 +1,217 @@
+"""The fault-injection subsystem: determinism, triggers, parsing, helpers."""
+
+import pytest
+
+from repro import telemetry
+from repro.faults import plan as faults
+from repro.faults.plan import (
+    FaultPlan,
+    FaultSpec,
+    HangFault,
+    InjectedFault,
+    KillFault,
+    PermanentFault,
+    RECOVERABLE_FAULTS,
+    SITES,
+    TransientFault,
+)
+
+
+def firing_sequence(plan, site, calls):
+    """Which call indices fire when polling ``site`` ``calls`` times."""
+    fired = []
+    for i in range(1, calls + 1):
+        if plan.poll(site) is not None:
+            fired.append(i)
+    return fired
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        spec = FaultSpec("trace.capture", probability=0.3)
+        a = firing_sequence(FaultPlan([spec], seed=42), "trace.capture", 200)
+        b = firing_sequence(FaultPlan([spec], seed=42), "trace.capture", 200)
+        assert a == b
+        assert a  # p=0.3 over 200 calls certainly fires
+
+    def test_different_seed_different_sequence(self):
+        spec = FaultSpec("trace.capture", probability=0.3)
+        a = firing_sequence(FaultPlan([spec], seed=1), "trace.capture", 200)
+        b = firing_sequence(FaultPlan([spec], seed=2), "trace.capture", 200)
+        assert a != b
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan([FaultSpec("replay.apply", probability=0.25)], seed=9)
+        first = firing_sequence(plan, "replay.apply", 100)
+        plan.reset()
+        assert firing_sequence(plan, "replay.apply", 100) == first
+
+    def test_sites_have_independent_streams(self):
+        # Polling one site must not perturb another's sequence.
+        spec = FaultSpec("*", probability=0.3)
+        solo = firing_sequence(FaultPlan([spec], seed=5), "memory.alloc", 100)
+        plan = FaultPlan([spec], seed=5)
+        for i in range(1, 101):
+            plan.poll("cache.access")  # interleaved noise on another site
+            if i % 3 == 0:
+                plan.poll("records.io")
+        assert firing_sequence(plan, "memory.alloc", 100) == solo
+
+
+class TestTriggers:
+    def test_nth_fires_exactly_once(self):
+        plan = FaultPlan([FaultSpec("kernel.generate", nth=3)], seed=0)
+        assert firing_sequence(plan, "kernel.generate", 10) == [3]
+
+    def test_nth_respects_site(self):
+        plan = FaultPlan([FaultSpec("kernel.generate", nth=1)], seed=0)
+        assert plan.poll("trace.capture") is None
+        assert plan.poll("kernel.generate") is not None
+
+    def test_wildcard_matches_all_sites(self):
+        plan = FaultPlan([FaultSpec("*", nth=1)], seed=0)
+        for site in SITES:
+            assert plan.poll(site) is not None, site
+
+    def test_injected_tally(self):
+        plan = FaultPlan([FaultSpec("records.io", nth=2)], seed=0)
+        plan.poll("records.io")
+        plan.poll("records.io")
+        assert plan.injected == {"records.io": 1}
+        assert plan.total_injected() == 1
+        assert plan.calls("records.io") == 2
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec("no.such.site")
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            FaultSpec("records.io", mode="explode")
+
+
+class TestCheckAndCorrupt:
+    def test_check_raises_typed_fault(self):
+        cases = {
+            "transient": TransientFault,
+            "permanent": PermanentFault,
+            "hang": HangFault,
+            "kill": KillFault,
+        }
+        for mode, exc_type in cases.items():
+            with faults.injecting(
+                FaultPlan([FaultSpec("records.io", nth=1, mode=mode)], seed=0)
+            ):
+                with pytest.raises(exc_type) as err:
+                    faults.check("records.io")
+                assert err.value.site == "records.io"
+
+    def test_no_plan_is_a_noop(self):
+        faults.uninstall()  # CI may run the suite under REPRO_FAULTS
+        assert faults.active_plan() is None
+        faults.check("records.io")  # must not raise
+        assert faults.corrupt("tuner.measure", 5.0) == 5.0
+
+    def test_corrupt_returns_payload(self):
+        spec = FaultSpec("tuner.measure", nth=1, mode="corrupt", payload=-1.0)
+        with faults.injecting(FaultPlan([spec], seed=0)):
+            assert faults.corrupt("tuner.measure", 123.0) == -1.0
+            assert faults.corrupt("tuner.measure", 123.0) == 123.0
+
+    def test_corrupt_mode_degrades_to_transient_at_check_sites(self):
+        spec = FaultSpec("memory.alloc", nth=1, mode="corrupt")
+        with faults.injecting(FaultPlan([spec], seed=0)):
+            with pytest.raises(TransientFault):
+                faults.check("memory.alloc")
+
+    def test_injecting_restores_previous_plan(self):
+        faults.uninstall()
+        outer = FaultPlan([FaultSpec("records.io", nth=1)], seed=0)
+        inner = FaultPlan([FaultSpec("records.io", nth=1)], seed=1)
+        with faults.injecting(outer):
+            with faults.injecting(inner):
+                assert faults.active_plan() is inner
+            assert faults.active_plan() is outer
+        assert faults.active_plan() is None
+
+    def test_injecting_restores_on_exception(self):
+        faults.uninstall()
+        with pytest.raises(RuntimeError, match="boom"):
+            with faults.injecting(FaultPlan([FaultSpec("records.io", nth=1)])):
+                raise RuntimeError("boom")
+        assert faults.active_plan() is None
+
+    def test_kill_fault_is_not_recoverable(self):
+        assert KillFault not in RECOVERABLE_FAULTS
+        assert not issubclass(KillFault, RECOVERABLE_FAULTS)
+        assert issubclass(KillFault, InjectedFault)
+
+
+class TestRetrying:
+    def test_absorbs_transients(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientFault("records.io")
+            return "done"
+
+        assert faults.retrying(flaky, retries=2) == "done"
+
+    def test_exhausted_retries_propagate(self):
+        def always():
+            raise TransientFault("records.io")
+
+        with pytest.raises(TransientFault):
+            faults.retrying(always, retries=2)
+
+    def test_permanent_not_absorbed(self):
+        def perm():
+            raise PermanentFault("records.io")
+
+        with pytest.raises(PermanentFault):
+            faults.retrying(perm)
+
+
+class TestEnvParsing:
+    def test_basic_clause(self):
+        plan = FaultPlan.from_string(
+            "seed=3;p=0.25;mode=transient;sites=trace.capture,replay.apply"
+        )
+        assert plan.seed == 3
+        assert len(plan.specs) == 2
+        assert {s.site for s in plan.specs} == {"trace.capture", "replay.apply"}
+        assert all(s.probability == 0.25 for s in plan.specs)
+
+    def test_multiple_clauses(self):
+        plan = FaultPlan.from_string(
+            "seed=1;nth=5;mode=kill;sites=tuner.measure|p=0.1;sites=records.io"
+        )
+        modes = {(s.site, s.mode) for s in plan.specs}
+        assert ("tuner.measure", "kill") in modes
+        assert ("records.io", "transient") in modes
+
+    def test_wildcard_default_site(self):
+        plan = FaultPlan.from_string("p=0.01")
+        assert plan.specs[0].site == "*"
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown REPRO_FAULTS keys"):
+            FaultPlan.from_string("p=0.1;frobnicate=yes")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no fault specs"):
+            FaultPlan.from_string(" | ")
+
+
+class TestTelemetryCounters:
+    def test_injections_counted(self):
+        with telemetry.collecting() as collector:
+            plan = FaultPlan([FaultSpec("records.io", nth=1)], seed=0)
+            with faults.injecting(plan):
+                with pytest.raises(TransientFault):
+                    faults.check("records.io")
+        counters = telemetry.metrics_dict(collector)["counters"]
+        assert counters["faults.injected"] == 1
+        assert counters["faults.injected.records.io"] == 1

@@ -178,3 +178,117 @@ class TestTrialHistory:
         )
         store = RecordStore(path)
         assert len(store) == 1
+        # Forward compatibility is not damage: nothing is counted as skipped.
+        assert store.skipped_lines == 0
+
+
+class TestFailedTrialRecords:
+    def test_error_status_round_trips_through_null_cycles(self):
+        import json
+
+        from repro.tuner.records import TrialRecord
+        from repro.tuner.tuner import Trial
+
+        trial = Trial(
+            make_schedule(), float("inf"), round=1, status="error", error="boom"
+        )
+        rec = TrialRecord.from_trial("KP920", 4, 4, 4, trial)
+        line = rec.to_json()
+        assert json.loads(line)["cycles"] is None  # JSON has no inf
+        back = TrialRecord.from_json(line)
+        assert back.status == "error"
+        assert back.cycles == float("inf")
+
+    def test_timeout_status_survives(self):
+        from repro.tuner.records import TrialRecord
+        from repro.tuner.tuner import Trial
+
+        rec = TrialRecord.from_trial(
+            "KP920", 4, 4, 4,
+            Trial(make_schedule(), float("inf"), round=0, status="timeout"),
+        )
+        assert TrialRecord.from_json(rec.to_json()).status == "timeout"
+
+    def test_ok_record_missing_cycles_rejected(self):
+        from repro.tuner.records import TrialRecord
+
+        data = {
+            "chip": "KP920", "m": 4, "n": 4, "k": 4,
+            "cycles": None, "status": "ok",
+            "schedule": schedule_to_dict(make_schedule()),
+        }
+        with pytest.raises(ValueError, match="ok trial record missing cycles"):
+            TrialRecord.from_dict(data)
+
+
+class TestCrashTolerance:
+    """kill -9 mid-append leaves a truncated tail; loading must survive it."""
+
+    def _seed_store(self, path):
+        store = RecordStore(path, log_trials=True)
+        store.add(TuningRecord("KP920", 8, 8, 8, 100.0, make_schedule(mc=8, nc=8, kc=8)))
+        store.add(TuningRecord("M2", 4, 4, 4, 50.0, make_schedule(mc=4, nc=4, kc=4)))
+        return store
+
+    def test_truncated_tail_is_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "tune.jsonl"
+        self._seed_store(path)
+        full = path.read_text()
+        path.write_text(full + full.splitlines()[0][: len(full) // 3] + "\n")
+
+        store = RecordStore(path)
+        assert store.skipped_lines == 1
+        assert store.lookup("KP920", 8, 8, 8).cycles == 100.0
+        assert store.lookup("M2", 4, 4, 4).cycles == 50.0
+
+    def test_corruption_mid_file_keeps_records_after_it(self, tmp_path):
+        path = tmp_path / "tune.jsonl"
+        self._seed_store(path)
+        lines = path.read_text().splitlines()
+        lines.insert(1, "{garbage not json")
+        lines.insert(2, '["not", "an", "object"]')
+        lines.insert(3, '{"chip": "KP920", "m": 1}')  # object missing keys
+        path.write_text("\n".join(lines) + "\n")
+
+        store = RecordStore(path)
+        assert store.skipped_lines == 3
+        assert store.lookup("KP920", 8, 8, 8) is not None
+        assert store.lookup("M2", 4, 4, 4) is not None
+
+    def test_corrupt_trial_line_counts_too(self, tmp_path):
+        from repro.tuner.tuner import Trial
+
+        path = tmp_path / "tune.jsonl"
+        store = RecordStore(path, log_trials=True)
+        store.add_trials(
+            "KP920", 8, 8, 8, [Trial(make_schedule(), 10.0, round=0)]
+        )
+        path.write_text(path.read_text() + '{"kind": "trial", "chip": "KP920"\n')
+        store = RecordStore(path, log_trials=True)
+        assert store.skipped_lines == 1
+        assert len(store.trial_history("KP920", 8, 8, 8)) == 1
+
+    def test_compact_sheds_damage(self, tmp_path):
+        path = tmp_path / "tune.jsonl"
+        self._seed_store(path)
+        path.write_text(path.read_text() + "{truncated")
+        store = RecordStore(path)
+        assert store.skipped_lines == 1
+
+        store.compact()
+        assert store.skipped_lines == 0
+        clean = RecordStore(path)
+        assert clean.skipped_lines == 0
+        assert len(clean) == 2
+        # Every surviving line parses again.
+        import json
+
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_entirely_corrupt_file_loads_empty(self, tmp_path):
+        path = tmp_path / "tune.jsonl"
+        path.write_text("not json at all\n{]\n")
+        store = RecordStore(path)
+        assert len(store) == 0
+        assert store.skipped_lines == 2

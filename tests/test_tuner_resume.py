@@ -1,0 +1,163 @@
+"""Trial sandboxing, quarantine, and checkpoint/resume in the auto-tuner."""
+
+import numpy as np
+import pytest
+
+from repro.faults import plan as faults
+from repro.faults.plan import FaultPlan, FaultSpec, KillFault, PermanentFault
+from repro.tuner.records import RecordStore
+from repro.tuner.tuner import AutoTuner
+
+M, N, K = 32, 32, 32
+BUDGET = 16
+
+
+def run_tune(chip, plan=None, store=None, seed=5, **tuner_kw):
+    tuner = AutoTuner(chip, **tuner_kw)
+    if plan is None:
+        return tuner.tune(M, N, K, budget=BUDGET, seed=seed, resume=store)
+    with faults.injecting(plan):
+        return tuner.tune(M, N, K, budget=BUDGET, seed=seed, resume=store)
+
+
+class TestSandbox:
+    def test_transient_fault_is_retried_away(self, kp920):
+        clean = run_tune(kp920)
+        plan = FaultPlan(
+            [FaultSpec("tuner.measure", nth=1, mode="transient")], seed=0
+        )
+        faulted = run_tune(kp920, plan=plan)
+        assert plan.total_injected() == 1
+        assert faulted.failed == 0
+        assert faulted.schedule == clean.schedule
+        assert faulted.cycles == clean.cycles
+
+    def test_permanent_fault_records_error_trial(self, kp920):
+        plan = FaultPlan(
+            [FaultSpec("tuner.measure", nth=2, mode="permanent")], seed=0
+        )
+        result = run_tune(kp920, plan=plan)
+        assert result.failed == 1
+        statuses = [t.status for t in result.trials]
+        assert statuses.count("error") == 1
+        assert np.isfinite(result.cycles)
+
+    def test_hang_fault_records_timeout_trial(self, kp920):
+        plan = FaultPlan([FaultSpec("tuner.measure", nth=2, mode="hang")], seed=0)
+        result = run_tune(kp920, plan=plan)
+        assert [t.status for t in result.trials].count("timeout") == 1
+        assert result.failed == 1
+
+    def test_corrupt_measurement_is_rejected_not_propagated(self, kp920):
+        # NaN from a corrupted measurement must become an error trial, never
+        # a best-schedule candidate or a cost-model sample.
+        plan = FaultPlan(
+            [FaultSpec("tuner.measure", nth=1, mode="corrupt")], seed=0
+        )
+        result = run_tune(kp920, plan=plan)
+        errors = [t for t in result.trials if t.status == "error"]
+        assert len(errors) == 1
+        assert "invalid measurement" in errors[0].error
+        assert np.isfinite(result.cycles) and result.cycles > 0
+
+    def test_cycle_budget_marks_timeouts(self, kp920):
+        with pytest.raises(RuntimeError, match="tuning failed"):
+            run_tune(kp920, trial_cycle_budget=1.0)
+
+    def test_all_failing_raises_not_crashes(self, kp920):
+        plan = FaultPlan(
+            [FaultSpec("tuner.measure", probability=1.0, mode="permanent")], seed=0
+        )
+        with pytest.raises(RuntimeError, match="tuning failed: all"):
+            run_tune(kp920, plan=plan)
+
+    def test_quarantine_of_repeat_offender(self, kp920, monkeypatch):
+        # Fail the second distinct schedule forever; with quarantine_after=1
+        # it must be quarantined after its first failure and the search must
+        # still complete around it.
+        seen = []
+        real_measure = AutoTuner.measure
+
+        def flaky_measure(self, schedule, m, n, k):
+            if schedule not in seen:
+                seen.append(schedule)
+            if seen.index(schedule) == 1:
+                raise PermanentFault("tuner.measure")
+            return real_measure(self, schedule, m, n, k)
+
+        monkeypatch.setattr(AutoTuner, "measure", flaky_measure)
+        result = run_tune(kp920, quarantine_after=1)
+        assert result.failed >= 1
+        assert result.quarantined >= 1
+        assert np.isfinite(result.cycles)
+
+
+class TestValidation:
+    def test_rejects_bad_budget(self, kp920):
+        with pytest.raises(ValueError, match="budget must be >= 1"):
+            AutoTuner(kp920).tune(M, N, K, budget=0)
+
+    def test_rejects_bad_batch(self, kp920):
+        with pytest.raises(ValueError, match="batch must be >= 1"):
+            AutoTuner(kp920).tune(M, N, K, budget=4, batch=0)
+
+    def test_rejects_bad_problem_sizes(self, kp920):
+        with pytest.raises(
+            ValueError, match="problem sizes must be >= 1, got m=0 n=32 k=32"
+        ):
+            AutoTuner(kp920).tune(0, N, K, budget=4)
+
+
+class TestCheckpointResume:
+    def test_kill_and_resume_matches_uninterrupted(self, kp920, tmp_path):
+        uninterrupted = run_tune(kp920)
+
+        # Kill the search on its 9th measurement, as kill -9 would.
+        path = tmp_path / "records.jsonl"
+        store = RecordStore(path, log_trials=True)
+        plan = FaultPlan([FaultSpec("tuner.measure", nth=9, mode="kill")], seed=0)
+        with pytest.raises(KillFault):
+            run_tune(kp920, plan=plan, store=store)
+
+        # Per-trial checkpointing loses at most the in-flight trial.
+        reloaded = RecordStore(path, log_trials=True)
+        persisted = reloaded.trial_history(kp920.name, M, N, K)
+        assert len(persisted) == 8  # trials 1..8 survive; #9 was in flight
+        assert reloaded.skipped_lines == 0
+
+        # Resume: prior trials replay as memoized measurements and the
+        # deterministic search lands on the identical best.
+        resumed = run_tune(kp920, store=reloaded)
+        assert resumed.resumed == 8
+        assert resumed.attempted == BUDGET
+        assert resumed.schedule == uninterrupted.schedule
+        assert resumed.cycles == uninterrupted.cycles
+
+    def test_resume_replays_failed_trials_without_remeasuring(self, kp920, tmp_path):
+        path = tmp_path / "records.jsonl"
+        store = RecordStore(path, log_trials=True)
+        plan = FaultPlan(
+            [FaultSpec("tuner.measure", nth=3, mode="permanent")], seed=0
+        )
+        first = run_tune(kp920, plan=plan, store=store)
+        assert first.failed == 1
+
+        reloaded = RecordStore(path, log_trials=True)
+        resumed = run_tune(kp920, store=reloaded)
+        # The failed trial replays as a failure; it is not re-measured.
+        assert resumed.resumed == BUDGET
+        assert resumed.failed == 1
+        assert resumed.schedule == first.schedule
+        assert resumed.cycles == first.cycles
+
+    def test_checkpoint_appends_are_flushed(self, kp920, tmp_path):
+        path = tmp_path / "records.jsonl"
+        store = RecordStore(path, log_trials=True)
+        run_tune(kp920, store=store)
+        # Every line is already on disk (flushed per trial), parseable, and
+        # visible to a cold reader.
+        lines = [l for l in path.read_text().splitlines() if l.strip()]
+        assert len(lines) == BUDGET
+        cold = RecordStore(path, log_trials=True)
+        assert len(cold.trial_history(kp920.name, M, N, K)) == BUDGET
+        assert cold.skipped_lines == 0
