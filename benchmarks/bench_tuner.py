@@ -1,0 +1,186 @@
+"""Wall-clock benchmark: parallel trial measurement vs. the serial tuner,
+plus the registry serving path.
+
+Three legs, results in ``BENCH_tuner.json`` at the repository root:
+
+1. **serial** -- ``AutoTuner.tune(jobs=1)`` on the benchmark space;
+2. **parallel** -- the same search with ``jobs=N`` (default
+   ``min(4, cpu_count)``).  The selected best schedule and cycles must be
+   *identical* to the serial run (the determinism contract of
+   ``repro.tuner.parallel``); any divergence is a hard failure.  The
+   recorded ``parallel_speedup`` is the honest host measurement -- on a
+   single-CPU host the pool cannot beat the serial search and the speedup
+   gate is skipped (recorded as such).
+3. **registry** -- serving-style ``AutoGEMM.gemm`` with
+   ``registry=``/``auto_tune=True``: the first call on a fresh shape pays
+   a tuning search, the second call (a fresh ``AutoGEMM``, as another
+   serving process would be) must be a ``registry.hits`` with **zero**
+   trials.  ``registry_speedup`` is first-call wall-clock over
+   second-call wall-clock.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tuner.py            # full space
+    PYTHONPATH=src python benchmarks/bench_tuner.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_tuner.py --jobs 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import telemetry  # noqa: E402
+from repro.gemm.autogemm import AutoGEMM  # noqa: E402
+from repro.machine.chips import get_chip  # noqa: E402
+from repro.tuner.records import schedule_to_dict  # noqa: E402
+from repro.tuner.tuner import AutoTuner  # noqa: E402
+
+
+def run_search(chip, m, n, k, budget, seed, jobs):
+    tuner = AutoTuner(chip)
+    t0 = time.perf_counter()
+    result = tuner.tune(m, n, k, budget=budget, seed=seed, jobs=jobs)
+    return result, time.perf_counter() - t0
+
+
+def run_registry_leg(chip, m, n, k, budget, registry_path):
+    rng = np.random.default_rng(7)
+    a = rng.uniform(-1, 1, (m, k)).astype(np.float32)
+    b = rng.uniform(-1, 1, (k, n)).astype(np.float32)
+
+    first = AutoGEMM(chip, registry=str(registry_path), auto_tune=True,
+                     tune_budget=budget)
+    with telemetry.collecting() as col1:
+        t0 = time.perf_counter()
+        first.gemm(a, b)
+        first_s = time.perf_counter() - t0
+
+    # A fresh library instance models a second serving process sharing the
+    # registry file: it must serve the tuned schedule without any trials.
+    second = AutoGEMM(chip, registry=str(registry_path), auto_tune=True,
+                      tune_budget=budget)
+    with telemetry.collecting() as col2:
+        t0 = time.perf_counter()
+        second.gemm(a, b)
+        second_s = time.perf_counter() - t0
+
+    return {
+        "first_call_seconds": round(first_s, 3),
+        "first_call_trials": int(col1.counters.get("tuner.trials_measured", 0)),
+        "first_call_misses": int(col1.counters.get("registry.misses", 0)),
+        "second_call_seconds": round(second_s, 4),
+        "second_call_trials": int(col2.counters.get("tuner.trials_measured", 0)),
+        "second_call_hits": int(col2.counters.get("registry.hits", 0)),
+        "registry_speedup": round(first_s / second_s, 1) if second_s else None,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--chip", default="KP920")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized space (96^3, budget 12)")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="parallel worker count (default min(4, cpus))")
+    parser.add_argument("--budget", type=int, default=0,
+                        help="override the trial budget")
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="required parallel speedup when the host has "
+                             "at least --jobs CPUs")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_tuner.json")
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    jobs = args.jobs if args.jobs else min(4, max(cpus, 2))
+    jobs = max(jobs, 2)
+    if args.smoke:
+        m, n, k, budget = 96, 96, 96, 12
+    else:
+        m, n, k, budget = 128, 384, 256, 24
+    if args.budget:
+        budget = args.budget
+
+    chip = get_chip(args.chip)
+    print(f"[bench_tuner] {chip.name} {m}x{n}x{k} budget={budget}: "
+          f"serial search ...", flush=True)
+    serial, serial_s = run_search(chip, m, n, k, budget, args.seed, jobs=1)
+    print(f"[bench_tuner]   {serial_s:.2f}s   now jobs={jobs} "
+          f"({cpus} cpu(s)) ...", flush=True)
+    parallel, parallel_s = run_search(chip, m, n, k, budget, args.seed, jobs=jobs)
+
+    identical = (
+        serial.schedule == parallel.schedule
+        and serial.cycles == parallel.cycles
+    )
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    gate = cpus >= 2
+    print(f"[bench_tuner]   {parallel_s:.2f}s   speedup {speedup:.2f}x  "
+          f"identical={identical}   registry leg ...", flush=True)
+
+    registry_path = args.output.parent / ".bench_tuner_registry.jsonl"
+    if registry_path.exists():
+        registry_path.unlink()
+    try:
+        registry = run_registry_leg(chip, 64, 48, 96, min(budget, 12),
+                                    registry_path)
+    finally:
+        if registry_path.exists():
+            registry_path.unlink()
+
+    payload = {
+        "benchmark": "tuner_wallclock",
+        "chip": chip.name,
+        "shape": {"m": m, "n": n, "k": k},
+        "budget": budget,
+        "seed": args.seed,
+        "smoke": args.smoke,
+        "cpus": cpus,
+        "jobs": jobs,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "parallel_speedup": round(speedup, 2),
+        "speedup_gate": (
+            f">= {args.min_speedup}x" if gate
+            else f"skipped ({cpus} cpu host: pool cannot beat serial)"
+        ),
+        "best_identical": identical,
+        "best_cycles": serial.cycles,
+        "best_schedule": schedule_to_dict(serial.schedule),
+        "registry": registry,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_tuner] serial {serial_s:.2f}s  parallel {parallel_s:.2f}s "
+          f"(jobs={jobs}, speedup {speedup:.2f}x)  "
+          f"registry hit in {registry['second_call_seconds']}s "
+          f"({registry['registry_speedup']}x)  -> {args.output}")
+
+    if not identical:
+        print("[bench_tuner] parallel search selected a DIFFERENT schedule",
+              file=sys.stderr)
+        return 1
+    if registry["second_call_trials"] != 0 or registry["second_call_hits"] < 1:
+        print("[bench_tuner] registry serving leg re-tuned instead of "
+              "hitting the registry", file=sys.stderr)
+        return 1
+    if gate and speedup < args.min_speedup:
+        print(f"[bench_tuner] speedup {speedup:.2f}x below required "
+              f"{args.min_speedup:.1f}x on a {cpus}-cpu host", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

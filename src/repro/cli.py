@@ -12,6 +12,8 @@ Usage examples::
     python -m repro profile 64 64 64 --chip KP920 --trace-out trace.json
     python -m repro lint-kernels --isa both --json --out findings.json
     python -m repro chaos --chip KP920 --json --out chaos.json
+    python -m repro tune 80 320 64 --chip KP920 --budget 32 --jobs 4
+    python -m repro registry list --registry schedules.jsonl
 
 ``gemm`` and ``estimate`` accept ``--json`` for machine-readable output;
 ``gemm``/``estimate``/``dmt`` accept ``--metrics`` to print telemetry
@@ -20,7 +22,10 @@ writes a Chrome-trace JSON openable in Perfetto (see
 ``docs/observability.md``).  ``lint-kernels`` runs the static kernel
 verifier over the whole generated family (see ``docs/static-analysis.md``).
 ``chaos`` sweeps the fault-injection sites and proves each degrades
-gracefully (see ``docs/robustness.md``).
+gracefully (see ``docs/robustness.md``).  ``tune`` runs the auto-tuner
+(``--jobs N`` measures trials on a process pool, ``--registry`` publishes
+the winner) and ``registry`` inspects/edits the persistent tuned-schedule
+registry (see ``docs/tuning_guide.md``).
 
 Every subcommand returns a distinct non-zero exit code on failure (see
 ``FAIL_CODES``); argparse usage errors exit with the conventional 2.
@@ -379,6 +384,161 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else FAIL_CODES["chaos"]
 
 
+def _cmd_tune(args) -> int:
+    import time as _time
+
+    from .tuner.records import schedule_to_dict
+
+    chip = get_chip(args.chip)
+    lib = AutoGEMM(
+        chip,
+        tuning_records=args.records,
+        log_trials=args.log_trials,
+        registry=args.registry,
+    )
+    with _metrics_scope(args.metrics) as collector:
+        t0 = _time.perf_counter()
+        result = lib.tune_result(
+            args.m,
+            args.n,
+            args.k,
+            budget=args.budget,
+            seed=args.seed,
+            resume=args.resume,
+            jobs=args.jobs,
+            threads=args.threads,
+        )
+        seconds = _time.perf_counter() - t0
+    if args.json:
+        payload = {
+            "command": "tune",
+            "m": args.m,
+            "n": args.n,
+            "k": args.k,
+            "chip": chip.name,
+            "budget": args.budget,
+            "seed": args.seed,
+            "jobs": args.jobs,
+            "threads": args.threads,
+            "best_cycles": result.cycles,
+            "best_schedule": schedule_to_dict(result.schedule),
+            "attempted": result.attempted,
+            "failed": result.failed,
+            "quarantined": result.quarantined,
+            "resumed": result.resumed,
+            "wall_seconds": round(seconds, 3),
+        }
+        if collector is not None:
+            payload["metrics"] = metrics_dict(collector)["counters"]
+        print(json.dumps(payload, indent=2))
+        return 0
+    s = result.schedule
+    print(f"tuned {args.m}x{args.n}x{args.k} on {chip.name} "
+          f"({args.jobs} job(s), {seconds:.1f}s)")
+    print(f"  best cycles : {result.cycles:,.0f}")
+    print(f"  schedule    : mc={s.mc} nc={s.nc} kc={s.kc} "
+          f"order={'/'.join(s.loop_order)} packing={s.packing.value}")
+    print(f"  trials      : {result.attempted} attempted, "
+          f"{result.failed} failed, {result.resumed} resumed, "
+          f"{result.quarantined} quarantined")
+    if args.registry:
+        print(f"  published to {args.registry}")
+    if collector is not None:
+        print("counters:")
+        print(format_counters(collector))
+    return 0
+
+
+def _cmd_registry(args) -> int:
+    from .tuner.records import schedule_to_dict
+    from .tuner.registry import ScheduleRegistry
+
+    reg = ScheduleRegistry(args.registry)
+
+    def entry_dict(e) -> dict:
+        return {
+            "chip": e.chip,
+            "m": e.m,
+            "n": e.n,
+            "k": e.k,
+            "threads": e.threads,
+            "cycles": e.cycles,
+            "stale": reg.is_stale(e),
+            "fingerprint": e.fingerprint,
+            "tuned_at": e.tuned_at,
+            "schedule": schedule_to_dict(e.schedule),
+        }
+
+    if args.registry_cmd == "list":
+        entries = reg.entries(include_stale=True)
+        if args.chip:
+            entries = [e for e in entries if e.chip == args.chip]
+        if args.json:
+            print(json.dumps(
+                {
+                    "command": "registry list",
+                    "registry": str(reg.path),
+                    "fingerprint": reg.fingerprint,
+                    "entries": [entry_dict(e) for e in entries],
+                },
+                indent=2,
+            ))
+            return 0
+        rows = [
+            [
+                e.chip,
+                f"{e.m}x{e.n}x{e.k}",
+                e.threads,
+                f"{e.cycles:,.0f}",
+                f"{e.schedule.mc}/{e.schedule.nc}/{e.schedule.kc}",
+                e.schedule.packing.value,
+                "stale" if reg.is_stale(e) else "live",
+            ]
+            for e in entries
+        ]
+        print(format_table(
+            ["chip", "shape", "thr", "cycles", "mc/nc/kc", "packing", "state"],
+            rows,
+        ))
+        print(f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'} in "
+              f"{reg.path} (fingerprint {reg.fingerprint})")
+        return 0
+
+    if args.registry_cmd == "evict":
+        shape = None
+        if args.shape:
+            parts = args.shape.lower().split("x")
+            if len(parts) != 3:
+                raise ValueError("--shape must look like MxNxK, e.g. 64x64x64")
+            shape = tuple(int(p) for p in parts)
+        evicted = reg.evict(chip=args.chip, shape=shape, stale_only=args.stale)
+        if args.json:
+            print(json.dumps({
+                "command": "registry evict",
+                "registry": str(reg.path),
+                "evicted": evicted,
+                "remaining": len(reg.entries(include_stale=True)),
+            }, indent=2))
+        else:
+            print(f"evicted {evicted} entr{'y' if evicted == 1 else 'ies'} "
+                  f"from {reg.path}")
+        return 0
+
+    # export
+    count = reg.export(args.out, include_stale=args.stale)
+    if args.json:
+        print(json.dumps({
+            "command": "registry export",
+            "registry": str(reg.path),
+            "out": args.out,
+            "exported": count,
+        }, indent=2))
+    else:
+        print(f"exported {count} entr{'y' if count == 1 else 'ies'} "
+              f"to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -494,6 +654,71 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--out", default=None,
                     help="write the JSON report artifact to this path")
 
+    tu = sub.add_parser(
+        "tune",
+        help="auto-tune a shape (TVM-style search, optionally on a "
+             "process pool of measurement workers)",
+    )
+    tu.add_argument("m", type=int)
+    tu.add_argument("n", type=int)
+    tu.add_argument("k", type=int)
+    tu.add_argument("--chip", default="Graviton2")
+    tu.add_argument("--budget", type=int, default=32,
+                    help="measured candidates (default 32)")
+    tu.add_argument("--seed", type=int, default=0)
+    tu.add_argument("--jobs", type=int, default=1,
+                    help="measurement worker processes; >1 parallelises "
+                         "trial measurement with results identical to a "
+                         "serial search for the same seed")
+    tu.add_argument("--threads", type=int, default=1,
+                    help="thread count the tuned schedule is registered "
+                         "under in the registry")
+    tu.add_argument("--records", default=None,
+                    help="tuning-record JSON-lines file (winner history; "
+                         "required for --resume)")
+    tu.add_argument("--resume", action="store_true",
+                    help="checkpoint every trial to --records and replay "
+                         "trials an interrupted run already measured")
+    tu.add_argument("--log-trials", action="store_true",
+                    help="persist every evaluated trial to --records")
+    tu.add_argument("--registry", default=None,
+                    help="persistent tuned-schedule registry file the "
+                         "winner is published to")
+    tu.add_argument("--json", action="store_true",
+                    help="machine-readable JSON output")
+    tu.add_argument("--metrics", action="store_true",
+                    help="collect and report telemetry counters")
+
+    rg = sub.add_parser(
+        "registry",
+        help="inspect or edit a persistent tuned-schedule registry",
+    )
+    rsub = rg.add_subparsers(dest="registry_cmd", required=True)
+    rl = rsub.add_parser("list", help="list registry entries (live + stale)")
+    rl.add_argument("--registry", required=True,
+                    help="registry JSON-lines file")
+    rl.add_argument("--chip", default=None, help="filter by chip name")
+    rl.add_argument("--json", action="store_true",
+                    help="machine-readable JSON output")
+    rv = rsub.add_parser("evict", help="drop entries and rewrite the file")
+    rv.add_argument("--registry", required=True,
+                    help="registry JSON-lines file")
+    rv.add_argument("--chip", default=None, help="evict only this chip")
+    rv.add_argument("--shape", default=None,
+                    help="evict only this MxNxK shape (e.g. 64x64x64)")
+    rv.add_argument("--stale", action="store_true",
+                    help="evict only fingerprint-stale entries")
+    rv.add_argument("--json", action="store_true",
+                    help="machine-readable JSON output")
+    rx = rsub.add_parser("export", help="write a standalone registry file")
+    rx.add_argument("--registry", required=True,
+                    help="registry JSON-lines file")
+    rx.add_argument("--out", required=True, help="output path")
+    rx.add_argument("--stale", action="store_true",
+                    help="include fingerprint-stale entries")
+    rx.add_argument("--json", action="store_true",
+                    help="machine-readable JSON output")
+
     return parser
 
 
@@ -508,6 +733,8 @@ _COMMANDS = {
     "dmt": _cmd_dmt,
     "lint-kernels": _cmd_lint_kernels,
     "chaos": _cmd_chaos,
+    "tune": _cmd_tune,
+    "registry": _cmd_registry,
 }
 
 #: Per-subcommand failure exit codes: distinct, non-zero, and disjoint from
@@ -524,6 +751,8 @@ FAIL_CODES = {
     "dmt": 17,
     "lint-kernels": 18,
     "chaos": 19,
+    "tune": 20,
+    "registry": 21,
 }
 assert set(FAIL_CODES) == set(_COMMANDS)
 

@@ -42,6 +42,10 @@ class AutoGEMM:
         tuning_records: "str | None" = None,
         log_trials: bool = False,
         use_replay: bool = True,
+        registry: "str | ScheduleRegistry | None" = None,
+        auto_tune: bool = False,
+        tune_budget: int = 32,
+        tune_jobs: int = 1,
     ) -> None:
         """``tuning_records`` names a JSON-lines file of persisted tuning
         outcomes (see :class:`repro.tuner.records.RecordStore`): known-best
@@ -49,7 +53,18 @@ class AutoGEMM:
         are appended.  ``log_trials`` additionally persists every evaluated
         trial to the same file so tuning curves can be plotted later.
         ``use_replay=False`` disables the executor's tile-replay fast path
-        and re-interprets every tile (the ``--no-replay`` CLI opt-out)."""
+        and re-interprets every tile (the ``--no-replay`` CLI opt-out).
+
+        ``registry`` names a persistent schedule registry file (see
+        :class:`repro.tuner.registry.ScheduleRegistry`, or pass an already
+        constructed registry): ``gemm``/``estimate`` consult it for a tuned
+        schedule *before* any tuning or heuristic, and ``tune`` outcomes are
+        published to it, shared across processes through the file.  With
+        ``auto_tune=True``, a registry miss on ``gemm`` triggers an inline
+        ``tune`` (``tune_budget`` trials on ``tune_jobs`` workers) whose
+        winner is registered -- the first call on a new shape pays the
+        search, every later call (in any process) is a registry hit with
+        zero trials."""
         self.chip = get_chip(chip) if isinstance(chip, str) else chip
         self.schedule = schedule
         self._kernels = KernelCache()
@@ -74,15 +89,40 @@ class AutoGEMM:
             for rec in self._records.records():
                 if rec.chip == self.chip.name:
                     self._tuned[(rec.m, rec.n, rec.k)] = rec.schedule
+        self.registry = None
+        if registry is not None:
+            from ..tuner.registry import ScheduleRegistry
+
+            self.registry = (
+                registry
+                if isinstance(registry, ScheduleRegistry)
+                else ScheduleRegistry(registry)
+            )
+        self.auto_tune = auto_tune
+        self.tune_budget = tune_budget
+        self.tune_jobs = tune_jobs
 
     # ------------------------------------------------------------------
     def schedule_for(self, m: int, n: int, k: int, threads: int = 1) -> Schedule:
-        """The schedule used for a problem: explicit > tuned > heuristic."""
+        """The schedule used for a problem, first match wins:
+        explicit > registry (persisted, fingerprint-checked) > this
+        session's tuned results > ``auto_tune`` search > heuristic."""
         if self.schedule is not None:
             return self.schedule.clipped(m, n, k)
+        if self.registry is not None:
+            served = self.registry.get(self.chip.name, m, n, k, threads)
+            if served is not None:
+                return served
         tuned = self._tuned.get((m, n, k))
         if tuned is not None:
             return tuned
+        if self.auto_tune:
+            return self.tune(
+                m, n, k,
+                budget=self.tune_budget,
+                jobs=self.tune_jobs,
+                threads=threads,
+            )
         return default_schedule(m, n, k, self.chip, threads=threads)
 
     def gemm(
@@ -175,21 +215,47 @@ class AutoGEMM:
         budget: int = 64,
         seed: int = 0,
         resume: bool = False,
+        jobs: int = 1,
+        threads: int = 1,
     ) -> Schedule:
         """Auto-tune the schedule for a shape (TVM-style search, §IV-C);
-        the result is remembered for subsequent ``gemm``/``estimate`` calls.
+        the result is remembered for subsequent ``gemm``/``estimate`` calls
+        (and published to the schedule registry when one is attached).
 
         With ``resume=True`` (requires ``tuning_records``) the search
         checkpoints every trial to the record store and replays trials a
-        previous interrupted run already measured.
+        previous interrupted run already measured.  ``jobs > 1`` measures
+        trials on a process pool (see docs/tuning_guide.md); the selected
+        schedule is identical to a serial search for the same seed.
         """
+        return self.tune_result(
+            m, n, k, budget=budget, seed=seed, resume=resume,
+            jobs=jobs, threads=threads,
+        ).schedule
+
+    def tune_result(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        budget: int = 64,
+        seed: int = 0,
+        resume: bool = False,
+        jobs: int = 1,
+        threads: int = 1,
+    ) -> "TuneResult":
+        """Like :meth:`tune`, returning the full
+        :class:`~repro.tuner.tuner.TuneResult` (trials, failure accounting,
+        convergence curve) instead of just the winning schedule."""
         from ..tuner.tuner import AutoTuner
 
         tuner = AutoTuner(self.chip, estimator=self.estimator)
         store = self._records if resume else None
         if resume and store is None:
             raise ValueError("resume=True requires tuning_records")
-        best = tuner.tune(m, n, k, budget=budget, seed=seed, resume=store)
+        best = tuner.tune(
+            m, n, k, budget=budget, seed=seed, resume=store, jobs=jobs
+        )
         self._tuned[(m, n, k)] = best.schedule
         if self._records is not None:
             try:
@@ -203,7 +269,17 @@ class AutoGEMM:
                 # The in-memory schedule is already updated; losing the
                 # persisted line only costs a future session a re-tune.
                 telemetry.count("records.write_failed")
-        return best.schedule
+        if self.registry is not None:
+            try:
+                _faults.retrying(
+                    lambda: self.registry.put(
+                        self.chip.name, m, n, k, threads,
+                        best.schedule, best.cycles,
+                    )
+                )
+            except _faults.RECOVERABLE_FAULTS:
+                telemetry.count("registry.write_failed")
+        return best
 
     def kernel_source(self, mr: int, nr: int, kc: int, rotate: bool = True) -> str:
         """The generated C++ inline-asm source for a micro-kernel shape."""

@@ -42,6 +42,9 @@ class BatchedGemmResult:
     threads: int = 1
     per_item_cycles: float = 0.0
     per_core_cycles: list[float] = field(default_factory=list)
+    #: Whether the batch's aggregate DRAM traffic capped the parallel
+    #: region (the same roofline cap the single-GEMM path applies).
+    bandwidth_limited: bool = False
 
     @property
     def flops(self) -> int:
@@ -115,7 +118,9 @@ class BatchedGemm:
         for cnt in counts:
             per_core.append(max(sum(item_cycles[idx : idx + cnt]), 1.0))
             idx += cnt
-        timing = parallel_time(per_core, self.chip)
+        timing = parallel_time(
+            per_core, self.chip, self._dram_bytes(batch, m, n, k, threads)
+        )
         return BatchedGemmResult(
             c=out,
             batch=batch,
@@ -127,7 +132,19 @@ class BatchedGemm:
             threads=threads,
             per_item_cycles=sum(item_cycles) / batch,
             per_core_cycles=per_core,
+            bandwidth_limited=timing.bandwidth_limited,
         )
+
+    @staticmethod
+    def _dram_bytes(batch: int, m: int, n: int, k: int, threads: int) -> float:
+        """Aggregate DRAM traffic of the batch's parallel region: every
+        item streams its A and B once and reads+writes its C -- the same
+        accounting the single-GEMM multi-thread path feeds the roofline cap
+        (:meth:`GemmExecutor._run_scheduled`).  Single-threaded runs skip
+        the cap there too, so the batch path mirrors that gate."""
+        if threads <= 1:
+            return 0.0
+        return float(batch) * 4.0 * (m * k + k * n + 2 * m * n)
 
     def estimate(
         self,
@@ -146,7 +163,9 @@ class BatchedGemm:
         item = self._estimator.estimate(m, n, k, schedule=sched, threads=1)
         counts = partition_blocks(batch, threads)
         per_core = [max(cnt * item.cycles, 1.0) for cnt in counts]
-        timing = parallel_time(per_core, self.chip)
+        timing = parallel_time(
+            per_core, self.chip, self._dram_bytes(batch, m, n, k, threads)
+        )
         return BatchedGemmResult(
             c=None,
             batch=batch,
@@ -158,4 +177,5 @@ class BatchedGemm:
             threads=threads,
             per_item_cycles=item.cycles,
             per_core_cycles=per_core,
+            bandwidth_limited=timing.bandwidth_limited,
         )

@@ -311,21 +311,38 @@ class GemmExecutor:
         """Last resort of the fallback chain: the full product from the
         bit-exact numpy reference (:func:`reference.sgemm` -- same float32
         accumulation order as the generated kernels), with cycles from the
-        analytic micro-kernel model at the chip's default tile shape."""
+        analytic micro-kernel model at the chip's default tile shape.
+
+        Multi-threaded timing goes through the same
+        :func:`partition_blocks` + :func:`parallel_time` model as a
+        scheduled run -- C tiles split across cores, fork/join barrier,
+        cross-domain penalty, aggregate-DRAM roofline cap -- so a degraded
+        run never reports the perfectly linear scaling no healthy path can
+        achieve."""
         out = sgemm(a, b, c, beta=beta)
         tile = tile_for_chip(self.chip.sigma_lane)
         kc = min(k, 256)
-        n_tiles = (-(m // -tile.mr)) * (-(n // -tile.nr)) * (-(k // -kc))
-        cycles = self.model.total(tile.mr, tile.nr, kc, rotate=True) * n_tiles
-        cycles /= max(threads, 1)
+        c_tiles = (-(m // -tile.mr)) * (-(n // -tile.nr))
+        per_tile = self.model.total(tile.mr, tile.nr, kc, rotate=True) * (
+            -(k // -kc)
+        )
+        counts = partition_blocks(c_tiles, max(threads, 1))
+        per_core = [max(cnt * per_tile, 1.0) for cnt in counts]
+        dram_bytes = 4 * (m * k + k * n + 2 * m * n) if threads > 1 else 0
+        timing = parallel_time(per_core, self.chip, dram_bytes)
+        phase_cycles = {"kernel": timing.critical_core_cycles}
+        overhead = timing.cycles - timing.critical_core_cycles
+        if overhead:
+            phase_cycles["parallel_overhead"] = overhead
         return GemmResult(
             c=out,
-            cycles=cycles,
+            cycles=timing.cycles,
             flops=2 * m * n * k,
             chip=self.chip,
             threads=threads,
             degraded=True,
-            phase_cycles={"kernel": cycles},
+            per_core_cycles=per_core,
+            phase_cycles=phase_cycles,
         )
 
     @staticmethod

@@ -38,11 +38,15 @@ class ParallelTiming:
 
 
 def partition_blocks(n_blocks: int, n_cores: int) -> list[int]:
-    """Blocks per core under static block-cyclic assignment.
+    """Blocks per core under a **contiguous static split**.
 
-    Returns a list of length ``n_cores``; load imbalance when
-    ``n_blocks % n_cores != 0`` is exactly the ceil/floor split a static
-    schedule produces.
+    Returns a list of length ``n_cores`` whose entries sum to
+    ``n_blocks``: the first ``n_blocks % n_cores`` cores take ``ceil``
+    shares and the rest take ``floor`` shares, so counts differ by at most
+    one.  The assignment is contiguous (core ``i`` owns a consecutive run
+    of blocks), **not** block-cyclic -- the C-block partitioning in
+    :meth:`GemmExecutor._run_scheduled` slices its block list with these
+    counts and relies on each core's blocks being adjacent for locality.
     """
     if n_cores < 1:
         raise ValueError("need at least one core")

@@ -2,8 +2,10 @@
 
 from .annealing import anneal
 from .gbt import GradientBoostedTrees, RegressionTree, featurize_schedule
+from .parallel import ParallelMeasurer
 from .prune import model_cost, prune
 from .records import RecordStore, TuningRecord, schedule_from_dict, schedule_to_dict
+from .registry import RegistryEntry, ScheduleRegistry, codegen_fingerprint
 from .sketch import Sketch, SketchTuner, generate_sketches
 from .space import SearchSpace, candidate_blocks, divisors
 from .tuner import AutoTuner, Trial, TuneResult
@@ -15,8 +17,12 @@ __all__ = [
     "featurize_schedule",
     "model_cost",
     "prune",
+    "ParallelMeasurer",
     "RecordStore",
     "TuningRecord",
+    "RegistryEntry",
+    "ScheduleRegistry",
+    "codegen_fingerprint",
     "schedule_from_dict",
     "schedule_to_dict",
     "Sketch",

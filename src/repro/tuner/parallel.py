@@ -1,0 +1,137 @@
+"""Process-pool trial measurement for the auto-tuner (``tune(jobs=N)``).
+
+Serial tuning spends almost all of its wall-clock inside
+:meth:`AutoTuner._measure_sandboxed` -- each candidate's cost is a
+kernel-level simulation, and the search loop around it (pruning, GBT fit,
+annealing) is cheap.  ``ParallelMeasurer`` farms those measurements out to
+a pool of worker processes:
+
+* each worker builds its own :class:`~repro.tuner.tuner.AutoTuner` (and
+  therefore its own estimator/kernel caches) once, in the pool
+  initializer, and reuses it for every task it receives;
+* tasks are pickled ``(schedule, m, n, k)`` tuples; results come back as
+  the sandbox's ``(status, cycles, error)`` triple, so the worker side
+  runs the *same* fault/timeout machinery as a serial search (transient
+  retries, hang -> ``timeout``, permanent -> ``error``, NaN rejection);
+* results are returned **in submission order** regardless of completion
+  order.  The tuner records trials, checkpoints them, and fits its cost
+  model from that ordered list at the same generation barriers as a
+  serial search, which is what makes ``jobs=N`` select the identical
+  best schedule as ``jobs=1`` for a fixed seed.
+
+Fault semantics (docs/robustness.md): recoverable faults are absorbed
+inside the worker exactly as in a serial sandbox.  A
+:class:`~repro.faults.KillFault` fired inside a worker models that worker
+being ``kill -9``-ed mid-measurement; it is shipped back as a ``"kill"``
+sentinel and re-raised in the parent, unwinding the search the way a dead
+measurement process would.  Trials that completed *before* the killed one
+(in submission order) are still recorded and checkpointed by the caller,
+so a ``resume=`` store picks the search up with at most the in-flight
+batch tail lost.
+
+The pool uses the ``fork`` start method where available so workers
+inherit the parent's installed fault plan and warmed module state; on
+platforms without ``fork`` it falls back to the default start method
+(workers then start with no fault plan unless ``REPRO_FAULTS`` is set in
+the environment).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from ..faults import plan as _faults
+from ..gemm.schedule import Schedule
+from ..machine.chips import ChipSpec
+
+__all__ = ["ParallelMeasurer", "MeasureOutcome"]
+
+#: ``(status, cycles, error)`` -- the sandbox triple, with the extra
+#: ``"kill"`` status used only on the wire (the parent re-raises it).
+MeasureOutcome = tuple
+
+# Per-worker-process measurement state, built once by _init_worker.
+_WORKER_TUNER = None
+
+
+def _init_worker(chip: ChipSpec, tuner_kwargs: dict) -> None:
+    """Pool initializer: build this worker's tuner (estimator + caches)."""
+    global _WORKER_TUNER
+    from .tuner import AutoTuner
+
+    _WORKER_TUNER = AutoTuner(chip, **tuner_kwargs)
+
+
+def _measure_in_worker(task: tuple) -> MeasureOutcome:
+    """Run one sandboxed measurement in the worker process.
+
+    A ``KillFault`` (the simulated ``kill -9`` of this worker) is shipped
+    back as a ``("kill", inf, message)`` sentinel rather than raised --
+    raising would merely mark one future failed, while the contract is
+    that the parent search unwinds.
+    """
+    schedule, m, n, k = task
+    try:
+        return _WORKER_TUNER._measure_sandboxed(schedule, m, n, k)
+    except _faults.KillFault as exc:
+        return ("kill", float("inf"), str(exc))
+
+
+class ParallelMeasurer:
+    """A pool of measurement workers with submission-order results.
+
+    Use as a context manager; the pool is torn down on exit.  ``jobs`` is
+    the worker count (>= 1; a 1-job pool is legal but pointless -- the
+    tuner only builds a measurer for ``jobs > 1``).
+    """
+
+    def __init__(self, chip: ChipSpec, jobs: int, tuner_kwargs: dict | None = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.chip = chip
+        self.jobs = jobs
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context()
+        self._pool = ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(chip, dict(tuner_kwargs or {})),
+        )
+
+    def measure_many(
+        self, schedules: list[Schedule], m: int, n: int, k: int
+    ) -> list[MeasureOutcome]:
+        """Measure every schedule; results ordered like ``schedules``.
+
+        All tasks run to completion before returning (the generation
+        barrier), so a ``"kill"`` sentinel anywhere in the batch still
+        leaves the other results available for checkpointing.  A worker
+        process dying for real (not via fault injection) surfaces as a
+        ``RuntimeError``; the search's per-trial checkpoints make that
+        recoverable with ``resume=``.
+        """
+        if not schedules:
+            return []
+        tasks = [(sched, m, n, k) for sched in schedules]
+        try:
+            return list(self._pool.map(_measure_in_worker, tasks, chunksize=1))
+        except BrokenProcessPool as exc:
+            raise RuntimeError(
+                "tuning worker pool died mid-batch; finished trials were "
+                "checkpointed -- rerun with resume= to pick the search up"
+            ) from exc
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ParallelMeasurer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,321 @@
+"""Persistent tuned-schedule registry: the serving-time cache of winners.
+
+The :class:`~repro.tuner.records.RecordStore` is the *tuning-session*
+artifact -- trials, checkpoints, convergence curves.  This module is the
+*serving* artifact: a small append-only JSON-lines file mapping
+``(chip, m, n, k, threads)`` to the best known :class:`Schedule`, consulted
+by :meth:`AutoGEMM.gemm` before it ever considers tuning (the IAAT-style
+input-aware persistent cache).  Repeated serving-style calls on a tuned
+shape skip the tuner entirely -- a registry hit costs one dict lookup plus
+an ``mtime`` stat.
+
+Invalidation is versioned: every entry records the **codegen/model
+fingerprint** under which it was tuned (:func:`codegen_fingerprint`, a hash
+of the code generator, timing model, and estimator sources plus a manual
+:data:`REGISTRY_VERSION` bump).  When any of those change, old entries stop
+being served -- they are reported as ``stale`` (telemetry
+``registry.stale``) instead of silently returning schedules tuned against
+a different cost surface.  ``repro registry list`` shows them;
+``repro registry evict --stale`` sheds them.
+
+Sharing: the file is the unit of sharing.  Writers append one line per
+result (crash-tolerant: a torn line is skipped on load, like the record
+store); readers re-load automatically when the file's ``mtime``/size
+changes, so long-lived processes observe schedules tuned by their
+neighbours without restarting.
+
+Telemetry: ``registry.hits`` / ``registry.misses`` / ``registry.stale``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+from .. import telemetry
+from ..faults import plan as _faults
+from ..gemm.schedule import Schedule
+from .records import schedule_from_dict, schedule_to_dict
+
+__all__ = [
+    "REGISTRY_VERSION",
+    "codegen_fingerprint",
+    "RegistryEntry",
+    "ScheduleRegistry",
+]
+
+#: Manual escape hatch: bump to invalidate every persisted schedule even
+#: when no fingerprinted source changed (e.g. a chip-table retune).
+REGISTRY_VERSION = 1
+
+_FINGERPRINT: str | None = None
+
+
+def codegen_fingerprint() -> str:
+    """Version fingerprint of everything that gives a schedule its cycles.
+
+    Hashes the sources of the code generator, the pipeline/cache timing
+    model, and the estimator (plus :data:`REGISTRY_VERSION`): if any of
+    them change, previously tuned schedules were measured against a
+    different cost surface and must not be served.  Computed once per
+    process.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is not None:
+        return _FINGERPRINT
+    from ..codegen import emitter, fusion, microkernel, sve, tiles
+    from ..gemm import estimator, packing, schedule
+    from ..machine import cache, pipeline, simulator
+    from ..model import perf_model
+
+    digest = hashlib.sha256()
+    digest.update(f"registry-v{REGISTRY_VERSION}".encode())
+    for mod in (
+        microkernel, tiles, emitter, sve, fusion,
+        perf_model, pipeline, cache, simulator,
+        estimator, schedule, packing,
+    ):
+        digest.update(pathlib.Path(mod.__file__).read_bytes())
+    _FINGERPRINT = digest.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One persisted tuned schedule."""
+
+    chip: str
+    m: int
+    n: int
+    k: int
+    threads: int
+    cycles: float
+    schedule: Schedule
+    fingerprint: str
+    #: ISO timestamp of when the entry was tuned (informational only).
+    tuned_at: str = ""
+
+    @property
+    def key(self) -> tuple[str, int, int, int, int]:
+        return (self.chip, self.m, self.n, self.k, self.threads)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "kind": "schedule",
+                "chip": self.chip,
+                "m": self.m,
+                "n": self.n,
+                "k": self.k,
+                "threads": self.threads,
+                "cycles": self.cycles,
+                "fingerprint": self.fingerprint,
+                "tuned_at": self.tuned_at,
+                "schedule": schedule_to_dict(self.schedule),
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RegistryEntry":
+        if data.get("kind") != "schedule":
+            raise ValueError("not a registry schedule line")
+        return cls(
+            chip=data["chip"],
+            m=int(data["m"]),
+            n=int(data["n"]),
+            k=int(data["k"]),
+            threads=int(data.get("threads", 1)),
+            cycles=float(data["cycles"]),
+            schedule=schedule_from_dict(data["schedule"]),
+            fingerprint=str(data.get("fingerprint", "")),
+            tuned_at=str(data.get("tuned_at", "")),
+        )
+
+
+class ScheduleRegistry:
+    """On-disk ``(chip, m, n, k, threads) -> Schedule`` cache.
+
+    ``fingerprint`` defaults to the process's :func:`codegen_fingerprint`;
+    tests inject a fixed one to model upgrades.  Loading is crash-tolerant
+    (torn/corrupt lines are counted in :attr:`skipped_lines` and skipped),
+    and the in-memory view refreshes automatically when another process
+    appends to the file.
+    """
+
+    def __init__(
+        self, path: str | pathlib.Path, fingerprint: str | None = None
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.fingerprint = fingerprint or codegen_fingerprint()
+        #: Live entries (current fingerprint), best cycles per key.
+        self._live: dict[tuple, RegistryEntry] = {}
+        #: Entries persisted under a different fingerprint, kept for
+        #: listing/eviction but never served.
+        self._stale: dict[tuple, RegistryEntry] = {}
+        self.skipped_lines = 0
+        self._sig: tuple | None = None
+        self._load()
+
+    # -- loading -----------------------------------------------------------
+    def _file_sig(self) -> tuple | None:
+        try:
+            st = os.stat(self.path)
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
+
+    def _load(self) -> None:
+        if _faults._PLAN is not None:
+            _faults.check("records.io")
+        self._live.clear()
+        self._stale.clear()
+        self.skipped_lines = 0
+        self._sig = self._file_sig()
+        if self._sig is None:
+            return
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                if not isinstance(data, dict):
+                    raise ValueError("registry line is not a JSON object")
+                self._absorb(RegistryEntry.from_dict(data))
+            except (ValueError, KeyError, TypeError):
+                self.skipped_lines += 1
+                telemetry.count("registry.skipped_lines")
+
+    def _absorb(self, entry: RegistryEntry) -> None:
+        if entry.fingerprint == self.fingerprint:
+            current = self._live.get(entry.key)
+            if current is None or entry.cycles < current.cycles:
+                self._live[entry.key] = entry
+        else:
+            self._stale[entry.key] = entry
+
+    def refresh(self) -> None:
+        """Reload if another process appended to (or replaced) the file."""
+        if self._file_sig() != self._sig:
+            self._load()
+
+    # -- lookups -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def get(
+        self, chip: str, m: int, n: int, k: int, threads: int = 1
+    ) -> Schedule | None:
+        """The served schedule for a problem, or None (miss / stale)."""
+        self.refresh()
+        key = (chip, m, n, k, threads)
+        entry = self._live.get(key)
+        if entry is not None:
+            telemetry.count("registry.hits")
+            return entry.schedule
+        if key in self._stale:
+            telemetry.count("registry.stale")
+        else:
+            telemetry.count("registry.misses")
+        return None
+
+    def entries(self, include_stale: bool = True) -> list[RegistryEntry]:
+        """All entries, live first, each key once."""
+        self.refresh()
+        out = list(self._live.values())
+        if include_stale:
+            out.extend(
+                e for key, e in self._stale.items() if key not in self._live
+            )
+        return out
+
+    def is_stale(self, entry: RegistryEntry) -> bool:
+        return entry.fingerprint != self.fingerprint
+
+    # -- writes ------------------------------------------------------------
+    def put(
+        self,
+        chip: str,
+        m: int,
+        n: int,
+        k: int,
+        threads: int,
+        schedule: Schedule,
+        cycles: float,
+    ) -> RegistryEntry:
+        """Persist one tuned outcome (appended; best-cycles wins in memory)."""
+        if _faults._PLAN is not None:
+            _faults.check("records.io")
+        self.refresh()
+        entry = RegistryEntry(
+            chip=chip,
+            m=m,
+            n=n,
+            k=k,
+            threads=threads,
+            cycles=cycles,
+            schedule=schedule,
+            fingerprint=self.fingerprint,
+            tuned_at=time.strftime("%Y-%m-%dT%H:%M:%S"),
+        )
+        self._absorb(entry)
+        with self.path.open("a") as fh:
+            fh.write(entry.to_json() + "\n")
+            fh.flush()
+        self._sig = self._file_sig()
+        telemetry.count("registry.puts")
+        return entry
+
+    def evict(
+        self,
+        chip: str | None = None,
+        shape: tuple[int, int, int] | None = None,
+        stale_only: bool = False,
+    ) -> int:
+        """Drop matching entries and rewrite the file; returns the count.
+
+        With no filters, evicts everything (``stale_only=True`` keeps live
+        entries and sheds only fingerprint-mismatched ones).
+        """
+        def matches(entry: RegistryEntry) -> bool:
+            if stale_only and not self.is_stale(entry):
+                return False
+            if chip is not None and entry.chip != chip:
+                return False
+            if shape is not None and (entry.m, entry.n, entry.k) != tuple(shape):
+                return False
+            return True
+
+        before = self.entries(include_stale=True)
+        keep = [e for e in before if not matches(e)]
+        evicted = len(before) - len(keep)
+        self._rewrite(keep)
+        return evicted
+
+    def compact(self) -> None:
+        """Rewrite the file keeping one line per key (sheds torn lines)."""
+        self._rewrite(self.entries(include_stale=True))
+
+    def export(self, path: str | pathlib.Path, include_stale: bool = False) -> int:
+        """Write a standalone registry file of (by default live) entries.
+
+        The export is itself a valid registry file -- ship it to another
+        machine and point ``AutoGEMM(registry=...)`` at it.
+        """
+        entries = self.entries(include_stale=include_stale)
+        out = pathlib.Path(path)
+        out.write_text("".join(e.to_json() + "\n" for e in entries))
+        return len(entries)
+
+    def _rewrite(self, entries: Iterable[RegistryEntry]) -> None:
+        if _faults._PLAN is not None:
+            _faults.check("records.io")
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text("".join(e.to_json() + "\n" for e in entries))
+        tmp.replace(self.path)
+        self._load()

@@ -195,6 +195,7 @@ class AutoTuner:
         seed: int = 0,
         threads: int = 1,
         resume: "RecordStore | None" = None,
+        jobs: int = 1,
     ) -> TuneResult:
         """Search for the best schedule within ``budget`` measurements.
 
@@ -205,21 +206,61 @@ class AutoTuner:
         memoized measurements instead of re-measured.  Because the search
         loop itself is deterministic in ``seed``, a resumed run converges to
         the same best schedule and cycles as an uninterrupted one.
+
+        ``jobs > 1`` measures each batch on a pool of worker processes
+        (:class:`~repro.tuner.parallel.ParallelMeasurer`).  Workers run the
+        same measurement sandbox; results are recorded in submission order
+        and the cost model refits only at batch (generation) barriers, so a
+        parallel search selects the identical best schedule as a serial one
+        for the same seed.  Trials are checkpointed to ``resume`` in the
+        parent as each batch lands, preserving kill -9 / resume semantics.
         """
         if budget < 1:
             raise ValueError("budget must be >= 1")
         if batch < 1:
             raise ValueError("batch must be >= 1")
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
         if m < 1 or n < 1 or k < 1:
             raise ValueError(f"problem sizes must be >= 1, got m={m} n={n} k={k}")
         with telemetry.span(
-            "tune", m=m, n=n, k=k, budget=budget, chip=self.chip.name
+            "tune", m=m, n=n, k=k, budget=budget, chip=self.chip.name, jobs=jobs
         ) as sp_tune:
-            result = self._tune(m, n, k, budget, batch, seed, resume)
+            telemetry.count("tune.workers", jobs)
+            if jobs > 1:
+                from .parallel import ParallelMeasurer
+
+                with ParallelMeasurer(
+                    self.chip, jobs, self._worker_kwargs()
+                ) as measurer:
+                    result = self._tune(
+                        m, n, k, budget, batch, seed, resume, measurer=measurer
+                    )
+            else:
+                result = self._tune(m, n, k, budget, batch, seed, resume)
             sp_tune.add_cycles(result.cycles)
         return result
 
-    def _tune(self, m, n, k, budget, batch, seed, resume=None) -> TuneResult:
+    def _worker_kwargs(self) -> dict:
+        """Constructor kwargs a measurement worker rebuilds this tuner from.
+
+        The estimator itself never crosses the process boundary: each worker
+        constructs a fresh default estimator for the chip.  Measurement is
+        deterministic in (chip, schedule, m, n, k) -- caches only change
+        speed, never cycles -- so worker-side estimators return exactly what
+        a custom in-parent estimator would.
+        """
+        return dict(
+            use_model_pruning=self.use_model_pruning,
+            use_cost_model=self.use_cost_model,
+            trial_timeout_s=self.trial_timeout_s,
+            trial_cycle_budget=self.trial_cycle_budget,
+            max_retries=self.max_retries,
+            retry_backoff_s=self.retry_backoff_s,
+            quarantine_after=self.quarantine_after,
+        )
+
+    def _tune(self, m, n, k, budget, batch, seed, resume=None, measurer=None) -> TuneResult:
         space = SearchSpace(m=m, n=n, k=k, chip=self.chip)
 
         # Seeding: sample broadly, prune with the analytic Eqn 13 model.
@@ -282,8 +323,35 @@ class AutoTuner:
                         quarantined.add(trial.schedule)
                         telemetry.count("tuner.quarantined")
 
+        def premeasure(batch_schedules: list[Schedule]) -> dict[Schedule, tuple]:
+            """Measure the batch's pending schedules on the worker pool.
+
+            Walks the batch with the same bookkeeping as the recording loop
+            below to decide which schedules actually need a measurement
+            (skipping already-measured, quarantined, and checkpoint-replayed
+            candidates, and stopping at the remaining budget), then measures
+            each unique pending schedule once, in parallel.  The recording
+            loop consumes the results in submission order, so trials land in
+            the identical sequence a serial search produces.
+            """
+            pending: list[Schedule] = []
+            pending_set: set[Schedule] = set()
+            remaining = budget - len(trials)
+            for sched in batch_schedules:
+                if remaining <= 0:
+                    break
+                if sched in measured or sched in quarantined:
+                    continue
+                if sched not in prior and sched not in pending_set:
+                    pending_set.add(sched)
+                    pending.append(sched)
+                remaining -= 1
+            outcomes = measurer.measure_many(pending, m, n, k)
+            return dict(zip(pending, outcomes))
+
         def run_batch(batch_schedules: list[Schedule]) -> None:
             nonlocal rnd, resumed
+            premeasured = premeasure(batch_schedules) if measurer is not None else {}
             for sched in batch_schedules:
                 if len(trials) >= budget:
                     return
@@ -300,7 +368,24 @@ class AutoTuner:
                     "trial", round=rnd, mc=sched.mc, nc=sched.nc, kc=sched.kc,
                     predicted_cycles=round(predicted, 1),
                 ) as sp:
-                    status, cycles, error = self._measure_sandboxed(sched, m, n, k)
+                    if sched in premeasured:
+                        # Worker-side sandbox already ran; re-emit the
+                        # status counters the serial sandbox would have
+                        # bumped (worker telemetry dies with the worker).
+                        status, cycles, error = premeasured[sched]
+                        if status == "kill":
+                            # The worker was (simulated-)kill -9-ed.  Every
+                            # trial recorded before this point is already
+                            # checkpointed; unwind like the dead process.
+                            raise _faults.KillFault("tuner.measure", error)
+                        if status == "timeout":
+                            telemetry.count("tuner.trial_timeouts")
+                        elif status == "error":
+                            telemetry.count("tuner.trial_errors")
+                    else:
+                        status, cycles, error = self._measure_sandboxed(
+                            sched, m, n, k
+                        )
                     if status == "ok":
                         sp.add_cycles(cycles)
                 telemetry.count("tuner.trials_measured")

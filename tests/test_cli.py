@@ -228,3 +228,96 @@ class TestChaos:
         assert code == FAIL_CODES["chaos"] == 19
         assert "repro chaos: error:" in err
         assert "unknown fault site" in err
+
+
+class TestTune:
+    def test_json_output_parses(self, capsys):
+        code, out = run_cli(
+            capsys, "tune", "32", "32", "32", "--chip", "KP920",
+            "--budget", "6", "--seed", "5", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["command"] == "tune"
+        assert payload["chip"] == "KP920"
+        assert payload["attempted"] == 6
+        assert payload["best_cycles"] > 0
+        assert payload["best_schedule"]["mc"] >= 1
+
+    def test_parallel_selects_serial_winner(self, capsys):
+        base = ["tune", "32", "32", "32", "--chip", "KP920",
+                "--budget", "6", "--seed", "5", "--json"]
+        _, serial_out = run_cli(capsys, *base, "--jobs", "1")
+        _, parallel_out = run_cli(capsys, *base, "--jobs", "2")
+        serial = json.loads(serial_out)
+        parallel = json.loads(parallel_out)
+        assert parallel["best_schedule"] == serial["best_schedule"]
+        assert parallel["best_cycles"] == serial["best_cycles"]
+
+    def test_tune_failure_returns_its_code(self, capsys):
+        from repro.cli import FAIL_CODES
+
+        code = main(["tune", "32", "32", "32", "--budget", "0"])
+        err = capsys.readouterr().err
+        assert code == FAIL_CODES["tune"]
+        assert "repro tune: error:" in err
+
+
+class TestRegistry:
+    def seed_registry(self, capsys, tmp_path):
+        path = tmp_path / "registry.jsonl"
+        code, _ = run_cli(
+            capsys, "tune", "16", "16", "16", "--chip", "KP920",
+            "--budget", "4", "--registry", str(path),
+        )
+        assert code == 0
+        return path
+
+    def test_tune_publishes_then_list_shows_live_entry(self, capsys, tmp_path):
+        path = self.seed_registry(capsys, tmp_path)
+        code, out = run_cli(
+            capsys, "registry", "list", "--registry", str(path), "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["command"] == "registry list"
+        (entry,) = payload["entries"]
+        assert (entry["chip"], entry["m"], entry["n"], entry["k"]) == (
+            "KP920", 16, 16, 16,
+        )
+        assert entry["stale"] is False
+        assert entry["fingerprint"] == payload["fingerprint"]
+
+    def test_evict_empties_the_registry(self, capsys, tmp_path):
+        path = self.seed_registry(capsys, tmp_path)
+        code, out = run_cli(
+            capsys, "registry", "evict", "--registry", str(path),
+            "--shape", "16x16x16", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["evicted"] == 1
+        assert payload["remaining"] == 0
+
+    def test_export_writes_a_loadable_registry(self, capsys, tmp_path):
+        from repro.tuner.registry import ScheduleRegistry
+
+        path = self.seed_registry(capsys, tmp_path)
+        out_path = tmp_path / "shipped.jsonl"
+        code, out = run_cli(
+            capsys, "registry", "export", "--registry", str(path),
+            "--out", str(out_path), "--json",
+        )
+        assert code == 0
+        assert json.loads(out)["exported"] == 1
+        assert ScheduleRegistry(out_path).get("KP920", 16, 16, 16) is not None
+
+    def test_bad_shape_fails_with_registry_code(self, capsys, tmp_path):
+        from repro.cli import FAIL_CODES
+
+        path = self.seed_registry(capsys, tmp_path)
+        code = main(["registry", "evict", "--registry", str(path),
+                     "--shape", "16x16"])
+        err = capsys.readouterr().err
+        assert code == FAIL_CODES["registry"]
+        assert "MxNxK" in err

@@ -92,6 +92,35 @@ class TestPerSiteFallbacks:
         assert plan.total_injected() > 0
         assert result.c.tobytes() == want.tobytes()
 
+    def test_degraded_fallback_uses_real_multicore_model(self, kp920):
+        # Regression: the reference fallback used to report a perfectly
+        # linear `cycles / threads`, which no healthy path can achieve.  It
+        # must go through partition_blocks + parallel_time like a scheduled
+        # run: sublinear scaling (barrier + roofline cap), per-core cycles,
+        # and phases that account for the total.
+        a, b = operands()
+        want = sgemm(a, b)
+        plan = FaultPlan(
+            [FaultSpec("memory.alloc", probability=1.0, mode="permanent")], seed=0
+        )
+        results = {}
+        for threads in (1, 2, 4):
+            with faults.injecting(plan):
+                results[threads] = AutoGEMM(kp920).gemm(a, b, threads=threads)
+        for threads, result in results.items():
+            assert result.degradations.get("reference_gemm") == 1
+            assert result.c.tobytes() == want.tobytes()
+            assert len(result.per_core_cycles) == threads
+            assert sum(result.phase_cycles.values()) == pytest.approx(
+                result.cycles
+            )
+        assert results[2].cycles < results[1].cycles
+        assert results[4].cycles < results[2].cycles
+        # Strictly sublinear: barrier/penalty/bandwidth keep the speedup
+        # below the thread count.
+        assert results[2].cycles > results[1].cycles / 2
+        assert results[4].cycles > results[1].cycles / 4
+
     def test_kill_fault_is_not_absorbed(self, kp920):
         a, b = operands()
         plan = FaultPlan([FaultSpec("memory.alloc", nth=1, mode="kill")], seed=0)

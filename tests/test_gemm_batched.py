@@ -79,3 +79,56 @@ class TestEstimate:
         run = batched.run(a, b)
         est = batched.estimate(16, 16, 16, batch=4)
         assert est.cycles == pytest.approx(run.cycles, rel=0.3)
+
+
+class TestBandwidthCap:
+    """The batch parallel region feeds *aggregate* DRAM traffic to the
+    roofline cap -- the regression here was calling ``parallel_time``
+    without ``dram_bytes``, which let wide batches scale past the socket
+    bandwidth."""
+
+    def test_memory_bound_batch_is_bandwidth_limited(self, batched):
+        # 256 skinny items: almost no compute per byte moved.
+        est = batched.estimate(32, 32, 4, batch=256, threads=8)
+        assert est.bandwidth_limited
+        # The cap is the bandwidth floor of the aggregate traffic.
+        traffic = 256 * 4.0 * (32 * 4 + 4 * 32 + 2 * 32 * 32)
+        floor = traffic / (GRAVITON2.dram_gbps * 1e9) * GRAVITON2.freq_ghz * 1e9
+        assert est.cycles == pytest.approx(floor)
+
+    def test_compute_bound_batch_is_not(self, batched):
+        est = batched.estimate(64, 64, 64, batch=16, threads=2)
+        assert not est.bandwidth_limited
+
+    def test_single_thread_skips_the_cap(self, batched):
+        # Mirrors the single-GEMM convention: the roofline gate only
+        # applies to multi-threaded regions.
+        est = batched.estimate(32, 32, 4, batch=256, threads=1)
+        assert not est.bandwidth_limited
+
+    def test_run_applies_the_same_cap(self, batched):
+        a, b = make_batch(32, 32, 32, 4)
+        run = batched.run(a, b, threads=8)
+        est = batched.estimate(32, 32, 4, batch=32, threads=8)
+        assert run.bandwidth_limited == est.bandwidth_limited
+
+
+class TestThreadScaling:
+    def test_estimate_cycles_monotone_in_threads(self, batched):
+        prev = float("inf")
+        for threads in (1, 2, 4, 8, 16):
+            est = batched.estimate(16, 16, 16, batch=64, threads=threads)
+            assert est.cycles <= prev
+            prev = est.cycles
+
+    def test_run_and_estimate_partition_identically(self, batched):
+        # batch % threads != 0: both paths split 10 items 4/3/3 and agree
+        # on which cores carry the extra item.
+        a, b = make_batch(10, 16, 16, 16)
+        run = batched.run(a, b, threads=3)
+        est = batched.estimate(16, 16, 16, batch=10, threads=3)
+        assert len(run.per_core_cycles) == len(est.per_core_cycles) == 3
+        run_items = [round(c / run.per_item_cycles) for c in run.per_core_cycles]
+        est_items = [round(c / est.per_item_cycles) for c in est.per_core_cycles]
+        assert run_items == est_items == [4, 3, 3]
+        assert est.cycles == pytest.approx(run.cycles, rel=0.3)

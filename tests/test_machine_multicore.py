@@ -25,10 +25,15 @@ class TestPartition:
     @settings(max_examples=50, deadline=None)
     @given(st.integers(0, 500), st.integers(1, 70))
     def test_partition_properties(self, blocks, cores):
+        # The documented contract: a contiguous static split (NOT
+        # block-cyclic) -- counts sum to the block total, differ by at
+        # most one, and the ceil shares are front-loaded.
         parts = partition_blocks(blocks, cores)
         assert sum(parts) == blocks
         assert len(parts) == cores
         assert max(parts) - min(parts) <= 1
+        assert parts == sorted(parts, reverse=True)
+        assert parts[: blocks % cores] == [blocks // cores + 1] * (blocks % cores)
 
 
 class TestDomainSpan:

@@ -1,0 +1,128 @@
+"""Process-pool trial measurement: determinism, faults, kill/resume.
+
+The contract (docs/tuning_guide.md): ``tune(jobs=N)`` measures trials on a
+worker pool but selects the *identical* best schedule as ``jobs=1`` for a
+fixed seed -- results return in submission order and the cost model fits at
+the same generation barriers.  Workers run the full sandbox, so fault
+injection behaves as in a serial search, except a ``KillFault`` inside a
+worker unwinds the whole search (the dead-measurement-process model).
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.faults import plan as faults
+from repro.faults.plan import FaultPlan, FaultSpec, KillFault
+from repro.tuner.parallel import ParallelMeasurer
+from repro.tuner.records import RecordStore
+from repro.tuner.tuner import AutoTuner
+
+M, N, K = 32, 32, 32
+BUDGET = 12
+SEED = 5
+
+
+def run_tune(chip, jobs=1, plan=None, store=None, **tuner_kw):
+    tuner = AutoTuner(chip, **tuner_kw)
+    if plan is None:
+        return tuner.tune(M, N, K, budget=BUDGET, seed=SEED, resume=store, jobs=jobs)
+    with faults.injecting(plan):
+        return tuner.tune(M, N, K, budget=BUDGET, seed=SEED, resume=store, jobs=jobs)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_exactly(self, kp920):
+        serial = run_tune(kp920, jobs=1)
+        parallel = run_tune(kp920, jobs=2)
+        assert parallel.schedule == serial.schedule
+        assert parallel.cycles == serial.cycles
+        # Not just the winner: the whole trial stream is identical, which
+        # is what keeps checkpoints interchangeable between modes.
+        assert [t.schedule for t in parallel.trials] == [
+            t.schedule for t in serial.trials
+        ]
+        assert [(t.status, t.cycles) for t in parallel.trials] == [
+            (t.status, t.cycles) for t in serial.trials
+        ]
+
+    def test_worker_count_is_counted(self, kp920):
+        with telemetry.collecting() as col:
+            run_tune(kp920, jobs=2)
+        assert col.counters.get("tune.workers") == 2
+
+    def test_rejects_bad_jobs(self, kp920):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            AutoTuner(kp920).tune(M, N, K, budget=4, jobs=0)
+
+
+class TestMeasurer:
+    def test_rejects_bad_jobs(self, kp920):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            ParallelMeasurer(kp920, 0)
+
+    def test_empty_batch_is_noop(self, kp920):
+        with ParallelMeasurer(kp920, 2) as measurer:
+            assert measurer.measure_many([], M, N, K) == []
+
+
+class TestWorkerFaults:
+    def test_transient_fault_absorbed_in_worker(self, kp920):
+        # Workers inherit the installed plan via fork and retry the fault
+        # away inside the sandbox, exactly like a serial search.
+        clean = run_tune(kp920, jobs=2)
+        plan = FaultPlan(
+            [FaultSpec("tuner.measure", nth=1, mode="transient")], seed=0
+        )
+        faulted = run_tune(kp920, jobs=2, plan=plan)
+        assert faulted.failed == 0
+        assert faulted.schedule == clean.schedule
+        assert faulted.cycles == clean.cycles
+
+    def test_permanent_fault_becomes_error_trial(self, kp920):
+        plan = FaultPlan(
+            [FaultSpec("tuner.measure", nth=2, mode="permanent")], seed=0
+        )
+        with telemetry.collecting() as col:
+            result = run_tune(kp920, jobs=2, plan=plan)
+        assert result.failed >= 1
+        assert [t.status for t in result.trials].count("error") >= 1
+        assert np.isfinite(result.cycles)
+        # The worker-side counter dies with the worker; the parent re-emits
+        # it from the returned trial statuses.
+        assert col.counters.get("tuner.trial_errors", 0) >= 1
+
+    def test_worker_kill_unwinds_and_resumes(self, kp920, tmp_path):
+        uninterrupted = run_tune(kp920, jobs=1)
+
+        path = tmp_path / "records.jsonl"
+        store = RecordStore(path, log_trials=True)
+        plan = FaultPlan([FaultSpec("tuner.measure", nth=3, mode="kill")], seed=0)
+        with pytest.raises(KillFault):
+            run_tune(kp920, jobs=2, plan=plan, store=store)
+
+        # Trials measured before the killed one (in submission order) were
+        # checkpointed before the search unwound.
+        reloaded = RecordStore(path, log_trials=True)
+        persisted = reloaded.trial_history(kp920.name, M, N, K)
+        assert 0 < len(persisted) < BUDGET
+        assert reloaded.skipped_lines == 0
+
+        # A serial resume replays them and lands on the identical best.
+        resumed = run_tune(kp920, jobs=1, store=reloaded)
+        assert resumed.resumed == len(persisted)
+        assert resumed.schedule == uninterrupted.schedule
+        assert resumed.cycles == uninterrupted.cycles
+
+    def test_parallel_resume_of_serial_checkpoint(self, kp920, tmp_path):
+        # Checkpoints are mode-agnostic: a parallel search replays a serial
+        # run's trials without re-measuring them.
+        path = tmp_path / "records.jsonl"
+        store = RecordStore(path, log_trials=True)
+        first = run_tune(kp920, jobs=1, store=store)
+
+        reloaded = RecordStore(path, log_trials=True)
+        resumed = run_tune(kp920, jobs=2, store=reloaded)
+        assert resumed.resumed == BUDGET
+        assert resumed.schedule == first.schedule
+        assert resumed.cycles == first.cycles

@@ -1,0 +1,182 @@
+"""Persistent tuned-schedule registry: serving, invalidation, sharing.
+
+Contract (docs/tuning_guide.md): ``(chip, m, n, k, threads) -> Schedule``,
+persisted as append-only JSON lines; entries tuned under a different
+codegen/model fingerprint are *stale* and never served; readers observe
+other processes' appends through the file signature; loading tolerates torn
+lines like the record store does.
+"""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.gemm.autogemm import AutoGEMM
+from repro.gemm.schedule import default_schedule
+from repro.tuner.registry import (
+    RegistryEntry,
+    ScheduleRegistry,
+    codegen_fingerprint,
+)
+
+M, N, K = 48, 32, 64
+
+
+@pytest.fixture
+def path(tmp_path):
+    return tmp_path / "registry.jsonl"
+
+
+def put_one(reg, chip, m=M, n=N, k=K, threads=1, cycles=1000.0):
+    sched = default_schedule(m, n, k, chip)
+    reg.put(chip.name, m, n, k, threads, sched, cycles)
+    return sched
+
+
+class TestRoundtrip:
+    def test_put_then_get(self, kp920, path):
+        reg = ScheduleRegistry(path)
+        sched = put_one(reg, kp920)
+        assert reg.get(kp920.name, M, N, K) == sched
+
+    def test_survives_reload(self, kp920, path):
+        sched = put_one(ScheduleRegistry(path), kp920)
+        cold = ScheduleRegistry(path)
+        assert len(cold) == 1
+        assert cold.get(kp920.name, M, N, K) == sched
+
+    def test_keys_are_shape_thread_specific(self, kp920, path):
+        reg = ScheduleRegistry(path)
+        put_one(reg, kp920, threads=1)
+        assert reg.get(kp920.name, M, N, K, threads=4) is None
+        assert reg.get(kp920.name, M, N, K + 1) is None
+
+    def test_best_cycles_wins(self, kp920, path):
+        reg = ScheduleRegistry(path)
+        better = put_one(reg, kp920, cycles=500.0)
+        put_one(reg, kp920, cycles=900.0)  # worse: appended but not served
+        assert reg.get(kp920.name, M, N, K) == better
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_counters(self, kp920, path):
+        reg = ScheduleRegistry(path)
+        put_one(reg, kp920)
+        with telemetry.collecting() as col:
+            reg.get(kp920.name, M, N, K)
+            reg.get(kp920.name, 1, 2, 3)
+        assert col.counters.get("registry.hits") == 1
+        assert col.counters.get("registry.misses") == 1
+
+
+class TestInvalidation:
+    def test_stale_fingerprint_never_served(self, kp920, path):
+        old = ScheduleRegistry(path, fingerprint="feedfacedeadbeef")
+        put_one(old, kp920)
+        current = ScheduleRegistry(path)
+        with telemetry.collecting() as col:
+            assert current.get(kp920.name, M, N, K) is None
+        assert col.counters.get("registry.stale") == 1
+        assert col.counters.get("registry.misses") is None
+        # Still listed (for `repro registry list`), flagged stale.
+        entries = current.entries(include_stale=True)
+        assert len(entries) == 1 and current.is_stale(entries[0])
+
+    def test_evict_stale_only_keeps_live(self, kp920, path):
+        old = ScheduleRegistry(path, fingerprint="feedfacedeadbeef")
+        put_one(old, kp920, m=8, n=8, k=8)
+        reg = ScheduleRegistry(path)
+        live = put_one(reg, kp920)
+        assert reg.evict(stale_only=True) == 1
+        assert reg.get(kp920.name, M, N, K) == live
+        assert ScheduleRegistry(path).entries() == reg.entries()
+
+    def test_evict_by_shape(self, kp920, path):
+        reg = ScheduleRegistry(path)
+        put_one(reg, kp920, m=8, n=8, k=8)
+        put_one(reg, kp920)
+        assert reg.evict(shape=(8, 8, 8)) == 1
+        assert reg.get(kp920.name, M, N, K) is not None
+        assert reg.get(kp920.name, 8, 8, 8) is None
+
+    def test_fingerprint_is_stable_and_short(self):
+        assert codegen_fingerprint() == codegen_fingerprint()
+        assert len(codegen_fingerprint()) == 16
+
+
+class TestSharing:
+    def test_reader_observes_writer_appends(self, kp920, path):
+        writer = ScheduleRegistry(path)
+        reader = ScheduleRegistry(path)
+        assert reader.get(kp920.name, M, N, K) is None
+        sched = put_one(writer, kp920)
+        # The reader re-loads off the changed file signature; no restart.
+        assert reader.get(kp920.name, M, N, K) == sched
+
+    def test_export_is_a_valid_registry(self, kp920, path, tmp_path):
+        reg = ScheduleRegistry(path)
+        sched = put_one(reg, kp920)
+        out = tmp_path / "shipped.jsonl"
+        assert reg.export(out) == 1
+        assert ScheduleRegistry(out).get(kp920.name, M, N, K) == sched
+
+    def test_corrupt_lines_skipped_not_fatal(self, kp920, path):
+        reg = ScheduleRegistry(path)
+        sched = put_one(reg, kp920)
+        with path.open("a") as fh:
+            fh.write('{"kind": "schedule", "chip"\n')  # torn mid-write
+            fh.write("[1, 2, 3]\n")
+        cold = ScheduleRegistry(path)
+        assert cold.skipped_lines == 2
+        assert cold.get(kp920.name, M, N, K) == sched
+        # compact() sheds the torn lines permanently.
+        cold.compact()
+        again = ScheduleRegistry(path)
+        assert again.skipped_lines == 0
+        assert again.get(kp920.name, M, N, K) == sched
+
+    def test_entry_json_roundtrip(self, kp920):
+        entry = RegistryEntry(
+            chip=kp920.name, m=M, n=N, k=K, threads=2, cycles=123.0,
+            schedule=default_schedule(M, N, K, kp920),
+            fingerprint=codegen_fingerprint(),
+        )
+        back = RegistryEntry.from_dict(json.loads(entry.to_json()))
+        assert back == entry
+
+
+class TestAutoGemmIntegration:
+    def test_first_call_tunes_second_call_hits(self, kp920, path):
+        first = AutoGEMM(kp920, registry=str(path), auto_tune=True, tune_budget=4)
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        a = rng.uniform(-1, 1, (16, 16)).astype(np.float32)
+        b = rng.uniform(-1, 1, (16, 16)).astype(np.float32)
+
+        with telemetry.collecting() as col1:
+            first.gemm(a, b)
+        assert col1.counters.get("registry.misses") == 1
+        assert col1.counters.get("tuner.trials_measured", 0) > 0
+        assert col1.counters.get("registry.puts") == 1
+
+        # A fresh instance (another process, in effect) serves the winner.
+        second = AutoGEMM(kp920, registry=str(path), auto_tune=True, tune_budget=4)
+        with telemetry.collecting() as col2:
+            second.gemm(a, b)
+        assert col2.counters.get("registry.hits") == 1
+        assert col2.counters.get("tuner.trials_measured", 0) == 0
+
+    def test_explicit_schedule_beats_registry(self, kp920, path):
+        reg = ScheduleRegistry(path)
+        put_one(reg, kp920)
+        pinned = default_schedule(M, N, K, kp920)
+        lib = AutoGEMM(kp920, schedule=pinned, registry=reg)
+        with telemetry.collecting() as col:
+            assert lib.schedule_for(M, N, K) == pinned.clipped(M, N, K)
+        assert not col.counters  # the registry was never consulted
+
+    def test_tune_publishes_to_registry(self, kp920, path):
+        lib = AutoGEMM(kp920, registry=str(path))
+        best = lib.tune(16, 16, 16, budget=4)
+        assert ScheduleRegistry(path).get(kp920.name, 16, 16, 16) == best
