@@ -1,7 +1,32 @@
-"""Benchmark-harness helpers."""
+"""Benchmark-harness helpers.
+
+Besides the pytest-benchmark shim, this module is where every standalone
+benchmark script (``bench_wallclock.py``, ``bench_tuner.py``) gets its
+payload envelope: :func:`finalize_payload` stamps the shared schema from
+:mod:`repro.telemetry.history` (``schema_version`` + a machine fingerprint
+of cpus/platform/arch/python/git-sha) onto the result dict so every
+committed ``BENCH_*.json`` records what host produced its numbers.
+``repro bench compare`` refuses to judge wall-clock across differing
+fingerprints (it skips instead of failing), which is what makes the
+committed baselines safe to gate CI on.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.telemetry.history import attach_fingerprint  # noqa: E402
 
 
 def run_once(benchmark, fn):
     """Benchmark one full regeneration pass (these are minutes-long harness
     runs, not micro-benchmarks: a single round is the measurement)."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def finalize_payload(payload: dict) -> dict:
+    """Stamp the shared benchmark envelope onto a script's payload."""
+    return attach_fingerprint(payload)

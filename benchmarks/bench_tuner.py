@@ -39,6 +39,7 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from _bench_utils import finalize_payload  # noqa: E402
 from repro import telemetry  # noqa: E402
 from repro.gemm.autogemm import AutoGEMM  # noqa: E402
 from repro.machine.chips import get_chip  # noqa: E402
@@ -161,6 +162,7 @@ def main(argv: list[str] | None = None) -> int:
         "registry": registry,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
+    finalize_payload(payload)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"[bench_tuner] serial {serial_s:.2f}s  parallel {parallel_s:.2f}s "
           f"(jobs={jobs}, speedup {speedup:.2f}x)  "

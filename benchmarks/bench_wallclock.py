@@ -40,6 +40,7 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from _bench_utils import finalize_payload  # noqa: E402
 from repro import telemetry  # noqa: E402
 from repro.gemm import AutoGEMM  # noqa: E402
 from repro.machine.chips import get_chip  # noqa: E402
@@ -108,6 +109,7 @@ def run_chaos_bench(args, chip, m, n, k, a, b) -> int:
         "sweep_sites": {s.site: s.ok for s in report.sites},
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
+    finalize_payload(payload)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"[bench_wallclock] clean {clean_s:.2f}s  faulted {faulted_s:.2f}s "
           f"(injected {plan.total_injected()}, exact={exact})  "
@@ -203,6 +205,7 @@ def main(argv: list[str] | None = None) -> int:
         "replay_counters": counters,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
+    finalize_payload(payload)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"[bench_wallclock] replay {fast_s:.2f}s  interpret {slow_s:.2f}s  "
           f"speedup {speedup:.2f}x  exact={not mismatches}  -> {args.output}")

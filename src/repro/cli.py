@@ -14,6 +14,8 @@ Usage examples::
     python -m repro chaos --chip KP920 --json --out chaos.json
     python -m repro tune 80 320 64 --chip KP920 --budget 32 --jobs 4
     python -m repro registry list --registry schedules.jsonl
+    python -m repro explain 384 2 512 --chip KP920 --json
+    python -m repro bench compare BENCH_old.json BENCH_executor.json
 
 ``gemm`` and ``estimate`` accept ``--json`` for machine-readable output;
 ``gemm``/``estimate``/``dmt`` accept ``--metrics`` to print telemetry
@@ -25,7 +27,10 @@ verifier over the whole generated family (see ``docs/static-analysis.md``).
 gracefully (see ``docs/robustness.md``).  ``tune`` runs the auto-tuner
 (``--jobs N`` measures trials on a process pool, ``--registry`` publishes
 the winner) and ``registry`` inspects/edits the persistent tuned-schedule
-registry (see ``docs/tuning_guide.md``).
+registry (see ``docs/tuning_guide.md``).  ``explain`` attributes a GEMM's
+cycles against the chip rooflines and names the binding constraint per
+phase; ``bench compare`` judges two benchmark JSON artifacts and exits 22
+on regression (both in ``docs/observability.md``).
 
 Every subcommand returns a distinct non-zero exit code on failure (see
 ``FAIL_CODES``); argparse usage errors exit with the conventional 2.
@@ -48,6 +53,7 @@ from .gemm.reference import reference_gemm, relative_error
 from .machine.chips import ALL_CHIPS, EXTRA_CHIPS, get_chip
 from .model.perf_model import MicroKernelModel, ModelParams
 from .telemetry import (
+    chrome_trace,
     collecting,
     format_counters,
     format_tree,
@@ -220,6 +226,86 @@ def _cmd_profile(args) -> int:
     if args.metrics_out:
         print(f"metrics written to {args.metrics_out}")
     return 0
+
+
+def _cmd_explain(args) -> int:
+    chip = get_chip(args.chip)
+    lib = AutoGEMM(chip, use_replay=not args.no_replay)
+    a, b = _random_operands(args)
+    with collecting() as collector:
+        # Prime the shared replay cache first: the estimator times each
+        # distinct micro-kernel shape once, and those measurements are the
+        # "replay" side of the attribution engine's calibration residuals.
+        lib.estimate(args.m, args.n, args.k, threads=args.threads)
+        result = lib.gemm(a, b, threads=args.threads)
+    attr = result.attribution
+    payload = {"command": "explain", **attr.to_dict()}
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+    if args.trace_out:
+        trace = chrome_trace(collector, process_name="repro-explain")
+        trace["otherData"]["attribution"] = attr.to_dict()
+        with open(args.trace_out, "w") as fh:
+            json.dump(trace, fh, indent=2)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{attr.m}x{attr.n}x{attr.k} on {attr.chip} "
+          f"({attr.threads} thread(s)): {attr.gflops:.1f} GFLOP/s "
+          f"({attr.efficiency:.1%} of peak), bound: {attr.bound}")
+    rows = [
+        [
+            p.phase,
+            f"{p.cycles:,.0f}",
+            f"{p.fraction:.1%}",
+            p.constraint,
+            " ".join(
+                f"{k}={v}" for k, v in sorted(p.detail.items())
+                if not isinstance(v, dict)
+            ),
+        ]
+        for p in attr.phases
+    ]
+    print(format_table(["phase", "cycles", "fraction", "constraint", "detail"], rows))
+    print("rooflines (attainable GFLOP/s if bound only by):")
+    for level, gflops in attr.rooflines.items():
+        shown = f"{gflops:.1f}" if gflops is not None else "n/a"
+        print(f"  {level:<8}: {shown}")
+    if attr.padded_flop_fraction:
+        print(f"padded-FLOP waste: {attr.padded_flop_fraction:.1%} of issued FLOPs")
+    if attr.calibration:
+        print("model-vs-replay calibration (per timed kernel):")
+        for cal in attr.calibration:
+            res = "/".join(f"L{lvl}" for lvl in cal.residency)
+            print(f"  {cal.mr}x{cal.nr}x{cal.kc}"
+                  f"{' rot' if cal.rotate else ''} ({res}): "
+                  f"model {cal.model_cycles:,.0f} "
+                  f"replay {cal.measured_cycles:,.0f} "
+                  f"residual {cal.residual:+.1%}")
+        print(f"max |residual| (model divergence): {attr.model_divergence:.1%}")
+    if args.out:
+        print(f"attribution written to {args.out}")
+    if args.trace_out:
+        print(f"annotated trace written to {args.trace_out}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .telemetry.history import compare
+
+    with open(args.old) as fh:
+        old = json.load(fh)
+    with open(args.new) as fh:
+        new = json.load(fh)
+    report = compare(
+        old, new, threshold=args.threshold, ignore_machine=args.ignore_machine
+    )
+    if args.json:
+        print(json.dumps({"command": "bench compare", **report.to_dict()}, indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.ok else FAIL_CODES["bench"]
 
 
 def _cmd_tiles(args) -> int:
@@ -596,6 +682,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the tile-replay fast path (interpret "
                         "every tile instruction by instruction)")
 
+    x = sub.add_parser(
+        "explain",
+        help="run a GEMM and attribute its cycles against the chip "
+             "rooflines (which constraint binds each phase)",
+    )
+    x.add_argument("m", type=int)
+    x.add_argument("n", type=int)
+    x.add_argument("k", type=int)
+    x.add_argument("--chip", default="Graviton2")
+    x.add_argument("--threads", type=int, default=1)
+    x.add_argument("--seed", type=int, default=0)
+    x.add_argument("--json", action="store_true",
+                   help="machine-readable JSON output")
+    x.add_argument("--out", default=None,
+                   help="write the attribution JSON artifact to this path")
+    x.add_argument("--trace-out", default=None,
+                   help="write a Chrome trace annotated with the "
+                        "attribution (in otherData) to this path")
+    x.add_argument("--no-replay", action="store_true",
+                   help="disable the tile-replay fast path")
+
+    bc = sub.add_parser(
+        "bench",
+        help="benchmark history tooling (regression gate for BENCH_*.json)",
+    )
+    bsub = bc.add_subparsers(dest="bench_cmd", required=True)
+    bcmp = bsub.add_parser(
+        "compare",
+        help="compare two benchmark JSON artifacts; exit 22 on regression, "
+             "0 on ok or skip (incomparable machines)",
+    )
+    bcmp.add_argument("old", help="baseline benchmark JSON file")
+    bcmp.add_argument("new", help="candidate benchmark JSON file")
+    bcmp.add_argument("--threshold", type=float, default=0.1,
+                      help="relative change tolerated on timing metrics "
+                           "(default 0.1 = 10%%)")
+    bcmp.add_argument("--ignore-machine", action="store_true",
+                      help="compare even when machine fingerprints differ")
+    bcmp.add_argument("--json", action="store_true",
+                      help="machine-readable JSON output")
+
     t = sub.add_parser("tiles", help="list feasible register tiles")
     t.add_argument("--lane", type=int, default=4)
     t.add_argument("--limit", type=int, default=20)
@@ -735,6 +862,8 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "tune": _cmd_tune,
     "registry": _cmd_registry,
+    "bench": _cmd_bench,
+    "explain": _cmd_explain,
 }
 
 #: Per-subcommand failure exit codes: distinct, non-zero, and disjoint from
@@ -753,6 +882,10 @@ FAIL_CODES = {
     "chaos": 19,
     "tune": 20,
     "registry": 21,
+    # ``bench compare`` deliberately owns 22: CI keys on "exit 22 means a
+    # measured regression" as distinct from crash/usage failures.
+    "bench": 22,
+    "explain": 23,
 }
 assert set(FAIL_CODES) == set(_COMMANDS)
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import telemetry
+from ..telemetry.attribution import attribute_gemm
 from ..codegen.microkernel import generate_microkernel
 from ..faults import plan as _faults
 from ..machine.chips import ChipSpec, get_chip
@@ -186,13 +187,25 @@ class AutoGEMM:
 
         m, k = a.shape
         n = b.shape[1]
-        sched = schedule if schedule is not None else self.schedule_for(m, n, k, threads)
-        result = self.executor.run(a, b, c, schedule=sched, threads=threads, beta=beta)
+        # One request id per entry-point call: registry lookups, the
+        # executor's span tree, and any inline auto-tune all tag their spans
+        # with it -- the per-request unit the serving daemon traces by.
+        with telemetry.request("gemm"):
+            sched = (
+                schedule if schedule is not None
+                else self.schedule_for(m, n, k, threads)
+            )
+            result = self.executor.run(
+                a, b, c, schedule=sched, threads=threads, beta=beta
+            )
         if transform_cycles:
             result.cycles += transform_cycles
             result.phase_cycles["transform"] = (
                 result.phase_cycles.get("transform", 0.0) + transform_cycles
             )
+        result.attribution = attribute_gemm(
+            result, replay=self._replay, model=self.executor.model
+        )
         return result
 
     def estimate(
@@ -253,9 +266,10 @@ class AutoGEMM:
         store = self._records if resume else None
         if resume and store is None:
             raise ValueError("resume=True requires tuning_records")
-        best = tuner.tune(
-            m, n, k, budget=budget, seed=seed, resume=store, jobs=jobs
-        )
+        with telemetry.request("tune"):
+            best = tuner.tune(
+                m, n, k, budget=budget, seed=seed, resume=store, jobs=jobs
+            )
         self._tuned[(m, n, k)] = best.schedule
         if self._records is not None:
             try:

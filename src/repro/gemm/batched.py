@@ -20,6 +20,7 @@ import numpy as np
 
 from ..machine.chips import ChipSpec
 from ..machine.multicore import parallel_time, partition_blocks
+from ..telemetry.attribution import attribute_batched
 from .estimator import GemmEstimator
 from .executor import GemmExecutor
 from .kernel_cache import KernelCache
@@ -45,6 +46,11 @@ class BatchedGemmResult:
     #: Whether the batch's aggregate DRAM traffic capped the parallel
     #: region (the same roofline cap the single-GEMM path applies).
     bandwidth_limited: bool = False
+    #: Critical-core / fork-join decomposition of ``cycles`` (same invariant
+    #: as ``GemmResult.phase_cycles``: the values sum to ``cycles``).
+    phase_cycles: dict[str, float] = field(default_factory=dict)
+    #: Roofline decomposition (``repro.telemetry.attribution``).
+    attribution: object | None = None
 
     @property
     def flops(self) -> int:
@@ -62,6 +68,15 @@ class BatchedGemmResult:
     def efficiency(self) -> float:
         peak = self.chip.peak_gflops_core * self.threads
         return self.gflops / peak if peak else 0.0
+
+
+def _phase_cycles(timing) -> dict[str, float]:
+    """Same decomposition as the single-GEMM path: the critical core's
+    kernel work plus everything the fork/join model added on top."""
+    return {
+        "kernel": timing.critical_core_cycles,
+        "parallel_overhead": timing.cycles - timing.critical_core_cycles,
+    }
 
 
 class BatchedGemm:
@@ -121,7 +136,7 @@ class BatchedGemm:
         timing = parallel_time(
             per_core, self.chip, self._dram_bytes(batch, m, n, k, threads)
         )
-        return BatchedGemmResult(
+        result = BatchedGemmResult(
             c=out,
             batch=batch,
             m=m,
@@ -133,7 +148,10 @@ class BatchedGemm:
             per_item_cycles=sum(item_cycles) / batch,
             per_core_cycles=per_core,
             bandwidth_limited=timing.bandwidth_limited,
+            phase_cycles=_phase_cycles(timing),
         )
+        result.attribution = attribute_batched(result)
+        return result
 
     @staticmethod
     def _dram_bytes(batch: int, m: int, n: int, k: int, threads: int) -> float:
@@ -166,7 +184,7 @@ class BatchedGemm:
         timing = parallel_time(
             per_core, self.chip, self._dram_bytes(batch, m, n, k, threads)
         )
-        return BatchedGemmResult(
+        result = BatchedGemmResult(
             c=None,
             batch=batch,
             m=m,
@@ -178,4 +196,7 @@ class BatchedGemm:
             per_item_cycles=item.cycles,
             per_core_cycles=per_core,
             bandwidth_limited=timing.bandwidth_limited,
+            phase_cycles=_phase_cycles(timing),
         )
+        result.attribution = attribute_batched(result)
+        return result

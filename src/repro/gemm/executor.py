@@ -99,6 +99,13 @@ class GemmResult:
     #: Per-fallback engagement counts (mirrors the ``degraded.*`` telemetry
     #: counters, but recorded even when no collector is installed).
     degradations: dict[str, int] = field(default_factory=dict)
+    #: FLOPs spent multiplying into zero-padding on padded edge tiles
+    #: (mirrors the ``executor.padded_flop_waste`` counter); not part of
+    #: ``flops``, which counts useful work only.
+    padded_flop_waste: int = 0
+    #: Roofline decomposition of this run (``repro.telemetry.attribution``);
+    #: populated by ``AutoGEMM.gemm``, None on a bare executor run.
+    attribution: object | None = None
 
     @property
     def seconds(self) -> float:
@@ -427,6 +434,7 @@ class GemmExecutor:
         per_core_pack: list[float] = []
         total_instr = 0
         kernel_calls = 0
+        padded_flops = 0
         loads_by_level = {lvl: 0 for lvl in cache_level_ids(self.chip)}
         online_pack = PackCost(0.0, 0)
         pad_scratch: dict[tuple[int, int, int], tuple] = {}
@@ -446,6 +454,7 @@ class GemmExecutor:
             per_core_pack.append(stats["pack"].cycles)
             total_instr += stats["instructions"]
             kernel_calls += stats["kernel_calls"]
+            padded_flops += stats["padded_flops"]
             for lvl, cnt in stats["loads"].items():
                 loads_by_level[lvl] += cnt
             online_pack = PackCost(
@@ -484,6 +493,7 @@ class GemmExecutor:
             phase_cycles=phase_cycles,
             degraded=bool(degraded),
             degradations=degraded,
+            padded_flop_waste=padded_flops,
         )
 
     # ------------------------------------------------------------------
@@ -498,6 +508,7 @@ class GemmExecutor:
             "kernel_calls": 0,
             "loads": {lvl: 0 for lvl in cache_level_ids(self.chip)},
             "pack": PackCost(0.0, 0),
+            "padded_flops": 0,
         }
         memory = sim.memory
         pack_scratch: MatrixHandle | None = None
@@ -622,6 +633,7 @@ class GemmExecutor:
                     telemetry.count(
                         "executor.padded_flop_waste", 2 * kc * tile.padding_flops
                     )
+                    stats["padded_flops"] += 2 * kc * tile.padding_flops
                     strides, bases, regions = self._padded_binding(
                         sim.memory, kernel, kc, pad_scratch
                     )

@@ -130,6 +130,13 @@ class ReplayCache:
         self._fused: dict[tuple[int, ...], TraceTemplate] = {}
         self._next_uid = 0
 
+    def measurements(self) -> dict[tuple[KernelKey, Residency], float]:
+        """Copy of the memoised per-(kernel, residency) cycle measurements.
+
+        The measured side of the attribution engine's model-vs-replay
+        calibration residuals (``repro.telemetry.attribution``)."""
+        return dict(self._cycles)
+
     # -- trace templates ----------------------------------------------------
     def template(
         self, key: KernelKey, strides: tuple[int, int, int]

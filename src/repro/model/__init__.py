@@ -8,10 +8,12 @@ from .calibration import (
     measure_tile,
 )
 from .roofline import (
+    BANDWIDTH_LEVELS,
     RooflinePoint,
     attainable_gflops,
     gemm_arithmetic_intensity,
     l3_bandwidth_gbps,
+    level_bandwidth_gbps,
 )
 from .perf_model import (
     DEFAULT_LAUNCH_CYCLES,
@@ -29,10 +31,12 @@ __all__ = [
     "measure_tile",
     "block_runtime",
     "problem_runtime",
+    "BANDWIDTH_LEVELS",
     "RooflinePoint",
     "attainable_gflops",
     "gemm_arithmetic_intensity",
     "l3_bandwidth_gbps",
+    "level_bandwidth_gbps",
     "DEFAULT_LAUNCH_CYCLES",
     "FusionKind",
     "MicroKernelModel",

@@ -14,7 +14,17 @@ from dataclasses import dataclass
 
 from ..machine.chips import ChipSpec
 
-__all__ = ["RooflinePoint", "gemm_arithmetic_intensity", "attainable_gflops", "l3_bandwidth_gbps"]
+__all__ = [
+    "RooflinePoint",
+    "BANDWIDTH_LEVELS",
+    "gemm_arithmetic_intensity",
+    "attainable_gflops",
+    "l3_bandwidth_gbps",
+    "level_bandwidth_gbps",
+]
+
+#: Memory levels with a modelled bandwidth ceiling, nearest first.
+BANDWIDTH_LEVELS = ("l1", "l2", "l3", "dram")
 
 
 @dataclass(frozen=True)
@@ -47,17 +57,36 @@ def l3_bandwidth_gbps(chip: ChipSpec) -> float:
     return lines_per_cycle * chip.cache_line * chip.freq_ghz * chip.cores
 
 
+def level_bandwidth_gbps(chip: ChipSpec, level: str, cores: int = 1) -> float:
+    """Bandwidth ceiling (GB/s) of one memory level for ``cores`` cores.
+
+    L1 is port-limited (``ipc_load`` vector loads per cycle per core); L2/L3
+    use the one-line-per-``lat/4``-cycles approximation of
+    :func:`l3_bandwidth_gbps`; DRAM is the socket-wide figure from the chip
+    spec regardless of core count.
+    """
+    if level == "dram":
+        return chip.dram_gbps
+    if level == "l1":
+        return chip.ipc_load * chip.vec_bytes * chip.freq_ghz * cores
+    if level == "l2":
+        latency = chip.lat_load_l2
+    elif level == "l3":
+        latency = chip.lat_load_l3 if chip.l3_bytes else chip.lat_load_l2
+    else:
+        raise ValueError(
+            "level must be one of 'l1', 'l2', 'l3', 'dram'"
+        )
+    return (4.0 / latency) * chip.cache_line * chip.freq_ghz * cores
+
+
 def attainable_gflops(
     chip: ChipSpec, ai: float, cores: int = 1, level: str = "dram"
 ) -> float:
     """Roofline ceiling for a kernel of the given arithmetic intensity."""
     if ai <= 0:
         raise ValueError("arithmetic intensity must be positive")
+    if level not in BANDWIDTH_LEVELS:
+        raise ValueError("level must be one of 'l1', 'l2', 'l3', 'dram'")
     compute = chip.peak_gflops_core * cores
-    if level == "dram":
-        bandwidth = chip.dram_gbps
-    elif level == "l3":
-        bandwidth = l3_bandwidth_gbps(chip) * cores / chip.cores
-    else:
-        raise ValueError("level must be 'dram' or 'l3'")
-    return min(compute, ai * bandwidth)
+    return min(compute, ai * level_bandwidth_gbps(chip, level, cores))

@@ -23,13 +23,18 @@ from .collector import (
     NULL_SPAN,
     NullSpan,
     SpanRecord,
+    TraceContext,
     active_collector,
+    adopt,
     collecting,
     count,
     counter_value,
+    current_request,
     disable,
     enable,
+    request,
     span,
+    trace_context,
 )
 from .export import (
     chrome_trace,
@@ -38,6 +43,22 @@ from .export import (
     metrics_dict,
     write_chrome_trace,
 )
+from .attribution import (
+    Attribution,
+    KernelCalibration,
+    PhaseAttribution,
+    attribute_batched,
+    attribute_gemm,
+)
+from .history import (
+    CompareReport,
+    MetricSpec,
+    Verdict,
+    attach_fingerprint,
+    compare,
+    fingerprints_comparable,
+    machine_fingerprint,
+)
 
 __all__ = [
     "ActiveSpan",
@@ -45,16 +66,33 @@ __all__ = [
     "NULL_SPAN",
     "NullSpan",
     "SpanRecord",
+    "TraceContext",
     "active_collector",
+    "adopt",
     "collecting",
     "count",
     "counter_value",
+    "current_request",
     "disable",
     "enable",
+    "request",
     "span",
+    "trace_context",
     "chrome_trace",
     "format_counters",
     "format_tree",
     "metrics_dict",
     "write_chrome_trace",
+    "Attribution",
+    "KernelCalibration",
+    "PhaseAttribution",
+    "attribute_batched",
+    "attribute_gemm",
+    "CompareReport",
+    "MetricSpec",
+    "Verdict",
+    "attach_fingerprint",
+    "compare",
+    "fingerprints_comparable",
+    "machine_fingerprint",
 ]

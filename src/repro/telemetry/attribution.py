@@ -1,0 +1,433 @@
+"""Bottleneck attribution: where did the cycles go, and what bound them?
+
+The paper's roofline (Fig. 10), stepwise-optimization (Fig. 6) and DMT
+analyses are all *attribution* arguments -- "this shape is at 61% of peak
+because the kernel phase is L2-bandwidth-bound and 12% of its FLOPs are
+padding".  This module turns a finished :class:`~repro.gemm.executor.
+GemmResult` (or ``BatchedGemmResult``) into exactly that statement:
+
+* **Phase decomposition.**  ``phase_cycles`` already sums exactly to
+  ``cycles`` (the invariant pinned by the telemetry tests), so each phase's
+  attribution fraction is simply ``phase / cycles`` and the fractions sum
+  to 1.0 to within float rounding.
+* **Binding constraint per phase.**  Pack, transform, and parallel-overhead
+  cycles are their own constraint (they are pure overhead against the
+  roofline).  The kernel phase is classified by comparing its achieved
+  utilization of the compute peak against the demanded fraction of each
+  memory level's bandwidth ceiling (:func:`~repro.model.roofline.
+  level_bandwidth_gbps`), using the run's measured ``loads_by_level``;
+  whichever resource is most utilized is the binding constraint.  When the
+  measured traffic is unavailable (whole-run reference fallback, batched
+  estimates) the classic compulsory-traffic DRAM roofline decides.
+* **Padded-FLOP waste.**  If edge tiles were padded, the wasted FLOPs are
+  charged to the compute utilization; a compute-bound kernel whose waste
+  fraction is significant is reported as ``padded_flops``-bound instead.
+* **Calibration residuals.**  For every kernel the replay cache measured,
+  the analytic :class:`~repro.model.perf_model.MicroKernelModel` prediction
+  is compared against the replayed cycles -- the model-vs-measured
+  confidence signal IAAT needs before serving schedules for unseen shapes.
+
+Nothing here imports :mod:`repro.gemm` (the executor imports telemetry);
+results are consumed duck-typed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.chips import ChipSpec
+
+#: Memory levels with a modelled bandwidth ceiling, nearest first (mirrors
+#: ``repro.model.roofline.BANDWIDTH_LEVELS``; the roofline module itself is
+#: imported lazily because ``repro.telemetry`` loads before ``repro.model``
+#: in the package import graph).
+BANDWIDTH_LEVELS = ("l1", "l2", "l3", "dram")
+
+
+def _roofline():
+    from ..model import roofline
+
+    return roofline
+
+__all__ = [
+    "PhaseAttribution",
+    "KernelCalibration",
+    "Attribution",
+    "attribute_gemm",
+    "attribute_batched",
+]
+
+#: ``loads_by_level`` keys -> roofline level names.
+_LEVEL_NAMES = {1: "l1", 2: "l2", 3: "l3", 4: "dram"}
+
+#: A kernel phase classified compute-bound is reported as bound by padded
+#: FLOPs instead when at least this fraction of its FLOPs are padding.
+PADDED_WASTE_THRESHOLD = 0.15
+
+
+@dataclass(frozen=True)
+class PhaseAttribution:
+    """One phase's share of the run and its binding constraint."""
+
+    phase: str
+    cycles: float
+    fraction: float  # of GemmResult.cycles; all phases sum to 1.0
+    constraint: str  # compute | bandwidth_<level> | padded_flops | <phase>
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "phase": self.phase,
+            "cycles": self.cycles,
+            "fraction": self.fraction,
+            "constraint": self.constraint,
+            "detail": dict(self.detail),
+        }
+
+
+@dataclass(frozen=True)
+class KernelCalibration:
+    """Model-vs-replay divergence for one measured micro-kernel."""
+
+    mr: int
+    nr: int
+    kc: int
+    rotate: bool
+    residency: tuple[int, int, int]  # (a_level, b_level, c_level)
+    model_cycles: float
+    measured_cycles: float
+
+    @property
+    def residual(self) -> float:
+        """Relative divergence: ``(model - measured) / measured``."""
+        if not self.measured_cycles:
+            return 0.0
+        return (self.model_cycles - self.measured_cycles) / self.measured_cycles
+
+    def to_dict(self) -> dict:
+        return {
+            "mr": self.mr,
+            "nr": self.nr,
+            "kc": self.kc,
+            "rotate": self.rotate,
+            "residency": list(self.residency),
+            "model_cycles": self.model_cycles,
+            "measured_cycles": self.measured_cycles,
+            "residual": self.residual,
+        }
+
+
+@dataclass
+class Attribution:
+    """Full roofline decomposition of one (batched) GEMM run."""
+
+    m: int
+    n: int
+    k: int
+    chip: str
+    threads: int
+    cycles: float
+    gflops: float
+    efficiency: float
+    ai: float  # compulsory-traffic arithmetic intensity
+    #: GFLOP/s ceiling implied by each resource at this run's operational
+    #: intensity: ``compute`` is the multi-core peak; a memory level's entry
+    #: is ``flops / bytes_at_level * bandwidth`` (None when the run moved no
+    #: measured bytes at that level).
+    rooflines: dict[str, float | None]
+    bound: str  # constraint of the phase with the largest share
+    phases: list[PhaseAttribution]
+    padded_flop_fraction: float
+    calibration: list[KernelCalibration] = field(default_factory=list)
+
+    @property
+    def model_divergence(self) -> float | None:
+        """Largest absolute calibration residual, or None if nothing was
+        measured."""
+        if not self.calibration:
+            return None
+        return max(abs(c.residual) for c in self.calibration)
+
+    def phase(self, name: str) -> PhaseAttribution | None:
+        for p in self.phases:
+            if p.phase == name:
+                return p
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "m": self.m,
+            "n": self.n,
+            "k": self.k,
+            "chip": self.chip,
+            "threads": self.threads,
+            "cycles": self.cycles,
+            "gflops": self.gflops,
+            "efficiency": self.efficiency,
+            "arithmetic_intensity": self.ai,
+            "rooflines": dict(self.rooflines),
+            "bound": self.bound,
+            "phases": [p.to_dict() for p in self.phases],
+            "padded_flop_fraction": self.padded_flop_fraction,
+            "model_divergence": self.model_divergence,
+            "calibration": [c.to_dict() for c in self.calibration],
+        }
+
+
+# ---------------------------------------------------------------------------
+# classification helpers
+# ---------------------------------------------------------------------------
+
+
+def _level_bytes(loads_by_level: dict[int, int], chip: ChipSpec) -> dict[str, float]:
+    """Measured traffic (bytes) served at each level, by roofline name.
+
+    Each counted load is one vector-width access satisfied *at* that level;
+    multiplying by ``vec_bytes`` approximates the bytes that level supplied.
+    """
+    return {
+        _LEVEL_NAMES[lvl]: cnt * chip.vec_bytes
+        for lvl, cnt in loads_by_level.items()
+        if lvl in _LEVEL_NAMES
+    }
+
+
+def _classify_kernel_phase(
+    chip: ChipSpec,
+    threads: int,
+    kernel_cycles: float,
+    flops: float,
+    padded_flops: float,
+    level_bytes: dict[str, float],
+    ai: float = 0.0,
+    bandwidth_limited: bool = False,
+) -> tuple[str, dict]:
+    """Binding constraint of the kernel phase plus its utilization detail."""
+    if bandwidth_limited:
+        return "bandwidth_dram", {"bandwidth_limited": True}
+    freq_hz = chip.freq_ghz * 1e9
+    peak = chip.peak_gflops_core * threads
+    seconds = kernel_cycles / freq_hz if kernel_cycles else 0.0
+    if seconds <= 0.0 or peak <= 0.0:
+        return "compute", {}
+    issued_gflops = (flops + padded_flops) / seconds / 1e9
+    utilization = {"compute": issued_gflops / peak}
+    for level in BANDWIDTH_LEVELS:
+        nbytes = level_bytes.get(level, 0.0)
+        if nbytes <= 0.0:
+            continue
+        demand_gbps = nbytes / seconds / 1e9
+        capacity = _roofline().level_bandwidth_gbps(chip, level, threads)
+        utilization[f"bandwidth_{level}"] = demand_gbps / capacity
+    if not level_bytes and ai > 0.0:
+        # No measured traffic (reference fallback, estimator paths): assume
+        # the compulsory bytes moved through DRAM once.
+        demand_gbps = flops / ai / seconds / 1e9
+        capacity = _roofline().level_bandwidth_gbps(chip, "dram", threads)
+        utilization["bandwidth_dram"] = demand_gbps / capacity
+    constraint = max(utilization, key=lambda kk: utilization[kk])
+    total = flops + padded_flops
+    waste = padded_flops / total if total else 0.0
+    if constraint == "compute" and waste >= PADDED_WASTE_THRESHOLD:
+        constraint = "padded_flops"
+    detail = {
+        "utilization": {kk: round(v, 4) for kk, v in utilization.items()},
+        "padded_flop_fraction": round(waste, 4),
+    }
+    return constraint, detail
+
+
+def _rooflines(
+    chip: ChipSpec,
+    threads: int,
+    flops: float,
+    ai: float,
+    level_bytes: dict[str, float],
+) -> dict[str, float | None]:
+    """GFLOP/s ceilings at this run's operational intensity per level."""
+    roofs: dict[str, float | None] = {
+        "compute": chip.peak_gflops_core * threads
+    }
+    for level in BANDWIDTH_LEVELS:
+        bandwidth = _roofline().level_bandwidth_gbps(chip, level, threads)
+        nbytes = level_bytes.get(level, 0.0)
+        if nbytes > 0.0:
+            roofs[level] = flops / nbytes * bandwidth
+        elif level == "dram":
+            # Always report the compulsory-traffic DRAM ceiling: it is the
+            # classic roofline bound even when the cache model kept the
+            # whole working set resident.
+            roofs[level] = ai * bandwidth
+        else:
+            roofs[level] = None
+    return roofs
+
+
+def _problem_shape(result) -> tuple[int, int, int]:
+    m, n = result.c.shape
+    k = int(round(result.flops / (2.0 * m * n))) if m and n else 0
+    return int(m), int(n), int(k)
+
+
+def _build_phases(
+    result_cycles: float,
+    phase_cycles: dict[str, float],
+    kernel_constraint: str,
+    kernel_detail: dict,
+    pack_detail: dict | None = None,
+) -> list[PhaseAttribution]:
+    phases: list[PhaseAttribution] = []
+    for name, cyc in phase_cycles.items():
+        frac = cyc / result_cycles if result_cycles else 0.0
+        if name == "kernel":
+            constraint, detail = kernel_constraint, kernel_detail
+        elif name == "pack":
+            constraint, detail = "pack", dict(pack_detail or {})
+        else:
+            # transform / parallel_overhead / any future phase: the phase
+            # itself is the constraint -- pure overhead on the roofline.
+            constraint, detail = name, {}
+        phases.append(
+            PhaseAttribution(
+                phase=name,
+                cycles=cyc,
+                fraction=frac,
+                constraint=constraint,
+                detail=detail,
+            )
+        )
+    return phases
+
+
+def _calibration(replay, model) -> list[KernelCalibration]:
+    """Model-vs-replay residual for every kernel the replay cache timed."""
+    if replay is None or model is None:
+        return []
+    measured = getattr(replay, "measurements", None)
+    if measured is None:
+        return []
+    out: list[KernelCalibration] = []
+    for (key, residency), cycles in sorted(
+        measured().items(),
+        key=lambda item: (item[0][0].mr, item[0][0].nr, item[0][0].kc),
+    ):
+        predicted = model.total(key.mr, key.nr, key.kc, rotate=key.rotate)
+        out.append(
+            KernelCalibration(
+                mr=key.mr,
+                nr=key.nr,
+                kc=key.kc,
+                rotate=key.rotate,
+                residency=(
+                    residency.a_level,
+                    residency.b_level,
+                    residency.c_level,
+                ),
+                model_cycles=predicted,
+                measured_cycles=cycles,
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def attribute_gemm(result, replay=None, model=None) -> Attribution:
+    """Decompose a :class:`GemmResult` against its chip's rooflines.
+
+    ``replay``/``model`` (the executor's :class:`ReplayCache` and
+    :class:`MicroKernelModel`) are optional; when given, per-kernel
+    calibration residuals are included.
+    """
+    chip: ChipSpec = result.chip
+    m, n, k = _problem_shape(result)
+    ai = _roofline().gemm_arithmetic_intensity(m, n, k) if m and n and k else 0.0
+    padded = float(getattr(result, "padded_flop_waste", 0) or 0)
+    level_bytes = _level_bytes(getattr(result, "loads_by_level", {}) or {}, chip)
+    kernel_cycles = result.phase_cycles.get("kernel", result.cycles)
+    kernel_constraint, kernel_detail = _classify_kernel_phase(
+        chip,
+        result.threads,
+        kernel_cycles,
+        float(result.flops),
+        padded,
+        level_bytes,
+        ai=ai,
+    )
+    pack_detail = None
+    pack_cost = getattr(result, "pack_cost", None)
+    if pack_cost is not None and pack_cost.bytes_moved:
+        pack_detail = {"bytes_moved": pack_cost.bytes_moved}
+    phases = _build_phases(
+        result.cycles, result.phase_cycles, kernel_constraint, kernel_detail,
+        pack_detail,
+    )
+    bound = (
+        max(phases, key=lambda p: p.cycles).constraint if phases else "compute"
+    )
+    total_flops = float(result.flops) + padded
+    return Attribution(
+        m=m,
+        n=n,
+        k=k,
+        chip=chip.name,
+        threads=result.threads,
+        cycles=result.cycles,
+        gflops=result.gflops,
+        efficiency=result.efficiency,
+        ai=ai,
+        rooflines=_rooflines(
+            chip, result.threads, float(result.flops), ai, level_bytes
+        ),
+        bound=bound,
+        phases=phases,
+        padded_flop_fraction=padded / total_flops if total_flops else 0.0,
+        calibration=_calibration(replay, model),
+    )
+
+
+def attribute_batched(result) -> Attribution:
+    """Decompose a :class:`BatchedGemmResult`.
+
+    Batched runs carry no per-level load counts; the kernel phase is
+    classified by the estimator's own bandwidth-cap flag, falling back to
+    the compulsory-traffic DRAM roofline.
+    """
+    chip: ChipSpec = result.chip
+    m, n, k = result.m, result.n, result.k
+    ai = _roofline().gemm_arithmetic_intensity(m, n, k)
+    kernel_cycles = result.phase_cycles.get("kernel", result.cycles)
+    kernel_constraint, kernel_detail = _classify_kernel_phase(
+        chip,
+        result.threads,
+        kernel_cycles,
+        float(result.flops),
+        0.0,
+        {},
+        ai=ai,
+        bandwidth_limited=bool(result.bandwidth_limited),
+    )
+    phases = _build_phases(
+        result.cycles, result.phase_cycles, kernel_constraint, kernel_detail
+    )
+    bound = (
+        max(phases, key=lambda p: p.cycles).constraint if phases else "compute"
+    )
+    return Attribution(
+        m=m,
+        n=n,
+        k=k,
+        chip=chip.name,
+        threads=result.threads,
+        cycles=result.cycles,
+        gflops=result.gflops,
+        efficiency=result.efficiency,
+        ai=ai,
+        rooflines=_rooflines(chip, result.threads, float(result.flops), ai, {}),
+        bound=bound,
+        phases=phases,
+        padded_flop_fraction=0.0,
+    )

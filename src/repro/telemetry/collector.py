@@ -25,8 +25,10 @@ Design constraints (the reason this module looks the way it does):
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -35,6 +37,7 @@ __all__ = [
     "Collector",
     "NullSpan",
     "NULL_SPAN",
+    "TraceContext",
     "span",
     "count",
     "counter_value",
@@ -42,7 +45,28 @@ __all__ = [
     "disable",
     "active_collector",
     "collecting",
+    "trace_context",
+    "adopt",
+    "request",
+    "current_request",
 ]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Picklable handle for propagating a trace across process boundaries.
+
+    Minted by :func:`trace_context` in the parent, shipped to pool workers
+    alongside their task, and echoed back inside the worker's span args so a
+    stitched trace can be tied to the originating collector.  ``span_id`` is
+    advisory (the span open when the context was minted); re-parenting on
+    return uses the span open at *adoption* time instead, which is the
+    consuming trial span.
+    """
+
+    trace_id: str
+    span_id: int | None = None
+    request: str | None = None
 
 
 @dataclass
@@ -123,9 +147,15 @@ class Collector:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._ids = itertools.count(1)
+        self._requests = itertools.count(1)
         self._epoch = time.perf_counter()
+        self.trace_id: str = uuid.uuid4().hex[:16]
         self.spans: list[SpanRecord] = []
         self.counters: dict[str, float] = {}
+        #: Human-readable labels for tracks that are not host threads of this
+        #: process (adopted worker snapshots register their pid here); the
+        #: Chrome exporter names those lanes from this map.
+        self.track_names: dict[int, str] = {}
 
     # -- spans ---------------------------------------------------------------
     def _stack(self) -> list[ActiveSpan]:
@@ -140,6 +170,9 @@ class Collector:
         is positional-only so ``name=...`` can be a span attribute."""
         stack = self._stack()
         parent = stack[-1] if stack else None
+        rid = getattr(self._local, "request", None)
+        if rid is not None and "request" not in args:
+            args["request"] = rid
         with self._lock:
             span_id = next(self._ids)
         sp = ActiveSpan(
@@ -152,6 +185,11 @@ class Collector:
         )
         stack.append(sp)
         return sp
+
+    def current_span(self) -> ActiveSpan | None:
+        """The innermost open span on this thread, or None."""
+        stack = self._stack()
+        return stack[-1] if stack else None
 
     def _finish(self, sp: ActiveSpan, t_end: float) -> None:
         stack = self._stack()
@@ -182,6 +220,96 @@ class Collector:
 
     def counter(self, name: str) -> float:
         return self.counters.get(name, 0.0)
+
+    # -- request scoping -----------------------------------------------------
+    def request(self, op: str) -> "_RequestScope":
+        """Scoped per-request id: every span opened on this thread while the
+        scope is active is tagged ``args["request"]`` with a trace-unique id
+        (``<trace_id>:<op>:<n>``) -- the unit the serving daemon will bill
+        and trace by."""
+        with self._lock:
+            rid = f"{self.trace_id}:{op}:{next(self._requests)}"
+        return _RequestScope(self, rid)
+
+    def set_request(self, rid: str | None) -> None:
+        """Install a request id on this thread (workers adopting a shipped
+        :class:`TraceContext` call this inside their scoped collector)."""
+        self._local.request = rid
+
+    # -- cross-process stitching ---------------------------------------------
+    def snapshot(self) -> dict:
+        """Picklable dump of this collector for adoption by another process.
+
+        Timestamps stay in this process's raw ``perf_counter`` frame (the
+        epoch rides along); :meth:`adopt` rebases them.  ``perf_counter`` is
+        CLOCK_MONOTONIC on Linux, so epochs from forked workers share the
+        parent's clock and the rebased timeline is physically meaningful.
+        """
+        with self._lock:
+            spans = [
+                {
+                    "span_id": s.span_id,
+                    "parent_id": s.parent_id,
+                    "name": s.name,
+                    "ts_us": s.ts_us,
+                    "dur_us": s.dur_us,
+                    "depth": s.depth,
+                    "cycles": s.cycles,
+                    "args": dict(s.args),
+                }
+                for s in self.spans
+            ]
+            counters = dict(self.counters)
+        return {
+            "trace_id": self.trace_id,
+            "epoch": self._epoch,
+            "pid": os.getpid(),
+            "spans": spans,
+            "counters": counters,
+        }
+
+    def adopt(self, snapshot: dict, parent: ActiveSpan | None = None) -> int:
+        """Merge a worker :meth:`snapshot` into this collector.
+
+        Span ids are re-minted from this collector's sequence, worker roots
+        are re-parented under ``parent`` (depths shifted to match), wall
+        timestamps are rebased onto this collector's epoch, and the worker's
+        spans land on a dedicated track named after its pid.  Counters merge
+        additively.  Returns the number of spans adopted.
+        """
+        spans = snapshot.get("spans", [])
+        offset_us = (snapshot.get("epoch", self._epoch) - self._epoch) * 1e6
+        pid = int(snapshot.get("pid", 0))
+        with self._lock:
+            mapping = {s["span_id"]: next(self._ids) for s in spans}
+        parent_id = parent.span_id if parent is not None else None
+        base_depth = parent.depth + 1 if parent is not None else 0
+        records = []
+        for s in spans:
+            old_parent = s.get("parent_id")
+            records.append(
+                SpanRecord(
+                    span_id=mapping[s["span_id"]],
+                    parent_id=mapping[old_parent] if old_parent is not None
+                    else parent_id,
+                    name=s["name"],
+                    ts_us=s["ts_us"] + offset_us,
+                    dur_us=s["dur_us"],
+                    track=pid,
+                    depth=s["depth"] + base_depth,
+                    cycles=s.get("cycles"),
+                    args=dict(s.get("args", {})),
+                )
+            )
+        with self._lock:
+            self.spans.extend(records)
+            if records:
+                self.track_names.setdefault(pid, f"worker-{pid}")
+        for name, value in snapshot.get("counters", {}).items():
+            self.count(name, value)
+        if records:
+            self.count("telemetry.spans_adopted", len(records))
+        return len(records)
 
     # -- views ---------------------------------------------------------------
     def roots(self) -> list[SpanRecord]:
@@ -244,6 +372,82 @@ def counter_value(name: str) -> float:
     """Current value of a counter (0.0 when disabled or never bumped)."""
     collector = _active
     return collector.counter(name) if collector is not None else 0.0
+
+
+class _RequestScope:
+    """What :meth:`Collector.request` returns; restores the previous request
+    id (usually None) on exit so request scopes nest."""
+
+    __slots__ = ("_collector", "request_id", "_prev")
+
+    def __init__(self, collector: Collector, rid: str) -> None:
+        self._collector = collector
+        self.request_id = rid
+        self._prev: str | None = None
+
+    def __enter__(self) -> str:
+        local = self._collector._local
+        self._prev = getattr(local, "request", None)
+        local.request = self.request_id
+        return self.request_id
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._collector._local.request = self._prev
+        return False
+
+
+class _NullRequestScope:
+    """No-op request scope used when telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_REQUEST = _NullRequestScope()
+
+
+def trace_context() -> TraceContext | None:
+    """Picklable context of the active collector (None when disabled)."""
+    collector = _active
+    if collector is None:
+        return None
+    cur = collector.current_span()
+    return TraceContext(
+        trace_id=collector.trace_id,
+        span_id=cur.span_id if cur is not None else None,
+        request=getattr(collector._local, "request", None),
+    )
+
+
+def adopt(snapshot: dict) -> int:
+    """Merge a worker snapshot into the active collector, re-parenting its
+    roots under the span currently open on this thread.  No-op (returns 0)
+    when telemetry is disabled."""
+    collector = _active
+    if collector is None:
+        return 0
+    return collector.adopt(snapshot, parent=collector.current_span())
+
+
+def request(op: str):
+    """Open a request scope on the active collector; no-op when disabled."""
+    collector = _active
+    if collector is None:
+        return _NULL_REQUEST
+    return collector.request(op)
+
+
+def current_request() -> str | None:
+    """The request id active on this thread, or None."""
+    collector = _active
+    if collector is None:
+        return None
+    return getattr(collector._local, "request", None)
 
 
 class collecting:

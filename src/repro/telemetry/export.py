@@ -37,6 +37,7 @@ def chrome_trace(collector: Collector, process_name: str = "repro") -> dict:
     ]
     tracks = sorted({s.track for s in collector.spans})
     track_index = {ident: i for i, ident in enumerate(tracks)}
+    track_names = getattr(collector, "track_names", {})
     for ident, idx in track_index.items():
         events.append(
             {
@@ -44,7 +45,7 @@ def chrome_trace(collector: Collector, process_name: str = "repro") -> dict:
                 "ph": "M",
                 "pid": 0,
                 "tid": idx,
-                "args": {"name": f"thread-{idx}"},
+                "args": {"name": track_names.get(ident, f"thread-{idx}")},
             }
         )
     for s in sorted(collector.spans, key=lambda s: s.ts_us):
@@ -77,7 +78,10 @@ def chrome_trace(collector: Collector, process_name: str = "repro") -> dict:
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {"counters": dict(sorted(collector.counters.items()))},
+        "otherData": {
+            "trace_id": getattr(collector, "trace_id", None),
+            "counters": dict(sorted(collector.counters.items())),
+        },
     }
 
 

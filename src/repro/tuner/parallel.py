@@ -9,10 +9,13 @@ a pool of worker processes:
 * each worker builds its own :class:`~repro.tuner.tuner.AutoTuner` (and
   therefore its own estimator/kernel caches) once, in the pool
   initializer, and reuses it for every task it receives;
-* tasks are pickled ``(schedule, m, n, k)`` tuples; results come back as
-  the sandbox's ``(status, cycles, error)`` triple, so the worker side
-  runs the *same* fault/timeout machinery as a serial search (transient
-  retries, hang -> ``timeout``, permanent -> ``error``, NaN rejection);
+* tasks are pickled ``(schedule, m, n, k, ctx)`` tuples where ``ctx`` is
+  the parent's :class:`~repro.telemetry.TraceContext` (or None when
+  telemetry is off); results come back as ``(status, cycles, error,
+  snapshot)`` -- the sandbox triple plus the worker's telemetry snapshot
+  -- so the worker side runs the *same* fault/timeout machinery as a
+  serial search (transient retries, hang -> ``timeout``, permanent ->
+  ``error``, NaN rejection) and none of its spans or counters are lost;
 * results are returned **in submission order** regardless of completion
   order.  The tuner records trials, checkpoints them, and fits its cost
   model from that ordered list at the same generation barriers as a
@@ -39,17 +42,21 @@ the environment).
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
+from .. import telemetry
 from ..faults import plan as _faults
 from ..gemm.schedule import Schedule
 from ..machine.chips import ChipSpec
 
 __all__ = ["ParallelMeasurer", "MeasureOutcome"]
 
-#: ``(status, cycles, error)`` -- the sandbox triple, with the extra
-#: ``"kill"`` status used only on the wire (the parent re-raises it).
+#: ``(status, cycles, error, snapshot)`` -- the sandbox triple plus the
+#: worker's telemetry snapshot (None when the parent had no collector),
+#: with the extra ``"kill"`` status used only on the wire (the parent
+#: re-raises it).
 MeasureOutcome = tuple
 
 # Per-worker-process measurement state, built once by _init_worker.
@@ -67,16 +74,46 @@ def _init_worker(chip: ChipSpec, tuner_kwargs: dict) -> None:
 def _measure_in_worker(task: tuple) -> MeasureOutcome:
     """Run one sandboxed measurement in the worker process.
 
+    When the parent shipped a :class:`~repro.telemetry.TraceContext`, the
+    measurement runs under a scoped worker-local collector whose snapshot
+    rides home with the result; the parent adopts it under the consuming
+    trial span (:meth:`Collector.adopt`), so worker spans and counters
+    (``faults.injected``, ``tuner.trial_*``, cache traffic) aggregate
+    instead of dying with the worker.
+
     A ``KillFault`` (the simulated ``kill -9`` of this worker) is shipped
-    back as a ``("kill", inf, message)`` sentinel rather than raised --
-    raising would merely mark one future failed, while the contract is
-    that the parent search unwinds.
+    back as a ``("kill", inf, message, snapshot)`` sentinel rather than
+    raised -- raising would merely mark one future failed, while the
+    contract is that the parent search unwinds.  Whatever telemetry the
+    worker gathered before dying still ships home.
     """
-    schedule, m, n, k = task
-    try:
-        return _WORKER_TUNER._measure_sandboxed(schedule, m, n, k)
-    except _faults.KillFault as exc:
-        return ("kill", float("inf"), str(exc))
+    schedule, m, n, k, ctx = task
+    if ctx is None:
+        try:
+            return _WORKER_TUNER._measure_sandboxed(schedule, m, n, k) + (None,)
+        except _faults.KillFault as exc:
+            return ("kill", float("inf"), str(exc), None)
+    collector = telemetry.Collector()
+    with telemetry.collecting(collector):
+        collector.set_request(ctx.request)
+        try:
+            with telemetry.span(
+                "worker_trial",
+                mc=schedule.mc,
+                nc=schedule.nc,
+                kc=schedule.kc,
+                worker_pid=os.getpid(),
+                trace_id=ctx.trace_id,
+            ) as sp:
+                status, cycles, error = _WORKER_TUNER._measure_sandboxed(
+                    schedule, m, n, k
+                )
+                if status == "ok":
+                    sp.add_cycles(cycles)
+                sp.set(status=status)
+        except _faults.KillFault as exc:
+            return ("kill", float("inf"), str(exc), collector.snapshot())
+    return (status, cycles, error, collector.snapshot())
 
 
 class ParallelMeasurer:
@@ -104,9 +141,18 @@ class ParallelMeasurer:
         )
 
     def measure_many(
-        self, schedules: list[Schedule], m: int, n: int, k: int
+        self,
+        schedules: list[Schedule],
+        m: int,
+        n: int,
+        k: int,
+        ctx: "telemetry.TraceContext | None" = None,
     ) -> list[MeasureOutcome]:
         """Measure every schedule; results ordered like ``schedules``.
+
+        ``ctx`` (from :func:`telemetry.trace_context`) propagates the
+        parent's trace into the workers; pass None (the default, and what
+        a disabled-telemetry parent gets) to skip worker-side collection.
 
         All tasks run to completion before returning (the generation
         barrier), so a ``"kill"`` sentinel anywhere in the batch still
@@ -117,7 +163,7 @@ class ParallelMeasurer:
         """
         if not schedules:
             return []
-        tasks = [(sched, m, n, k) for sched in schedules]
+        tasks = [(sched, m, n, k, ctx) for sched in schedules]
         try:
             return list(self._pool.map(_measure_in_worker, tasks, chunksize=1))
         except BrokenProcessPool as exc:

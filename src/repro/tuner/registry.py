@@ -212,17 +212,23 @@ class ScheduleRegistry:
         self, chip: str, m: int, n: int, k: int, threads: int = 1
     ) -> Schedule | None:
         """The served schedule for a problem, or None (miss / stale)."""
-        self.refresh()
-        key = (chip, m, n, k, threads)
-        entry = self._live.get(key)
-        if entry is not None:
-            telemetry.count("registry.hits")
-            return entry.schedule
-        if key in self._stale:
-            telemetry.count("registry.stale")
-        else:
-            telemetry.count("registry.misses")
-        return None
+        with telemetry.span(
+            "registry.get", chip=chip, m=m, n=n, k=k, threads=threads
+        ) as sp:
+            self.refresh()
+            key = (chip, m, n, k, threads)
+            entry = self._live.get(key)
+            if entry is not None:
+                telemetry.count("registry.hits")
+                sp.set(outcome="hit")
+                return entry.schedule
+            if key in self._stale:
+                telemetry.count("registry.stale")
+                sp.set(outcome="stale")
+            else:
+                telemetry.count("registry.misses")
+                sp.set(outcome="miss")
+            return None
 
     def entries(self, include_stale: bool = True) -> list[RegistryEntry]:
         """All entries, live first, each key once."""
@@ -249,27 +255,30 @@ class ScheduleRegistry:
         cycles: float,
     ) -> RegistryEntry:
         """Persist one tuned outcome (appended; best-cycles wins in memory)."""
-        if _faults._PLAN is not None:
-            _faults.check("records.io")
-        self.refresh()
-        entry = RegistryEntry(
-            chip=chip,
-            m=m,
-            n=n,
-            k=k,
-            threads=threads,
-            cycles=cycles,
-            schedule=schedule,
-            fingerprint=self.fingerprint,
-            tuned_at=time.strftime("%Y-%m-%dT%H:%M:%S"),
-        )
-        self._absorb(entry)
-        with self.path.open("a") as fh:
-            fh.write(entry.to_json() + "\n")
-            fh.flush()
-        self._sig = self._file_sig()
-        telemetry.count("registry.puts")
-        return entry
+        with telemetry.span(
+            "registry.put", chip=chip, m=m, n=n, k=k, threads=threads
+        ):
+            if _faults._PLAN is not None:
+                _faults.check("records.io")
+            self.refresh()
+            entry = RegistryEntry(
+                chip=chip,
+                m=m,
+                n=n,
+                k=k,
+                threads=threads,
+                cycles=cycles,
+                schedule=schedule,
+                fingerprint=self.fingerprint,
+                tuned_at=time.strftime("%Y-%m-%dT%H:%M:%S"),
+            )
+            self._absorb(entry)
+            with self.path.open("a") as fh:
+                fh.write(entry.to_json() + "\n")
+                fh.flush()
+            self._sig = self._file_sig()
+            telemetry.count("registry.puts")
+            return entry
 
     def evict(
         self,

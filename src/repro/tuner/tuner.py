@@ -346,7 +346,8 @@ class AutoTuner:
                     pending_set.add(sched)
                     pending.append(sched)
                 remaining -= 1
-            outcomes = measurer.measure_many(pending, m, n, k)
+            ctx = telemetry.trace_context()
+            outcomes = measurer.measure_many(pending, m, n, k, ctx)
             return dict(zip(pending, outcomes))
 
         def run_batch(batch_schedules: list[Schedule]) -> None:
@@ -369,19 +370,29 @@ class AutoTuner:
                     predicted_cycles=round(predicted, 1),
                 ) as sp:
                     if sched in premeasured:
-                        # Worker-side sandbox already ran; re-emit the
-                        # status counters the serial sandbox would have
-                        # bumped (worker telemetry dies with the worker).
-                        status, cycles, error = premeasured[sched]
+                        status, cycles, error, snapshot = premeasured[sched]
+                        if snapshot is not None:
+                            # Stitch the worker's spans and counters in
+                            # under this trial span: the worker already ran
+                            # the full sandbox with its own collector, so
+                            # its counters (faults.injected, tuner.trial_*,
+                            # cache traffic) merge additively and nothing
+                            # is re-emitted here.
+                            telemetry.adopt(snapshot)
                         if status == "kill":
                             # The worker was (simulated-)kill -9-ed.  Every
                             # trial recorded before this point is already
                             # checkpointed; unwind like the dead process.
                             raise _faults.KillFault("tuner.measure", error)
-                        if status == "timeout":
-                            telemetry.count("tuner.trial_timeouts")
-                        elif status == "error":
-                            telemetry.count("tuner.trial_errors")
+                        if snapshot is None:
+                            # No collector was active at submission time;
+                            # re-emit the status counters the serial sandbox
+                            # would have bumped (a no-op unless a collector
+                            # appeared mid-batch).
+                            if status == "timeout":
+                                telemetry.count("tuner.trial_timeouts")
+                            elif status == "error":
+                                telemetry.count("tuner.trial_errors")
                     else:
                         status, cycles, error = self._measure_sandboxed(
                             sched, m, n, k

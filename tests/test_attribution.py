@@ -1,0 +1,214 @@
+"""Bottleneck attribution: roofline decomposition of finished GEMM runs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.gemm.autogemm import AutoGEMM
+from repro.gemm.batched import BatchedGemm
+from repro.gemm.schedule import Schedule
+from repro.machine.chips import GRAVITON2, KP920
+from repro.model.roofline import BANDWIDTH_LEVELS, level_bandwidth_gbps
+from repro.telemetry.attribution import (
+    PADDED_WASTE_THRESHOLD,
+    attribute_batched,
+    attribute_gemm,
+)
+
+
+def run_gemm(chip, m, n, k, threads=1, schedule=None, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1, 1, (m, k)).astype(np.float32)
+    b = rng.uniform(-1, 1, (k, n)).astype(np.float32)
+    return AutoGEMM(chip).gemm(a, b, threads=threads, schedule=schedule)
+
+
+class TestPhaseDecomposition:
+    def test_fractions_sum_to_one(self):
+        attr = run_gemm(KP920, 64, 48, 96).attribution
+        assert sum(p.fraction for p in attr.phases) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_phases_mirror_phase_cycles(self):
+        result = run_gemm(KP920, 64, 48, 96)
+        attr = result.attribution
+        assert {p.phase for p in attr.phases} == set(result.phase_cycles)
+        for p in attr.phases:
+            assert p.cycles == result.phase_cycles[p.phase]
+            assert p.fraction == pytest.approx(p.cycles / result.cycles)
+
+    def test_every_phase_names_a_constraint(self):
+        attr = run_gemm(GRAVITON2, 48, 32, 64).attribution
+        for p in attr.phases:
+            assert p.constraint
+        assert attr.phase("pack").constraint == "pack"
+        assert attr.phase("parallel_overhead").constraint == "parallel_overhead"
+
+    def test_bound_is_largest_phase_constraint(self):
+        attr = run_gemm(KP920, 64, 48, 96).attribution
+        biggest = max(attr.phases, key=lambda p: p.cycles)
+        assert attr.bound == biggest.constraint
+
+    def test_multithreaded_run_still_sums(self):
+        attr = run_gemm(GRAVITON2, 96, 96, 64, threads=4).attribution
+        assert attr.threads == 4
+        assert sum(p.fraction for p in attr.phases) == pytest.approx(
+            1.0, abs=1e-9
+        )
+        assert attr.phase("parallel_overhead").cycles > 0
+
+    def test_transform_phase_attributed(self):
+        rng = np.random.default_rng(1)
+        a = rng.uniform(-1, 1, (40, 32)).astype(np.float32)
+        b = rng.uniform(-1, 1, (40, 24)).astype(np.float32)
+        result = AutoGEMM(GRAVITON2).gemm(a, b, trans_a=True)
+        attr = result.attribution
+        transform = attr.phase("transform")
+        assert transform is not None
+        assert transform.cycles > 0
+        assert transform.constraint == "transform"
+        assert sum(p.fraction for p in attr.phases) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+
+class TestKernelClassification:
+    def test_kernel_constraint_from_utilization_argmax(self):
+        attr = run_gemm(KP920, 64, 48, 96).attribution
+        kernel = attr.phase("kernel")
+        util = kernel.detail["utilization"]
+        assert kernel.constraint == max(util, key=lambda key: util[key])
+        assert all(v >= 0.0 for v in util.values())
+
+    def test_padded_static_schedule_reports_padded_flops(self):
+        # OpenBLAS-style pad edges on a ragged shape: over half the issued
+        # FLOPs are padding, so the compute axis is charged to waste.
+        sched = Schedule(mc=16, nc=16, kc=32, use_dmt=False, static_edges="pad")
+        result = run_gemm(KP920, 13, 9, 32, schedule=sched)
+        attr = result.attribution
+        assert result.padded_flop_waste > 0
+        assert attr.padded_flop_fraction >= PADDED_WASTE_THRESHOLD
+        assert attr.phase("kernel").constraint == "padded_flops"
+
+    def test_dmt_has_no_padded_waste(self):
+        result = run_gemm(KP920, 13, 9, 32)
+        assert result.padded_flop_waste == 0
+        assert result.attribution.padded_flop_fraction == 0.0
+
+
+class TestRooflines:
+    def test_compute_roofline_is_chip_peak(self):
+        attr = run_gemm(KP920, 64, 48, 96, threads=2).attribution
+        assert attr.rooflines["compute"] == pytest.approx(
+            KP920.peak_gflops_core * 2
+        )
+
+    def test_dram_roofline_always_reported(self):
+        attr = run_gemm(GRAVITON2, 48, 32, 64).attribution
+        assert attr.rooflines["dram"] is not None
+        assert attr.rooflines["dram"] > 0
+
+    def test_level_bandwidth_validation(self):
+        for level in BANDWIDTH_LEVELS:
+            assert level_bandwidth_gbps(KP920, level, cores=1) > 0
+        with pytest.raises(ValueError):
+            level_bandwidth_gbps(KP920, "l9")
+
+    def test_l1_bandwidth_is_port_limited(self):
+        want = (
+            KP920.ipc_load * KP920.vec_bytes * KP920.freq_ghz
+        )
+        assert level_bandwidth_gbps(KP920, "l1", cores=1) == pytest.approx(want)
+        assert level_bandwidth_gbps(KP920, "l1", cores=4) == pytest.approx(
+            4 * want
+        )
+
+    def test_dram_bandwidth_is_socket_wide(self):
+        assert level_bandwidth_gbps(KP920, "dram", cores=1) == KP920.dram_gbps
+        assert level_bandwidth_gbps(KP920, "dram", cores=8) == KP920.dram_gbps
+
+
+class TestCalibration:
+    def test_estimator_measurements_produce_residuals(self):
+        lib = AutoGEMM(KP920)
+        lib.estimate(64, 48, 96)  # times kernels into the shared replay cache
+        rng = np.random.default_rng(0)
+        a = rng.uniform(-1, 1, (64, 96)).astype(np.float32)
+        b = rng.uniform(-1, 1, (96, 48)).astype(np.float32)
+        attr = lib.gemm(a, b).attribution
+        assert attr.calibration
+        assert attr.model_divergence is not None
+        for cal in attr.calibration:
+            assert np.isfinite(cal.residual)
+            assert cal.measured_cycles > 0
+            assert cal.model_cycles > 0
+
+    def test_no_measurements_means_no_divergence(self):
+        attr = run_gemm(KP920, 32, 32, 32).attribution
+        # A bare executor run times nothing through the replay cache's
+        # estimator path, so there is nothing to calibrate against.
+        if not attr.calibration:
+            assert attr.model_divergence is None
+
+    def test_standalone_attribute_without_replay(self):
+        result = run_gemm(GRAVITON2, 32, 32, 32)
+        attr = attribute_gemm(result)
+        assert attr.calibration == []
+        assert attr.bound == result.attribution.bound
+
+
+class TestBatched:
+    def test_phase_cycles_sum_to_cycles(self):
+        rng = np.random.default_rng(2)
+        a = rng.uniform(-1, 1, (6, 10, 12)).astype(np.float32)
+        b = rng.uniform(-1, 1, (6, 12, 8)).astype(np.float32)
+        result = BatchedGemm(GRAVITON2).run(a, b, threads=2)
+        assert sum(result.phase_cycles.values()) == pytest.approx(
+            result.cycles
+        )
+        attr = result.attribution
+        assert sum(p.fraction for p in attr.phases) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_estimate_carries_attribution(self):
+        est = BatchedGemm(KP920).estimate(16, 16, 16, batch=32, threads=2)
+        attr = est.attribution
+        assert attr is not None
+        assert (attr.m, attr.n, attr.k) == (16, 16, 16)
+        assert sum(p.fraction for p in attr.phases) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_bandwidth_capped_estimate_is_dram_bound(self):
+        # A huge streaming batch blows every cache: the estimator flags the
+        # DRAM cap, and attribution reports the kernel as DRAM-bound.
+        est = BatchedGemm(KP920).estimate(
+            8, 8, 8, batch=200000, threads=KP920.cores
+        )
+        assert est.bandwidth_limited
+        assert est.attribution.phase("kernel").constraint == "bandwidth_dram"
+
+    def test_standalone_attribute_batched(self):
+        est = BatchedGemm(GRAVITON2).estimate(12, 12, 12, batch=16)
+        attr = attribute_batched(est)
+        assert attr.padded_flop_fraction == 0.0
+        assert attr.bound
+
+
+class TestSerialization:
+    def test_to_dict_round_trips_through_json(self):
+        lib = AutoGEMM(KP920)
+        lib.estimate(64, 48, 96)
+        rng = np.random.default_rng(0)
+        a = rng.uniform(-1, 1, (64, 96)).astype(np.float32)
+        b = rng.uniform(-1, 1, (96, 48)).astype(np.float32)
+        attr = lib.gemm(a, b).attribution
+        payload = json.loads(json.dumps(attr.to_dict()))
+        assert payload["chip"] == "KP920"
+        assert payload["bound"] == attr.bound
+        assert len(payload["phases"]) == len(attr.phases)
+        assert payload["model_divergence"] == attr.model_divergence
+        assert len(payload["calibration"]) == len(attr.calibration)

@@ -107,6 +107,117 @@ class TestDmtMetrics:
         assert "dmt.tile_calls" in out
 
 
+class TestExplain:
+    def test_acceptance_shape_names_constraint_per_phase(self, capsys):
+        code, out = run_cli(
+            capsys, "explain", "384", "2", "512", "--chip", "KP920", "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["chip"] == "KP920"
+        assert (payload["m"], payload["n"], payload["k"]) == (384, 2, 512)
+        assert payload["bound"]
+        assert payload["phases"]
+        for phase in payload["phases"]:
+            assert phase["constraint"]
+        assert sum(p["fraction"] for p in payload["phases"]) == pytest.approx(
+            1.0, abs=1e-9
+        )
+        assert payload["rooflines"]["compute"] > 0
+        # The estimator primes the replay cache, so calibration residuals
+        # are always present on the CLI path.
+        assert payload["calibration"]
+        assert payload["model_divergence"] is not None
+
+    def test_artifacts_and_annotated_trace(self, capsys, tmp_path):
+        out_json = tmp_path / "attr.json"
+        out_trace = tmp_path / "trace.json"
+        code, out = run_cli(
+            capsys,
+            "explain", "32", "24", "48",
+            "--out", str(out_json),
+            "--trace-out", str(out_trace),
+        )
+        assert code == 0
+        assert "bound:" in out
+        assert "rooflines" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["command"] == "explain"
+        trace = json.loads(out_trace.read_text())
+        assert trace["traceEvents"]
+        assert trace["otherData"]["attribution"]["bound"] == payload["bound"]
+
+    def test_explain_failure_returns_its_code(self, capsys):
+        from repro.cli import FAIL_CODES
+
+        code = main(["explain", "16", "16", "16", "--threads", "0"])
+        err = capsys.readouterr().err
+        assert code == FAIL_CODES["explain"]
+        assert "repro explain: error:" in err
+
+
+class TestBenchCompare:
+    @staticmethod
+    def _payload():
+        from repro.telemetry.history import attach_fingerprint
+
+        return attach_fingerprint({
+            "benchmark": "tile_replay_wallclock",
+            "chip": "Graviton2",
+            "replay_seconds": 30.0,
+            "speedup": 12.0,
+            "exact": True,
+            "simulated_cycles": 100.5,
+            "instructions": 42,
+        })
+
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_identical_payloads_exit_zero(self, capsys, tmp_path):
+        old = self._write(tmp_path, "old.json", self._payload())
+        new = self._write(tmp_path, "new.json", self._payload())
+        code, out = run_cli(capsys, "bench", "compare", old, new)
+        assert code == 0
+        assert "verdict: OK" in out
+
+    def test_regression_exits_22(self, capsys, tmp_path):
+        old = self._write(tmp_path, "old.json", self._payload())
+        worse = self._payload()
+        worse["replay_seconds"] = 90.0
+        new = self._write(tmp_path, "new.json", worse)
+        code, out = run_cli(capsys, "bench", "compare", old, new, "--json")
+        assert code == 22
+        payload = json.loads(out)
+        assert payload["ok"] is False
+        assert any(
+            v["status"] == "regression" for v in payload["verdicts"]
+        )
+
+    def test_fingerprint_mismatch_skips_with_exit_zero(self, capsys, tmp_path):
+        old = self._write(tmp_path, "old.json", self._payload())
+        foreign = self._payload()
+        foreign["machine"]["cpus"] += 7
+        foreign["replay_seconds"] = 900.0
+        new = self._write(tmp_path, "new.json", foreign)
+        code, out = run_cli(capsys, "bench", "compare", old, new)
+        assert code == 0
+        assert "SKIPPED" in out
+
+    def test_missing_file_returns_bench_code(self, capsys, tmp_path):
+        from repro.cli import FAIL_CODES
+
+        code = main([
+            "bench", "compare", str(tmp_path / "absent.json"),
+            str(tmp_path / "absent.json"),
+        ])
+        err = capsys.readouterr().err
+        assert code == FAIL_CODES["bench"] == 22
+        assert "repro bench: error:" in err
+
+
 class TestParser:
     def test_profile_defaults(self):
         args = build_parser().parse_args(["profile", "8", "8", "8"])

@@ -129,6 +129,50 @@ class TestPerSiteFallbacks:
                 AutoGEMM(kp920).gemm(a, b)
 
 
+class TestDegradedPhaseInvariant:
+    """``sum(phase_cycles) == cycles`` must hold on *every* fallback rung,
+    not just the happy path -- the attribution engine divides by it."""
+
+    @pytest.mark.parametrize("site", sorted(SITE_FALLBACKS))
+    def test_phase_cycles_sum_on_each_fallback(self, site, kp920):
+        a, b = operands()
+        plan = FaultPlan([FaultSpec(site, nth=1, mode="permanent")], seed=11)
+        with faults.injecting(plan):
+            lib = AutoGEMM(kp920)
+            lib.executor.staticcheck = True
+            result = lib.gemm(a, b)
+        assert plan.total_injected() > 0
+        assert result.degraded
+        assert sum(result.phase_cycles.values()) == pytest.approx(
+            result.cycles, rel=1e-12
+        )
+        attr = result.attribution
+        assert sum(p.fraction for p in attr.phases) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_phase_cycles_sum_on_reference_fallback(self, kp920):
+        a, b = operands()
+        plan = FaultPlan(
+            [FaultSpec("memory.alloc", probability=1.0, mode="permanent")],
+            seed=0,
+        )
+        with faults.injecting(plan):
+            result = AutoGEMM(kp920).gemm(a, b)
+        assert result.degradations.get("reference_gemm") == 1
+        assert sum(result.phase_cycles.values()) == pytest.approx(
+            result.cycles, rel=1e-12
+        )
+        # The reference fallback has no measured loads_by_level; the
+        # attribution falls back to the compulsory-traffic DRAM roofline
+        # and still decomposes completely.
+        attr = result.attribution
+        assert sum(p.fraction for p in attr.phases) == pytest.approx(
+            1.0, abs=1e-9
+        )
+        assert all(p.constraint for p in attr.phases)
+
+
 class TestExecutorValidation:
     def test_rejects_non_2d(self, kp920):
         lib = AutoGEMM(kp920)

@@ -53,6 +53,23 @@ class TestRun:
         with pytest.raises(ValueError):
             batched.run(a, b, threads=0)
 
+    def test_phase_cycles_sum_to_cycles(self, batched):
+        a, b = make_batch(5, 10, 12, 8)
+        for threads in (1, 4):
+            result = batched.run(a, b, threads=threads)
+            assert sum(result.phase_cycles.values()) == pytest.approx(
+                result.cycles
+            )
+            assert result.phase_cycles["kernel"] > 0
+
+    def test_result_carries_attribution(self, batched):
+        a, b = make_batch(5, 10, 12, 8)
+        result = batched.run(a, b, threads=2)
+        attr = result.attribution
+        assert attr is not None
+        assert attr.bound
+        assert {p.phase for p in attr.phases} == set(result.phase_cycles)
+
 
 class TestEstimate:
     def test_scales_linearly_single_core(self, batched):
