@@ -1,11 +1,12 @@
-"""Wall-clock benchmark: tile-replay fast path vs. full interpretation.
+"""Wall-clock benchmark: compiled replay vs. replay vs. full interpretation.
 
-Runs the same GEMM through the executor twice -- once with the replay
-engine enabled (the default) and once with ``use_replay=False`` (the
-``--no-replay`` interpreter path) -- and reports host wall-clock seconds,
-the speedup, and the replay counters.  The two runs must agree bit-exactly
-on ``C`` and on every simulated metric; any divergence is a hard failure
-(nonzero exit), which CI uses as a regression gate.
+Runs the same GEMM through the executor three times -- with compiled trace
+templates (the default), with ``use_compiled=False`` (the ``--no-compile``
+interpreted template walk), and with ``use_replay=False`` (the
+``--no-replay`` instruction interpreter) -- and reports host wall-clock
+seconds, both speedups, and the replay counters.  All three runs must agree
+bit-exactly on ``C`` and on every simulated metric; any divergence is a
+hard failure (nonzero exit), which CI uses as a regression gate.
 
 Results land in ``BENCH_executor.json`` at the repository root:
 
@@ -13,10 +14,13 @@ Results land in ``BENCH_executor.json`` at the repository root:
     PYTHONPATH=src python benchmarks/bench_wallclock.py --smoke    # CI-sized
     PYTHONPATH=src python benchmarks/bench_wallclock.py 384 384 256
 
-The full-size run (multi-block 512^3 DMT schedule) is the configuration the
-replay engine's >=5x speedup claim is measured on; ``--smoke`` keeps the
-exactness gate cheap enough for CI and skips the speedup threshold (the
-interpreted baseline is too short to amortise template capture).
+The full-size run (multi-block 512^3 DMT schedule) is the configuration
+both speedup claims are measured on: ``speedup`` (interpreted-walk replay
+over the instruction interpreter, the PR 2 >=5x gate) and
+``compiled_speedup`` (compiled artifacts over the interpreted walk, another
+>=5x on top).  ``--smoke`` keeps the exactness gate cheap enough for CI and
+skips the speedup thresholds (the interpreted baseline is too short to
+amortise template capture).
 
 ``--chaos`` switches to the robustness variant (results in
 ``BENCH_chaos.json``): a clean run that must not engage the
@@ -46,8 +50,8 @@ from repro.gemm import AutoGEMM  # noqa: E402
 from repro.machine.chips import get_chip  # noqa: E402
 
 
-def run_once(chip, a, b, use_replay: bool):
-    lib = AutoGEMM(chip, use_replay=use_replay)
+def run_once(chip, a, b, use_replay: bool, use_compiled: bool = True):
+    lib = AutoGEMM(chip, use_replay=use_replay, use_compiled=use_compiled)
     with telemetry.collecting() as col:
         t0 = time.perf_counter()
         result = lib.gemm(a, b)
@@ -55,7 +59,7 @@ def run_once(chip, a, b, use_replay: bool):
     counters = {
         name: value
         for name, value in sorted(col.counters.items())
-        if name.startswith("replay.")
+        if name.startswith(("replay.", "compile."))
     }
     return result, seconds, counters
 
@@ -141,7 +145,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="small shape for CI; exactness gate only")
     parser.add_argument("--min-speedup", type=float, default=5.0,
-                        help="required replay speedup on full-size runs")
+                        help="required replay-over-interpreter speedup on "
+                             "full-size runs")
+    parser.add_argument("--min-compiled-speedup", type=float, default=5.0,
+                        help="required compiled-over-replay speedup on "
+                             "full-size runs")
     parser.add_argument("--chaos", action="store_true",
                         help="robustness variant: no-fault overhead, faulted "
                              "bit-exactness, and the timed chaos sweep")
@@ -172,43 +180,56 @@ def main(argv: list[str] | None = None) -> int:
     if args.chaos:
         return run_chaos_bench(args, chip, m, n, k, a, b)
 
-    print(f"[bench_wallclock] {chip.name} {m}x{n}x{k}: replay on ...", flush=True)
-    fast, fast_s, counters = run_once(chip, a, b, use_replay=True)
+    print(f"[bench_wallclock] {chip.name} {m}x{n}x{k}: compiled replay ...",
+          flush=True)
+    compiled, compiled_s, counters = run_once(chip, a, b, use_replay=True)
+    print(f"[bench_wallclock]   {compiled_s:.2f}s   now --no-compile ...",
+          flush=True)
+    fast, fast_s, _ = run_once(chip, a, b, use_replay=True, use_compiled=False)
     print(f"[bench_wallclock]   {fast_s:.2f}s   now --no-replay ...", flush=True)
     slow, slow_s, _ = run_once(chip, a, b, use_replay=False)
 
     mismatches = [
         name
-        for name, lhs, rhs in [
-            ("c_bytes", fast.c.tobytes(), slow.c.tobytes()),
-            ("cycles", fast.cycles, slow.cycles),
-            ("instructions", fast.instructions, slow.instructions),
-            ("loads_by_level", fast.loads_by_level, slow.loads_by_level),
-            ("phase_cycles", fast.phase_cycles, slow.phase_cycles),
+        for name, want, *rest in [
+            ("c_bytes", compiled.c.tobytes(), fast.c.tobytes(),
+             slow.c.tobytes()),
+            ("cycles", compiled.cycles, fast.cycles, slow.cycles),
+            ("instructions", compiled.instructions, fast.instructions,
+             slow.instructions),
+            ("loads_by_level", compiled.loads_by_level, fast.loads_by_level,
+             slow.loads_by_level),
+            ("phase_cycles", compiled.phase_cycles, fast.phase_cycles,
+             slow.phase_cycles),
         ]
-        if lhs != rhs
+        if any(other != want for other in rest)
     ]
     speedup = slow_s / fast_s if fast_s else float("inf")
+    compiled_speedup = fast_s / compiled_s if compiled_s else float("inf")
 
     payload = {
         "benchmark": "tile_replay_wallclock",
         "chip": chip.name,
         "shape": {"m": m, "n": n, "k": k},
         "smoke": args.smoke,
+        "compiled_seconds": round(compiled_s, 3),
         "replay_seconds": round(fast_s, 3),
         "interpret_seconds": round(slow_s, 3),
         "speedup": round(speedup, 2),
+        "compiled_speedup": round(compiled_speedup, 2),
         "exact": not mismatches,
         "mismatched_fields": mismatches,
-        "simulated_cycles": fast.cycles,
-        "instructions": fast.instructions,
+        "simulated_cycles": compiled.cycles,
+        "instructions": compiled.instructions,
         "replay_counters": counters,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
     finalize_payload(payload)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"[bench_wallclock] replay {fast_s:.2f}s  interpret {slow_s:.2f}s  "
-          f"speedup {speedup:.2f}x  exact={not mismatches}  -> {args.output}")
+    print(f"[bench_wallclock] compiled {compiled_s:.2f}s  replay {fast_s:.2f}s  "
+          f"interpret {slow_s:.2f}s  speedup {speedup:.2f}x  "
+          f"compiled_speedup {compiled_speedup:.2f}x  "
+          f"exact={not mismatches}  -> {args.output}")
 
     if mismatches:
         print(f"[bench_wallclock] DIVERGENCE in: {', '.join(mismatches)}",
@@ -217,6 +238,11 @@ def main(argv: list[str] | None = None) -> int:
     if not args.smoke and speedup < args.min_speedup:
         print(f"[bench_wallclock] speedup {speedup:.2f}x below required "
               f"{args.min_speedup:.1f}x", file=sys.stderr)
+        return 2
+    if not args.smoke and compiled_speedup < args.min_compiled_speedup:
+        print(f"[bench_wallclock] compiled speedup {compiled_speedup:.2f}x "
+              f"below required {args.min_compiled_speedup:.1f}x",
+              file=sys.stderr)
         return 2
     return 0
 

@@ -119,7 +119,8 @@ def _cmd_kernel(args) -> int:
 
 def _cmd_gemm(args) -> int:
     chip = get_chip(args.chip)
-    lib = AutoGEMM(chip, use_replay=not args.no_replay)
+    lib = AutoGEMM(chip, use_replay=not args.no_replay,
+                   use_compiled=not args.no_compile)
     a, b = _random_operands(args)
     with _metrics_scope(args.metrics) as collector:
         result = lib.gemm(a, b, threads=args.threads)
@@ -200,7 +201,8 @@ def _cmd_estimate(args) -> int:
 
 def _cmd_profile(args) -> int:
     chip = get_chip(args.chip)
-    lib = AutoGEMM(chip, use_replay=not args.no_replay)
+    lib = AutoGEMM(chip, use_replay=not args.no_replay,
+                   use_compiled=not args.no_compile)
     a, b = _random_operands(args)
     with collecting() as collector:
         result = lib.gemm(a, b, threads=args.threads)
@@ -230,7 +232,8 @@ def _cmd_profile(args) -> int:
 
 def _cmd_explain(args) -> int:
     chip = get_chip(args.chip)
-    lib = AutoGEMM(chip, use_replay=not args.no_replay)
+    lib = AutoGEMM(chip, use_replay=not args.no_replay,
+                   use_compiled=not args.no_compile)
     a, b = _random_operands(args)
     with collecting() as collector:
         # Prime the shared replay cache first: the estimator times each
@@ -652,6 +655,9 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--no-replay", action="store_true",
                    help="disable the tile-replay fast path (interpret "
                         "every tile instruction by instruction)")
+    g.add_argument("--no-compile", action="store_true",
+                   help="keep replay but disable compiled trace-template "
+                        "artifacts (interpreted per-op template walk)")
 
     e = sub.add_parser("estimate", help="project a GEMM without full simulation")
     e.add_argument("m", type=int)
@@ -681,6 +687,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-replay", action="store_true",
                    help="disable the tile-replay fast path (interpret "
                         "every tile instruction by instruction)")
+    p.add_argument("--no-compile", action="store_true",
+                   help="keep replay but disable compiled trace-template "
+                        "artifacts")
 
     x = sub.add_parser(
         "explain",
@@ -702,6 +711,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "attribution (in otherData) to this path")
     x.add_argument("--no-replay", action="store_true",
                    help="disable the tile-replay fast path")
+    x.add_argument("--no-compile", action="store_true",
+                   help="keep replay but disable compiled trace-template "
+                        "artifacts")
 
     bc = sub.add_parser(
         "bench",

@@ -196,10 +196,22 @@ def fuse_templates(templates: list[TraceTemplate]) -> TraceTemplate:
     fused_sched: list = []
     mem_chunks: list = []
     n_loads = 0
+    # Period structure for the scheduler's steady-state fast-forward: period
+    # *i* is the boundary interleave into tile *i* plus tile *i*'s body, and
+    # its scheduling-stream content is a pure function of the (previous,
+    # current) template identity pair -- `_merge_boundary` round-robins the
+    # two source sched lists and `translate` is cached per template object.
+    # ``starts[i]`` is where period *i* begins in ``fused_sched``;
+    # ``starts[n_tiles]`` is where the trailing epilogue begins.
+    period_starts: list = []
+    period_keys: list = []
+    prev_tpl = None
     pending = ([], [], 0)  # previous tile's epilogue stores (sched, mems, off)
     for tile_idx, tpl in enumerate(templates):
         off = 3 * tile_idx
         (pro_s, pro_m), (body_s, body_m), (sto_s, sto_m) = translate(tpl)
+        period_starts.append(len(fused_sched))
+        period_keys.append((id(prev_tpl) if prev_tpl is not None else None, id(tpl)))
         boundary_mem: list = []
         _merge_boundary(pending, (pro_s, pro_m, off), fused_sched, boundary_mem)
         if boundary_mem:
@@ -208,8 +220,10 @@ def fuse_templates(templates: list[TraceTemplate]) -> TraceTemplate:
         if body_m:
             mem_chunks.append((off, body_m))
         pending = (sto_s, sto_m, off)
+        prev_tpl = tpl
         n_loads += tpl.n_loads
     sto_s, sto_m, off = pending
+    period_starts.append(len(fused_sched))
     fused_sched.extend(sto_s)
     if sto_m:
         mem_chunks.append((off, sto_m))
@@ -221,6 +235,7 @@ def fuse_templates(templates: list[TraceTemplate]) -> TraceTemplate:
         fused_regs,
         sum(t.flops for t in templates),
         n_loads,
+        sched_periods=(tuple(period_starts), tuple(period_keys)),
     )
 
 

@@ -2,8 +2,9 @@
 
 The stack is instrumented at the seams where real tuning/serving
 deployments see failures -- kernel generation, static verification, trace
-capture, template replay, pipeline timing, simulated-memory allocation,
-cache access, tuner measurement, and record-store I/O (:data:`SITES`).
+capture, template compilation, template replay, pipeline timing,
+simulated-memory allocation, cache access, tuner measurement, and
+record-store I/O (:data:`SITES`).
 Each site calls :func:`check` (or :func:`corrupt` for value-returning
 sites); with no plan installed that is a single global read, so the
 production path pays nothing.
@@ -79,6 +80,7 @@ SITES: dict[str, str] = {
     "kernel.generate": "micro-kernel code generation (a codegen crash)",
     "staticcheck.verify": "static kernel verification (verifier infrastructure down)",
     "trace.capture": "replay-template capture from a fresh trace",
+    "template.compile": "trace-template compilation to vectorized arrays",
     "replay.apply": "replay-template application to a new tile",
     "pipeline.timing": "scoreboard pipeline timing of a trace/template",
     "memory.alloc": "simulated-memory allocation (allocator exhaustion)",

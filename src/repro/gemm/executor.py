@@ -135,17 +135,26 @@ class GemmExecutor:
         launch_cycles: float = DEFAULT_LAUNCH_CYCLES,
         use_replay: bool = True,
         replay_cache: ReplayCache | None = None,
+        use_compiled: bool = True,
     ) -> None:
         """``use_replay`` enables the tile-replay fast path: each distinct
         (kernel, leading-dimension) combination is interpreted once and every
         further tile is applied as a vectorized functional update plus an
         address-rebased timing replay -- bit-exact with the interpreter by
         construction, and pinned by the equivalence tests.  ``replay_cache``
-        shares captured templates with other components (the estimator)."""
+        shares captured templates with other components (the estimator).
+
+        ``use_compiled`` (the CLI's ``--no-compile`` escape hatch when
+        False) additionally lowers each template to its structure-of-arrays
+        artifact so replays run through the batched cache consult and
+        vectorized scheduler -- same bit-exactness contract, another order
+        of magnitude less Python per tile.  It only matters when
+        ``use_replay`` is on."""
         self.chip = chip
         self.kernels = kernels if kernels is not None else GLOBAL_KERNEL_CACHE
         self.launch_cycles = launch_cycles
         self.use_replay = use_replay
+        self.use_compiled = use_compiled
         self.replay = (
             replay_cache if replay_cache is not None else ReplayCache(chip, self.kernels)
         )
@@ -767,7 +776,8 @@ class GemmExecutor:
             tpl, bases = bindings[idx]
             try:
                 pipeline = PipelineModel(
-                    self.chip, caches=caches, launch_cycles=self.launch_cycles
+                    self.chip, caches=caches, launch_cycles=self.launch_cycles,
+                    compile_templates=self.use_compiled,
                 )
                 if idx in traces:
                     timing = pipeline.time_trace(traces[idx])
@@ -792,7 +802,8 @@ class GemmExecutor:
         trace fusion otherwise (materialising replayed tiles' traces so the
         boundary interleave is identical either way)."""
         pipeline = PipelineModel(
-            self.chip, caches=caches, launch_cycles=self.launch_cycles
+            self.chip, caches=caches, launch_cycles=self.launch_cycles,
+            compile_templates=self.use_compiled,
         )
         if all(tpl is not None for tpl, _ in bindings):
             fused_tpl = self.replay.fused([tpl for tpl, _ in bindings])
@@ -881,6 +892,14 @@ class GemmExecutor:
         float32 result exactly -- including padded tiles, whose padded lanes
         never reach C.  ``accumulate=False`` kernels start from EOR-zeroed
         registers, matching the zero-initialised accumulator here.
+
+        The stack gather/scatter is one fancy-indexed copy per operand for
+        the whole group (no per-tile Python slicing), and the per-k step is
+        a reduction-free outer-product einsum -- each output element is a
+        single IEEE multiply, so it is the same double-rounded value the
+        broadcasted multiply produced.  Only the k loop stays sequential:
+        collapsing it into one reducing einsum would let BLAS reassociate
+        the partial sums and break bit-exactness.
         """
         a_view = memory.view_matrix(blk_a)
         b_view = memory.view_matrix(blk_b)
@@ -889,21 +908,20 @@ class GemmExecutor:
         for t in tiles:
             groups.setdefault((t.rows, t.cols), []).append(t)
         for (rows, cols), group in groups.items():
-            count = len(group)
-            a_s = np.empty((count, rows, kc), np.float32)
-            b_s = np.empty((count, kc, cols), np.float32)
-            acc = np.zeros((count, rows, cols), np.float32)
-            for i, t in enumerate(group):
-                a_s[i] = a_view[t.row : t.row + rows, :]
-                b_s[i] = b_view[:, t.col : t.col + cols]
-                if accumulate:
-                    acc[i] = c_view[t.row : t.row + rows, t.col : t.col + cols]
-            tmp = np.empty((count, rows, cols), np.float32)
+            r_idx = np.array([t.row for t in group])[:, None] + np.arange(rows)
+            c_idx = np.array([t.col for t in group])[:, None] + np.arange(cols)
+            a_s = a_view[r_idx]
+            b_s = np.ascontiguousarray(b_view[:, c_idx].transpose(1, 0, 2))
+            scatter = (r_idx[:, :, None], c_idx[:, None, :])
+            if accumulate:
+                acc = c_view[scatter]
+            else:
+                acc = np.zeros((len(group), rows, cols), np.float32)
+            tmp = np.empty_like(acc)
             for p in range(kc):
-                np.multiply(a_s[:, :, p, None], b_s[:, p, None, :], out=tmp)
+                np.einsum("tr,tc->trc", a_s[:, :, p], b_s[:, p, :], out=tmp)
                 np.add(acc, tmp, out=acc)
-            for i, t in enumerate(group):
-                c_view[t.row : t.row + rows, t.col : t.col + cols] = acc[i]
+            c_view[scatter] = acc
 
     def _tile_args(self, tile, blk_a, blk_b, blk_c):
         return {

@@ -120,9 +120,15 @@ class ReplayCache:
     simulated by either side accelerates the other.
     """
 
-    def __init__(self, chip: ChipSpec, kernels: KernelCache | None = None) -> None:
+    def __init__(
+        self,
+        chip: ChipSpec,
+        kernels: KernelCache | None = None,
+        use_compiled: bool = True,
+    ) -> None:
         self.chip = chip
         self.kernels = kernels if kernels is not None else GLOBAL_KERNEL_CACHE
+        self.use_compiled = use_compiled
         self._cycles: dict[tuple[KernelKey, Residency], float] = {}
         self._templates: dict[
             tuple[KernelKey, tuple[int, int, int]], TraceTemplate
@@ -136,6 +142,23 @@ class ReplayCache:
         The measured side of the attribution engine's model-vs-replay
         calibration residuals (``repro.telemetry.attribution``)."""
         return dict(self._cycles)
+
+    def memo_stats(self) -> dict[str, int]:
+        """Aggregate timing-memo occupancy over every stored template.
+
+        ``entries`` counts live (chip, launch, signature) schedules across
+        per-tile and fused templates; ``capacity`` is the sum of their LRU
+        caps; ``compiled`` counts templates carrying a compiled artifact.
+        Complements the ``replay.memo_insertions`` / ``replay.memo_evictions``
+        counters with a point-in-time view a long-running service can poll.
+        """
+        templates = list(self._templates.values()) + list(self._fused.values())
+        return {
+            "templates": len(templates),
+            "entries": sum(len(t.timing_memo) for t in templates),
+            "capacity": sum(t.memo_cap for t in templates),
+            "compiled": sum(1 for t in templates if t.compiled is not None),
+        }
 
     # -- trace templates ----------------------------------------------------
     def template(
@@ -220,7 +243,10 @@ class ReplayCache:
             caches.warm_range(base_a, 4 * key.mr * key.kc, residency.a_level)
             caches.warm_range(base_b, 4 * key.kc * key.nr, residency.b_level)
             caches.warm_range(base_c, 4 * key.mr * key.nr, residency.c_level)
-            pipeline = PipelineModel(self.chip, caches=caches)
+            pipeline = PipelineModel(
+                self.chip, caches=caches,
+                compile_templates=self.use_compiled,
+            )
             with telemetry.span(
                 "time_kernel", mr=key.mr, nr=key.nr, kc=key.kc, replay=True
             ) as sp:

@@ -10,14 +10,24 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from itertools import islice
 
+import numpy as np
+
+from .. import telemetry
 from ..faults import plan as _faults
+from . import native as _native
 from .chips import ChipSpec
 
 __all__ = ["CacheLevel", "CacheHierarchy", "CacheStats", "cache_level_ids"]
 
 #: The level id a DRAM access reports (always present, never a cache).
 DRAM_LEVEL = 4
+
+#: Minimum surviving (non-elided) op count before ``consult_batch`` engages
+#: the native kernel: exporting / re-importing the LRU state costs a pass
+#: over every resident line, which only pays for itself on large batches.
+NATIVE_MIN_KEPT = 4096
 
 
 def cache_level_ids(chip: ChipSpec) -> tuple[int, ...]:
@@ -146,6 +156,241 @@ class CacheHierarchy:
                 cache.fill(addr)
         self.stats.record(hit_level)
         return hit_level
+
+    def consult_batch(
+        self,
+        addrs: np.ndarray,
+        kinds: np.ndarray,
+        plevels: np.ndarray,
+    ) -> np.ndarray:
+        """Service a whole memory-op stream in program order; returns the
+        per-op service level (meaningful for demand accesses; prefetch slots
+        report 1).
+
+        Semantically identical to calling :meth:`access` / :meth:`prefetch`
+        once per op in order -- final cache state, per-op levels, and stats
+        are bit-equal (pinned by ``tests/test_gemm_compiled.py``) -- but the
+        order-invariant work is batched:
+
+        * **same-line elision**: a demand access whose *immediately
+          preceding* op is a demand access to the same cache line is a
+          guaranteed L1 hit with zero net state change (the line is MRU in
+          L1 after any demand access, so the lookup's ``move_to_end`` and
+          the L1 re-fill are both no-ops, and no other level is touched).
+          Those ops -- the unit-stride lane loads inside a vector tile, the
+          bulk of a GEMM stream -- are resolved entirely in NumPy.  Any
+          intervening prefetch breaks elision: prefetches can rearrange LRU
+          state at every level, so only a *directly* preceding demand access
+          qualifies.
+        * the survivors take a lean per-line path with the set/tag
+          arithmetic hoisted out of :class:`CacheLevel` method calls, and
+          hit-level stats are recorded once per batch via ``bincount``.
+
+        With a fault plan installed the batch degrades to the scalar
+        methods so every demand access polls the ``cache.access`` site at
+        the same call index as an interpreted walk would.
+        """
+        n = len(addrs)
+        levels = np.ones(n, np.uint8)
+        if n == 0:
+            return levels
+        if _faults._PLAN is not None:
+            # Scalar fallback: preserve per-access fault polls exactly.
+            access = self.access
+            prefetch = self.prefetch
+            addr_list = addrs.tolist()
+            kind_list = kinds.tolist()
+            plevel_list = plevels.tolist()
+            for i, (addr, kind) in enumerate(zip(addr_list, kind_list)):
+                if kind == 1:
+                    levels[i] = access(addr)
+                elif kind == 2:
+                    levels[i] = access(addr, is_write=True)
+                else:
+                    prefetch(addr, plevel_list[i])
+                    levels[i] = 1
+            return levels
+
+        line_bytes = self.levels[0][1].line_bytes
+        lines = addrs // line_bytes
+        is_access = kinds != 3
+        elided = np.zeros(n, bool)
+        elided[1:] = is_access[1:] & is_access[:-1] & (lines[1:] == lines[:-1])
+        kept = np.flatnonzero(~elided)
+
+        if kept.size >= NATIVE_MIN_KEPT:
+            native_out = self._consult_native(
+                lines[kept], kinds[kept], plevels[kept]
+            )
+            if native_out is not None:
+                levels[kept] = native_out
+                self._record_batch(levels, is_access)
+                return levels
+
+        # (level id, sets, num_sets, ways) per level, hoisted out of the loop.
+        params = [
+            (lvl, c._sets, c.num_sets, c.ways) for lvl, c in self.levels
+        ]
+        l1 = params[0]
+        l1_sets, l1_nsets = l1[1], l1[2]
+        kept_lines = lines[kept].tolist()
+        kept_kinds = kinds[kept].tolist()
+        kept_plevels = plevels[kept].tolist()
+        out = []
+        append = out.append
+        for line, kind, plevel in zip(kept_lines, kept_kinds, kept_plevels):
+            if kind != 3:
+                entries = l1_sets[line % l1_nsets]
+                tag = line // l1_nsets
+                if tag in entries:
+                    entries.move_to_end(tag)
+                    append(1)
+                else:
+                    # L1 missed (the probe is pure); continue from L2.
+                    hit_level = 4
+                    for lvl, sets, nsets, _ways in params[1:]:
+                        entries = sets[line % nsets]
+                        tag = line // nsets
+                        if tag in entries:
+                            entries.move_to_end(tag)
+                            hit_level = lvl
+                            break
+                    for lvl, sets, nsets, ways in params:
+                        if lvl <= hit_level or hit_level == 4:
+                            entries = sets[line % nsets]
+                            tag = line // nsets
+                            if tag in entries:
+                                entries.move_to_end(tag)
+                            else:
+                                if len(entries) >= ways:
+                                    entries.popitem(last=False)
+                                entries[tag] = None
+                    append(hit_level)
+            else:
+                for lvl, sets, nsets, ways in params:
+                    if lvl >= plevel:
+                        entries = sets[line % nsets]
+                        tag = line // nsets
+                        if tag in entries:
+                            entries.move_to_end(tag)
+                        else:
+                            if len(entries) >= ways:
+                                entries.popitem(last=False)
+                            entries[tag] = None
+                append(1)
+        levels[kept] = out
+        self._record_batch(levels, is_access)
+        return levels
+
+    def _record_batch(self, levels: np.ndarray, is_access: np.ndarray) -> None:
+        """Fold a batch's per-op service levels into the hit stats."""
+        counts = np.bincount(levels[is_access], minlength=5)
+        hits = self.stats.hits
+        for lvl in (1, 2, 3, 4):
+            c = int(counts[lvl])
+            if c:
+                hits[lvl] += c
+
+    def _consult_native(
+        self,
+        lines: np.ndarray,
+        kinds: np.ndarray,
+        plevels: np.ndarray,
+    ) -> np.ndarray | None:
+        """Run the surviving-op consult loop in the cffi-built C kernel.
+
+        The per-level OrderedDict LRU state is exported into strided slot
+        arrays (LRU-first -- exactly the dict iteration order, where index 0
+        is the next victim and the last entry is MRU), the integer-only
+        kernel replays the stream, and the dicts are rebuilt from the
+        mutated arrays.  Because every step is integer set/tag arithmetic
+        with identical control flow, final cache state, per-op levels, and
+        stats are bit-equal to the Python loop (pinned by
+        ``tests/test_gemm_compiled.py``).  Returns ``None`` when the kernel
+        is unavailable (no toolchain, ``REPRO_NATIVE=0``) or a negative
+        line id appears (C division would disagree with Python floor
+        division); the Python loop then serves bit-identically.
+        """
+        nat = _native.get_native()
+        if nat is None or int(lines.min()) < 0:
+            return None
+        ffi, lib = nat
+
+        n_levels = len(self.levels)
+        level_id = np.empty(n_levels, np.int32)
+        num_sets = np.empty(n_levels, np.int32)
+        n_ways = np.empty(n_levels, np.int32)
+        tag_base = np.empty(n_levels, np.int64)
+        len_base = np.empty(n_levels, np.int64)
+        tag_total = 0
+        len_total = 0
+        for li, (lvl, c) in enumerate(self.levels):
+            level_id[li] = lvl
+            num_sets[li] = c.num_sets
+            n_ways[li] = c.ways
+            tag_base[li] = tag_total
+            len_base[li] = len_total
+            tag_total += c.num_sets * c.ways
+            len_total += c.num_sets
+
+        # Export: pack each set's tags (LRU-first) into its strided slot.
+        tags = np.zeros(tag_total, np.int64)
+        set_len = np.empty(len_total, np.int32)
+        for li, (lvl, c) in enumerate(self.levels):
+            flat: list[int] = []
+            extend = flat.extend
+            lens_list: list[int] = []
+            lens_append = lens_list.append
+            for entries in c._sets:
+                lens_append(len(entries))
+                extend(entries)
+            lens = np.array(lens_list, np.int32)
+            base = int(len_base[li])
+            set_len[base : base + c.num_sets] = lens
+            if flat:
+                start = np.cumsum(lens, dtype=np.int64)
+                start -= lens
+                pos = np.repeat(
+                    np.arange(c.num_sets, dtype=np.int64) * c.ways - start,
+                    lens,
+                ) + np.arange(len(flat), dtype=np.int64)
+                tags[int(tag_base[li]) + pos] = np.array(flat, np.int64)
+
+        out = np.empty(lines.size, np.uint8)
+        lib.repro_consult(
+            lines.size,
+            ffi.from_buffer("int64_t[]", np.ascontiguousarray(lines, np.int64)),
+            ffi.from_buffer("uint8_t[]", np.ascontiguousarray(kinds, np.uint8)),
+            ffi.from_buffer("uint8_t[]", np.ascontiguousarray(plevels, np.uint8)),
+            n_levels,
+            ffi.from_buffer("int32_t[]", level_id),
+            ffi.from_buffer("int32_t[]", num_sets),
+            ffi.from_buffer("int32_t[]", n_ways),
+            ffi.from_buffer("int64_t[]", tag_base),
+            ffi.from_buffer("int64_t[]", len_base),
+            ffi.from_buffer("int64_t[]", tags),
+            ffi.from_buffer("int32_t[]", set_len),
+            ffi.from_buffer("uint8_t[]", out),
+        )
+
+        # Import: rebuild each level's OrderedDicts from the mutated arrays.
+        for li, (lvl, c) in enumerate(self.levels):
+            base = int(len_base[li])
+            lens = set_len[base : base + c.num_sets]
+            total = int(lens.sum())
+            start = np.cumsum(lens, dtype=np.int64)
+            start -= lens
+            pos = np.repeat(
+                np.arange(c.num_sets, dtype=np.int64) * c.ways - start, lens
+            ) + np.arange(total, dtype=np.int64)
+            packed = iter(tags[int(tag_base[li]) + pos].tolist())
+            fromkeys = OrderedDict.fromkeys
+            c._sets = [
+                fromkeys(islice(packed, ln)) for ln in lens.tolist()
+            ]
+
+        telemetry.count("replay.consult_native")
+        return out
 
     def prefetch(self, addr: int, target_level: int = 1) -> None:
         """Warm the line into ``target_level`` and below (PLDL1KEEP/PLDL2KEEP)."""

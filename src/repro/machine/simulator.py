@@ -9,6 +9,7 @@ additionally replays the trace through the chip's scoreboard pipeline.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..isa.instructions import Branch, Label, Unit
@@ -26,11 +27,19 @@ __all__ = [
     "TraceTemplate",
     "build_template",
     "template_to_trace",
+    "DEFAULT_TIMING_MEMO_CAP",
 ]
 
 #: Default fuel: generated micro-kernels execute a bounded instruction count;
 #: anything past this indicates a broken back-edge.
 DEFAULT_FUEL = 50_000_000
+
+#: Default LRU bound on a template's ``timing_memo``: distinct load-level
+#: signatures per (chip, launch) pair kept before the least-recently-used
+#: entry is dropped.  A steady-state GEMM needs a handful (cold edges + warm
+#: interior), so 64 is generous while keeping a long mixed-shape run from
+#: accreting schedules without limit.
+DEFAULT_TIMING_MEMO_CAP = 64
 
 
 class SimulationError(RuntimeError):
@@ -59,7 +68,15 @@ class TraceTemplate:
     ``sched`` pre-extracts what the scoreboard needs per entry (unit, reads,
     writes, kind), and ``timing_memo`` caches scheduler results keyed by the
     per-load cache-level signature: two replays whose loads hit the same
-    levels in the same order are cycle-identical by construction.
+    levels in the same order are cycle-identical by construction.  The memo
+    is an LRU bounded by ``memo_cap`` (:data:`DEFAULT_TIMING_MEMO_CAP`).
+
+    ``compiled`` lazily holds the template's structure-of-arrays artifact
+    (:class:`~repro.machine.compiled.CompiledTemplate`), built on first
+    replay by a compile-enabled :class:`~repro.machine.pipeline.PipelineModel`
+    and dropped by :meth:`invalidate_compiled`; ``compile_failed`` latches an
+    injected/compile failure so the interpreted template walk is used without
+    re-attempting compilation on every tile.
     """
 
     __slots__ = (
@@ -72,9 +89,13 @@ class TraceTemplate:
         "flops",
         "uid",
         "timing_memo",
+        "memo_cap",
+        "compiled",
+        "compile_failed",
         "units",
         "regs",
         "n_regs",
+        "sched_periods",
     )
 
     def __init__(
@@ -86,7 +107,10 @@ class TraceTemplate:
         self.entries = entries
         self.flops = flops
         self.uid = uid
-        self.timing_memo: dict = {}
+        self.timing_memo: OrderedDict = OrderedDict()
+        self.memo_cap = DEFAULT_TIMING_MEMO_CAP
+        self.compiled = None
+        self.compile_failed = False
         # Intern units and registers to dense integer ids so the scheduler
         # indexes flat lists instead of hashing enum/register objects (the
         # dominant cost of a dict-based scoreboard at millions of entries).
@@ -146,6 +170,10 @@ class TraceTemplate:
         self.units = units
         self.regs = regs
         self.n_regs = len(regs)
+        #: Optional ``(starts, keys)`` periodic structure of ``sched`` set by
+        #: template fusion; lets the scheduler fast-forward identical steady
+        #: state periods.  ``None`` for plain captured templates.
+        self.sched_periods = None
 
     @classmethod
     def from_parts(
@@ -156,6 +184,7 @@ class TraceTemplate:
         regs: list,
         flops: int,
         n_loads: int,
+        sched_periods: tuple | None = None,
     ) -> "TraceTemplate":
         """Assemble a template directly from pre-interned parts.
 
@@ -169,7 +198,10 @@ class TraceTemplate:
         self.entries = None
         self.flops = flops
         self.uid = -1
-        self.timing_memo = {}
+        self.timing_memo = OrderedDict()
+        self.memo_cap = DEFAULT_TIMING_MEMO_CAP
+        self.compiled = None
+        self.compile_failed = False
         self.sched = sched
         self.mem_ops = None
         self.mem_chunks = mem_chunks
@@ -178,7 +210,21 @@ class TraceTemplate:
         self.units = units
         self.regs = regs
         self.n_regs = len(regs)
+        self.sched_periods = sched_periods
         return self
+
+    def invalidate_compiled(self) -> None:
+        """Drop the compiled artifact and memoised schedules.
+
+        Required after any mutation of ``sched`` / ``mem_chunks`` (nothing
+        in the shipped stack mutates a captured template, but external
+        tooling that edits one must call this): the compiled arrays and the
+        memo are both derivations of the template's streams and would
+        silently replay the stale program otherwise.
+        """
+        self.compiled = None
+        self.compile_failed = False
+        self.timing_memo = OrderedDict()
 
 
 def build_template(

@@ -115,6 +115,8 @@ class MetricSpec:
 #: thresholds (same-host runs still jitter); simulated metrics are exact.
 BENCH_METRICS: dict[str, list[MetricSpec]] = {
     "tile_replay_wallclock": [
+        MetricSpec("compiled_seconds", "lower", 0.5),
+        MetricSpec("compiled_speedup", "higher", 0.3),
         MetricSpec("replay_seconds", "lower", 0.5),
         MetricSpec("speedup", "higher", 0.3),
         MetricSpec("exact", "equal"),

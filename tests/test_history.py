@@ -27,7 +27,9 @@ def make_payload(**overrides):
         "shape": {"m": 512, "n": 512, "k": 512},
         "smoke": False,
         "replay_seconds": 30.0,
+        "compiled_seconds": 5.0,
         "speedup": 12.0,
+        "compiled_speedup": 6.0,
         "exact": True,
         "simulated_cycles": 123456.5,
         "instructions": 789,
