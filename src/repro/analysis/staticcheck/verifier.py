@@ -153,8 +153,9 @@ def verify_kernel(
 
 def _simulate_kernel(kernel: MicroKernel):
     """Interpret ``kernel`` once on synthetic operands; returns the dynamic
-    trace and its replay template (same layout discipline as
-    ``ReplayCache.cycles``)."""
+    trace, its replay template (same layout discipline as
+    ``ReplayCache.cycles``), and the (A, B, C) operand handles -- the
+    artifact checks measure operand extents and base addresses off them."""
     import numpy as np
 
     from ...machine.memory import Memory
@@ -186,7 +187,7 @@ def _simulate_kernel(kernel: MicroKernel):
     regions = [
         (h.base, h.base, h.base + h.bytes_spanned) for h in (h_a, h_b, h_c)
     ]
-    return result.trace, build_template(result.trace, regions)
+    return result.trace, build_template(result.trace, regions), (h_a, h_b, h_c)
 
 
 def verify_fused_sequence(
@@ -206,7 +207,7 @@ def verify_fused_sequence(
     traces = []
     templates = []
     for k in kernels:
-        trace, tpl = _simulate_kernel(k)
+        trace, tpl, _handles = _simulate_kernel(k)
         if tpl is None:
             report.add(
                 "template-capture-failed",

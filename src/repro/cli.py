@@ -11,6 +11,7 @@ Usage examples::
     python -m repro calibrate --chip Graviton2
     python -m repro profile 64 64 64 --chip KP920 --trace-out trace.json
     python -m repro lint-kernels --isa both --json --out findings.json
+    python -m repro lint-artifacts --chip Graviton2 --mutation --json
     python -m repro chaos --chip KP920 --json --out chaos.json
     python -m repro tune 80 320 64 --chip KP920 --budget 32 --jobs 4
     python -m repro registry list --registry schedules.jsonl
@@ -23,8 +24,11 @@ counters after the run.  ``profile`` runs a GEMM with full telemetry and
 writes a Chrome-trace JSON openable in Perfetto (see
 ``docs/observability.md``).  ``lint-kernels`` runs the static kernel
 verifier over the whole generated family (see ``docs/static-analysis.md``).
-``chaos`` sweeps the fault-injection sites and proves each degrades
-gracefully (see ``docs/robustness.md``).  ``tune`` runs the auto-tuner
+``lint-artifacts`` does the same for the *compiled-replay* artifacts:
+it re-compiles every generatable shape (plus fused blocks per Figure 4
+boundary mode) and proves each lowering equivalent to its source template
+(also ``docs/static-analysis.md``).  ``chaos`` sweeps the fault-injection
+sites and proves each degrades gracefully (see ``docs/robustness.md``).  ``tune`` runs the auto-tuner
 (``--jobs N`` measures trials on a process pool, ``--registry`` publishes
 the winner) and ``registry`` inspects/edits the persistent tuned-schedule
 registry (see ``docs/tuning_guide.md``).  ``explain`` attributes a GEMM's
@@ -200,6 +204,8 @@ def _cmd_estimate(args) -> int:
 
 
 def _cmd_profile(args) -> int:
+    from .machine.native import native_status
+
     chip = get_chip(args.chip)
     lib = AutoGEMM(chip, use_replay=not args.no_replay,
                    use_compiled=not args.no_compile)
@@ -208,8 +214,10 @@ def _cmd_profile(args) -> int:
         result = lib.gemm(a, b, threads=args.threads)
     write_chrome_trace(collector, args.trace_out, process_name="repro-gemm")
     if args.metrics_out:
+        payload = metrics_dict(collector)
+        payload["native_status"] = native_status()
         with open(args.metrics_out, "w") as fh:
-            json.dump(metrics_dict(collector), fh, indent=2)
+            json.dump(payload, fh, indent=2)
     print(f"{args.m}x{args.n}x{args.k} on {chip.name} ({args.threads} thread(s))")
     print(f"  cycles  : {result.cycles:,.0f}")
     print(f"  GFLOP/s : {result.gflops:.1f} ({result.efficiency:.1%} of peak)")
@@ -222,6 +230,11 @@ def _cmd_profile(args) -> int:
     print()
     print("counters:")
     print(format_counters(collector))
+    if args.metrics:
+        # The scoreboard/consult hot loops lower to native C kernels when a
+        # compiler is available; surface where (and why) they latched.
+        print()
+        print(f"native kernels : {native_status()}")
     print()
     print(f"trace written to {args.trace_out} "
           f"(open in https://ui.perfetto.dev or chrome://tracing)")
@@ -422,6 +435,74 @@ def _cmd_lint_kernels(args) -> int:
         if args.out:
             print(f"findings written to {args.out}")
     return FAIL_CODES["lint-kernels"] if failed else 0
+
+
+def _cmd_lint_artifacts(args) -> int:
+    from .analysis.artifactcheck import (
+        run_artifact_mutation_suite,
+        sweep_artifacts,
+    )
+
+    isas = ("neon", "sve") if args.isa == "both" else (args.isa,)
+    chip = get_chip(args.chip) if args.chip else None
+    reports = sweep_artifacts(
+        isas=isas, chip=chip, kc=args.kc, fusion=not args.no_fusion
+    )
+    n_errors = sum(len(r.errors) for r in reports)
+    n_warnings = sum(len(r.warnings) for r in reports)
+    n_advice = sum(len(r.advice) for r in reports)
+    failed = n_errors > 0
+
+    payload = {
+        "command": "lint-artifacts",
+        "isas": list(isas),
+        "chip": chip.name if chip else None,
+        "reports": [r.to_dict() for r in reports],
+        "total_reports": len(reports),
+        "errors": n_errors,
+        "warnings": n_warnings,
+        "advice": n_advice,
+    }
+    if args.mutation:
+        mrep = run_artifact_mutation_suite(chip=chip)
+        payload["mutation"] = {
+            "detected": mrep.detected,
+            "total": mrep.total,
+            "detection_rate": mrep.detection_rate,
+            "by_class": {
+                cls: {"detected": d, "total": t}
+                for cls, (d, t) in mrep.by_class().items()
+            },
+            "missed": [
+                {"class": o.mutant.cls, "description": o.mutant.description}
+                for o in mrep.missed()
+            ],
+        }
+        if mrep.detection_rate < args.mutation_threshold:
+            failed = True
+    payload["ok"] = not failed
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for r in reports:
+            if r.errors or r.warnings:
+                print(r.summary())
+                for f in r.errors + r.warnings:
+                    print(f"    {f.severity}: [{f.code}] {f.message}")
+        print(
+            f"lint-artifacts: {len(reports)} report(s) over "
+            f"{'/'.join(isas)}: {n_errors} error(s), "
+            f"{n_warnings} warning(s), {n_advice} advice"
+        )
+        if args.mutation:
+            print(mrep.summary())
+        if args.out:
+            print(f"findings written to {args.out}")
+    return FAIL_CODES["lint-artifacts"] if failed else 0
 
 
 def _cmd_chaos(args) -> int:
@@ -682,8 +763,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--trace-out", default="trace.json",
                    help="Chrome-trace JSON output path (Perfetto-loadable)")
+    p.add_argument("--metrics", action="store_true",
+                   help="also report native-kernel status (whether the "
+                        "scoreboard/consult hot loops run as compiled C "
+                        "or latched to the Python paths, and why)")
     p.add_argument("--metrics-out", default=None,
-                   help="optional flat JSON metrics dump path")
+                   help="optional flat JSON metrics dump path "
+                        "(includes native_status)")
     p.add_argument("--no-replay", action="store_true",
                    help="disable the tile-replay fast path (interpret "
                         "every tile instruction by instruction)")
@@ -771,6 +857,29 @@ def build_parser() -> argparse.ArgumentParser:
     lk.add_argument("--mutation", action="store_true",
                     help="also run the mutation self-test harness")
     lk.add_argument("--mutation-threshold", type=float, default=0.95,
+                    help="minimum mutation detection rate (default 0.95)")
+
+    la = sub.add_parser(
+        "lint-artifacts",
+        help="statically verify the compiled-replay artifacts (lowering "
+             "equivalence + interval safety) over the kernel family",
+    )
+    la.add_argument("--isa", choices=["neon", "sve", "both"], default="both")
+    la.add_argument("--kc", type=int, default=None,
+                    help="override the per-ISA sweep k_c")
+    la.add_argument("--chip", default=None,
+                    help="also check the scheduler fast-forward dyadic "
+                         "preconditions and the post-consult LRU cache "
+                         "export against this chip")
+    la.add_argument("--json", action="store_true",
+                    help="machine-readable JSON output")
+    la.add_argument("--out", default=None,
+                    help="write the JSON findings artifact to this path")
+    la.add_argument("--no-fusion", action="store_true",
+                    help="skip the fused-block artifact checks")
+    la.add_argument("--mutation", action="store_true",
+                    help="also run the compiled-lowering mutation self-test")
+    la.add_argument("--mutation-threshold", type=float, default=0.95,
                     help="minimum mutation detection rate (default 0.95)")
 
     ch = sub.add_parser(
@@ -871,6 +980,7 @@ _COMMANDS = {
     "tiles": _cmd_tiles,
     "dmt": _cmd_dmt,
     "lint-kernels": _cmd_lint_kernels,
+    "lint-artifacts": _cmd_lint_artifacts,
     "chaos": _cmd_chaos,
     "tune": _cmd_tune,
     "registry": _cmd_registry,
@@ -898,6 +1008,7 @@ FAIL_CODES = {
     # measured regression" as distinct from crash/usage failures.
     "bench": 22,
     "explain": 23,
+    "lint-artifacts": 24,
 }
 assert set(FAIL_CODES) == set(_COMMANDS)
 

@@ -44,6 +44,8 @@ compiled -> replay -> interpret -> reference degradation chain.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from ..faults import plan as _faults
@@ -267,4 +269,15 @@ def compile_template(template) -> CompiledTemplate:
             f"compiled load count {compiled.n_loads} != template "
             f"{template.n_loads}"
         )
+    if os.environ.get("REPRO_STATICCHECK") == "1":
+        # Artifact gate (same opt-in as the executor's kernel gate): prove
+        # the lowering equivalent to the source template before the
+        # artifact can serve a replay.  Imported lazily -- the verifier
+        # lives above the machine layer and must not be a dependency of
+        # this hot module.  An error-severity finding raises
+        # StaticCheckError, which is deliberately NOT a recoverable fault:
+        # a corrupt lowering must abort, not degrade.
+        from ..analysis.artifactcheck.checker import gate_compiled
+
+        gate_compiled(template, compiled)
     return compiled

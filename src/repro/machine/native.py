@@ -20,7 +20,16 @@ so its equality with the Python loop is purely a matter of control flow.
 Everything degrades gracefully: no compiler, no ``cffi``, an unwritable
 cache directory, or ``REPRO_NATIVE=0`` simply latches the native path off
 and the Python scoreboard (with its periodic steady-state fast-forward)
-serves instead, bit-identically.
+serves instead, bit-identically.  Each latch bumps the ``native.latched``
+counter and records why in :func:`native_status`, so CI logs show the
+reason the C kernels are off instead of a silent fallback.
+
+``REPRO_NATIVE_SANITIZE=1`` compiles the kernels with
+``-fsanitize=address,undefined`` into a separate cache slot -- the
+ASan/UBSan differential leg (``repro.analysis.artifactcheck.sanitize``)
+runs the bit-exactness matrix against that build.  Loading it requires the
+sanitizer runtime preloaded (``LD_PRELOAD=libasan.so``); without it the
+import fails and latches gracefully like any other build failure.
 """
 
 from __future__ import annotations
@@ -29,6 +38,8 @@ import hashlib
 import os
 import shutil
 import tempfile
+
+from .. import telemetry
 
 __all__ = ["get_native", "native_status"]
 
@@ -296,9 +307,16 @@ def _cache_dir() -> str:
     return os.path.join(base, "repro-native")
 
 
+def _sanitize_enabled() -> bool:
+    return os.environ.get("REPRO_NATIVE_SANITIZE") == "1"
+
+
 def _module_name() -> str:
     digest = hashlib.sha1(_SOURCE.encode()).hexdigest()[:12]
-    return f"_repro_sched_{digest}"
+    # Sanitized builds get their own cache slot: the instrumented .so needs
+    # the ASan runtime preloaded, so it must never shadow the plain build.
+    suffix = "_san" if _sanitize_enabled() else ""
+    return f"_repro_sched_{digest}{suffix}"
 
 
 def _load_so(path: str):
@@ -326,12 +344,19 @@ def _build():
                 cached = os.path.join(cache, fn)
                 break
     if cached is None:
+        compile_args = ["-O2", "-fno-fast-math"]
+        link_args: list[str] = []
+        if _sanitize_enabled():
+            san = ["-fsanitize=address,undefined", "-fno-sanitize-recover=all"]
+            compile_args += san + ["-g"]
+            link_args = list(san)
         ffi = FFI()
         ffi.cdef(_CDEF)
         ffi.set_source(
             name,
             _SOURCE,
-            extra_compile_args=["-O2", "-fno-fast-math"],
+            extra_compile_args=compile_args,
+            extra_link_args=link_args,
         )
         build_dir = tempfile.mkdtemp(prefix="repro-native-")
         try:
@@ -362,13 +387,18 @@ def get_native():
     if os.environ.get("REPRO_NATIVE", "1") in ("0", "false", "no"):
         _failed = True
         _status = "disabled"
+        telemetry.count("native.latched")
         return None
     try:
         _native = _build()
-        _status = "built"
+        _status = "built (sanitized)" if _sanitize_enabled() else "built"
     except Exception as exc:  # no toolchain / no cffi / unwritable cache
         _failed = True
-        _status = f"unavailable: {type(exc).__name__}"
+        detail = str(exc).strip().replace("\n", " ")[:160]
+        _status = f"unavailable: {type(exc).__name__}" + (
+            f": {detail}" if detail else ""
+        )
+        telemetry.count("native.latched")
         return None
     return _native
 

@@ -38,6 +38,14 @@ from .compiled import compile_template
 __all__ = ["TimingResult", "PipelineModel"]
 
 
+def _dyadic64(v: float) -> bool:
+    """True when ``v`` is an exact multiple of ``2**-6`` -- the grain every
+    scoreboard quantity must sit on for the periodic fast-forward's
+    bit-exactness argument (and what ``artifactcheck`` verifies per chip
+    instead of assuming)."""
+    return (v * 64.0).is_integer()
+
+
 @dataclass
 class TimingResult:
     """Outcome of timing one trace."""
@@ -498,8 +506,7 @@ class PipelineModel:
         n_regs = template.n_regs
         n_units = len(template.units)
 
-        def dyadic(v: float) -> bool:
-            return (v * 64.0).is_integer()
+        dyadic = _dyadic64
 
         can_try = (
             dyadic(1.0 / chip.decode_width)

@@ -411,8 +411,68 @@ class TestNativeKernels:
         monkeypatch.setattr(native, "_failed", False)
         monkeypatch.setattr(native, "_status", "unbuilt")
         monkeypatch.setenv("REPRO_NATIVE", "0")
-        assert native.get_native() is None
+        with telemetry.collecting() as col:
+            assert native.get_native() is None
         assert native.native_status() == "disabled"
-        # Latched: even after the env var goes away, no re-probe.
+        assert col.counters.get("native.latched", 0) == 1
+        # Latched: even after the env var goes away, no re-probe (and no
+        # second count -- the latch fires once per process).
         monkeypatch.delenv("REPRO_NATIVE")
+        with telemetry.collecting() as col:
+            assert native.get_native() is None
+        assert "native.latched" not in col.counters
+
+    @staticmethod
+    def _unbuilt(monkeypatch):
+        from repro.machine import native
+
+        monkeypatch.setattr(native, "_native", None)
+        monkeypatch.setattr(native, "_failed", False)
+        monkeypatch.setattr(native, "_status", "unbuilt")
+
+    def _latched_run_matches_python(self, monkeypatch):
+        """The current latched state must replay bit-identically to an
+        explicit ``REPRO_NATIVE=0`` run."""
+        rng = np.random.default_rng(9)
+        a = rng.standard_normal((32, 24)).astype(np.float32)
+        b = rng.standard_normal((24, 32)).astype(np.float32)
+        latched = GemmExecutor(GRAVITON2, use_compiled=True).run(a, b)
+        self._unbuilt(monkeypatch)
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        forced_off = GemmExecutor(GRAVITON2, use_compiled=True).run(a, b)
+        assert result_fields(latched) == result_fields(forced_off)
+
+    def test_unwritable_cache_dir_latches(self, monkeypatch, tmp_path):
+        # REPRO_NATIVE_DIR pointing at a regular *file* makes the cache
+        # publish step fail on any platform (even running as root, where a
+        # read-only directory would not): os.makedirs refuses the path.
+        from repro.machine import native
+
+        blocker = tmp_path / "not-a-directory"
+        blocker.write_text("occupied")
+        self._unbuilt(monkeypatch)
+        monkeypatch.setenv("REPRO_NATIVE_DIR", str(blocker))
+        with telemetry.collecting() as col:
+            assert native.get_native() is None
+        assert native.native_status().startswith("unavailable:")
+        assert col.counters.get("native.latched", 0) == 1
+        # Latched for the process: a later call with a writable dir does
+        # not re-probe.
+        monkeypatch.setenv("REPRO_NATIVE_DIR", str(tmp_path / "fine"))
         assert native.get_native() is None
+        self._latched_run_matches_python(monkeypatch)
+
+    def test_corrupted_cached_so_latches(self, monkeypatch, tmp_path):
+        # A truncated/garbage .so in the cache is found by the cache probe
+        # and fails at dlopen; the latch (not a crash) must absorb it.
+        from repro.machine import native
+
+        bad = tmp_path / f"{native._module_name()}.so"
+        bad.write_bytes(b"\x7fELF garbage, not a loadable object")
+        self._unbuilt(monkeypatch)
+        monkeypatch.setenv("REPRO_NATIVE_DIR", str(tmp_path))
+        with telemetry.collecting() as col:
+            assert native.get_native() is None
+        assert native.native_status().startswith("unavailable:")
+        assert col.counters.get("native.latched", 0) == 1
+        self._latched_run_matches_python(monkeypatch)
