@@ -1,0 +1,406 @@
+"""Load benchmark for the GEMM-as-a-service daemon (``repro serve``).
+
+Two legs, results in ``BENCH_serve.json`` at the repository root:
+
+1. **load** -- a real daemon subprocess on a unix socket, warmed by a
+   couple of ``tune`` requests (so the schedule registry has entries and
+   the warm path is measurable), then closed-loop client threads driving
+   mixed irregular-shape traffic (tall-skinny / long-rectangle / small,
+   from ``repro.workloads.irregular``).  Reported: ok-request latency
+   p50/p99, throughput, shed rate (explicit ``overload`` rejections over
+   total), and the registry warm-path hit ratio from the daemon's
+   ``stats`` op.  Every request must get exactly one explicit response
+   (``all_explicit``) -- a client-side receive timeout is a benchmark
+   failure, not a retry.
+
+2. **chaos** -- a second daemon started with ``REPRO_FAULTS`` injecting
+   at all four ``serve.*`` seams (transient noise on the daemon-side
+   seams; transient + permanent + a one-shot ``kill -9`` on
+   ``serve.worker``), driven with the same traffic.  The daemon must
+   stay up; every *completed* gemm response must decode **bit-exact**
+   against a cold single-process ``AutoGEMM.gemm`` on the same operands;
+   every failure must carry a known protocol error code; SIGTERM must
+   drain to exit 0; and the shared registry file must load back with
+   zero torn lines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke   # CI-sized
+    PYTHONPATH=src python benchmarks/bench_serve.py           # full load
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from _bench_utils import finalize_payload  # noqa: E402
+from repro.gemm.autogemm import AutoGEMM  # noqa: E402
+from repro.serve import ServeClient, ServeTimeout, protocol  # noqa: E402
+from repro.workloads import irregular  # noqa: E402
+
+CHIP = "KP920"
+
+#: REPRO_FAULTS plan for the chaos leg: transient noise at the daemon-side
+#: seams (retried/explicitly rejected), a permanent trickle plus one
+#: guaranteed worker kill on the worker seam (respawn path).
+CHAOS_FAULTS = (
+    "seed=3;p=0.05;mode=transient;sites=serve.accept,serve.dispatch,serve.respond"
+    "|p=0.03;mode=permanent;sites=serve.worker"
+    "|nth=5;mode=kill;sites=serve.worker"
+)
+
+
+def traffic_shapes(smoke: bool) -> list[tuple[int, int, int]]:
+    """Mixed irregular traffic, deduplicated, sized for the mode.
+
+    Smoke keeps the three irregularity classes but clamps the extreme
+    aspect ratios so the simulated GEMMs fit a CI budget; the full mode
+    draws straight from the workload generators.
+    """
+    if smoke:
+        shapes = [(s.m, s.n, s.k) for s in irregular.small_matrices(4)]
+        shapes += [(16, 256, 32), (24, 384, 64)]   # tall-skinny
+        shapes += [(256, 16, 64), (384, 24, 32)]   # long-rectangle
+    else:
+        shapes = [
+            (s.m, s.n, s.k)
+            for s in irregular.mixed_suite()
+            if s.m * s.n * s.k <= 64 * 1024 * 1024
+        ]
+    out: list[tuple[int, int, int]] = []
+    for shape in shapes:
+        if shape not in out:
+            out.append(shape)
+    return out
+
+
+def start_daemon(
+    sock_path: str, registry: str, workers: int, queue_depth: int,
+    extra_env: dict | None = None, deadline_ms: int = 120_000,
+) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.update(extra_env or {})
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", sock_path,
+            "--registry", registry,
+            "--chip", CHIP,
+            "--workers", str(workers),
+            "--queue-depth", str(queue_depth),
+            "--deadline-ms", str(deadline_ms),
+            "--breaker-threshold", "1000",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.time() + 120
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            out = proc.stdout.read() if proc.stdout else ""
+            raise RuntimeError(f"daemon died at startup (rc={proc.returncode}): {out}")
+        if os.path.exists(sock_path):
+            try:
+                probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                probe.connect(sock_path)
+                probe.close()
+                return proc
+            except OSError:
+                pass
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("daemon did not start listening within 120s")
+
+
+def stop_daemon(proc: subprocess.Popen) -> int:
+    proc.send_signal(signal.SIGTERM)
+    try:
+        proc.wait(timeout=120)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait(timeout=30)
+        return -9
+    return proc.returncode
+
+
+class LoadResult:
+    def __init__(self) -> None:
+        self.latencies_ms: list[float] = []
+        self.errors: dict[str, int] = {}
+        self.timeouts = 0
+        self.responses: list[tuple[tuple[int, int, int], int, str]] = []
+        self.lock = threading.Lock()
+
+    def record_ok(self, ms: float) -> None:
+        with self.lock:
+            self.latencies_ms.append(ms)
+
+    def record_error(self, code: str) -> None:
+        with self.lock:
+            self.errors[code] = self.errors.get(code, 0) + 1
+
+    def record_response(self, shape, seed: int, c_b64: str) -> None:
+        with self.lock:
+            self.responses.append((shape, seed, c_b64))
+
+
+def drive(
+    sock_path: str,
+    shapes: list[tuple[int, int, int]],
+    requests: int,
+    clients: int,
+    keep_payloads: bool,
+) -> tuple[LoadResult, float]:
+    """Closed-loop threaded load: each client sends its share serially."""
+    result = LoadResult()
+
+    def worker(client_idx: int) -> None:
+        with ServeClient(socket_path=sock_path, timeout=300) as cli:
+            for i in range(client_idx, requests, clients):
+                shape = shapes[i % len(shapes)]
+                seed = i % 5
+                m, n, k = shape
+                t0 = time.perf_counter()
+                try:
+                    resp = cli.gemm(m, n, k, seed=seed, threads=1)
+                except (ServeTimeout, ConnectionError):
+                    with result.lock:
+                        result.timeouts += 1
+                    return
+                ms = (time.perf_counter() - t0) * 1e3
+                if resp.get("ok"):
+                    result.record_ok(ms)
+                    if keep_payloads:
+                        result.record_response(shape, seed, resp["result"]["c_b64"])
+                else:
+                    result.record_error(resp["error"]["code"])
+
+    threads = [
+        threading.Thread(target=worker, args=(idx,)) for idx in range(clients)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return result, time.perf_counter() - t0
+
+
+def percentile(values: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values), q)) if values else float("nan")
+
+
+def warm_registry(sock_path: str, shapes, budget: int) -> None:
+    """Tune the first two shapes through the daemon so later gemm traffic
+    exercises the registry warm path."""
+    with ServeClient(socket_path=sock_path, timeout=600) as cli:
+        for m, n, k in shapes[:2]:
+            resp = cli.tune(m, n, k, budget=budget)
+            if not resp.get("ok"):
+                raise RuntimeError(f"warmup tune failed: {resp}")
+
+
+def run_load_leg(tmp: Path, shapes, requests, clients, workers, depth, budget):
+    sock_path = str(tmp / "serve.sock")
+    registry = str(tmp / "registry.jsonl")
+    proc = start_daemon(sock_path, registry, workers, depth)
+    try:
+        warm_registry(sock_path, shapes, budget)
+        result, wall = drive(sock_path, shapes, requests, clients,
+                             keep_payloads=False)
+        with ServeClient(socket_path=sock_path, timeout=60) as cli:
+            stats = cli.stats()
+    finally:
+        exit_code = stop_daemon(proc)
+    completed = len(result.latencies_ms)
+    total = completed + sum(result.errors.values()) + result.timeouts
+    shed = result.errors.get("overload", 0)
+    counters = stats.get("counters", {})
+    return {
+        "requests": requests,
+        "clients": clients,
+        "completed": completed,
+        "errors": dict(sorted(result.errors.items())),
+        "timeouts": result.timeouts,
+        "all_explicit": result.timeouts == 0 and total == requests,
+        "wall_seconds": round(wall, 3),
+        "p50_ms": round(percentile(result.latencies_ms, 50), 3),
+        "p99_ms": round(percentile(result.latencies_ms, 99), 3),
+        "throughput_rps": round(completed / wall, 3) if wall else None,
+        "shed_rate": round(shed / total, 4) if total else None,
+        "registry_hit_ratio": stats.get("registry_hit_ratio"),
+        "serve_counters": {
+            k: v for k, v in sorted(counters.items())
+            if k.startswith("serve.")
+        },
+        "daemon_exit": exit_code,
+    }
+
+
+def run_chaos_leg(tmp: Path, shapes, requests, clients, workers, depth):
+    """The same traffic under fault injection at every serve seam."""
+    sock_path = str(tmp / "chaos.sock")
+    registry = str(tmp / "chaos-registry.jsonl")
+    proc = start_daemon(
+        sock_path, registry, workers, depth,
+        extra_env={"REPRO_FAULTS": CHAOS_FAULTS},
+    )
+    try:
+        result, wall = drive(sock_path, shapes, requests, clients,
+                             keep_payloads=True)
+        with ServeClient(socket_path=sock_path, timeout=60) as cli:
+            stats = cli.stats()
+    finally:
+        exit_code = stop_daemon(proc)
+
+    # Bit-exactness: every completed response against a cold single-process
+    # run on the same deterministic operands (one oracle per distinct
+    # shape/seed -- the daemon's whole contract is that injection never
+    # corrupts a completed result).
+    oracle_lib = AutoGEMM(CHIP)
+    oracles: dict[tuple, np.ndarray] = {}
+    bitexact = True
+    checked = 0
+    for shape, seed, c_b64 in result.responses:
+        m, n, k = shape
+        key = (shape, seed)
+        if key not in oracles:
+            a, b = protocol.operands_from_seed(m, n, k, seed)
+            oracles[key] = oracle_lib.gemm(a, b).c
+        c = protocol.array_from_b64(c_b64, m, n, "c_b64")
+        checked += 1
+        if not (c == oracles[key]).all():
+            bitexact = False
+
+    completed = len(result.latencies_ms)
+    total = completed + sum(result.errors.values()) + result.timeouts
+    known = set(protocol.ERROR_CODES)
+    reg_skipped = _registry_skipped_lines(registry)
+    counters = stats.get("counters", {})
+    return {
+        "faults": CHAOS_FAULTS,
+        "requests": requests,
+        "completed": completed,
+        "checked": checked,
+        "bitexact": bitexact and checked > 0,
+        "errors": dict(sorted(result.errors.items())),
+        "timeouts": result.timeouts,
+        "all_explicit": (
+            result.timeouts == 0
+            and total == requests
+            and all(code in known for code in result.errors)
+        ),
+        "worker_respawns": counters.get("serve.worker_respawns", 0),
+        "faults_injected": {
+            k: v for k, v in sorted(counters.items())
+            if k.startswith("faults.injected.serve")
+        },
+        "daemon_exit": exit_code,
+        "registry_intact": reg_skipped == 0,
+        "registry_skipped_lines": reg_skipped,
+    }
+
+
+def _registry_skipped_lines(path: str) -> int:
+    from repro.tuner.registry import ScheduleRegistry
+
+    if not os.path.exists(path):
+        return 0
+    return ScheduleRegistry(path).skipped_lines
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer, smaller requests)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_serve.json"))
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--queue-depth", type=int, default=16)
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--clients", type=int, default=4)
+    args = parser.parse_args()
+
+    shapes = traffic_shapes(args.smoke)
+    requests = args.requests or (48 if args.smoke else 200)
+    tune_budget = 4 if args.smoke else 12
+    chaos_requests = max(requests // 2, 16)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+        print(f"load leg: {requests} requests over {len(shapes)} shapes, "
+              f"{args.clients} clients, {args.workers} workers", flush=True)
+        load = run_load_leg(
+            tmp, shapes, requests, args.clients, args.workers,
+            args.queue_depth, tune_budget,
+        )
+        print(f"  p50 {load['p50_ms']}ms p99 {load['p99_ms']}ms "
+              f"{load['throughput_rps']} req/s shed {load['shed_rate']} "
+              f"hit-ratio {load['registry_hit_ratio']}", flush=True)
+        print(f"chaos leg: {chaos_requests} requests under {CHAOS_FAULTS!r}",
+              flush=True)
+        chaos = run_chaos_leg(
+            tmp, shapes, chaos_requests, args.clients, args.workers,
+            args.queue_depth,
+        )
+        print(f"  completed {chaos['completed']}/{chaos['requests']} "
+              f"bitexact={chaos['bitexact']} respawns={chaos['worker_respawns']} "
+              f"exit={chaos['daemon_exit']}", flush=True)
+
+    payload = finalize_payload(
+        {
+            "benchmark": "serve_load",
+            "smoke": args.smoke,
+            "chip": CHIP,
+            "workers": args.workers,
+            "queue_depth": args.queue_depth,
+            "shapes": [list(s) for s in shapes],
+            **{
+                key: load[key]
+                for key in (
+                    "requests", "clients", "completed", "errors", "timeouts",
+                    "all_explicit", "wall_seconds", "p50_ms", "p99_ms",
+                    "throughput_rps", "shed_rate", "registry_hit_ratio",
+                    "serve_counters", "daemon_exit",
+                )
+            },
+            "chaos": chaos,
+        }
+    )
+
+    ok = (
+        load["daemon_exit"] == 0
+        and load["all_explicit"]
+        and chaos["daemon_exit"] == 0
+        and chaos["all_explicit"]
+        and chaos["bitexact"]
+        and chaos["registry_intact"]
+    )
+    payload["ok"] = ok
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out} (ok={ok})", flush=True)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

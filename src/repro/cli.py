@@ -49,6 +49,7 @@ import sys
 
 import numpy as np
 
+from . import signals
 from .analysis.reporting import format_table
 from .codegen.microkernel import generate_microkernel
 from .codegen.tiles import enumerate_tiles, first_choice_tiles
@@ -506,6 +507,11 @@ def _cmd_lint_artifacts(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
+    with signals.handling():
+        return _cmd_chaos_body(args)
+
+
+def _cmd_chaos_body(args) -> int:
     from .faults.chaos import run_chaos
 
     sites = args.sites.split(",") if args.sites else None
@@ -555,6 +561,14 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_tune(args) -> int:
+    # Graceful SIGTERM/SIGINT: every finished trial is already fsynced to
+    # --records, so the handler only has to unwind cleanly; main() maps the
+    # interrupt to the conventional 128+signum exit code.
+    with signals.handling():
+        return _cmd_tune_body(args)
+
+
+def _cmd_tune_body(args) -> int:
     import time as _time
 
     from .tuner.records import schedule_to_dict
@@ -617,6 +631,40 @@ def _cmd_tune(args) -> int:
         print("counters:")
         print(format_counters(collector))
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import ServeConfig, serve_forever
+
+    config = ServeConfig(
+        chip=args.chip,
+        registry=args.registry,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        deadline_ms=args.deadline_ms,
+        retries=args.retries,
+        backoff_ms=args.backoff_ms,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        use_replay=not args.no_replay,
+        use_compiled=not args.no_compile,
+    )
+    if not args.socket and not args.host:
+        raise ValueError("serve needs --socket PATH or --host HOST")
+    where = args.socket if args.socket else f"{args.host}:{args.port}"
+    print(
+        f"repro serve: {args.workers} worker(s), queue depth "
+        f"{args.queue_depth}, listening on {where}",
+        flush=True,
+    )
+    code = serve_forever(
+        config,
+        socket_path=args.socket,
+        host=args.host if not args.socket else None,
+        port=args.port,
+    )
+    print("repro serve: drained cleanly", flush=True)
+    return code
 
 
 def _cmd_registry(args) -> int:
@@ -937,6 +985,47 @@ def build_parser() -> argparse.ArgumentParser:
     tu.add_argument("--metrics", action="store_true",
                     help="collect and report telemetry counters")
 
+    sv = sub.add_parser(
+        "serve",
+        help="run the GEMM-as-a-service daemon on a local socket "
+             "(see docs/serving.md); SIGTERM drains gracefully and exits 0",
+    )
+    sv.add_argument("--socket", default=None,
+                    help="unix-domain socket path to listen on")
+    sv.add_argument("--host", default=None,
+                    help="TCP host to listen on instead of a unix socket")
+    sv.add_argument("--port", type=int, default=0,
+                    help="TCP port (0 = ephemeral; printed at startup)")
+    sv.add_argument("--chip", default="KP920")
+    sv.add_argument("--workers", type=int, default=2,
+                    help="supervised worker processes (default 2)")
+    sv.add_argument("--queue-depth", type=int, default=32,
+                    help="bounded admission queue; beyond it requests are "
+                         "shed with an explicit overload error (default 32)")
+    sv.add_argument("--deadline-ms", type=int, default=30000,
+                    help="default per-request deadline when the request "
+                         "carries none (default 30000)")
+    sv.add_argument("--retries", type=int, default=2,
+                    help="max retries for transient worker failures "
+                         "(default 2)")
+    sv.add_argument("--backoff-ms", type=int, default=10,
+                    help="base of the exponential retry backoff "
+                         "(default 10)")
+    sv.add_argument("--breaker-threshold", type=int, default=3,
+                    help="consecutive failures before a shape key is "
+                         "quarantined (default 3)")
+    sv.add_argument("--breaker-cooldown", type=float, default=30.0,
+                    help="seconds a quarantined shape stays quarantined "
+                         "before a half-open probe (default 30)")
+    sv.add_argument("--registry", default=None,
+                    help="persistent tuned-schedule registry file shared "
+                         "with the workers")
+    sv.add_argument("--no-replay", action="store_true",
+                    help="disable the tile-replay fast path in workers")
+    sv.add_argument("--no-compile", action="store_true",
+                    help="disable compiled trace-template artifacts "
+                         "in workers")
+
     rg = sub.add_parser(
         "registry",
         help="inspect or edit a persistent tuned-schedule registry",
@@ -983,6 +1072,7 @@ _COMMANDS = {
     "lint-artifacts": _cmd_lint_artifacts,
     "chaos": _cmd_chaos,
     "tune": _cmd_tune,
+    "serve": _cmd_serve,
     "registry": _cmd_registry,
     "bench": _cmd_bench,
     "explain": _cmd_explain,
@@ -1009,6 +1099,7 @@ FAIL_CODES = {
     "bench": 22,
     "explain": 23,
     "lint-artifacts": 24,
+    "serve": 25,
 }
 assert set(FAIL_CODES) == set(_COMMANDS)
 
@@ -1017,6 +1108,16 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except signals.GracefulInterrupt as gi:
+        # SIGTERM/SIGINT under signals.handling(): already-checkpointed
+        # state is flushed (appends are fsynced as they happen), so all
+        # that is left is the conventional 128+signum status.
+        print(
+            f"repro {args.command}: interrupted by signal {gi.signum}; "
+            "checkpointed state is on disk",
+            file=sys.stderr,
+        )
+        return signals.exit_code(gi.signum)
     except Exception as exc:
         print(f"repro {args.command}: error: {exc}", file=sys.stderr)
         return FAIL_CODES[args.command]

@@ -13,6 +13,18 @@ through it:
   checkpoint/resume store (so record-store I/O is exercised), which must
   finish with a finite, positive best.
 
+The ``serve.*`` sites get a **serve leg** instead: an in-process
+:class:`~repro.serve.GemmServer` (supervised forked workers inherit the
+installed plan) is driven with gemm + tune requests under injection at the
+targeted seam.  The daemon must stay up, every *completed* gemm response
+must decode bit-exact against the same oracle, every failure must be an
+explicit protocol error (the client's receive timeout converts a silent
+drop into a sweep failure), and the daemon must still drain cleanly.
+Worker-side injections are invisible to the parent's plan tally, so the
+serve leg counts firings via the stitched ``faults.injected.<site>``
+telemetry counter (worker snapshots are adopted into the daemon's
+collector).
+
 A site that never fires is itself a failure: the sweep's contract is that
 every registered instrumentation point is reachable, so dead sites cannot
 silently rot.  ``repro chaos`` exposes the sweep on the CLI and CI runs it
@@ -162,6 +174,13 @@ def run_chaos(
     for site in targets:
         sr = SiteReport(site=site)
         plan = _site_plan(site, seed)
+        if site.startswith("serve."):
+            _serve_site_leg(
+                sr, plan, chipspec, want, m=m, n=n, k=k, seed=seed,
+                budget=budget,
+            )
+            report.sites.append(sr)
+            continue
         try:
             with faults.injecting(plan):
                 # GEMM leg: fresh caches so first-use sites (kernel
@@ -198,3 +217,115 @@ def run_chaos(
             sr.error = "site never fired (instrumentation unreachable?)"
         report.sites.append(sr)
     return report
+
+
+def _serve_site_leg(
+    sr: SiteReport,
+    plan: faults.FaultPlan,
+    chipspec,
+    want: np.ndarray,
+    m: int,
+    n: int,
+    k: int,
+    seed: int,
+    budget: int,
+) -> None:
+    """Drive an in-process daemon through injection at one serve site.
+
+    Fills the generic report fields with serve-leg meanings:
+    ``gemm_bitexact`` = at least one gemm completed and every completed
+    one decoded bit-exact; ``tune_completed`` = a tune request eventually
+    returned a finite best through the faults; ``injected`` comes from the
+    stitched telemetry counter (worker firings are invisible to the
+    parent's plan object).
+    """
+    import os
+    import threading
+
+    from .. import telemetry
+    from ..serve import GemmServer, ServeClient, ServeConfig
+    from ..serve import protocol as _proto
+
+    collector = telemetry.Collector()
+    server = None
+    thread = None
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            # Plan + collector go in BEFORE the server forks its workers,
+            # so both are inherited; breaker threshold is high because the
+            # quarantine path has its own tests and would otherwise mask
+            # the tune leg under repeated permanent faults.
+            with telemetry.collecting(collector), faults.injecting(plan):
+                config = ServeConfig(
+                    chip=chipspec.name,
+                    workers=2,
+                    queue_depth=8,
+                    deadline_ms=300_000,
+                    retries=2,
+                    backoff_ms=5,
+                    breaker_threshold=50,
+                )
+                sock = os.path.join(tmp, "chaos-serve.sock")
+                server = GemmServer(config, socket_path=sock)
+                thread = threading.Thread(target=server.run, daemon=True)
+                thread.start()
+                if not server.started.wait(60):
+                    sr.error = "daemon failed to start"
+                    return
+                ok_seen = 0
+                bitexact = True
+                with ServeClient(socket_path=sock, timeout=300) as cli:
+                    for _ in range(4):
+                        resp = cli.gemm(m, n, k, seed=seed)
+                        if resp["ok"]:
+                            ok_seen += 1
+                            c = _proto.array_from_b64(
+                                resp["result"]["c_b64"], m, n, "c_b64"
+                            )
+                            bitexact = bitexact and bool((c == want).all())
+                            sr.gemm_degraded = (
+                                sr.gemm_degraded
+                                or bool(resp["result"]["degraded"])
+                            )
+                        elif resp["error"]["code"] not in _proto.ERROR_CODES:
+                            sr.error = (
+                                f"unknown error code {resp['error']['code']!r}"
+                            )
+                            return
+                    sr.gemm_bitexact = bitexact and ok_seen > 0
+                    # Tune leg through the daemon; a few attempts ride out
+                    # injected rejections (each is an explicit error).
+                    for _ in range(4):
+                        resp = cli.tune(m, n, k, budget=min(budget, 4))
+                        if resp["ok"]:
+                            cycles = float(resp["result"]["cycles"])
+                            sr.tune_completed = (
+                                np.isfinite(cycles) and cycles > 0.0
+                            )
+                            sr.tune_best_cycles = cycles
+                            break
+                        if resp["error"]["code"] not in _proto.ERROR_CODES:
+                            sr.error = (
+                                f"unknown error code {resp['error']['code']!r}"
+                            )
+                            return
+                server.initiate_drain()
+                thread.join(60)
+                if thread.is_alive():
+                    sr.error = "daemon failed to drain"
+    except Exception as exc:  # noqa: BLE001 -- any escape is a finding
+        sr.error = f"{type(exc).__name__}: {exc}"
+        if server is not None:
+            server.initiate_drain()
+        if thread is not None:
+            thread.join(30)
+    finally:
+        # Parent-side firings tally on the plan; worker-side ones only in
+        # the adopted counter.  The counter covers both when telemetry was
+        # live for the whole leg, so take the larger.
+        sr.injected = max(
+            plan.total_injected(),
+            int(collector.counter(f"faults.injected.{sr.site}")),
+        )
+        if sr.injected == 0 and sr.error is None:
+            sr.error = "site never fired (instrumentation unreachable?)"

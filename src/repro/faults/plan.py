@@ -3,8 +3,9 @@
 The stack is instrumented at the seams where real tuning/serving
 deployments see failures -- kernel generation, static verification, trace
 capture, template compilation, template replay, pipeline timing,
-simulated-memory allocation, cache access, tuner measurement, and
-record-store I/O (:data:`SITES`).
+simulated-memory allocation, cache access, tuner measurement,
+record-store I/O, and the four seams of the serving daemon (request
+acceptance, dispatch, worker execution, response write) (:data:`SITES`).
 Each site calls :func:`check` (or :func:`corrupt` for value-returning
 sites); with no plan installed that is a single global read, so the
 production path pays nothing.
@@ -87,6 +88,10 @@ SITES: dict[str, str] = {
     "cache.access": "cache-hierarchy demand access during timing",
     "tuner.measure": "one auto-tuner candidate measurement",
     "records.io": "tuning-record store read/write",
+    "serve.accept": "daemon request acceptance/parse (socket read fault)",
+    "serve.dispatch": "daemon dispatch of an admitted request to a worker",
+    "serve.worker": "serving-worker request execution (crash/hang/kill)",
+    "serve.respond": "daemon response write back to the client",
 }
 
 #: Spec/plan modes understood by :meth:`FaultPlan.poll`.

@@ -1,0 +1,34 @@
+"""GEMM-as-a-service: the resilient serving daemon (``repro serve``).
+
+The serving counterpart to the tuner's checkpoint/resume story: a
+long-lived process that holds the expensive warm state (kernel/replay
+caches, the fingerprint-checked schedule registry) and survives the
+failure modes long-lived processes actually meet -- overload, wedged
+workers, crash loops on poison shapes, and operators sending SIGTERM.
+
+* :mod:`~repro.serve.protocol` -- the ndjson request/response schema.
+* :mod:`~repro.serve.supervisor` -- the forked worker pool: deadlines,
+  retry with backoff, respawn, per-shape circuit breaker.
+* :mod:`~repro.serve.server` -- asyncio front end: bounded admission,
+  load shedding, explicit error responses, graceful drain.
+* :mod:`~repro.serve.client` -- blocking test/benchmark client.
+
+See ``docs/serving.md`` for the protocol and failure-policy contract.
+"""
+
+from .client import ServeClient, ServeTimeout
+from .protocol import ERROR_CODES, ProtocolError, operands_from_seed
+from .server import GemmServer, serve_forever
+from .supervisor import ServeConfig, Supervisor
+
+__all__ = [
+    "ERROR_CODES",
+    "GemmServer",
+    "ProtocolError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeTimeout",
+    "Supervisor",
+    "operands_from_seed",
+    "serve_forever",
+]

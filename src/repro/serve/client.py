@@ -1,0 +1,142 @@
+"""Blocking client for the serving daemon (tests, benchmarks, CLI pokes).
+
+A thin socket wrapper speaking the ndjson protocol.  :meth:`request` is
+the simple call-response path; :meth:`send`/:meth:`recv_for` expose the
+pipelined path (many requests in flight, responses matched by ``id``),
+which the drain and overload tests need -- an ``overload`` rejection is
+written immediately and can overtake responses to earlier requests.
+
+Every receive is bounded by ``timeout``: a daemon bug that swallowed a
+response surfaces here as :class:`ServeTimeout`, never as a hung test.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+
+from . import protocol
+
+__all__ = ["ServeTimeout", "ServeClient"]
+
+
+class ServeTimeout(TimeoutError):
+    """No response arrived within the client's timeout."""
+
+
+class ServeClient:
+    """One connection to a daemon.  Context manager; not thread-safe."""
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        host: str | None = None,
+        port: int = 0,
+        timeout: float = 60.0,
+    ) -> None:
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        elif host is not None:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        else:
+            raise ValueError("need a unix socket_path or a TCP host")
+        self.timeout = timeout
+        self._buf = b""
+        self._pending: dict[str, dict] = {}  # id -> response, out-of-order
+        self._seq = 0
+
+    # -- raw pipelined access ---------------------------------------------
+    def send(self, obj: dict) -> str:
+        """Ship one request line; returns the (possibly generated) id."""
+        if not obj.get("id"):
+            self._seq += 1
+            obj = dict(obj, id=f"c{self._seq}")
+        self._sock.sendall(protocol.encode(obj))
+        return obj["id"]
+
+    def recv(self) -> dict:
+        """The next response line, whoever it belongs to."""
+        while b"\n" not in self._buf:
+            try:
+                chunk = self._sock.recv(1 << 16)
+            except socket.timeout:
+                raise ServeTimeout(
+                    f"no response within {self.timeout}s"
+                ) from None
+            if not chunk:
+                raise ConnectionError("daemon closed the connection")
+            self._buf += chunk
+        line, self._buf = self._buf.split(b"\n", 1)
+        return protocol.decode_line(line)
+
+    def recv_for(self, rid: str) -> dict:
+        """The response to ``rid``, parking any that overtake it."""
+        if rid in self._pending:
+            return self._pending.pop(rid)
+        while True:
+            resp = self.recv()
+            if resp.get("id") == rid:
+                return resp
+            self._pending[resp.get("id", "")] = resp
+
+    def request(self, obj: dict) -> dict:
+        return self.recv_for(self.send(obj))
+
+    # -- typed helpers -----------------------------------------------------
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict:
+        resp = self.request({"op": "stats"})
+        return resp["result"]
+
+    def gemm(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        seed: int = 0,
+        threads: int = 1,
+        deadline_ms: int = 0,
+        a: np.ndarray | None = None,
+        b: np.ndarray | None = None,
+    ) -> dict:
+        """One gemm request; returns the raw response dict."""
+        req = {
+            "op": "gemm", "m": m, "n": n, "k": k, "seed": seed,
+            "threads": threads, "deadline_ms": deadline_ms,
+        }
+        if a is not None:
+            req["a_b64"] = protocol.array_to_b64(a)
+            req["b_b64"] = protocol.array_to_b64(b)
+        return self.request(req)
+
+    def gemm_array(self, resp: dict, m: int, n: int) -> np.ndarray:
+        """Decode the C matrix out of an ok gemm response."""
+        return protocol.array_from_b64(resp["result"]["c_b64"], m, n, "c_b64")
+
+    def tune(
+        self, m: int, n: int, k: int, budget: int = 8, deadline_ms: int = 0
+    ) -> dict:
+        return self.request(
+            {
+                "op": "tune", "m": m, "n": n, "k": k,
+                "budget": budget, "deadline_ms": deadline_ms,
+            }
+        )
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

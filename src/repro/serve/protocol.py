@@ -1,0 +1,231 @@
+"""Wire protocol of the GEMM-as-a-service daemon: newline-delimited JSON.
+
+One request per line, one response per line; a client may pipeline and
+must match responses to requests by the echoed ``id`` (admission
+rejections are written immediately, so responses can overtake earlier
+in-flight work).  The protocol is deliberately local-socket-plain -- a
+framing anyone can speak with ``socat`` -- because the daemon's value is
+the warm state behind it, not the transport.
+
+Requests::
+
+    {"op": "gemm", "id": "c1", "m": 64, "n": 48, "k": 96, "seed": 7,
+     "threads": 1, "deadline_ms": 2000}
+    {"op": "tune", "id": "c2", "m": 64, "n": 48, "k": 96, "budget": 8}
+    {"op": "ping", "id": "c3"}
+    {"op": "stats", "id": "c4"}
+
+GEMM operands are either derived **deterministically from ``seed``**
+(:func:`operands_from_seed`, the same generator the CLI uses -- what makes
+the chaos leg's bit-exactness check against a cold single-process run
+possible), or shipped inline as base64 little-endian row-major float32
+(``a_b64``/``b_b64``).
+
+Responses::
+
+    {"id": "c1", "ok": true, "request": "<trace>:serve:3",
+     "result": {"c_b64": "...", "cycles": ..., "degraded": false, ...}}
+    {"id": "c1", "ok": false, "error": {"code": "overload",
+     "message": "admission queue full (depth 32)"}}
+
+Every admitted-then-failed outcome is an *explicit* error response --
+``overload``, ``deadline``, ``quarantined``, ``draining``, ``crash``,
+``fault``, ``invalid`` (:data:`ERROR_CODES`) -- the daemon never silently
+drops a request it read.  Validation bounds every numeric field
+(:data:`MAX_DIM`, :data:`MAX_LINE_BYTES`) so a poison request cannot make
+the daemon allocate unbounded memory.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+
+import numpy as np
+
+__all__ = [
+    "MAX_DIM",
+    "MAX_TUNE_BUDGET",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "ERROR_CODES",
+    "ProtocolError",
+    "parse_request",
+    "encode",
+    "decode_line",
+    "ok_response",
+    "error_response",
+    "operands_from_seed",
+    "array_to_b64",
+    "array_from_b64",
+    "request_operands",
+]
+
+#: Largest accepted GEMM dimension: bounds worker memory at ~hundreds of MB
+#: for the worst legal shape instead of whatever a client asks for.
+MAX_DIM = 4096
+MAX_TUNE_BUDGET = 512
+#: Framing bound: a line longer than this is rejected at read time, before
+#: it is ever buffered whole (two MAX_DIM^2 float32 operands in base64,
+#: with headroom).
+MAX_LINE_BYTES = 256 * 1024 * 1024
+
+OPS = ("gemm", "tune", "ping", "stats")
+
+#: Every way the daemon answers "no", machine-readable.
+ERROR_CODES = (
+    "invalid",      # malformed/out-of-bounds request (never admitted)
+    "overload",     # admission queue full; shed at the door
+    "draining",     # daemon is draining after SIGTERM; shed at the door
+    "deadline",     # per-request deadline expired (queued too long or hung)
+    "crash",        # worker died repeatedly; retries exhausted
+    "quarantined",  # circuit breaker open for this shape key
+    "fault",        # injected/infrastructure fault surfaced as an error
+    "internal",     # unexpected exception (bug surface, never a hang)
+)
+
+
+class ProtocolError(ValueError):
+    """A request that violates the protocol; maps to an ``invalid`` error."""
+
+
+def encode(obj: dict) -> bytes:
+    """One protocol line: compact JSON + newline."""
+    return json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one line into a dict; :class:`ProtocolError` on anything else."""
+    try:
+        obj = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    return obj
+
+
+def _require_dim(obj: dict, key: str) -> int:
+    value = obj.get(key)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError(f"{key!r} must be an integer")
+    if not 1 <= value <= MAX_DIM:
+        raise ProtocolError(f"{key!r} must be in [1, {MAX_DIM}], got {value}")
+    return value
+
+
+def _optional_int(obj: dict, key: str, default: int, lo: int, hi: int) -> int:
+    value = obj.get(key, default)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError(f"{key!r} must be an integer")
+    if not lo <= value <= hi:
+        raise ProtocolError(f"{key!r} must be in [{lo}, {hi}], got {value}")
+    return value
+
+
+def parse_request(line: bytes | str) -> dict:
+    """Validate one request line into a normalized dict.
+
+    Returns ``{"op", "id", ...}`` with every field type- and
+    bounds-checked; raises :class:`ProtocolError` (the ``invalid`` error
+    code) otherwise.  Unknown keys are rejected, not ignored -- a typo'd
+    ``deadine_ms`` silently meaning "no deadline" is exactly the kind of
+    hole a robustness layer must not have.
+    """
+    obj = decode_line(line)
+    op = obj.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; one of {', '.join(OPS)}")
+    rid = obj.get("id", "")
+    if not isinstance(rid, str) or len(rid) > 128:
+        raise ProtocolError("'id' must be a string of at most 128 chars")
+    req: dict = {"op": op, "id": rid}
+    known = {"op", "id"}
+    if op in ("gemm", "tune"):
+        for key in ("m", "n", "k"):
+            req[key] = _require_dim(obj, key)
+        req["threads"] = _optional_int(obj, "threads", 1, 1, 256)
+        req["deadline_ms"] = _optional_int(
+            obj, "deadline_ms", 0, 0, 24 * 3600 * 1000
+        )  # 0 = use the server default
+        req["seed"] = _optional_int(obj, "seed", 0, 0, 2**32 - 1)
+        known |= {"m", "n", "k", "threads", "deadline_ms", "seed"}
+    if op == "gemm":
+        for key in ("a_b64", "b_b64"):
+            value = obj.get(key)
+            if value is not None and not isinstance(value, str):
+                raise ProtocolError(f"{key!r} must be a base64 string")
+            req[key] = value
+        if (req["a_b64"] is None) != (req["b_b64"] is None):
+            raise ProtocolError("'a_b64' and 'b_b64' must be sent together")
+        known |= {"a_b64", "b_b64"}
+    elif op == "tune":
+        req["budget"] = _optional_int(obj, "budget", 8, 1, MAX_TUNE_BUDGET)
+        known |= {"budget"}
+    unknown = set(obj) - known
+    if unknown:
+        raise ProtocolError(f"unknown request keys: {sorted(unknown)}")
+    return req
+
+
+def ok_response(rid: str, result: dict, request_id: str | None = None) -> dict:
+    resp = {"id": rid, "ok": True, "result": result}
+    if request_id:
+        resp["request"] = request_id
+    return resp
+
+
+def error_response(
+    rid: str, code: str, message: str, request_id: str | None = None
+) -> dict:
+    assert code in ERROR_CODES, code
+    resp = {"id": rid, "ok": False, "error": {"code": code, "message": message}}
+    if request_id:
+        resp["request"] = request_id
+    return resp
+
+
+# -- operand encoding --------------------------------------------------------
+
+def operands_from_seed(
+    m: int, n: int, k: int, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """The protocol's deterministic operand generator (identical to the CLI's
+    ``--seed`` operands): uniform [-1, 1) float32, A then B from one
+    ``default_rng(seed)`` stream."""
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1, 1, (m, k)).astype(np.float32)
+    b = rng.uniform(-1, 1, (k, n)).astype(np.float32)
+    return a, b
+
+
+def array_to_b64(arr: np.ndarray) -> str:
+    """Base64 of little-endian row-major float32 bytes."""
+    return base64.b64encode(
+        np.ascontiguousarray(arr, dtype="<f4").tobytes()
+    ).decode("ascii")
+
+
+def array_from_b64(data: str, rows: int, cols: int, name: str) -> np.ndarray:
+    """Decode and shape-check an inline operand."""
+    try:
+        raw = base64.b64decode(data, validate=True)
+    except Exception as exc:
+        raise ProtocolError(f"{name}: invalid base64: {exc}") from None
+    expect = rows * cols * 4
+    if len(raw) != expect:
+        raise ProtocolError(
+            f"{name}: expected {expect} bytes for {rows}x{cols} float32, "
+            f"got {len(raw)}"
+        )
+    return np.frombuffer(raw, dtype="<f4").reshape(rows, cols).copy()
+
+
+def request_operands(req: dict) -> tuple[np.ndarray, np.ndarray]:
+    """The operands a validated ``gemm`` request describes."""
+    m, n, k = req["m"], req["n"], req["k"]
+    if req.get("a_b64") is not None:
+        a = array_from_b64(req["a_b64"], m, k, "a_b64")
+        b = array_from_b64(req["b_b64"], k, n, "b_b64")
+        return a, b
+    return operands_from_seed(m, n, k, req["seed"])

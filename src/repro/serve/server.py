@@ -1,0 +1,417 @@
+"""The GEMM-as-a-service daemon: asyncio front end over the worker pool.
+
+``repro serve`` runs a :class:`GemmServer` on a unix-domain socket (the
+local-first transport; ``host``/``port`` selects TCP for tests or
+containers without abstract sockets).  The event loop owns *admission*;
+everything compute-shaped happens in the supervised worker pool
+(:mod:`repro.serve.supervisor`):
+
+* **Bounded admission queue** -- at most ``queue_depth`` admitted
+  requests wait for a dispatcher.  When the queue is full the daemon
+  answers ``{"ok": false, "error": {"code": "overload"}}`` *immediately*
+  (load shedding at the door) instead of buffering unboundedly; memory
+  is bounded by ``queue_depth`` plus one in-flight request per worker.
+* **Dispatchers** -- one per worker.  Each pulls an admitted request,
+  re-checks its deadline (time spent queued counts against the budget),
+  and runs :meth:`Supervisor.execute` on a thread (the event loop never
+  blocks on a worker).
+* **Explicit outcomes** -- every request the daemon reads gets exactly
+  one response line: a result, or an error from :data:`protocol.ERROR_CODES`.
+  The chaos contract is that this holds under fault injection at all four
+  ``serve.*`` sites *and* worker ``kill -9``.
+* **Graceful drain** -- SIGTERM/SIGINT (or :meth:`initiate_drain`) stops
+  accepting connections, answers queued-but-unstarted and late-arriving
+  requests with ``draining``, lets in-flight work finish, shuts the
+  worker pool down cleanly, and exits 0.  Registry/record state needs no
+  flush step: every append was already fsynced when it happened
+  (``records.syncs``).
+
+Fault sites (daemon side): ``serve.accept`` wraps request read/parse --
+transient faults there are retried in place, recoverable failures become
+an explicit ``fault`` error response.  ``serve.respond`` wraps the
+response write -- a permanent fault there still *attempts* a minimal
+error line and then closes the connection (``serve.respond_failed``),
+because a daemon that silently swallows a response is exactly what this
+PR exists to rule out.
+
+Counters: ``serve.accepted`` (connections), ``serve.requests``,
+``serve.admitted``, ``serve.rejected`` (overload), ``serve.drain_rejected``,
+``serve.completed``, ``serve.errors``, ``serve.invalid``,
+``serve.respond_failed``, ``serve.drained`` plus the supervisor's set.
+Every request runs under ``telemetry.request("serve")``, so its id links
+the daemon's spans with the worker-side spans stitched home in replies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import os
+import signal as _signal
+import threading
+import time
+
+from .. import telemetry
+from ..faults import plan as _faults
+from . import protocol
+from .supervisor import ServeConfig, ServeError, Supervisor
+
+__all__ = ["GemmServer", "serve_forever"]
+
+
+class _Client:
+    """One connected client: serialized writes over a shared StreamWriter."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.closed = False
+
+    async def send(self, obj: dict) -> None:
+        async with self.lock:
+            if self.closed:
+                return
+            self.writer.write(protocol.encode(obj))
+            await self.writer.drain()
+
+
+class GemmServer:
+    """The daemon.  Construct, then :meth:`run` (blocks until drained)."""
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        socket_path: str | None = None,
+        host: str | None = None,
+        port: int = 0,
+    ) -> None:
+        if socket_path is None and host is None:
+            raise ValueError("need a unix socket_path or a TCP host")
+        self.config = config or ServeConfig()
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.supervisor: Supervisor | None = None
+        self.draining = False
+        self.started = threading.Event()  # set once the socket is listening
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._queue: asyncio.Queue | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._inflight = 0
+        self._t0 = time.monotonic()
+
+    # -- lifecycle ---------------------------------------------------------
+    def run(self) -> int:
+        """Start the pool + loop; block until drained.  Returns 0."""
+        self.supervisor = Supervisor(self.config)
+        try:
+            asyncio.run(self._main())
+        finally:
+            self.supervisor.close(graceful=True)
+            if self.socket_path and os.path.exists(self.socket_path):
+                with contextlib.suppress(OSError):
+                    os.unlink(self.socket_path)
+        telemetry.count("serve.drained")
+        return 0
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(self.config.queue_depth)
+        self._drained = asyncio.Event()
+        # Dispatcher threads: Supervisor.execute blocks (pipe round-trips,
+        # backoff sleeps), so it runs on an executor thread per worker.
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="serve-dispatch"
+        )
+        try:
+            self._loop.add_signal_handler(
+                _signal.SIGTERM, self.initiate_drain
+            )
+            self._loop.add_signal_handler(
+                _signal.SIGINT, self.initiate_drain
+            )
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main-thread runs (tests) drain via initiate_drain()
+        if self.socket_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._on_connect, path=self.socket_path,
+                limit=protocol.MAX_LINE_BYTES,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connect, host=self.host, port=self.port,
+                limit=protocol.MAX_LINE_BYTES,
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+        dispatchers = [
+            asyncio.ensure_future(self._dispatcher())
+            for _ in range(self.config.workers)
+        ]
+        self.started.set()
+        try:
+            await self._drained.wait()
+            # Drain: stop accepting, reject what is still queued, wait for
+            # in-flight work, then fall through to teardown.
+            self._server.close()
+            await self._server.wait_closed()
+            await self._reject_queued()
+            await self._queue.join()
+        finally:
+            for task in dispatchers:
+                task.cancel()
+            await asyncio.gather(*dispatchers, return_exceptions=True)
+            self._pool.shutdown(wait=True)
+
+    def initiate_drain(self) -> None:
+        """Begin graceful shutdown.  Thread-safe and idempotent."""
+        if self.draining:
+            return
+        self.draining = True
+        loop = self._loop
+        if loop is None:
+            return
+        loop.call_soon_threadsafe(self._drained.set)
+
+    async def _reject_queued(self) -> None:
+        """Answer every queued-but-unstarted request with ``draining``."""
+        while True:
+            try:
+                client, req, _deadline, _rid, _ctx = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            telemetry.count("serve.drain_rejected")
+            await self._respond(
+                client,
+                protocol.error_response(
+                    req["id"], "draining", "daemon is draining; request shed"
+                ),
+            )
+            self._queue.task_done()
+
+    # -- accept path -------------------------------------------------------
+    async def _on_connect(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        telemetry.count("serve.accepted")
+        client = _Client(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # readline raises ValueError past the stream limit: the
+                    # framing bound.  Reject explicitly and drop the client.
+                    await self._respond(
+                        client,
+                        protocol.error_response(
+                            "", "invalid",
+                            f"request line over {protocol.MAX_LINE_BYTES} bytes",
+                        ),
+                    )
+                    break
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    break
+                if not line:
+                    break
+                await self._on_line(client, line)
+        finally:
+            client.closed = True
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _on_line(self, client: _Client, line: bytes) -> None:
+        """Admit (or explicitly reject) one request line."""
+        telemetry.count("serve.requests")
+        with telemetry.request("serve") as rid:
+            def _read():
+                # serve.accept is the read/parse seam; a transient fault
+                # here models a flaky socket read and is retried in place.
+                _faults.check("serve.accept")
+                return protocol.parse_request(line)
+
+            try:
+                req = _faults.retrying(_read)
+            except protocol.ProtocolError as exc:
+                telemetry.count("serve.invalid")
+                await self._respond(
+                    client, protocol.error_response("", "invalid", str(exc), rid)
+                )
+                return
+            except _faults.RECOVERABLE_FAULTS as exc:
+                # The read is untrusted after an accept fault, but a
+                # best-effort id lets the client correlate the rejection.
+                try:
+                    rej_id = str(protocol.decode_line(line).get("id", ""))[:128]
+                except protocol.ProtocolError:
+                    rej_id = ""
+                telemetry.count("serve.errors")
+                await self._respond(
+                    client,
+                    protocol.error_response(
+                        rej_id, "fault", f"accept fault: {exc}", rid
+                    ),
+                )
+                return
+            if req["op"] == "ping":
+                await self._respond(
+                    client, protocol.ok_response(req["id"], {"pong": True}, rid)
+                )
+                return
+            if req["op"] == "stats":
+                await self._respond(
+                    client, protocol.ok_response(req["id"], self.stats(), rid)
+                )
+                return
+            if self.draining:
+                telemetry.count("serve.drain_rejected")
+                await self._respond(
+                    client,
+                    protocol.error_response(
+                        req["id"], "draining", "daemon is draining", rid
+                    ),
+                )
+                return
+            deadline_ms = req["deadline_ms"] or self.config.deadline_ms
+            deadline = time.monotonic() + deadline_ms / 1000.0
+            # Capture the trace context NOW, inside the request scope --
+            # dispatch happens later on another task, where the scope's
+            # thread-local id is gone.
+            ctx = telemetry.trace_context()
+            try:
+                self._queue.put_nowait((client, req, deadline, rid, ctx))
+            except asyncio.QueueFull:
+                telemetry.count("serve.rejected")
+                await self._respond(
+                    client,
+                    protocol.error_response(
+                        req["id"], "overload",
+                        f"admission queue full (depth {self.config.queue_depth})",
+                        rid,
+                    ),
+                )
+                return
+            telemetry.count("serve.admitted")
+
+    # -- dispatch path -----------------------------------------------------
+    async def _dispatcher(self) -> None:
+        """Pull admitted requests and run them on the supervisor."""
+        while True:
+            client, req, deadline, rid, ctx = await self._queue.get()
+            try:
+                await self._dispatch_one(client, req, deadline, rid, ctx)
+            except Exception as exc:  # must never kill the dispatcher
+                telemetry.count("serve.errors")
+                with contextlib.suppress(Exception):
+                    await self._respond(
+                        client,
+                        protocol.error_response(
+                            req["id"], "internal",
+                            f"{type(exc).__name__}: {exc}", rid,
+                        ),
+                    )
+            finally:
+                self._queue.task_done()
+
+    async def _dispatch_one(
+        self, client: _Client, req: dict, deadline: float, rid: str, ctx
+    ) -> None:
+        if deadline - time.monotonic() <= 0:
+            telemetry.count("serve.deadline_exceeded")
+            await self._respond(
+                client,
+                protocol.error_response(
+                    req["id"], "deadline", "deadline expired while queued", rid
+                ),
+            )
+            return
+        self._inflight += 1
+        try:
+            payload = await self._loop.run_in_executor(
+                self._pool,
+                lambda: self.supervisor.execute(req, deadline, ctx),
+            )
+        except ServeError as exc:
+            telemetry.count("serve.errors")
+            await self._respond(
+                client,
+                protocol.error_response(req["id"], exc.code, str(exc), rid),
+            )
+            return
+        finally:
+            self._inflight -= 1
+        telemetry.count("serve.completed")
+        await self._respond(
+            client, protocol.ok_response(req["id"], payload, rid)
+        )
+
+    # -- respond path ------------------------------------------------------
+    async def _respond(self, client: _Client, obj: dict) -> None:
+        """Write one response line through the ``serve.respond`` seam.
+
+        A transient fault is retried; a persistent failure (fault or a
+        client that went away) is counted under ``serve.respond_failed``
+        and -- when the fault left the socket usable -- replaced by a
+        minimal error line so the client never just hears silence.
+        """
+        try:
+            _faults.retrying(lambda: _faults.check("serve.respond"))
+        except _faults.RECOVERABLE_FAULTS as exc:
+            telemetry.count("serve.respond_failed")
+            fallback = protocol.error_response(
+                obj.get("id", ""), "fault", f"respond fault: {exc}"
+            )
+            with contextlib.suppress(Exception):
+                await client.send(fallback)
+            return
+        try:
+            await client.send(obj)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            telemetry.count("serve.respond_failed")
+            client.closed = True
+
+    # -- stats -------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counter snapshot + pool/breaker/queue state (the ``stats`` op)."""
+        col = telemetry.active_collector()
+        counters = {}
+        if col is not None:
+            counters = {
+                name: value
+                for name, value in sorted(col.counters.items())
+                if name.startswith(("serve.", "registry.", "records.", "faults."))
+            }
+        hits = counters.get("registry.hits", 0.0)
+        misses = counters.get("registry.misses", 0.0)
+        looked = hits + misses
+        return {
+            "uptime_s": round(time.monotonic() - self._t0, 3),
+            "draining": self.draining,
+            "queue_depth": self.config.queue_depth,
+            "queued": self._queue.qsize() if self._queue else 0,
+            "inflight": self._inflight,
+            "workers": self.supervisor.worker_pids() if self.supervisor else [],
+            "quarantined_keys": [
+                list(k) for k in self.supervisor.breaker.open_keys()
+            ] if self.supervisor else [],
+            "registry_hit_ratio": (hits / looked) if looked else None,
+            "counters": counters,
+        }
+
+
+def serve_forever(
+    config: ServeConfig,
+    socket_path: str | None,
+    host: str | None = None,
+    port: int = 0,
+) -> int:
+    """CLI entry: run a daemon under a collector until drained; returns 0.
+
+    The collector makes ``stats`` responses meaningful and lets worker
+    snapshots aggregate; it stays installed for the daemon's lifetime.
+    """
+    collector = telemetry.Collector()
+    with telemetry.collecting(collector):
+        server = GemmServer(config, socket_path=socket_path, host=host, port=port)
+        return server.run()

@@ -1,0 +1,106 @@
+"""Graceful SIGTERM/SIGINT handling for long-running CLI commands.
+
+A `kill -9` is allowed to cost at most one in-flight trial (the
+checkpoint/resume contract); a plain ``kill`` or Ctrl-C should cost
+*nothing* -- but before this module, ``repro tune`` and ``repro chaos``
+died wherever the default handler happened to interrupt them, including
+halfway through a checkpoint append.  Now:
+
+* :func:`handling` installs SIGTERM/SIGINT handlers for the duration of a
+  command.  A signal raises :class:`GracefulInterrupt` at the next safe
+  bytecode boundary, which the CLI catches to exit with the conventional
+  ``128 + signum`` code (143 for SIGTERM, 130 for SIGINT) after the
+  already-checkpointed state has been flushed.
+* :func:`deferred` marks a critical section (a record-store or registry
+  append: write + flush + fsync).  A signal arriving inside the section is
+  *held* and re-raised when the section exits, so the line on disk is
+  never torn by our own handler.
+
+:class:`GracefulInterrupt` subclasses :class:`BaseException` (like
+``KeyboardInterrupt``) so the library's ``except Exception`` recovery
+paths -- sandboxes, fallback chains -- can never swallow a shutdown
+request.
+
+Handlers can only be installed from the main thread (a CPython
+restriction); :func:`handling` is a silent no-op elsewhere, which lets
+library code call it unconditionally.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+
+__all__ = [
+    "GracefulInterrupt",
+    "handling",
+    "deferred",
+    "exit_code",
+]
+
+
+class GracefulInterrupt(BaseException):
+    """Raised by the installed handler when SIGTERM/SIGINT arrives."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"received signal {signum}")
+        self.signum = signum
+
+
+def exit_code(signum: int) -> int:
+    """The shell-conventional exit code for dying to a signal."""
+    return 128 + signum
+
+
+# Signals are only ever delivered to the main thread in CPython, so plain
+# module globals (guarded by the GIL) are sufficient state.
+_depth = 0  # nesting depth of deferred() critical sections
+_pending: int | None = None  # signum held while inside a critical section
+
+
+def _handler(signum: int, frame) -> None:
+    global _pending
+    if _depth > 0:
+        # Mid-append: hold the signal; deferred() re-raises it on exit.
+        _pending = signum
+        return
+    raise GracefulInterrupt(signum)
+
+
+@contextlib.contextmanager
+def handling(signums: tuple[int, ...] = (signal.SIGTERM, signal.SIGINT)):
+    """Install graceful handlers for the scope; restores the previous
+    handlers (and drops any still-pending signal) on exit.  No-op outside
+    the main thread."""
+    global _pending
+    if threading.current_thread() is not threading.main_thread():
+        yield False
+        return
+    previous = {}
+    for signum in signums:
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            pass
+    try:
+        yield True
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+        _pending = None
+
+
+@contextlib.contextmanager
+def deferred():
+    """Critical section: a graceful signal arriving inside is delivered at
+    exit instead of mid-way.  Nests; cheap enough for per-line appends."""
+    global _depth, _pending
+    _depth += 1
+    try:
+        yield
+    finally:
+        _depth -= 1
+        if _depth == 0 and _pending is not None:
+            signum, _pending = _pending, None
+            raise GracefulInterrupt(signum)

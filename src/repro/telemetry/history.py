@@ -137,6 +137,17 @@ BENCH_METRICS: dict[str, list[MetricSpec]] = {
         MetricSpec("sweep_ok", "equal"),
         MetricSpec("sweep_seconds", "lower", 0.5),
     ],
+    "serve_load": [
+        MetricSpec("p50_ms", "lower", 0.5),
+        MetricSpec("p99_ms", "lower", 0.75),
+        MetricSpec("throughput_rps", "higher", 0.5),
+        MetricSpec("registry_hit_ratio", "higher", 0.5),
+        MetricSpec("all_explicit", "equal"),
+        MetricSpec("chaos.bitexact", "equal"),
+        MetricSpec("chaos.all_explicit", "equal"),
+        MetricSpec("chaos.daemon_exit", "equal"),
+        MetricSpec("chaos.registry_intact", "equal"),
+    ],
 }
 
 

@@ -17,11 +17,12 @@ predate trial logging ignore the unknown kind lines.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from dataclasses import dataclass
 from typing import Iterable
 
-from .. import telemetry
+from .. import signals, telemetry
 from ..faults import plan as _faults
 from ..gemm.packing import PackingMode
 from ..gemm.schedule import Schedule
@@ -193,6 +194,16 @@ class TrialRecord:
         )
 
 
+def sync_append(fh) -> None:
+    """Make an append durable: flush *and* fsync, so a host crash -- not
+    just a ``kill -9`` of this process -- loses at most the in-flight
+    line.  (``flush`` alone only moves bytes to the page cache; they die
+    with the host.)  Counted under ``records.syncs``."""
+    fh.flush()
+    os.fsync(fh.fileno())
+    telemetry.count("records.syncs")
+
+
 class RecordStore:
     """Append-only JSON-lines store of best-known schedules.
 
@@ -259,8 +270,9 @@ class RecordStore:
         if _faults._PLAN is not None:
             _faults.check("records.io")
         self._keep_best(record)
-        with self.path.open("a") as fh:
+        with self.path.open("a") as fh, signals.deferred():
             fh.write(record.to_json() + "\n")
+            sync_append(fh)
 
     def add_result(
         self,
@@ -294,15 +306,20 @@ class RecordStore:
 
     def add_trials_records(self, records: Iterable[TrialRecord]) -> None:
         """Append already-built trial records (the tuner's per-trial
-        checkpoint path: one line per finished trial, flushed immediately,
-        so a killed search loses at most the in-flight trial)."""
+        checkpoint path: one line per finished trial, flushed and fsynced
+        immediately, so a killed search -- or a crashed *host* -- loses at
+        most the in-flight trial)."""
         if _faults._PLAN is not None:
             _faults.check("records.io")
         with self.path.open("a") as fh:
             for rec in records:
-                self._trials.setdefault(rec.key, []).append(rec)
-                fh.write(rec.to_json() + "\n")
-                fh.flush()
+                # Each trial line is one durable unit: the write+fsync is a
+                # signal-deferred critical section, so a graceful SIGTERM
+                # lands between lines, never inside one.
+                with signals.deferred():
+                    self._trials.setdefault(rec.key, []).append(rec)
+                    fh.write(rec.to_json() + "\n")
+                    sync_append(fh)
 
     def trial_history(self, chip: str, m: int, n: int, k: int) -> list[TrialRecord]:
         """All logged trials for a problem, in append (measurement) order."""

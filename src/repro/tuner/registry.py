@@ -37,10 +37,10 @@ import time
 from dataclasses import dataclass
 from typing import Iterable
 
-from .. import telemetry
+from .. import signals, telemetry
 from ..faults import plan as _faults
 from ..gemm.schedule import Schedule
-from .records import schedule_from_dict, schedule_to_dict
+from .records import schedule_from_dict, schedule_to_dict, sync_append
 
 __all__ = [
     "REGISTRY_VERSION",
@@ -273,9 +273,9 @@ class ScheduleRegistry:
                 tuned_at=time.strftime("%Y-%m-%dT%H:%M:%S"),
             )
             self._absorb(entry)
-            with self.path.open("a") as fh:
+            with self.path.open("a") as fh, signals.deferred():
                 fh.write(entry.to_json() + "\n")
-                fh.flush()
+                sync_append(fh)
             self._sig = self._file_sig()
             telemetry.count("registry.puts")
             return entry

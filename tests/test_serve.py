@@ -1,0 +1,463 @@
+"""GEMM-as-a-service daemon: protocol, supervision, admission, chaos.
+
+Contract (docs/serving.md): every request the daemon reads gets exactly
+one explicit response; overload is shed with ``overload``, hung workers
+become ``deadline`` errors and respawns, crash-looping shape keys are
+quarantined onto the bit-exact reference rung, and SIGTERM drains --
+in-flight requests finish, the exit is clean.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.faults import plan as faults
+from repro.gemm.reference import sgemm
+from repro.serve import (
+    GemmServer,
+    ServeClient,
+    ServeConfig,
+    Supervisor,
+    protocol,
+)
+from repro.serve.supervisor import (
+    DeadlineExceeded,
+    Quarantined,
+    RequestFault,
+    WorkerCrash,
+    _CircuitBreaker,
+)
+
+M, N, K = 24, 16, 32
+SEED = 7
+
+
+def oracle(m=M, n=N, k=K, seed=SEED):
+    a, b = protocol.operands_from_seed(m, n, k, seed)
+    return sgemm(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------------
+
+class TestProtocol:
+    def test_gemm_defaults(self):
+        req = protocol.parse_request(
+            b'{"op": "gemm", "id": "c1", "m": 8, "n": 8, "k": 8}'
+        )
+        assert req["threads"] == 1
+        assert req["deadline_ms"] == 0  # 0 = server default
+        assert req["seed"] == 0
+        assert req["a_b64"] is None
+
+    def test_tune_budget_bounds(self):
+        line = '{"op": "tune", "m": 8, "n": 8, "k": 8, "budget": %d}'
+        assert protocol.parse_request(line % 4)["budget"] == 4
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_request(line % 0)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_request(line % (protocol.MAX_TUNE_BUDGET + 1))
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"not json",
+            b"[1, 2]",
+            b'{"op": "evil"}',
+            b'{"op": "gemm", "m": 8, "n": 8}',  # missing k
+            b'{"op": "gemm", "m": 8, "n": 8, "k": 0}',
+            b'{"op": "gemm", "m": 8, "n": 8, "k": 999999}',  # > MAX_DIM
+            b'{"op": "gemm", "m": true, "n": 8, "k": 8}',
+            b'{"op": "gemm", "m": 8, "n": 8, "k": 8, "deadine_ms": 5}',  # typo
+            b'{"op": "gemm", "m": 8, "n": 8, "k": 8, "a_b64": "QQ=="}',  # no b
+            b'{"op": "ping", "id": 7}',
+        ],
+    )
+    def test_invalid_requests_rejected(self, line):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_request(line)
+
+    def test_array_b64_roundtrip(self):
+        a, _ = protocol.operands_from_seed(5, 3, 4, seed=1)
+        back = protocol.array_from_b64(protocol.array_to_b64(a), 5, 4, "a")
+        assert (back == a).all() and back.dtype == np.float32
+
+    def test_array_b64_size_checked(self):
+        a, _ = protocol.operands_from_seed(5, 3, 4, seed=1)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.array_from_b64(protocol.array_to_b64(a), 6, 4, "a")
+
+    def test_operands_match_cli_generator(self):
+        # The bit-exactness contract of the chaos legs rests on this:
+        # seed -> operands identical to the CLI's --seed generator.
+        rng = np.random.default_rng(SEED)
+        a = rng.uniform(-1, 1, (M, K)).astype(np.float32)
+        b = rng.uniform(-1, 1, (K, N)).astype(np.float32)
+        pa, pb = protocol.operands_from_seed(M, N, K, SEED)
+        assert (pa == a).all() and (pb == b).all()
+
+    def test_error_codes_cover_responses(self):
+        resp = protocol.error_response("c1", "overload", "full")
+        assert resp["ok"] is False
+        assert resp["error"]["code"] in protocol.ERROR_CODES
+        with pytest.raises(AssertionError):
+            protocol.error_response("c1", "nonsense", "boom")
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker (pure unit)
+# ---------------------------------------------------------------------------
+
+class TestCircuitBreaker:
+    KEY = (8, 8, 8, 1)
+
+    def test_opens_at_threshold(self):
+        br = _CircuitBreaker(threshold=3, cooldown=60.0)
+        assert not br.record_failure(self.KEY)
+        assert not br.record_failure(self.KEY)
+        assert not br.is_open(self.KEY)
+        assert br.record_failure(self.KEY)  # third failure opens
+        assert br.is_open(self.KEY)
+        assert self.KEY in br.open_keys()
+
+    def test_success_resets(self):
+        br = _CircuitBreaker(threshold=2, cooldown=60.0)
+        br.record_failure(self.KEY)
+        br.record_success(self.KEY)
+        assert not br.record_failure(self.KEY)  # count restarted
+
+    def test_half_open_then_reopen(self):
+        br = _CircuitBreaker(threshold=2, cooldown=0.05)
+        br.record_failure(self.KEY)
+        br.record_failure(self.KEY)
+        assert br.is_open(self.KEY)
+        time.sleep(0.06)
+        assert not br.is_open(self.KEY)  # half-open: probe may flow
+        # One failure while half-open re-opens instantly (count held at
+        # the threshold), one success closes for good.
+        assert br.record_failure(self.KEY)
+        assert br.is_open(self.KEY)
+
+
+# ---------------------------------------------------------------------------
+# Supervisor (forked worker pool)
+# ---------------------------------------------------------------------------
+
+def small_config(**kw):
+    base = dict(
+        chip="KP920", workers=1, queue_depth=4, deadline_ms=60_000,
+        retries=2, backoff_ms=1,
+    )
+    base.update(kw)
+    return ServeConfig(**base)
+
+
+def gemm_req(m=M, n=N, k=K, seed=SEED, **kw):
+    base = dict(
+        op="gemm", id="t1", m=m, n=n, k=k, threads=1, deadline_ms=0,
+        seed=seed, a_b64=None, b_b64=None,
+    )
+    base.update(kw)
+    return base
+
+
+@contextlib.contextmanager
+def supervisor(config=None):
+    sup = Supervisor(config or small_config())
+    try:
+        yield sup
+    finally:
+        sup.close(graceful=False)
+
+
+class TestSupervisor:
+    def test_gemm_bitexact(self):
+        with supervisor() as sup:
+            payload = sup.execute(gemm_req(), time.monotonic() + 60)
+        c = protocol.array_from_b64(payload["c_b64"], M, N, "c")
+        assert (c == oracle()).all()
+        assert payload["rung"] == "simulated"
+        assert payload["worker_pid"] != os.getpid()
+
+    def test_tune_returns_schedule(self):
+        req = dict(
+            op="tune", id="t2", m=16, n=16, k=16, threads=1,
+            deadline_ms=0, seed=0, budget=3,
+        )
+        with supervisor() as sup:
+            payload = sup.execute(req, time.monotonic() + 120)
+        assert payload["cycles"] > 0 and np.isfinite(payload["cycles"])
+        assert set(payload["schedule"]) == {"mc", "nc", "kc"}
+
+    def test_expired_deadline_never_reaches_engine(self):
+        with supervisor() as sup:
+            with pytest.raises(DeadlineExceeded):
+                sup.execute(gemm_req(), time.monotonic() - 1)
+
+    def test_killed_worker_respawned_then_request_succeeds(self):
+        # Workers forked under the plan die (kill -9) on their first task;
+        # workers forked after the plan is gone are healthy.  One request
+        # burns the poisoned worker, the retry lands on a fresh one.
+        plan = faults.FaultPlan(
+            [faults.FaultSpec("serve.worker", nth=1, mode="kill")], seed=1
+        )
+        with faults.injecting(plan):
+            sup = Supervisor(small_config())
+        try:
+            with telemetry.collecting() as col:
+                payload = sup.execute(gemm_req(), time.monotonic() + 120)
+            c = protocol.array_from_b64(payload["c_b64"], M, N, "c")
+            assert (c == oracle()).all()
+            assert col.counters.get("serve.worker_respawns", 0) >= 1
+            assert col.counters.get("serve.retried", 0) >= 1
+            assert sup.worker_pids()  # pool capacity survived
+        finally:
+            sup.close(graceful=False)
+
+    def test_hung_worker_killed_at_deadline(self):
+        plan = faults.FaultPlan(
+            [faults.FaultSpec("serve.worker", nth=1, mode="hang")], seed=1
+        )
+        with faults.injecting(plan):
+            sup = Supervisor(small_config())
+        try:
+            doomed = sup.worker_pids()
+            t0 = time.monotonic()
+            with telemetry.collecting() as col:
+                with pytest.raises(DeadlineExceeded):
+                    sup.execute(gemm_req(), time.monotonic() + 1.0)
+            assert time.monotonic() - t0 < 30  # bounded, not a hang
+            assert col.counters.get("serve.deadline_exceeded", 0) >= 1
+            assert col.counters.get("serve.worker_respawns", 0) >= 1
+            assert sup.worker_pids() != doomed  # the wedged worker is gone
+        finally:
+            sup.close(graceful=False)
+
+    def test_crash_loop_quarantines_onto_reference_rung(self):
+        # Permanent faults on every worker poll: each request fails fast
+        # (no retry), the breaker opens at the threshold, and the shape is
+        # then served inline -- degraded but bit-exact -- while tune for
+        # the same key is refused.
+        plan = faults.FaultPlan(
+            [faults.FaultSpec("serve.worker", probability=1.0, mode="permanent")],
+            seed=1,
+        )
+        with faults.injecting(plan):
+            sup = Supervisor(small_config(breaker_threshold=2))
+        try:
+            with telemetry.collecting() as col:
+                for _ in range(2):
+                    with pytest.raises(RequestFault):
+                        sup.execute(gemm_req(), time.monotonic() + 60)
+                payload = sup.execute(gemm_req(), time.monotonic() + 60)
+            assert payload["quarantined"] is True
+            assert payload["degraded"] is True
+            assert payload["rung"] == "reference"
+            assert payload["cycles"] is None
+            c = protocol.array_from_b64(payload["c_b64"], M, N, "c")
+            assert (c == oracle()).all()
+            assert col.counters.get("serve.breaker_opened") == 1
+            assert col.counters.get("serve.quarantined") == 1
+            tune = dict(
+                op="tune", id="t3", m=M, n=N, k=K, threads=1,
+                deadline_ms=0, seed=0, budget=2,
+            )
+            with pytest.raises(Quarantined):
+                sup.execute(tune, time.monotonic() + 60)
+        finally:
+            sup.close(graceful=False)
+
+    def test_kill_every_attempt_exhausts_as_crash(self):
+        # Every worker (including respawns forked inside the plan scope)
+        # dies on its first task: retries exhaust into an explicit crash
+        # error, never a hang or a silent drop.
+        plan = faults.FaultPlan(
+            [faults.FaultSpec("serve.worker", nth=1, mode="kill")], seed=1
+        )
+        with faults.injecting(plan):
+            sup = Supervisor(small_config(retries=1))
+            try:
+                with pytest.raises(WorkerCrash):
+                    sup.execute(gemm_req(), time.monotonic() + 120)
+            finally:
+                sup.close(graceful=False)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end server (in-process daemon thread)
+# ---------------------------------------------------------------------------
+
+@contextlib.contextmanager
+def running_server(tmp_path, config=None, collector=None):
+    config = config or small_config(workers=2)
+    sock = str(tmp_path / "serve.sock")
+    server = GemmServer(config, socket_path=sock)
+    thread = threading.Thread(target=server.run, daemon=True)
+    with contextlib.ExitStack() as stack:
+        if collector is not None:
+            stack.enter_context(telemetry.collecting(collector))
+        thread.start()
+        assert server.started.wait(60), "daemon failed to start"
+        try:
+            yield server, sock
+        finally:
+            server.initiate_drain()
+            thread.join(60)
+            assert not thread.is_alive(), "daemon failed to drain"
+
+
+class TestServerEndToEnd:
+    def test_ping_gemm_stats_drain(self, tmp_path):
+        collector = telemetry.Collector()
+        with running_server(tmp_path, collector=collector) as (server, sock):
+            with ServeClient(socket_path=sock, timeout=120) as cli:
+                assert cli.ping()["ok"]
+                resp = cli.gemm(M, N, K, seed=SEED)
+                assert resp["ok"]
+                # Per-request telemetry: the response carries the stitched
+                # request id minted by the daemon's collector.
+                assert ":serve:" in resp["request"]
+                c = cli.gemm_array(resp, M, N)
+                assert (c == oracle()).all()
+                stats = cli.stats()
+                assert stats["workers"] and not stats["draining"]
+                assert stats["counters"].get("serve.completed") == 1
+                assert stats["counters"].get("serve.admitted") == 1
+        assert collector.counters.get("serve.drained") == 1
+
+    def test_inline_operands_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(3)
+        a = rng.uniform(-1, 1, (M, K)).astype(np.float32)
+        b = rng.uniform(-1, 1, (K, N)).astype(np.float32)
+        with running_server(tmp_path) as (_, sock):
+            with ServeClient(socket_path=sock, timeout=120) as cli:
+                resp = cli.gemm(M, N, K, a=a, b=b)
+                assert resp["ok"]
+                assert (cli.gemm_array(resp, M, N) == sgemm(a, b)).all()
+
+    def test_garbage_line_gets_invalid_response(self, tmp_path):
+        with running_server(tmp_path) as (_, sock):
+            raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            raw.connect(sock)
+            raw.sendall(b"definitely not json\n")
+            data = b""
+            while not data.endswith(b"\n"):
+                data += raw.recv(65536)
+            raw.close()
+            resp = protocol.decode_line(data)
+            assert resp["ok"] is False and resp["error"]["code"] == "invalid"
+
+    def test_overload_sheds_explicitly(self, tmp_path):
+        # One worker, admission depth 1, eight pipelined requests: the
+        # surplus must be rejected at the door with an explicit overload
+        # response -- and every single request must get *some* response.
+        config = small_config(workers=1, queue_depth=1)
+        total = 8
+        with running_server(tmp_path, config=config) as (_, sock):
+            with ServeClient(socket_path=sock, timeout=300) as cli:
+                rids = [
+                    cli.send({"op": "gemm", "m": M, "n": N, "k": K,
+                              "seed": SEED})
+                    for _ in range(total)
+                ]
+                responses = [cli.recv_for(rid) for rid in rids]
+        codes = [
+            r["error"]["code"] for r in responses if not r["ok"]
+        ]
+        assert len(responses) == total  # no silent drops
+        assert "overload" in codes  # load was genuinely shed
+        assert set(codes) <= set(protocol.ERROR_CODES)
+        want = oracle()
+        for resp in responses:
+            if resp["ok"]:
+                c = protocol.array_from_b64(resp["result"]["c_b64"], M, N, "c")
+                assert (c == want).all()
+
+    def test_request_deadline_enforced_end_to_end(self, tmp_path):
+        # A worker wedged by a hang fault must surface as a deadline error
+        # within the request's own budget, not the test's patience.
+        plan = faults.FaultPlan(
+            [faults.FaultSpec("serve.worker", probability=1.0, mode="hang")],
+            seed=1,
+        )
+        config = small_config(workers=1, deadline_ms=1_000)
+        with faults.injecting(plan):
+            with running_server(tmp_path, config=config) as (_, sock):
+                with ServeClient(socket_path=sock, timeout=120) as cli:
+                    t0 = time.monotonic()
+                    resp = cli.gemm(M, N, K, seed=SEED, deadline_ms=1_000)
+                    assert not resp["ok"]
+                    assert resp["error"]["code"] == "deadline"
+                    assert time.monotonic() - t0 < 60
+
+    def test_drain_rejects_new_work_then_exits(self, tmp_path):
+        with running_server(tmp_path) as (server, sock):
+            with ServeClient(socket_path=sock, timeout=120) as cli:
+                assert cli.ping()["ok"]
+                server.initiate_drain()
+                server.initiate_drain()  # idempotent
+                # The listener closes during drain; a rejected-or-closed
+                # outcome is fine, a hang is not.
+                try:
+                    resp = cli.request({"op": "gemm", "m": M, "n": N, "k": K})
+                    assert not resp["ok"]
+                    assert resp["error"]["code"] == "draining"
+                except (ConnectionError, OSError):
+                    pass
+
+
+# ---------------------------------------------------------------------------
+# CLI daemon subprocess: SIGTERM drains to exit 0
+# ---------------------------------------------------------------------------
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def spawn_cli(args, **kw):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, **kw,
+    )
+
+
+class TestServeCli:
+    def test_sigterm_drains_to_exit_zero(self, tmp_path):
+        sock = str(tmp_path / "cli.sock")
+        proc = spawn_cli(["serve", "--socket", sock, "--workers", "1"])
+        try:
+            deadline = time.time() + 120
+            while not os.path.exists(sock):
+                assert proc.poll() is None, proc.stdout.read()
+                assert time.time() < deadline, "daemon never listened"
+                time.sleep(0.05)
+            with ServeClient(socket_path=sock, timeout=120) as cli:
+                assert cli.ping()["ok"]
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=30)
+        assert proc.returncode == 0, out
+        assert "drained" in out
+
+    def test_serve_without_endpoint_fails_with_serve_code(self):
+        proc = spawn_cli(["serve"])
+        out, _ = proc.communicate(timeout=120)
+        assert proc.returncode == 25, out

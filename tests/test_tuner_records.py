@@ -92,6 +92,33 @@ class TestRecordStore:
         assert rec.key == ("Altra", 16, 32, 64)
         assert store.lookup("Altra", 16, 32, 64).cycles == 42.0
 
+    def test_appends_are_fsynced_and_counted(self, tmp_path):
+        # Durability contract (docs/serving.md): every checkpoint append is
+        # flushed + fsynced before add() returns, tallied in records.syncs.
+        from repro import telemetry
+        from repro.tuner.tuner import Trial, TuneResult
+
+        store = RecordStore(tmp_path / "tune.jsonl", log_trials=True)
+        with telemetry.collecting() as col:
+            store.add(TuningRecord("KP920", 8, 8, 8, 1.0, make_schedule()))
+            store.add_trials(
+                "KP920", 8, 8, 8, [Trial(make_schedule(), 10.0, round=0)]
+            )
+            store.add_result(
+                "KP920", 4, 4, 4, TuneResult(schedule=make_schedule(), cycles=2.0)
+            )
+        assert col.counters.get("records.syncs", 0) >= 3
+
+    def test_registry_puts_are_fsynced_too(self, tmp_path):
+        from repro import telemetry
+        from repro.machine.chips import KP920
+        from repro.tuner.registry import ScheduleRegistry
+
+        reg = ScheduleRegistry(tmp_path / "registry.jsonl")
+        with telemetry.collecting() as col:
+            reg.put(KP920.name, 8, 8, 8, 1, make_schedule(), cycles=5.0)
+        assert col.counters.get("records.syncs") == 1
+
     def test_blank_lines_skipped(self, tmp_path):
         path = tmp_path / "tune.jsonl"
         rec = TuningRecord("KP920", 8, 8, 8, 1.0, make_schedule(mc=8, nc=8, kc=8))

@@ -8,6 +8,7 @@ lines like the record store does.
 """
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -143,6 +144,80 @@ class TestSharing:
         )
         back = RegistryEntry.from_dict(json.loads(entry.to_json()))
         assert back == entry
+
+
+def _registry_writer(path, writer_idx, count):
+    """Child-process body: append ``count`` distinct-shape entries."""
+    from repro.machine.chips import KP920
+    from repro.tuner.registry import ScheduleRegistry
+
+    reg = ScheduleRegistry(path)
+    for i in range(count):
+        m = 8 + writer_idx  # distinct (m, k) per (writer, i)
+        k = 8 + i
+        sched = default_schedule(m, N, k, KP920)
+        reg.put(KP920.name, m, N, k, 1, sched, cycles=100.0 + i)
+
+
+class TestConcurrentAccess:
+    """Two processes appending to one registry file while a third reads.
+
+    The durability contract (docs/serving.md, docs/tuning_guide.md): puts
+    are fsynced line appends, so a concurrent reader may observe *missing*
+    entries (not yet appended) but never a *torn* one, and converges on
+    the writers' union via the mtime/size refresh -- the serving daemon
+    leans on exactly this when its workers share one registry.
+    """
+
+    COUNT = 20
+
+    def test_parallel_writers_converge_untorn(self, kp920, path):
+        ctx = multiprocessing.get_context("fork")
+        writers = [
+            ctx.Process(target=_registry_writer, args=(path, idx, self.COUNT))
+            for idx in (0, 1)
+        ]
+        reader = ScheduleRegistry(path)
+        for proc in writers:
+            proc.start()
+        # Poll while the writers race: every get() must return either None
+        # (entry not appended yet) or a complete, valid schedule -- a torn
+        # line would surface as a skipped_lines bump after refresh.
+        while any(proc.is_alive() for proc in writers):
+            for writer_idx in (0, 1):
+                got = reader.get(kp920.name, 8 + writer_idx, N, 8)
+                assert got is None or got.mc >= 1
+            assert reader.skipped_lines == 0
+        for proc in writers:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        # The live reader converges via refresh; a cold load agrees and
+        # sees zero torn lines across 2 x COUNT fsynced appends.
+        for reg in (reader, ScheduleRegistry(path)):
+            assert reg.skipped_lines == 0
+            for writer_idx in (0, 1):
+                for i in range(self.COUNT):
+                    entry = reg.get(kp920.name, 8 + writer_idx, N, 8 + i)
+                    assert entry is not None, (writer_idx, i)
+        assert len(path.read_text().splitlines()) == 2 * self.COUNT
+
+    def test_put_refresh_races_with_writer(self, kp920, path):
+        """A writer that also *puts* mid-race refreshes from disk first and
+        must keep the other process's entries."""
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(target=_registry_writer, args=(path, 0, self.COUNT))
+        mine = ScheduleRegistry(path)
+        proc.start()
+        for i in range(4):
+            put_one(mine, kp920, m=64 + i)
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+        cold = ScheduleRegistry(path)
+        assert cold.skipped_lines == 0
+        for i in range(4):
+            assert cold.get(kp920.name, 64 + i, N, K) is not None
+        for i in range(self.COUNT):
+            assert cold.get(kp920.name, 8, N, 8 + i) is not None
 
 
 class TestAutoGemmIntegration:
