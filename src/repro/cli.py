@@ -648,6 +648,8 @@ def _cmd_serve(args) -> int:
         breaker_cooldown=args.breaker_cooldown,
         use_replay=not args.no_replay,
         use_compiled=not args.no_compile,
+        family_serve=not args.no_family,
+        upgrade_budget=args.upgrade_budget,
     )
     if not args.socket and not args.host:
         raise ValueError("serve needs --socket PATH or --host HOST")
@@ -722,6 +724,9 @@ def _cmd_registry(args) -> int:
               f"{reg.path} (fingerprint {reg.fingerprint})")
         return 0
 
+    if args.registry_cmd == "warm":
+        return _registry_warm(args, reg)
+
     if args.registry_cmd == "evict":
         shape = None
         if args.shape:
@@ -754,6 +759,89 @@ def _cmd_registry(args) -> int:
     else:
         print(f"exported {count} entr{'y' if count == 1 else 'ies'} "
               f"to {args.out}")
+    return 0
+
+
+def _registry_warm(args, reg) -> int:
+    """``repro registry warm``: pre-populate the shape families.
+
+    Tunes the smallest-FLOPs shapes of the chosen workload suite
+    (ResNet-50 layers and/or BERT encoder GEMMs) into the registry, so a
+    daemon pointed at it serves zero-trial family projections for unseen
+    in-family shapes from the first request (docs/tuning_guide.md,
+    "Input-aware serving").  Shapes with an existing live exact entry are
+    skipped -- re-running warm is cheap and idempotent.
+    """
+    import time as _time
+
+    from .gemm.autogemm import AutoGEMM
+    from .tuner.families import classify_shape
+    from .workloads import BERT_BASE, RESNET50_LAYERS, encoder_layer_gemms
+
+    chip = get_chip(args.chip)
+    shapes: list = []
+    if args.suite in ("resnet50", "both"):
+        shapes.extend(RESNET50_LAYERS)
+    if args.suite in ("bert", "both"):
+        shapes.extend(encoder_layer_gemms(BERT_BASE))
+    seen: set[tuple[int, int, int]] = set()
+    unique = []
+    for s in shapes:  # BERT q/k/v are one shape: tune it once
+        if (s.m, s.n, s.k) not in seen:
+            seen.add((s.m, s.n, s.k))
+            unique.append(s)
+    unique.sort(key=lambda s: 2 * s.m * s.n * s.k)
+    if args.limit > 0:
+        unique = unique[: args.limit]
+
+    lib = AutoGEMM(
+        chip, registry=reg, family_serve=False, tune_budget=args.budget,
+        tune_jobs=args.jobs,
+    )
+    tuned, skipped = [], []
+    t0 = _time.perf_counter()
+    for s in unique:
+        if reg.contains(chip.name, s.m, s.n, s.k, args.threads):
+            skipped.append(s)
+            continue
+        result = lib.tune_result(
+            s.m, s.n, s.k, budget=args.budget, seed=args.seed,
+            jobs=args.jobs, threads=args.threads,
+        )
+        tuned.append((s, result))
+    seconds = _time.perf_counter() - t0
+
+    if args.json:
+        print(json.dumps({
+            "command": "registry warm",
+            "registry": str(reg.path),
+            "chip": chip.name,
+            "suite": args.suite,
+            "budget": args.budget,
+            "threads": args.threads,
+            "wall_seconds": round(seconds, 3),
+            "tuned": [
+                {
+                    "name": s.name,
+                    "m": s.m, "n": s.n, "k": s.k,
+                    "family": classify_shape(s.m, s.n, s.k),
+                    "best_cycles": r.cycles,
+                }
+                for s, r in tuned
+            ],
+            "skipped": [s.name for s in skipped],
+            "entries": len(reg),
+        }, indent=2))
+        return 0
+    for s, r in tuned:
+        print(f"  {s.name:<14} {s.m}x{s.n}x{s.k:<6} "
+              f"[{classify_shape(s.m, s.n, s.k)}] "
+              f"best {r.cycles:,.0f} cycles")
+    for s in skipped:
+        print(f"  {s.name:<14} {s.m}x{s.n}x{s.k:<6} already warm, skipped")
+    print(f"warmed {len(tuned)} shape(s) ({len(skipped)} already present) "
+          f"into {reg.path} in {seconds:.1f}s; {len(reg)} live entr"
+          f"{'y' if len(reg) == 1 else 'ies'}")
     return 0
 
 
@@ -1025,6 +1113,12 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--no-compile", action="store_true",
                     help="disable compiled trace-template artifacts "
                          "in workers")
+    sv.add_argument("--no-family", action="store_true",
+                    help="disable input-aware family projection on "
+                         "registry misses (serve heuristic instead)")
+    sv.add_argument("--upgrade-budget", type=int, default=8,
+                    help="tuning trials for the background upgrade a "
+                         "family-projected serve enqueues (default 8)")
 
     rg = sub.add_parser(
         "registry",
@@ -1054,6 +1148,31 @@ def build_parser() -> argparse.ArgumentParser:
     rx.add_argument("--stale", action="store_true",
                     help="include fingerprint-stale entries")
     rx.add_argument("--json", action="store_true",
+                    help="machine-readable JSON output")
+    rw = rsub.add_parser(
+        "warm",
+        help="pre-populate shape families by tuning workload shapes "
+             "(ResNet-50 / BERT), so unseen in-family shapes serve "
+             "zero-trial projections",
+    )
+    rw.add_argument("--registry", required=True,
+                    help="registry JSON-lines file to warm")
+    rw.add_argument("--chip", default="KP920")
+    rw.add_argument("--suite", choices=("resnet50", "bert", "both"),
+                    default="resnet50",
+                    help="workload suite the warm shapes come from "
+                         "(default resnet50)")
+    rw.add_argument("--limit", type=int, default=4,
+                    help="max shapes to tune, smallest-FLOPs first "
+                         "(0 = all; default 4)")
+    rw.add_argument("--budget", type=int, default=8,
+                    help="tuning trials per shape (default 8)")
+    rw.add_argument("--jobs", type=int, default=1,
+                    help="parallel measurement workers per tune")
+    rw.add_argument("--threads", type=int, default=1,
+                    help="thread count the schedules are tuned for")
+    rw.add_argument("--seed", type=int, default=0)
+    rw.add_argument("--json", action="store_true",
                     help="machine-readable JSON output")
 
     return parser

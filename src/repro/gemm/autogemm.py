@@ -48,6 +48,9 @@ class AutoGEMM:
         tune_budget: int = 32,
         tune_jobs: int = 1,
         use_compiled: bool = True,
+        family_serve: bool = True,
+        family_upgrade: bool = True,
+        family_max_distance: float | None = None,
     ) -> None:
         """``tuning_records`` names a JSON-lines file of persisted tuning
         outcomes (see :class:`repro.tuner.records.RecordStore`): known-best
@@ -69,7 +72,15 @@ class AutoGEMM:
         ``tune`` (``tune_budget`` trials on ``tune_jobs`` workers) whose
         winner is registered -- the first call on a new shape pays the
         search, every later call (in any process) is a registry hit with
-        zero trials."""
+        zero trials.
+
+        With a registry attached, an *exact* miss additionally consults
+        the input-aware family path (``family_serve``, on by default; see
+        :mod:`repro.tuner.families`): the nearest same-family tuned entry
+        within ``family_max_distance`` (log2 scale) is projected onto the
+        query shape and served with zero tuning trials, and
+        ``family_upgrade`` enqueues a real background tune whose winner
+        atomically upgrades the registry entry."""
         self.chip = get_chip(chip) if isinstance(chip, str) else chip
         self.schedule = schedule
         self._kernels = KernelCache()
@@ -109,29 +120,112 @@ class AutoGEMM:
         self.auto_tune = auto_tune
         self.tune_budget = tune_budget
         self.tune_jobs = tune_jobs
+        self.family_serve = family_serve
+        self.family_upgrade = family_upgrade
+        self._family_index = None
+        self._upgrader = None
+        if self.registry is not None and family_serve:
+            from ..tuner.families import (
+                DEFAULT_MAX_DISTANCE, FamilyIndex, FamilyUpgrader,
+            )
+
+            self._family_index = FamilyIndex(
+                self.registry,
+                self.chip,
+                max_distance=(
+                    family_max_distance
+                    if family_max_distance is not None
+                    else DEFAULT_MAX_DISTANCE
+                ),
+            )
+            self._upgrader = FamilyUpgrader(self)
+        #: Last registry write failure as "write failed: Type: detail"
+        #: (native_status() style), or "ok" -- surfaced by serve stats so a
+        #: read-only registry file doesn't silently disable the warm path.
+        self._registry_status = "ok"
 
     # ------------------------------------------------------------------
     def schedule_for(self, m: int, n: int, k: int, threads: int = 1) -> Schedule:
         """The schedule used for a problem, first match wins:
-        explicit > registry (persisted, fingerprint-checked) > this
-        session's tuned results > ``auto_tune`` search > heuristic."""
+        explicit > registry exact hit (persisted, fingerprint-checked) >
+        family projection (input-aware, zero trials) > this session's
+        tuned results > ``auto_tune`` search > heuristic."""
+        return self._resolve_schedule(m, n, k, threads)[0]
+
+    def _resolve_schedule(
+        self, m: int, n: int, k: int, threads: int = 1
+    ) -> "tuple[Schedule, str, object | None]":
+        """Resolve per the documented order; returns
+        ``(schedule, source, FamilyProjection | None)``.
+
+        A served family projection (with ``family_upgrade``) enqueues a
+        background tune for the exact key, so the next resolution of this
+        shape is a registry exact hit.
+        """
         if self.schedule is not None:
-            return self.schedule.clipped(m, n, k)
+            return self.schedule.clipped(m, n, k), "explicit", None
         if self.registry is not None:
             served = self.registry.get(self.chip.name, m, n, k, threads)
             if served is not None:
-                return served
+                return served, "registry", None
+            if self._family_index is not None:
+                projection = self._family_index.lookup(m, n, k, threads)
+                if projection is not None:
+                    telemetry.count("family.served")
+                    if self.family_upgrade:
+                        self.enqueue_upgrade(m, n, k, threads)
+                    return projection.schedule, "family", projection
+                telemetry.count("family.misses")
         tuned = self._tuned.get((m, n, k))
         if tuned is not None:
-            return tuned
+            return tuned, "session", None
         if self.auto_tune:
-            return self.tune(
+            sched = self.tune(
                 m, n, k,
                 budget=self.tune_budget,
                 jobs=self.tune_jobs,
                 threads=threads,
             )
-        return default_schedule(m, n, k, self.chip, threads=threads)
+            return sched, "tuned", None
+        return default_schedule(m, n, k, self.chip, threads=threads), "heuristic", None
+
+    # -- family upgrades ------------------------------------------------
+    def enqueue_upgrade(
+        self, m: int, n: int, k: int, threads: int = 1,
+        budget: int | None = None, seed: int = 0,
+    ) -> bool:
+        """Start a background tune that upgrades the registry entry for an
+        exact key (no-op without a family path); see
+        :class:`repro.tuner.families.FamilyUpgrader`."""
+        if self._upgrader is None:
+            return False
+        return self._upgrader.enqueue(
+            m, n, k, threads, budget=budget, seed=seed
+        )
+
+    def drain_upgrades(self, timeout: float | None = None) -> bool:
+        """Wait for in-flight background upgrades; True when none remain."""
+        if self._upgrader is None:
+            return True
+        return self._upgrader.drain(timeout)
+
+    def registry_report(self) -> dict | None:
+        """Serving-facing registry health: path, live-entry count,
+        writability, and the last write failure (if any)."""
+        if self.registry is None:
+            return None
+        status = self._registry_status
+        if status == "ok" and not self.registry.writable():
+            status = "read-only"
+        report = {
+            "path": str(self.registry.path),
+            "entries": len(self.registry),
+            "writable": self.registry.writable(),
+            "status": status,
+        }
+        if self._upgrader is not None and self._upgrader.last_error:
+            report["upgrade_error"] = self._upgrader.last_error
+        return report
 
     def gemm(
         self,
@@ -198,13 +292,17 @@ class AutoGEMM:
         # executor's span tree, and any inline auto-tune all tag their spans
         # with it -- the per-request unit the serving daemon traces by.
         with telemetry.request("gemm"):
-            sched = (
-                schedule if schedule is not None
-                else self.schedule_for(m, n, k, threads)
-            )
+            if schedule is not None:
+                sched, source, projection = schedule, "explicit", None
+            else:
+                sched, source, projection = self._resolve_schedule(
+                    m, n, k, threads
+                )
             result = self.executor.run(
                 a, b, c, schedule=sched, threads=threads, beta=beta
             )
+            result.schedule_source = source
+            result.family_projection = projection
         if transform_cycles:
             result.cycles += transform_cycles
             result.phase_cycles["transform"] = (
@@ -298,8 +396,21 @@ class AutoGEMM:
                         best.schedule, best.cycles,
                     )
                 )
-            except _faults.RECOVERABLE_FAULTS:
+            except (*_faults.RECOVERABLE_FAULTS, OSError) as exc:
+                # OSError covers the real-world case a fault plan can't: a
+                # read-only registry file (PermissionError) must not kill
+                # the tune that just produced a perfectly good schedule --
+                # it only disables the warm path, which serve stats surface
+                # through registry_report().  Keep the detail,
+                # native_status() style.
+                detail = str(exc).strip().replace("\n", " ")[:160]
+                self._registry_status = (
+                    f"write failed: {type(exc).__name__}"
+                    + (f": {detail}" if detail else "")
+                )
                 telemetry.count("registry.write_failed")
+            else:
+                self._registry_status = "ok"
         return best
 
     def kernel_source(self, mr: int, nr: int, kc: int, rotate: bool = True) -> str:

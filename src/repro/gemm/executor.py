@@ -106,6 +106,13 @@ class GemmResult:
     #: Roofline decomposition of this run (``repro.telemetry.attribution``);
     #: populated by ``AutoGEMM.gemm``, None on a bare executor run.
     attribution: object | None = None
+    #: Where the schedule came from (``AutoGEMM`` resolution order):
+    #: "explicit" / "registry" / "family" / "session" / "tuned" /
+    #: "heuristic", or "" on a bare executor run.
+    schedule_source: str = ""
+    #: The :class:`~repro.tuner.families.FamilyProjection` served when
+    #: ``schedule_source == "family"``; None otherwise.
+    family_projection: object | None = None
 
     @property
     def seconds(self) -> float:

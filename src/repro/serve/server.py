@@ -380,12 +380,14 @@ class GemmServer:
             counters = {
                 name: value
                 for name, value in sorted(col.counters.items())
-                if name.startswith(("serve.", "registry.", "records.", "faults."))
+                if name.startswith(
+                    ("serve.", "registry.", "records.", "faults.", "family.")
+                )
             }
         hits = counters.get("registry.hits", 0.0)
         misses = counters.get("registry.misses", 0.0)
         looked = hits + misses
-        return {
+        stats = {
             "uptime_s": round(time.monotonic() - self._t0, 3),
             "draining": self.draining,
             "queue_depth": self.config.queue_depth,
@@ -398,6 +400,14 @@ class GemmServer:
             "registry_hit_ratio": (hits / looked) if looked else None,
             "counters": counters,
         }
+        if self.supervisor is not None:
+            # Registry health (path, entry count, writability, last write
+            # failure): a read-only registry file must be visible here, not
+            # silently disable the warm path.
+            report = self.supervisor.engine.registry_report()
+            if report is not None:
+                stats["registry"] = report
+        return stats
 
 
 def serve_forever(

@@ -45,6 +45,14 @@ the daemon's ``serve`` request ids and worker-side ``faults.injected.*``
 counters aggregate in the parent.  Supervisor counters:
 ``serve.retried``, ``serve.worker_respawns``, ``serve.deadline_exceeded``,
 ``serve.quarantined``, ``serve.breaker_opened``.
+
+Input-aware serving: a worker whose registry lookup missed but whose
+family projection served (``family.served``, reply carries the ``family``
+block) triggers a supervisor-side background upgrade
+(``family.upgrades_enqueued`` / ``family.upgrades_completed``) -- the
+real tune runs in the daemon off the request path and publishes through
+the shared registry file, so the shape's next request is an exact hit in
+every worker.
 """
 
 from __future__ import annotations
@@ -113,6 +121,8 @@ class ServeConfig:
         breaker_cooldown: float = 30.0,
         use_replay: bool = True,
         use_compiled: bool = True,
+        family_serve: bool = True,
+        upgrade_budget: int = 8,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -129,16 +139,26 @@ class ServeConfig:
         self.breaker_cooldown = breaker_cooldown
         self.use_replay = use_replay
         self.use_compiled = use_compiled
+        self.family_serve = family_serve
+        self.upgrade_budget = upgrade_budget
 
 
 def _build_engine(config: ServeConfig):
     from ..gemm import AutoGEMM
 
+    # family_upgrade=False: workers must never spawn tuning threads of
+    # their own -- a projection-serving worker reports the projection in
+    # its reply and the *supervisor* enqueues the one background upgrade
+    # (off the request path, deduped across workers), whose winner every
+    # worker observes through the shared registry file.
     return AutoGEMM(
         config.chip,
         registry=config.registry,
         use_replay=config.use_replay,
         use_compiled=config.use_compiled,
+        family_serve=config.family_serve,
+        family_upgrade=False,
+        tune_budget=config.upgrade_budget,
     )
 
 
@@ -178,18 +198,26 @@ def _execute_task(engine, task: dict) -> tuple[str, dict]:
         )
     a, b = protocol.request_operands(req)
     result = engine.gemm(a, b, threads=req["threads"])
-    return (
-        "ok",
-        {
-            "op": "gemm",
-            "c_b64": protocol.array_to_b64(result.c),
-            "cycles": result.cycles,
-            "flops": result.flops,
-            "degraded": result.degraded,
-            "rung": "simulated",
-            "worker_pid": os.getpid(),
-        },
-    )
+    payload = {
+        "op": "gemm",
+        "c_b64": protocol.array_to_b64(result.c),
+        "cycles": result.cycles,
+        "flops": result.flops,
+        "degraded": result.degraded,
+        "rung": "simulated",
+        "schedule_source": result.schedule_source,
+        "worker_pid": os.getpid(),
+    }
+    projection = result.family_projection
+    if projection is not None:
+        src = projection.source
+        payload["family"] = {
+            "family": projection.family,
+            "distance": round(projection.distance, 4),
+            "confidence": round(projection.confidence, 4),
+            "source": f"{src.m}x{src.n}x{src.k}t{src.threads}",
+        }
+    return ("ok", payload)
 
 
 def _worker_main(conn, config: ServeConfig, engine=None) -> None:
@@ -446,6 +474,8 @@ class Supervisor:
             status, payload = outcome
             if status == "ok":
                 self.breaker.record_success(key)
+                if payload.get("family") is not None:
+                    self._enqueue_upgrade(req)
                 return payload
             if status == "error":
                 # Worker-reported explicit failure (bad request, engine
@@ -504,6 +534,19 @@ class Supervisor:
             telemetry.adopt(snapshot)
         return (status, payload)
 
+    def _enqueue_upgrade(self, req: dict) -> None:
+        """A worker served a family projection: run the real tune in the
+        supervisor (off the request path) so the registry entry upgrades
+        to an exact hit every worker sees through the shared file.  Best
+        effort -- an upgrade failure never fails the request it rode on."""
+        try:
+            self.engine.enqueue_upgrade(
+                req["m"], req["n"], req["k"], req["threads"],
+                budget=self.config.upgrade_budget,
+            )
+        except Exception:  # pragma: no cover - defensive
+            telemetry.count("family.upgrade_failed")
+
     def _count_failure(self, key: tuple) -> None:
         if self.breaker.record_failure(key):
             telemetry.count("serve.breaker_opened")
@@ -533,8 +576,11 @@ class Supervisor:
     # -- shutdown ----------------------------------------------------------
     def close(self, graceful: bool = True) -> None:
         """Tear the pool down.  ``graceful`` sends each worker the drain
-        sentinel and joins it; otherwise workers are killed."""
+        sentinel and joins it (and gives in-flight background upgrades a
+        short window to publish); otherwise workers are killed."""
         self._closed = True
+        if graceful:
+            self.engine.drain_upgrades(timeout=10.0)
         with self._lock:
             workers = list(self._workers)
             self._workers.clear()

@@ -130,6 +130,10 @@ BENCH_METRICS: dict[str, list[MetricSpec]] = {
         MetricSpec("best_cycles", "equal"),
         MetricSpec("registry.registry_speedup", "higher", 0.5),
         MetricSpec("registry.second_call_trials", "equal"),
+        MetricSpec("coldstart.coldstart_speedup", "higher", 0.5),
+        MetricSpec("coldstart.projection_trials", "equal"),
+        MetricSpec("coldstart.upgrade_converged", "equal"),
+        MetricSpec("coldstart.quality_ratio", "lower", 0.5),
     ],
     "chaos_wallclock": [
         MetricSpec("clean_seconds", "lower", 0.5),

@@ -20,11 +20,15 @@ a different cost surface.  ``repro registry list`` shows them;
 
 Sharing: the file is the unit of sharing.  Writers append one line per
 result (crash-tolerant: a torn line is skipped on load, like the record
-store); readers re-load automatically when the file's ``mtime``/size
-changes, so long-lived processes observe schedules tuned by their
-neighbours without restarting.
+store); readers re-load automatically when the file's signature changes
+(``mtime``/size plus a head/tail content hash, so even a same-size
+in-place rewrite within mtime granularity is observed), and long-lived
+processes pick up schedules tuned by their neighbours without restarting.
 
-Telemetry: ``registry.hits`` / ``registry.misses`` / ``registry.stale``.
+Telemetry: ``registry.hits`` / ``registry.misses`` / ``registry.stale`` /
+``registry.thread_miss`` (same shape tuned at a different thread count --
+servable through the family-projection path, so counted apart from true
+shape misses).
 """
 
 from __future__ import annotations
@@ -163,11 +167,28 @@ class ScheduleRegistry:
 
     # -- loading -----------------------------------------------------------
     def _file_sig(self) -> tuple | None:
+        """Cheap change signature: (mtime_ns, size, head/tail digest).
+
+        mtime+size alone misses a same-size in-place rewrite within the
+        filesystem's mtime granularity (evict+put of equal-length lines on
+        a coarse-mtime mount), so the signature also hashes the first and
+        last KiB -- an append moves the tail, a rewrite changes the head
+        or tail, and the read cost stays O(1) in the file size.
+        """
         try:
             st = os.stat(self.path)
         except OSError:
             return None
-        return (st.st_mtime_ns, st.st_size)
+        digest = hashlib.blake2b(digest_size=8)
+        try:
+            with self.path.open("rb") as fh:
+                digest.update(fh.read(1024))
+                if st.st_size > 2048:
+                    fh.seek(-1024, os.SEEK_END)
+                digest.update(fh.read(1024))
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size, digest.hexdigest())
 
     def _load(self) -> None:
         if _faults._PLAN is not None:
@@ -225,10 +246,45 @@ class ScheduleRegistry:
             if key in self._stale:
                 telemetry.count("registry.stale")
                 sp.set(outcome="stale")
+            elif any(
+                e.chip == chip and (e.m, e.n, e.k) == (m, n, k)
+                for e in self._live.values()
+            ):
+                # Same shape tuned at a different thread count: a distinct
+                # kind of miss (the projection path can serve it), counted
+                # apart from true shape misses so serving dashboards see it.
+                telemetry.count("registry.thread_miss")
+                sp.set(outcome="thread_miss")
             else:
                 telemetry.count("registry.misses")
                 sp.set(outcome="miss")
             return None
+
+    def contains(
+        self, chip: str, m: int, n: int, k: int, threads: int = 1
+    ) -> bool:
+        """Exact live-entry membership, with no hit/miss counter traffic."""
+        self.refresh()
+        return (chip, m, n, k, threads) in self._live
+
+    @property
+    def signature(self) -> tuple | None:
+        """The file signature of the last load (changes => content changed)."""
+        return self._sig
+
+    def live_entries(self, chip: str | None = None) -> list[RegistryEntry]:
+        """Served (current-fingerprint) entries, optionally one chip's."""
+        self.refresh()
+        return [
+            e for e in self._live.values()
+            if chip is None or e.chip == chip
+        ]
+
+    def writable(self) -> bool:
+        """Whether a put() can be expected to succeed right now."""
+        if self.path.exists():
+            return os.access(self.path, os.W_OK)
+        return os.access(self.path.parent, os.W_OK)
 
     def entries(self, include_stale: bool = True) -> list[RegistryEntry]:
         """All entries, live first, each key once."""

@@ -432,3 +432,31 @@ class TestRegistry:
         err = capsys.readouterr().err
         assert code == FAIL_CODES["registry"]
         assert "MxNxK" in err
+
+    def test_warm_populates_families_and_is_idempotent(self, capsys, tmp_path):
+        from repro.tuner.registry import ScheduleRegistry
+
+        path = tmp_path / "warm.jsonl"
+        code, out = run_cli(
+            capsys, "registry", "warm", "--registry", str(path),
+            "--limit", "1", "--budget", "2", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["command"] == "registry warm"
+        (shape,) = payload["tuned"]
+        # Smallest-FLOPs ResNet-50 layer first, with its family band.
+        assert (shape["m"], shape["n"], shape["k"]) == (64, 3136, 64)
+        assert shape["family"] == "tall-skinny"
+        assert payload["entries"] == 1
+        assert ScheduleRegistry(path).get("KP920", 64, 3136, 64) is not None
+
+        # Re-running skips the already-warm shape instead of re-tuning.
+        code, out = run_cli(
+            capsys, "registry", "warm", "--registry", str(path),
+            "--limit", "1", "--budget", "2", "--json",
+        )
+        assert code == 0
+        again = json.loads(out)
+        assert again["tuned"] == []
+        assert again["skipped"] == ["L2"]

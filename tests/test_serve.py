@@ -419,6 +419,97 @@ class TestServerEndToEnd:
                     pass
 
 
+class TestFamilyServing:
+    """Input-aware serving through the daemon (docs/serving.md): a
+    registry-miss shape in a warmed family is served a zero-trial
+    projection by the worker, the supervisor upgrades the entry off the
+    request path, and the follow-up request is a registry exact hit."""
+
+    SEED_SHAPE = (16, 256, 32)
+    QUERY = (16, 320, 32)
+
+    def test_projection_then_background_upgrade(self, tmp_path):
+        from repro.gemm.schedule import default_schedule
+        from repro.machine.chips import KP920
+        from repro.tuner.registry import ScheduleRegistry
+
+        registry_path = tmp_path / "registry.jsonl"
+        reg = ScheduleRegistry(registry_path)
+        m, n, k = self.SEED_SHAPE
+        reg.put(
+            "KP920", m, n, k, 1, default_schedule(m, n, k, KP920),
+            cycles=2000.0,
+        )
+        qm, qn, qk = self.QUERY
+        config = small_config(
+            workers=1, registry=str(registry_path), upgrade_budget=2,
+        )
+        collector = telemetry.Collector()
+        with running_server(tmp_path, config=config, collector=collector) as (
+            server, sock,
+        ):
+            with ServeClient(socket_path=sock, timeout=300) as cli:
+                resp = cli.gemm(qm, qn, qk, seed=SEED)
+                assert resp["ok"]
+                result = resp["result"]
+                # Served from the family path with zero tuning trials on
+                # the request path; the reply says so and carries the
+                # projection's provenance.
+                assert result["schedule_source"] == "family"
+                assert result["family"]["family"] == "tall-skinny"
+                assert result["family"]["source"] == f"{m}x{n}x{k}t1"
+                assert 0 < result["family"]["confidence"] <= 1
+                c = cli.gemm_array(resp, qm, qn)
+                assert (c == oracle(qm, qn, qk)).all()
+
+                stats = cli.stats()
+                assert stats["counters"].get("family.served") == 1
+                assert stats["registry"]["writable"] is True
+                assert stats["registry"]["status"] == "ok"
+
+                # The supervisor tunes the exact key off the request path
+                # and publishes through the shared file.
+                deadline = time.time() + 240
+                while not ScheduleRegistry(registry_path).contains(
+                    "KP920", qm, qn, qk, 1
+                ):
+                    assert time.time() < deadline, "upgrade never landed"
+                    time.sleep(0.2)
+                resp2 = cli.gemm(qm, qn, qk, seed=SEED)
+                assert resp2["ok"]
+                assert resp2["result"]["schedule_source"] == "registry"
+                assert "family" not in resp2["result"]
+                c2 = cli.gemm_array(resp2, qm, qn)
+                assert (c2 == oracle(qm, qn, qk)).all()
+        assert collector.counters.get("family.upgrades_enqueued") == 1
+        assert collector.counters.get("family.upgrades_completed") == 1
+
+    def test_no_family_flag_disables_projection(self, tmp_path):
+        from repro.gemm.schedule import default_schedule
+        from repro.machine.chips import KP920
+        from repro.tuner.registry import ScheduleRegistry
+
+        registry_path = tmp_path / "registry.jsonl"
+        reg = ScheduleRegistry(registry_path)
+        m, n, k = self.SEED_SHAPE
+        reg.put(
+            "KP920", m, n, k, 1, default_schedule(m, n, k, KP920),
+            cycles=2000.0,
+        )
+        config = small_config(
+            workers=1, registry=str(registry_path), family_serve=False,
+        )
+        qm, qn, qk = self.QUERY
+        with running_server(tmp_path, config=config) as (_, sock):
+            with ServeClient(socket_path=sock, timeout=120) as cli:
+                resp = cli.gemm(qm, qn, qk, seed=SEED)
+                assert resp["ok"]
+                assert resp["result"]["schedule_source"] == "heuristic"
+                assert "family" not in resp["result"]
+                c = cli.gemm_array(resp, qm, qn)
+                assert (c == oracle(qm, qn, qk)).all()
+
+
 # ---------------------------------------------------------------------------
 # CLI daemon subprocess: SIGTERM drains to exit 0
 # ---------------------------------------------------------------------------

@@ -3,12 +3,16 @@
 Contract (docs/tuning_guide.md): ``(chip, m, n, k, threads) -> Schedule``,
 persisted as append-only JSON lines; entries tuned under a different
 codegen/model fingerprint are *stale* and never served; readers observe
-other processes' appends through the file signature; loading tolerates torn
+other processes' appends through the file signature -- including a
+same-size in-place rewrite within the filesystem's mtime granularity,
+caught by the signature's head/tail content hash; loading tolerates torn
 lines like the record store does.
 """
 
 import json
 import multiprocessing
+import os
+import time
 
 import pytest
 
@@ -114,6 +118,48 @@ class TestSharing:
         # The reader re-loads off the changed file signature; no restart.
         assert reader.get(kp920.name, M, N, K) == sched
 
+    def test_same_size_rewrite_within_mtime_granularity_observed(
+        self, kp920, path
+    ):
+        """Regression: the refresh signature was (mtime, size) only, so an
+        in-place rewrite that keeps the byte length and lands within the
+        filesystem's mtime granularity (evict+put of equal-length lines,
+        coarse-mtime mounts) was silently missed.  The content hash in the
+        signature must catch it even with the mtime pinned to the old value.
+        """
+        from dataclasses import replace
+
+        from repro.gemm.schedule import default_schedule
+
+        reg = ScheduleRegistry(path)
+        base = default_schedule(M, N, K, kp920)
+        lo = replace(base, kc=16)
+        hi = replace(base, kc=32)  # same serialized length as kc=16
+        reg.put(kp920.name, M, N, K, 1, lo, cycles=1111.0)
+        reg.put(kp920.name, M, N, K, 1, hi, cycles=2222.0)
+        reader = ScheduleRegistry(path)
+        assert reader.get(kp920.name, M, N, K).kc == 16  # best cycles wins
+
+        # Rewrite in place: swap the two cycles fields, so which line is
+        # best flips while the byte length stays identical -- then pin the
+        # mtime back, modelling a rewrite inside one mtime tick.
+        before = os.stat(path)
+        text = path.read_text()
+        swapped = (
+            text.replace("1111.0", "\0PLACEHOLDER\0")
+            .replace("2222.0", "1111.0")
+            .replace("\0PLACEHOLDER\0", "2222.0")
+        )
+        assert len(swapped) == len(text) and swapped != text
+        path.write_text(swapped)
+        os.utime(path, ns=(before.st_atime_ns, before.st_mtime_ns))
+        after = os.stat(path)
+        assert (after.st_mtime_ns, after.st_size) == (
+            before.st_mtime_ns, before.st_size,
+        )  # the old signature would see nothing
+
+        assert reader.get(kp920.name, M, N, K).kc == 32
+
     def test_export_is_a_valid_registry(self, kp920, path, tmp_path):
         reg = ScheduleRegistry(path)
         sched = put_one(reg, kp920)
@@ -159,6 +205,22 @@ def _registry_writer(path, writer_idx, count):
         reg.put(KP920.name, m, N, k, 1, sched, cycles=100.0 + i)
 
 
+def _upgrading_writer(path, count):
+    """Child-process body: an upgrade-style writer repeatedly improving
+    one shape's entry (decreasing cycles, alternating blocks)."""
+    from dataclasses import replace
+
+    from repro.machine.chips import KP920
+    from repro.tuner.registry import ScheduleRegistry
+
+    reg = ScheduleRegistry(path)
+    base = default_schedule(16, 256, 32, KP920)
+    for i in range(count):
+        sched = replace(base, kc=16 if i % 2 else 32)
+        reg.put(KP920.name, 16, 256, 32, 1, sched, cycles=1000.0 - i)
+        time.sleep(0.01)
+
+
 class TestConcurrentAccess:
     """Two processes appending to one registry file while a third reads.
 
@@ -200,6 +262,43 @@ class TestConcurrentAccess:
                     entry = reg.get(kp920.name, 8 + writer_idx, N, 8 + i)
                     assert entry is not None, (writer_idx, i)
         assert len(path.read_text().splitlines()) == 2 * self.COUNT
+
+    def test_projection_serving_races_with_upgrading_writer(self, kp920, path):
+        """Family projections stay bit-exact while an upgrading writer
+        rewrites the neighbour entry they project from (the serve-side
+        background-upgrade race, modelled cross-process)."""
+        import numpy as np
+
+        from repro.gemm.reference import sgemm
+
+        seed_m, seed_n, seed_k = 16, 256, 32
+        query = (16, 320, 32)
+        ctx = multiprocessing.get_context("fork")
+        writer = ScheduleRegistry(path)
+        writer.put(
+            kp920.name, seed_m, seed_n, seed_k, 1,
+            default_schedule(seed_m, seed_n, seed_k, kp920), cycles=2000.0,
+        )
+        server = AutoGEMM(kp920, registry=str(path), family_upgrade=False)
+        rng = np.random.default_rng(0)
+        a = rng.uniform(-1, 1, (query[0], query[2])).astype(np.float32)
+        b = rng.uniform(-1, 1, (query[2], query[1])).astype(np.float32)
+        want = sgemm(a, b)
+
+        proc = ctx.Process(target=_upgrading_writer, args=(path, 15))
+        proc.start()
+        served = 0
+        while proc.is_alive() or served == 0:
+            result = server.gemm(a, b)
+            # Whatever snapshot of the neighbour the projection used, the
+            # numerical result is bit-exact -- upgrades change timing, not
+            # correctness.
+            assert result.c.tobytes() == want.tobytes()
+            assert result.schedule_source == "family"
+            served += 1
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+        assert server.registry.skipped_lines == 0  # never saw a torn line
 
     def test_put_refresh_races_with_writer(self, kp920, path):
         """A writer that also *puts* mid-race refreshes from disk first and
